@@ -1,0 +1,31 @@
+# Convenience targets for the repro project.
+
+PYTHON ?= python
+
+.PHONY: install test bench report figures examples clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+report:
+	$(PYTHON) -m repro report -o EXPERIMENTS.md
+
+figures:
+	$(PYTHON) -m repro figures -o figures
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PYTHON) $$script > /dev/null || exit 1; \
+	done
+	@echo "all examples ran cleanly"
+
+clean:
+	rm -rf .pytest_cache .hypothesis figures
+	find . -name __pycache__ -type d -exec rm -rf {} +

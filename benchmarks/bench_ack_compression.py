@@ -1,0 +1,103 @@
+"""Benchmark: ACK-compression mechanics (Section 4.2).
+
+Checks the mechanism itself, not just its symptoms: ACKs leave a busy
+queue spaced by the ACK transmission time (compression factor = RA/RD =
+10), whole clusters compress together, and no ACK is ever dropped in
+the dumbbell.
+"""
+
+from repro.analysis import compressed_ack_bursts
+from repro.scenarios import paper, run
+
+from benchmarks.conftest import run_once
+
+
+def _result():
+    return run(paper.figure8(duration=200.0, warmup=100.0))
+
+
+def test_compression_factor_both_sources(benchmark, record):
+    result = run_once(benchmark, _result)
+    for conn_id in (1, 2):
+        stats = result.ack_compression(conn_id)
+        record(**{
+            f"conn{conn_id}_factor": round(stats.compression_factor, 2),
+            f"conn{conn_id}_compressed_fraction": round(stats.compressed_fraction, 3),
+        })
+        assert 7.0 <= stats.compression_factor <= 12.0
+        assert stats.compressed_fraction > 0.3
+
+
+def test_whole_clusters_compress(benchmark, record):
+    result = run_once(benchmark, _result)
+    start, end = result.window
+    bursts = compressed_ack_bursts(
+        result.traces.queue("sw2->sw1").departures,
+        data_tx_time=result.config.data_tx_time, start=start, end=end)
+    mean_burst = sum(bursts) / len(bursts)
+    record(measured_bursts=len(bursts), measured_mean_burst=round(mean_burst, 1),
+           measured_max_burst=max(bursts))
+    assert mean_burst >= 3.0
+    assert max(bursts) >= 10
+
+
+def test_no_ack_ever_dropped_finite_buffers(benchmark, record):
+    """The Section 4.2 argument, on the adaptive finite-buffer runs."""
+
+    def both():
+        return (run(paper.figure4(duration=250.0, warmup=100.0)),
+                run(paper.figure6(duration=300.0, warmup=100.0)))
+
+    small, large = run_once(benchmark, both)
+    record(small_pipe_ack_drops=len(small.traces.drops.ack_drops),
+           large_pipe_ack_drops=len(large.traces.drops.ack_drops))
+    assert small.traces.drops.ack_drops == []
+    assert large.traces.drops.ack_drops == []
+
+
+def test_section_42_chronology_coupling(benchmark, record):
+    """The five-step cycle of Section 4.2: every rapid fall of one queue
+    (an ACK cluster draining at RA) coincides with a rapid rise of the
+    other (the released data burst arriving at RA)."""
+    from repro.analysis import detect_square_cycles, transitions_are_complementary
+
+    result = run_once(benchmark, _result)
+    start, end = result.window
+    kwargs = dict(min_swing=5, max_transition_time=1.0)
+    tr1 = detect_square_cycles(result.queue_series("sw1->sw2"), start, end, **kwargs)
+    tr2 = detect_square_cycles(result.queue_series("sw2->sw1"), start, end, **kwargs)
+    coupling_12 = transitions_are_complementary(
+        [t for t in tr1 if not t.rising], [t for t in tr2 if t.rising])
+    coupling_21 = transitions_are_complementary(
+        [t for t in tr2 if not t.rising], [t for t in tr1 if t.rising])
+    record(fall_q1_matches_rise_q2=round(coupling_12, 3),
+           fall_q2_matches_rise_q1=round(coupling_21, 3),
+           q1_transitions=len(tr1), q2_transitions=len(tr2))
+    assert coupling_12 >= 0.9
+    assert coupling_21 >= 0.9
+
+
+def test_packet_count_drops_are_byte_artifacts(benchmark, record):
+    """Section 4.2's parenthetical: the rapid queue decreases 'reflect
+    the fact that the queue length is measured in the number of packets
+    rather than in bytes.'  During each packet-count fall the byte
+    occupancy barely moves: the departing packets are 50 B ACKs, so the
+    byte drop is ~10% of what data departures would produce."""
+    from repro.analysis import detect_square_cycles
+
+    result = run_once(benchmark, _result)
+    monitor = result.traces.queue("sw1->sw2")
+    start, end = result.window
+    falls = [t for t in detect_square_cycles(
+        monitor.lengths, start, end, min_swing=5, max_transition_time=1.0)
+        if not t.rising]
+    assert falls
+    ratios = []
+    for fall in falls:
+        byte_drop = (monitor.byte_lengths.value_at(fall.start)
+                     - monitor.byte_lengths.value_at(fall.end))
+        ratios.append(byte_drop / (fall.magnitude * 500.0))
+    mean_ratio = sum(ratios) / len(ratios)
+    record(mean_byte_to_packet_drop_ratio=round(mean_ratio, 3),
+           expected_ratio=0.1)
+    assert mean_ratio < 0.25

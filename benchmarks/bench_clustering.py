@@ -1,0 +1,75 @@
+"""Benchmark: packet clustering (Sections 3.1 and 4.1).
+
+The enabling phenomenon for everything else in the paper: under
+nonpaced window flow control with equal RTTs, each connection's packets
+pass through the bottleneck as contiguous clusters.
+"""
+
+from repro.analysis import cluster_runs, clustering_stats
+from repro.scenarios import paper, run
+
+from benchmarks.conftest import run_once
+
+
+def test_one_way_complete_clustering(benchmark, record):
+    result = run_once(
+        benchmark,
+        lambda: run(paper.one_way(n_connections=3, propagation=1.0,
+                                  buffer_packets=20,
+                                  duration=250.0, warmup=100.0)))
+    start, end = result.window
+    stats = clustering_stats(cluster_runs(
+        result.traces.queue("sw1->sw2").departures, start=start, end=end))
+    record(measured_interleaving=round(stats.interleaving_ratio, 4),
+           measured_mean_run=round(stats.mean_run_length, 2),
+           measured_max_run=stats.max_run_length)
+    assert stats.interleaving_ratio < 0.2
+    assert stats.mean_run_length > 3
+
+
+def test_two_way_clustering_with_acks(benchmark, record):
+    result = run_once(
+        benchmark, lambda: run(paper.figure4(duration=250.0, warmup=100.0)))
+    start, end = result.window
+    for port in ("sw1->sw2", "sw2->sw1"):
+        stats = clustering_stats(cluster_runs(
+            result.traces.queue(port).departures,
+            data_only=False, start=start, end=end))
+        record(**{f"{port}_interleaving": round(stats.interleaving_ratio, 4),
+                  f"{port}_mean_run": round(stats.mean_run_length, 2)})
+        assert stats.interleaving_ratio < 0.25
+        assert stats.mean_run_length >= 4
+
+
+def test_unequal_rtts_reduce_clustering(benchmark, record):
+    """Section 5: differing RTTs break perfect clustering.  We emulate a
+    second connection with a longer path using the chain topology."""
+
+    def chained():
+        from repro.scenarios import ScenarioConfig
+        from repro.scenarios.config import FlowSpec, TopologyKind
+
+        config = ScenarioConfig(
+            name="unequal-rtt",
+            topology=TopologyKind.CHAIN,
+            n_switches=3,
+            flows=(
+                FlowSpec(src="host1", dst="host3", start_time=None),  # 2 hops
+                FlowSpec(src="host2", dst="host3", start_time=None),  # 1 hop
+            ),
+            bottleneck_propagation=0.01,
+            buffer_packets=20,
+            duration=250.0,
+            warmup=100.0,
+            start_jitter=3.0,
+        )
+        return run(config)
+
+    result = run_once(benchmark, chained)
+    stats = clustering_stats(cluster_runs(
+        result.traces.queue("sw2->sw3").departures,
+        start=100.0, end=250.0))
+    record(measured_interleaving=round(stats.interleaving_ratio, 4),
+           measured_mean_run=round(stats.mean_run_length, 2))
+    # Partial clustering survives, but perfection is gone.
+    assert stats.interleaving_ratio > 0.0

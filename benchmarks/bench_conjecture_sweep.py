@@ -1,0 +1,39 @@
+"""Benchmark: the zero-length-ACK conjecture sweep (Section 4.3.3).
+
+For fixed windows W1 >= W2 and pipe P with zero-size ACKs:
+W1 > W2 + 2P => out-of-phase, exactly one line fully utilized;
+W1 < W2 + 2P => in-phase, neither line fully utilized.
+"""
+
+import pytest
+
+from repro.analysis import predict
+from repro.scenarios import paper, run
+from repro.units import LARGE_PIPE_PROPAGATION, SMALL_PIPE_PROPAGATION
+
+from benchmarks.conftest import run_once
+
+CASES = [
+    (30, 25, SMALL_PIPE_PROPAGATION),
+    (30, 5, SMALL_PIPE_PROPAGATION),
+    (30, 25, LARGE_PIPE_PROPAGATION),
+    (20, 18, LARGE_PIPE_PROPAGATION),
+    (40, 10, LARGE_PIPE_PROPAGATION),
+    (26, 25, LARGE_PIPE_PROPAGATION),
+]
+
+
+@pytest.mark.parametrize("w1,w2,tau", CASES)
+def test_conjecture_case(benchmark, record, w1, w2, tau):
+    config = paper.zero_ack_fixed_window(w1, w2, tau,
+                                         duration=150.0, warmup=100.0)
+    result = run_once(benchmark, lambda: run(config))
+    prediction = predict(w1, w2, config.pipe_size)
+    utils = result.utilizations()
+    full = sum(1 for u in utils.values() if u >= 0.99)
+    record(w1=w1, w2=w2, two_p=round(2 * config.pipe_size, 3),
+           predicted_mode=str(prediction.mode),
+           predicted_full_lines=prediction.fully_utilized_lines,
+           measured_full_lines=full,
+           measured_utils=[round(u, 3) for u in utils.values()])
+    assert full == prediction.fully_utilized_lines

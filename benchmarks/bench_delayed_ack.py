@@ -1,0 +1,48 @@
+"""Benchmark: delayed-ACK option vs clustering (Section 5).
+
+The paper: delayed ACKs cut windows into "a few small partial clusters"
+for small windows (maxwnd=8), minimizing ACK-compression; with large
+windows, appreciable partial clusters survive and compression returns.
+"""
+
+from repro.analysis import cluster_runs, clustering_stats
+from repro.scenarios import paper, run
+
+from benchmarks.conftest import run_once
+
+DURATION, WARMUP = 250.0, 100.0
+
+
+def _mixed_stats(result):
+    runs = cluster_runs(result.traces.queue("sw1->sw2").departures,
+                        data_only=False, start=WARMUP, end=DURATION)
+    return clustering_stats(runs)
+
+
+def test_delack_small_windows_break_clusters(benchmark, record):
+    def pair():
+        baseline = run(paper.figure4(duration=DURATION, warmup=WARMUP))
+        small = run(paper.delayed_ack_two_way(
+            maxwnd=8, duration=DURATION, warmup=WARMUP))
+        return _mixed_stats(baseline), _mixed_stats(small)
+
+    baseline, small = run_once(benchmark, pair)
+    record(baseline_max_cluster=baseline.max_run_length,
+           delack8_max_cluster=small.max_run_length,
+           baseline_mean=round(baseline.mean_run_length, 2),
+           delack8_mean=round(small.mean_run_length, 2))
+    assert baseline.max_run_length >= 10
+    assert small.max_run_length <= 8
+    assert small.mean_run_length < baseline.mean_run_length
+
+
+def test_delack_large_windows_keep_partial_clusters(benchmark, record):
+    result = run_once(
+        benchmark,
+        lambda: run(paper.delayed_ack_two_way(
+            maxwnd=1000, duration=DURATION, warmup=WARMUP)))
+    stats = _mixed_stats(result)
+    record(large_max_cluster=stats.max_run_length,
+           large_mean=round(stats.mean_run_length, 2))
+    # "some partial clusters are of appreciable size"
+    assert stats.max_run_length >= 10

@@ -1,0 +1,66 @@
+"""Microbenchmarks for the simulation substrate itself.
+
+Not paper results — these track the cost of the engine primitives so
+regressions in simulation speed are visible: event throughput, queue
+operations, and end-to-end packets-per-second through the dumbbell.
+"""
+
+from repro.engine import Simulator
+from repro.net import DropTailQueue, Packet, PacketKind, build_dumbbell
+from repro.scenarios import paper, run
+from repro.tcp import make_tahoe_connection
+
+
+def test_event_throughput(benchmark):
+    """Schedule and drain 100k chained events."""
+
+    def chain():
+        sim = Simulator()
+        remaining = [100_000]
+
+        def tick():
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.001, tick)
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(chain)
+    assert events == 100_000
+
+
+def test_queue_offer_take_throughput(benchmark):
+    packet = Packet(conn_id=1, kind=PacketKind.DATA, seq=0, size=500)
+
+    def churn():
+        queue = DropTailQueue("bench", capacity=64)
+        for i in range(50_000):
+            queue.offer(float(i), packet)
+            queue.take(float(i))
+        return queue.dequeues
+
+    assert benchmark(churn) == 50_000
+
+
+def test_dumbbell_packet_rate(benchmark):
+    """End-to-end simulated packets per wall second, one connection."""
+
+    def run_sim():
+        sim = Simulator()
+        net = build_dumbbell(sim, bottleneck_propagation=0.01)
+        conn = make_tahoe_connection(sim, net, 1, "host1", "host2")
+        sim.run(until=60.0)
+        return conn.receiver.rcv_nxt
+
+    delivered = benchmark(run_sim)
+    assert delivered > 500
+
+
+def test_full_scenario_wall_time(benchmark):
+    """The figure-4 scenario as an end-to-end speed reference."""
+    result = benchmark.pedantic(
+        lambda: run(paper.figure4(duration=200.0, warmup=100.0)),
+        rounds=1, iterations=1)
+    assert result.events_processed > 10_000

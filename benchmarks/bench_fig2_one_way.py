@@ -1,0 +1,45 @@
+"""Benchmark: Figure 2 — one-way traffic baseline (Section 3.1).
+
+Regenerates the queue/cwnd dynamics of three one-way Tahoe connections
+and checks the paper's headline numbers: ~90% utilization at tau=1s,
+~100% at tau=0.01s, a ~34s cycle, and complete loss synchronization.
+"""
+
+from repro.analysis import epoch_period, loss_synchronization
+from repro.scenarios import paper, run
+
+from benchmarks.conftest import run_once
+
+
+def test_fig2_large_pipe(benchmark, record):
+    result = run_once(
+        benchmark, lambda: run(paper.figure2(duration=250.0, warmup=100.0)))
+    util = result.utilization("sw1->sw2")
+    epochs = result.epochs()
+    period = epoch_period(epochs)
+    sync = loss_synchronization(epochs, 3)
+    record(paper_utilization=0.90, measured_utilization=round(util, 3),
+           paper_period_s=34.0, measured_period_s=round(period, 1),
+           paper_loss_sync=1.0, measured_loss_sync=round(sync, 2))
+    assert 0.80 <= util <= 1.0
+    assert 26.0 <= period <= 42.0
+    assert sync >= 0.75
+
+
+def test_fig2_small_pipe(benchmark, record):
+    result = run_once(
+        benchmark,
+        lambda: run(paper.figure2_small_pipe(duration=150.0, warmup=50.0)))
+    util = result.utilization("sw1->sw2")
+    record(paper_utilization=1.00, measured_utilization=round(util, 3))
+    assert util >= 0.95
+
+
+def test_fig2_drop_pattern(benchmark, record):
+    result = run_once(
+        benchmark, lambda: run(paper.figure2(duration=250.0, warmup=100.0)))
+    epochs = result.epochs()
+    mean_drops = sum(e.total_drops for e in epochs) / len(epochs)
+    record(paper_drops_per_epoch=3.0, measured=round(mean_drops, 2))
+    assert 2.4 <= mean_drops <= 4.5
+    assert result.traces.drops.ack_drops == []

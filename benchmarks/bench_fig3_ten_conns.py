@@ -1,0 +1,70 @@
+"""Benchmark: Figure 3 — ten connections, rapid fluctuations (Section 3.2).
+
+Checks: ~91% utilization at B=30, utilization NOT improved at B=60,
+out-of-phase queue synchronization, drops overwhelmingly data packets,
+and rapid queue fluctuations on sub-transmission-time scales.
+"""
+
+from repro.analysis import SyncMode, rapid_fluctuation_amplitude
+from repro.scenarios import paper, run
+
+from benchmarks.conftest import run_once
+
+
+def test_fig3_baseline(benchmark, record):
+    result = run_once(
+        benchmark, lambda: run(paper.figure3(duration=300.0, warmup=120.0)))
+    util = result.utilization("sw1->sw2")
+    verdict = result.queue_sync()
+    data_fraction = result.data_drop_fraction()
+    record(paper_utilization=0.91, measured_utilization=round(util, 3),
+           paper_queue_sync="out-of-phase", measured_queue_sync=str(verdict.mode),
+           paper_data_drop_fraction=0.998,
+           measured_data_drop_fraction=round(data_fraction, 4))
+    assert 0.81 <= util <= 1.0
+    assert verdict.mode is SyncMode.OUT_OF_PHASE
+    assert data_fraction >= 0.99
+
+
+def test_fig3_rapid_fluctuations(benchmark, record):
+    result = run_once(
+        benchmark, lambda: run(paper.figure3(duration=300.0, warmup=120.0)))
+    start, end = result.window
+    amplitude = rapid_fluctuation_amplitude(
+        result.queue_series("sw1->sw2"), start, end,
+        window=result.config.data_tx_time)
+    record(paper_fluctuation_packets=5.0, measured=amplitude)
+    assert amplitude >= 3.0
+
+
+def test_fig3_buffer_60_does_not_help(benchmark, record):
+    def both():
+        small = run(paper.figure3(buffer_packets=30, duration=300.0, warmup=120.0))
+        big = run(paper.figure3(buffer_packets=60, duration=300.0, warmup=120.0))
+        return small, big
+
+    small, big = run_once(benchmark, both)
+    u30 = small.utilization("sw1->sw2")
+    u60 = big.utilization("sw1->sw2")
+    record(paper_b30=0.91, measured_b30=round(u30, 3),
+           paper_b60=0.87, measured_b60=round(u60, 3))
+    # The paper's headline: doubling buffers does not raise utilization.
+    assert u60 <= u30 + 0.03
+
+
+def test_fig3_group_window_synchronization(benchmark, record):
+    """Section 3.2: same-direction connections are window-synchronized
+    in-phase; the host1 group is out-of-phase with the host2 group."""
+    from repro.analysis import group_phase
+
+    result = run_once(
+        benchmark, lambda: run(paper.figure3(duration=300.0, warmup=120.0)))
+    start, end = result.window
+    host1_group = [result.traces.cwnd(i).cwnd for i in range(1, 6)]
+    host2_group = [result.traces.cwnd(i).cwnd for i in range(6, 11)]
+    phases = group_phase(host1_group, host2_group, start, end)
+    record(within_host1=round(phases.within_a, 3),
+           within_host2=round(phases.within_b, 3),
+           between_hosts=round(phases.between, 3))
+    assert phases.groups_internally_in_phase
+    assert phases.groups_mutually_out_of_phase

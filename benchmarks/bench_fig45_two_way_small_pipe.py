@@ -1,0 +1,51 @@
+"""Benchmark: Figures 4-5 — the out-of-phase mode (Section 4.3.1).
+
+Checks: ~70% utilization, out-of-phase queue and window
+synchronization, alternating double drops on a single connection, and
+ACK-compression with factor RA/RD = 10.
+"""
+
+from repro.analysis import SyncMode, alternation_fraction
+from repro.scenarios import paper, run
+
+from benchmarks.conftest import run_once
+
+
+def _result():
+    return run(paper.figure4(duration=350.0, warmup=150.0))
+
+
+def test_fig45_utilization_and_sync(benchmark, record):
+    result = run_once(benchmark, _result)
+    util = result.utilization("sw1->sw2")
+    queue_sync = result.queue_sync()
+    window_sync = result.window_sync(1, 2)
+    record(paper_utilization=0.70, measured_utilization=round(util, 3),
+           paper_sync="out-of-phase",
+           measured_queue_sync=str(queue_sync.mode),
+           measured_window_sync=str(window_sync.mode))
+    assert 0.60 <= util <= 0.85
+    assert queue_sync.mode is SyncMode.OUT_OF_PHASE
+    assert window_sync.mode is SyncMode.OUT_OF_PHASE
+
+
+def test_fig45_alternating_double_drops(benchmark, record):
+    result = run_once(benchmark, _result)
+    epochs = result.epochs()
+    mean_drops = sum(e.total_drops for e in epochs) / len(epochs)
+    single = [e for e in epochs if len(e.connections) == 1]
+    alternation = alternation_fraction(epochs)
+    record(paper_drops_per_epoch=2.0, measured=round(mean_drops, 2),
+           paper_single_loser="always",
+           measured_single_loser=round(len(single) / len(epochs), 2),
+           paper_alternation="always", measured_alternation=round(alternation, 2))
+    assert 1.5 <= mean_drops <= 3.0
+    assert len(single) / len(epochs) >= 0.7
+    assert alternation >= 0.7
+
+
+def test_fig45_ack_compression_factor(benchmark, record):
+    result = run_once(benchmark, _result)
+    stats = result.ack_compression(1)
+    record(paper_factor=10.0, measured_factor=round(stats.compression_factor, 2))
+    assert 5.0 <= stats.compression_factor <= 12.0

@@ -1,0 +1,47 @@
+"""Benchmark: Figures 6-7 — the in-phase mode (Section 4.3.2).
+
+Checks: ~60% utilization, in-phase queue and window synchronization,
+both connections losing in the same congestion epoch, and simultaneous
+idle periods on both lines.
+"""
+
+from repro.analysis import SyncMode
+from repro.scenarios import paper, run
+
+from benchmarks.conftest import run_once
+
+
+def _result():
+    return run(paper.figure6(duration=500.0, warmup=200.0))
+
+
+def test_fig67_utilization_and_sync(benchmark, record):
+    result = run_once(benchmark, _result)
+    util = result.utilization("sw1->sw2")
+    queue_sync = result.queue_sync()
+    window_sync = result.window_sync(1, 2)
+    record(paper_utilization=0.60, measured_utilization=round(util, 3),
+           paper_sync="in-phase",
+           measured_queue_sync=str(queue_sync.mode),
+           measured_window_sync=str(window_sync.mode))
+    assert 0.45 <= util <= 0.80
+    assert queue_sync.mode is SyncMode.IN_PHASE
+    assert window_sync.mode is SyncMode.IN_PHASE
+
+
+def test_fig67_shared_loss_epochs(benchmark, record):
+    result = run_once(benchmark, _result)
+    epochs = result.epochs()
+    both = [e for e in epochs if len(e.connections) == 2]
+    record(paper_both_lose="every epoch",
+           measured_fraction=round(len(both) / len(epochs), 2))
+    assert len(both) / len(epochs) >= 0.5
+
+
+def test_fig67_both_lines_idle_together(benchmark, record):
+    result = run_once(benchmark, _result)
+    start, end = result.window
+    idle1 = result.queue_series("sw1->sw2").fraction_at_or_below(0, start, end)
+    idle2 = result.queue_series("sw2->sw1").fraction_at_or_below(0, start, end)
+    record(measured_idle_q1=round(idle1, 3), measured_idle_q2=round(idle2, 3))
+    assert idle1 > 0.02 and idle2 > 0.02

@@ -1,0 +1,46 @@
+"""Benchmark: Figure 8 — fixed windows 30/25, tau=0.01s (Section 4.2).
+
+Checks the square-wave regime: queue maxima 55 vs 23 (counting the
+packet in transmission), line 1 fully utilized, line 2 at 86%, zero
+drops, and square-wave plateaus.
+"""
+
+from repro.analysis import plateau_heights
+from repro.scenarios import paper, run
+
+from benchmarks.conftest import run_once
+
+
+def _result():
+    return run(paper.figure8(duration=200.0, warmup=100.0))
+
+
+def test_fig8_queue_maxima(benchmark, record):
+    result = run_once(benchmark, _result)
+    q1 = result.max_queue("sw1->sw2") + 1  # include the packet in transmission
+    q2 = result.max_queue("sw2->sw1") + 1
+    record(paper_q1_max=55, measured_q1_max=q1,
+           paper_q2_max=23, measured_q2_max=q2)
+    assert abs(q1 - 55) <= 2
+    assert abs(q2 - 23) <= 2
+
+
+def test_fig8_utilizations(benchmark, record):
+    result = run_once(benchmark, _result)
+    utils = result.utilizations()
+    record(paper_line1=1.00, measured_line1=round(utils["sw1->sw2"], 3),
+           paper_line2=0.86, measured_line2=round(utils["sw2->sw1"], 3))
+    assert utils["sw1->sw2"] >= 0.99
+    assert 0.76 <= utils["sw2->sw1"] <= 0.96
+    assert len(result.traces.drops) == 0
+
+
+def test_fig8_square_wave_plateaus(benchmark, record):
+    result = run_once(benchmark, _result)
+    start, end = result.window
+    plateaus = plateau_heights(result.queue_series("sw1->sw2"),
+                               start, min(start + 20.0, end),
+                               min_duration=0.3, tolerance=1.5)
+    record(measured_plateau_levels=sorted({round(p) for p in plateaus}))
+    assert plateaus
+    assert max(plateaus) > 40

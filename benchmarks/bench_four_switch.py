@@ -1,0 +1,72 @@
+"""Benchmark: the four-switch chain of [19] (Section 5).
+
+The paper's generality check: even with mixed 1/2/3-hop paths where
+detailed analysis is infeasible, ACK-compression and out-of-phase queue
+synchronization persist.
+"""
+
+from repro.analysis import SyncMode, classify_phase
+from repro.scenarios import paper, run
+
+from benchmarks.conftest import run_once
+
+DURATION, WARMUP = 250.0, 100.0
+
+
+def _result():
+    return run(paper.four_switch(duration=DURATION, warmup=WARMUP))
+
+
+def test_four_switch_compression_persists(benchmark, record):
+    result = run_once(benchmark, _result)
+    best = max(result.ack_compression(c.conn_id).compressed_fraction
+               for c in result.connections)
+    record(measured_max_compressed_fraction=round(best, 3))
+    assert best > 0.2
+
+
+def test_four_switch_out_of_phase_middle_hop(benchmark, record):
+    result = run_once(benchmark, _result)
+    verdict = classify_phase(
+        result.traces.queue("sw2->sw3").lengths,
+        result.traces.queue("sw3->sw2").lengths,
+        WARMUP, DURATION, dt=0.25)
+    record(measured_mode=str(verdict.mode),
+           measured_correlation=round(verdict.correlation, 3))
+    assert verdict.mode is SyncMode.OUT_OF_PHASE
+
+
+def test_four_switch_congestion_on_every_hop(benchmark, record):
+    result = run_once(benchmark, _result)
+    utils = result.utilizations()
+    record(measured_utils={k: round(v, 3) for k, v in utils.items()})
+    assert len(result.traces.drops) > 0
+    # Multi-hop idle time: no middle line saturates.
+    assert utils["sw2->sw3"] < 0.995
+    assert utils["sw3->sw2"] < 0.995
+
+
+def test_fifty_connections_full_scale(benchmark, record):
+    """Section 5 at the original scale: 50 connections, 1/2/3-hop paths."""
+    from repro.errors import AnalysisError
+
+    result = run_once(
+        benchmark,
+        lambda: run(paper.four_switch_fifty(duration=300.0, warmup=120.0)))
+    fractions = []
+    for conn in result.connections:
+        try:
+            fractions.append(
+                result.ack_compression(conn.conn_id).compressed_fraction)
+        except AnalysisError:
+            continue
+    verdict = classify_phase(
+        result.traces.queue("sw2->sw3").lengths,
+        result.traces.queue("sw3->sw2").lengths,
+        120.0, 300.0, dt=0.25)
+    record(n_connections=50,
+           max_compressed_fraction=round(max(fractions), 3),
+           middle_hop_sync=str(verdict.mode),
+           correlation=round(verdict.correlation, 3))
+    assert max(fractions) > 0.2
+    assert verdict.mode is SyncMode.OUT_OF_PHASE

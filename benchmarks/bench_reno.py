@@ -1,0 +1,54 @@
+"""Benchmark: the generality conjecture, tested with TCP Reno.
+
+The paper (Sections 1 and 5) conjectures that ACK-compression and the
+synchronization modes appear for "any nonpaced window-based congestion
+control algorithm."  Reno — the 4.3-reno fast-recovery evolution the
+paper cites as [7] — is the natural second algorithm: it changes loss
+*recovery* but keeps nonpaced ACK-clocked transmission, so the
+phenomena must persist.
+"""
+
+from repro.analysis import SyncMode
+from repro.scenarios import paper, run
+
+from benchmarks.conftest import run_once
+
+DURATION, WARMUP = 350.0, 150.0
+
+
+def _result():
+    return run(paper.reno_two_way(duration=DURATION, warmup=WARMUP))
+
+
+def test_reno_ack_compression_persists(benchmark, record):
+    result = run_once(benchmark, _result)
+    stats = result.ack_compression(1)
+    record(reno_compression_factor=round(stats.compression_factor, 2),
+           reno_compressed_fraction=round(stats.compressed_fraction, 3))
+    assert 7.0 <= stats.compression_factor <= 12.0
+    assert stats.compressed_fraction > 0.2
+
+
+def test_reno_out_of_phase_mode_persists(benchmark, record):
+    result = run_once(benchmark, _result)
+    verdict = result.queue_sync()
+    record(reno_queue_sync=str(verdict.mode),
+           reno_correlation=round(verdict.correlation, 3))
+    assert verdict.mode is SyncMode.OUT_OF_PHASE
+
+
+def test_reno_vs_tahoe_two_way_utilization(benchmark, record):
+    """Fast recovery softens the post-loss dip, so Reno's two-way
+    utilization is at least Tahoe's in the same configuration."""
+
+    def pair():
+        reno = run(paper.reno_two_way(duration=DURATION, warmup=WARMUP))
+        tahoe = run(paper.figure4(duration=DURATION, warmup=WARMUP))
+        return reno, tahoe
+
+    reno, tahoe = run_once(benchmark, pair)
+    reno_util = reno.utilization("sw1->sw2")
+    tahoe_util = tahoe.utilization("sw1->sw2")
+    record(reno_utilization=round(reno_util, 3),
+           tahoe_utilization=round(tahoe_util, 3))
+    assert reno_util >= tahoe_util - 0.05

@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one of the paper's figures (or prose claims)
+end to end and asserts its headline shape, while pytest-benchmark
+records the simulation wall time.  Simulations are deterministic, so a
+single round is a faithful measurement; the cost lives in the run, not
+in measurement noise.
+
+Durations here are the experiment registry's "fast" values: long enough
+for steady state, short enough that the whole suite stays in minutes.
+"""
+
+import pytest
+
+
+def run_once(benchmark, func):
+    """Benchmark ``func`` with one warm round and return its result."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def record(benchmark):
+    """Stash paper-vs-measured numbers into the benchmark's extra_info."""
+
+    def _record(**values):
+        for key, value in values.items():
+            benchmark.extra_info[key] = value
+
+    return _record

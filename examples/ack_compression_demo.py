@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""ACK-compression, step by step (the paper's Section 4.2).
+
+Runs the Figure 8 fixed-window system (windows 30/25, tiny pipe,
+infinite buffers) where ACK-compression is easiest to see, then:
+
+1. plots the square-wave queue oscillations;
+2. measures ACK spacing at each source, showing the factor-of-10
+   compression (ACKs are 1/10 the size of data packets);
+3. reconstructs the compressed ACK *bursts* leaving each queue — whole
+   clusters exiting at the ACK transmission rate RA instead of RD;
+4. verifies the paper's side claim that no ACK can ever be dropped in
+   this topology.
+
+Run:
+    python examples/ack_compression_demo.py
+"""
+
+from repro.analysis import compressed_ack_bursts, plateau_heights
+from repro.scenarios import paper, run
+from repro.viz import plot_series
+
+
+def main() -> None:
+    config = paper.figure8(duration=300.0, warmup=200.0)
+    print(f"running {config.name!r}: {config.description}")
+    result = run(config)
+    start, end = result.window
+
+    # 1. The square waves -------------------------------------------------
+    print()
+    print(plot_series(result.queue_series("sw1->sw2"), start, start + 20.0,
+                      title="queue at sw1->sw2: ACK-compression square waves"))
+    plateaus = plateau_heights(result.queue_series("sw1->sw2"),
+                               start, end, min_duration=0.3, tolerance=1.5)
+    levels = sorted({round(p) for p in plateaus})
+    print(f"plateau levels: {levels}  (paper's Figure 8: ~55 and lower)")
+
+    # 2. Compression at the sources ---------------------------------------
+    print()
+    data_tx = config.data_tx_time
+    print(f"data packet tx time on bottleneck: {data_tx * 1000:.0f} ms; "
+          f"ACK tx time: {config.ack_tx_time * 1000:.0f} ms")
+    for conn in result.connections:
+        stats = result.ack_compression(conn.conn_id)
+        print(f"  conn {conn.conn_id} ({conn.src_host}->{conn.dst_host}): "
+              f"median ACK gap {stats.median_gap * 1000:.1f} ms, "
+              f"compressed fraction {stats.compressed_fraction:.0%}, "
+              f"compression factor {stats.compression_factor:.1f}")
+    print("  (self-clocked ACKs would arrive 80 ms apart; compressed "
+          "clusters arrive 8 ms apart — exactly RA/RD = 10)")
+
+    # 3. Burst structure ---------------------------------------------------
+    print()
+    for port in ("sw1->sw2", "sw2->sw1"):
+        bursts = compressed_ack_bursts(
+            result.traces.queue(port).departures,
+            data_tx_time=data_tx, start=start, end=end)
+        if bursts:
+            mean = sum(bursts) / len(bursts)
+            print(f"  {port}: {len(bursts)} compressed ACK bursts, "
+                  f"mean size {mean:.1f}, max {max(bursts)} "
+                  "(whole window clusters compress together)")
+
+    # 4. No ACK drops -------------------------------------------------------
+    print()
+    print(f"ACK drops observed: {len(result.traces.drops.ack_drops)} "
+          "(the paper proves this must be zero: an ACK reaching a queue "
+          "always follows a departure there)")
+
+
+if __name__ == "__main__":
+    main()

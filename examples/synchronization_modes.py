@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""The two synchronization modes of two-way traffic (Section 4.3).
+
+Runs both regimes of the adaptive (Tahoe) system:
+
+- small pipe (tau = 0.01 s): **out-of-phase** — one window rises while
+  the other falls, one connection takes a double drop per epoch, and
+  the loser alternates;
+- large pipe (tau = 1 s): **in-phase** — windows and queues rise and
+  fall together, each connection dropping once per epoch.
+
+Then validates the paper's zero-length-ACK conjecture that predicts
+which mode appears from (W1, W2, P) alone.
+
+Run:
+    python examples/synchronization_modes.py
+"""
+
+from repro.analysis import alternation_fraction, predict
+from repro.scenarios import paper, run
+from repro.viz import plot_two_series
+
+
+def show_mode(title, config):
+    print(f"=== {title}: {config.description}")
+    result = run(config)
+    queue_sync = result.queue_sync()
+    window_sync = result.window_sync(1, 2)
+    print(f"  utilization: "
+          + ", ".join(f"{k} {v:.0%}" for k, v in result.utilizations().items()))
+    print(f"  queue sync:  {queue_sync.mode} (r={queue_sync.correlation:+.2f})")
+    print(f"  window sync: {window_sync.mode} (r={window_sync.correlation:+.2f})")
+
+    epochs = result.epochs()
+    if epochs:
+        single = [e for e in epochs if len(e.connections) == 1]
+        print(f"  congestion epochs: {len(epochs)}, "
+              f"single-loser: {len(single)}/{len(epochs)}")
+        if len(single) >= 2:
+            print(f"  loser alternation: {alternation_fraction(epochs):.0%}")
+
+    start, _ = result.window
+    print(plot_two_series(
+        result.traces.cwnd(1).cwnd, result.traces.cwnd(2).cwnd,
+        start, min(start + 150.0, result.config.duration),
+        title="  cwnd of conn 1 (*) vs conn 2 (o)", height=12))
+    print()
+    return result
+
+
+def main() -> None:
+    show_mode("OUT-OF-PHASE regime",
+              paper.figure4(duration=500.0, warmup=200.0))
+    show_mode("IN-PHASE regime",
+              paper.figure6(duration=700.0, warmup=300.0))
+
+    print("=== zero-length-ACK conjecture (Section 4.3.3)")
+    print("  W1 > W2 + 2P  =>  out-of-phase, one line full")
+    print("  W1 < W2 + 2P  =>  in-phase, neither line full")
+    for w1, w2, tau in [(30, 25, 0.01), (30, 25, 1.0), (40, 10, 1.0)]:
+        config = paper.zero_ack_fixed_window(w1, w2, tau,
+                                             duration=250.0, warmup=150.0)
+        prediction = predict(w1, w2, config.pipe_size)
+        result = run(config)
+        utils = result.utilizations()
+        full = sum(1 for u in utils.values() if u >= 0.99)
+        verdict = "OK" if full == prediction.fully_utilized_lines else "MISMATCH"
+        print(f"  W1={w1:3} W2={w2:3} 2P={2 * config.pipe_size:5.2f}: "
+              f"predicted {prediction.mode} ({prediction.fully_utilized_lines} "
+              f"full), measured {full} full line(s), "
+              f"utils ({utils['sw1->sw2']:.0%}, {utils['sw2->sw1']:.0%}) "
+              f"[{verdict}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Acceleration analysis.
+
+Section 2.1 defines the *acceleration* of a connection as the amount by
+which its congestion window grows during one epoch: ``cwnd`` itself in
+slow start (the window doubles), 1 in congestion avoidance.  The paper's
+central loss-count prediction is that the number of packets dropped in a
+congestion epoch equals the *total* acceleration across connections —
+each extra window slot translates into exactly one overflow packet when
+the path is at capacity.
+
+These helpers compute measured accelerations from cwnd traces and check
+the prediction against detected epochs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.epochs import CongestionEpoch
+from repro.errors import AnalysisError
+from repro.metrics.cwnd_log import CwndLog
+
+__all__ = [
+    "predicted_drops_per_epoch",
+    "measured_acceleration",
+    "AccelerationCheck",
+    "check_acceleration_prediction",
+]
+
+
+def predicted_drops_per_epoch(n_connections: int) -> int:
+    """Total acceleration in congestion avoidance = number of connections.
+
+    Each connection in congestion avoidance has acceleration 1, so a
+    congestion epoch should cost ``n_connections`` packets in total.
+    """
+    if n_connections < 1:
+        raise AnalysisError("need at least one connection")
+    return n_connections
+
+
+def measured_acceleration(log: CwndLog, start: float, end: float) -> float:
+    """Growth of ``floor(cwnd)`` over ``[start, end]``.
+
+    With the paper's modified avoidance rule this is the number of
+    window increments in the interval, i.e. the acceleration if the
+    interval spans one epoch.
+    """
+    if end <= start:
+        raise AnalysisError(f"need end > start, got [{start}, {end}]")
+    first = int(log.cwnd.value_at(start))
+    last = int(log.cwnd.value_at(end))
+    return float(last - first)
+
+
+@dataclass(frozen=True)
+class AccelerationCheck:
+    """Outcome of comparing measured drops per epoch with the prediction."""
+
+    predicted: float
+    measured_mean: float
+    epochs_checked: int
+
+    @property
+    def ratio(self) -> float:
+        """measured / predicted (1.0 is a perfect match)."""
+        return self.measured_mean / self.predicted if self.predicted else float("inf")
+
+
+def check_acceleration_prediction(
+    epochs: list[CongestionEpoch], n_connections: int
+) -> AccelerationCheck:
+    """Compare mean drops per congestion epoch with total acceleration."""
+    if not epochs:
+        raise AnalysisError("no congestion epochs to check")
+    measured = sum(epoch.total_drops for epoch in epochs) / len(epochs)
+    return AccelerationCheck(
+        predicted=float(predicted_drops_per_epoch(n_connections)),
+        measured_mean=measured,
+        epochs_checked=len(epochs),
+    )

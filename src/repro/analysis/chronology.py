@@ -1,0 +1,130 @@
+"""Square-wave cycle decomposition — the Section 4.2 chronology.
+
+For the fixed-window system of Figure 8 the paper narrates one period
+of the oscillation in five numbered steps; the observable signature in
+the queue-length traces is:
+
+1. a **plateau** on each queue (arrivals and departures both at RD),
+2. a **rapid fall** when a cluster of ACKs reaches the head and drains
+   at rate RA,
+3. a **rapid rise** on the *opposite* queue at the same moment, because
+   the compressed ACKs release data at rate RA into it.
+
+:func:`detect_square_cycles` segments a queue trace into alternating
+plateau / transition intervals by slope, and
+:func:`transitions_are_complementary` checks the paper's coupling: each
+rapid fall of one queue overlaps a rapid rise of the other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+from repro.metrics.timeseries import StepSeries
+
+__all__ = ["SquareTransition", "detect_square_cycles", "transitions_are_complementary"]
+
+
+@dataclass(frozen=True)
+class SquareTransition:
+    """One rapid rise or fall of a square-wave queue trace."""
+
+    start: float
+    end: float
+    from_level: float
+    to_level: float
+
+    @property
+    def rising(self) -> bool:
+        """True for a rapid rise."""
+        return self.to_level > self.from_level
+
+    @property
+    def magnitude(self) -> float:
+        """Packets moved during the transition."""
+        return abs(self.to_level - self.from_level)
+
+    @property
+    def duration(self) -> float:
+        """Seconds the transition took."""
+        return self.end - self.start
+
+    def overlaps(self, other: "SquareTransition", slack: float = 0.0) -> bool:
+        """True when the two intervals intersect (with optional slack)."""
+        return self.start - slack <= other.end and other.start - slack <= self.end
+
+
+def detect_square_cycles(
+    series: StepSeries,
+    start: float,
+    end: float,
+    min_swing: float,
+    max_transition_time: float,
+) -> list[SquareTransition]:
+    """Extract the rapid transitions of a square-wave trace.
+
+    A transition is a monotone run of change-points moving at least
+    ``min_swing`` packets in at most ``max_transition_time`` seconds.
+    Slower drift (the plateau's one-packet alternation) is ignored.
+    """
+    if min_swing <= 0:
+        raise AnalysisError(f"min_swing must be positive, got {min_swing}")
+    if max_transition_time <= 0:
+        raise AnalysisError("max_transition_time must be positive")
+    points = list(series.window(start, end))
+    if len(points) < 3:
+        return []
+
+    transitions: list[SquareTransition] = []
+    direction = 0  # +1 rising, -1 falling, 0 unknown
+    # A run's level starts at the value *before* the first movement, but
+    # its clock starts at the first moved sample — plateau dwell before
+    # the jump is not transition time.
+    run_from_level = points[0][1]
+    run_start_time = points[0][0]
+
+    def flush(last_idx: int) -> None:
+        t1, v1 = points[last_idx]
+        if (abs(v1 - run_from_level) >= min_swing
+                and (t1 - run_start_time) <= max_transition_time):
+            transitions.append(SquareTransition(
+                start=run_start_time, end=t1,
+                from_level=run_from_level, to_level=v1))
+
+    last_move_idx = 0
+    for i in range(1, len(points)):
+        delta = points[i][1] - points[i - 1][1]
+        step_dir = (delta > 0) - (delta < 0)
+        if step_dir == 0:
+            continue
+        stalled = points[i][0] - points[last_move_idx][0] > max_transition_time
+        if direction == 0 or stalled or step_dir != direction:
+            if direction != 0:
+                flush(i - 1 if step_dir != direction and not stalled else last_move_idx)
+            run_from_level = points[i - 1][1]
+            run_start_time = points[i][0]
+            direction = step_dir
+        last_move_idx = i
+    if direction != 0:
+        flush(last_move_idx)
+    return transitions
+
+
+def transitions_are_complementary(
+    falls: list[SquareTransition],
+    rises: list[SquareTransition],
+    slack: float = 0.5,
+) -> float:
+    """Fraction of falls on one queue that overlap a rise on the other.
+
+    In the Figure 8 regime this should be close to 1: the ACK cluster
+    draining queue A *is* the burst filling queue B.
+    """
+    if not falls:
+        raise AnalysisError("no falls to match")
+    matched = sum(
+        1 for fall in falls
+        if any(fall.overlaps(rise, slack=slack) for rise in rises)
+    )
+    return matched / len(falls)

@@ -1,0 +1,72 @@
+"""Throughput-share and fairness analysis.
+
+The paper's companion measurement study (Wilder, Ramakrishnan & Mankin
+[17], discussed in Section 5) found that two-way traffic produced
+"extreme unfairness" on a real OSI testbed, ascribed to the queue
+fluctuations caused by ACK-compression.  These helpers quantify
+fairness in our runs:
+
+- per-connection goodput, computed from the cumulative-ACK process at
+  each source (so multi-hop paths are not double counted);
+- Jain's fairness index over those goodputs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AnalysisError
+from repro.metrics.ack_log import AckArrivalLog
+
+__all__ = ["jain_index", "delivered_in_window", "connection_goodputs"]
+
+
+def jain_index(values: list[float]) -> float:
+    """Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1].
+
+    1.0 means perfectly equal shares; 1/n means one user holds
+    everything.
+    """
+    if not values:
+        raise AnalysisError("need at least one value")
+    if any(v < 0 for v in values):
+        raise AnalysisError("shares cannot be negative")
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares == 0:
+        return 1.0  # all zero: degenerate but equal
+    return (total * total) / (len(values) * squares)
+
+
+def delivered_in_window(log: AckArrivalLog, start: float, end: float) -> int:
+    """Packets cumulatively acknowledged during ``[start, end)``.
+
+    The highest ACK value seen before ``end`` minus the highest seen
+    before ``start`` — i.e. receiver progress attributable to the
+    window, measured at the source.
+    """
+    if end <= start:
+        raise AnalysisError(f"need end > start, got [{start}, {end}]")
+    high_before_start = 0
+    high_before_end = 0
+    for arrival in log.arrivals:
+        if arrival.time < start:
+            high_before_start = max(high_before_start, arrival.ack)
+        if arrival.time < end:
+            high_before_end = max(high_before_end, arrival.ack)
+        else:
+            break
+    return max(high_before_end - high_before_start, 0)
+
+
+def connection_goodputs(
+    ack_logs: dict[int, AckArrivalLog],
+    start: float,
+    end: float,
+    packet_bytes: int,
+) -> dict[int, float]:
+    """Per-connection goodput in bits/second over a window."""
+    if packet_bytes <= 0:
+        raise AnalysisError("packet size must be positive")
+    return {
+        conn_id: delivered_in_window(log, start, end) * packet_bytes * 8.0 / (end - start)
+        for conn_id, log in ack_logs.items()
+    }

@@ -1,0 +1,73 @@
+"""Group synchronization analysis for many-connection runs.
+
+Section 3.2, on the ten-connection configuration: "the connections
+sending in the same direction are window-synchronized in-phase, but the
+connections with sources on Host-1 are synchronized out-of-phase with
+the connections on Host-2."
+
+:func:`group_phase` computes the mean pairwise phase correlation within
+and across two groups of cwnd (or queue) series, giving one number per
+relationship that the experiment harness can grade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations, product
+
+from repro.analysis.synchronization import phase_correlation
+from repro.errors import AnalysisError
+from repro.metrics.timeseries import StepSeries
+
+__all__ = ["GroupPhase", "group_phase"]
+
+
+@dataclass(frozen=True)
+class GroupPhase:
+    """Mean pairwise correlations within and between two groups."""
+
+    within_a: float
+    within_b: float
+    between: float
+
+    @property
+    def groups_internally_in_phase(self) -> bool:
+        """True when both groups cohere positively."""
+        return self.within_a > 0.0 and self.within_b > 0.0
+
+    @property
+    def groups_mutually_out_of_phase(self) -> bool:
+        """True when the two groups anti-correlate."""
+        return self.between < 0.0
+
+
+def _mean_pairwise(series: list[StepSeries], start: float, end: float,
+                   dt: float) -> float:
+    pairs = list(combinations(series, 2))
+    if not pairs:
+        raise AnalysisError("need at least two series for within-group phase")
+    total = sum(phase_correlation(a, b, start, end, dt) for a, b in pairs)
+    return total / len(pairs)
+
+
+def group_phase(
+    group_a: list[StepSeries],
+    group_b: list[StepSeries],
+    start: float,
+    end: float,
+    dt: float = 0.25,
+) -> GroupPhase:
+    """Within- and between-group mean phase correlations."""
+    if len(group_a) < 2 or len(group_b) < 2:
+        raise AnalysisError("each group needs at least two series")
+    within_a = _mean_pairwise(group_a, start, end, dt)
+    within_b = _mean_pairwise(group_b, start, end, dt)
+    cross = [
+        phase_correlation(a, b, start, end, dt)
+        for a, b in product(group_a, group_b)
+    ]
+    return GroupPhase(
+        within_a=within_a,
+        within_b=within_b,
+        between=sum(cross) / len(cross),
+    )

@@ -1,0 +1,118 @@
+"""Congestion-window growth-law fitting.
+
+Section 4.3.1: after a double drop pins ``ssthresh`` at 2, "cwnd
+increases as the square root of time over the whole cycle, rather than
+having an initial exponential and then linear growth periods."
+
+The mechanism: in congestion avoidance the window grows by one per
+epoch and an epoch lasts about one RTT per ``cwnd`` ACKs — so
+``dc/dt ∝ 1/c``, giving ``c(t) ∝ sqrt(t)``.  Equivalently, ``cwnd²``
+is linear in time.  :func:`sqrt_growth_fit` grades a rebuild segment by
+the R² of a linear fit to ``cwnd²`` vs ``t``, compared against the R²
+of a linear fit to ``cwnd`` vs ``t``; square-root growth shows
+``r2_squared > r2_linear``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.metrics.timeseries import StepSeries
+
+__all__ = ["GrowthFit", "sqrt_growth_fit", "rebuild_segments", "growth_concavity"]
+
+
+@dataclass(frozen=True)
+class GrowthFit:
+    """Goodness-of-fit of two growth laws over one rebuild segment."""
+
+    start: float
+    end: float
+    r2_linear: float
+    """R² of cwnd ~ a·t + b."""
+    r2_sqrt: float
+    """R² of cwnd² ~ a·t + b (high when growth is square-root-like)."""
+
+    @property
+    def sqrt_like(self) -> bool:
+        """True when the square-root law fits better and fits well."""
+        return self.r2_sqrt > self.r2_linear and self.r2_sqrt > 0.9
+
+
+def _r2(x: np.ndarray, y: np.ndarray) -> float:
+    slope, intercept = np.polyfit(x, y, 1)
+    predicted = slope * x + intercept
+    residual = float(((y - predicted) ** 2).sum())
+    total = float(((y - y.mean()) ** 2).sum())
+    if total == 0.0:
+        return 1.0
+    return 1.0 - residual / total
+
+
+def sqrt_growth_fit(
+    cwnd: StepSeries,
+    start: float,
+    end: float,
+    dt: float = 0.5,
+) -> GrowthFit:
+    """Fit linear and square-root growth laws to a cwnd segment."""
+    if end <= start:
+        raise AnalysisError(f"need end > start, got [{start}, {end}]")
+    grid, values = cwnd.sample(start, end, dt)
+    if len(grid) < 8:
+        raise AnalysisError("segment too short to fit a growth law")
+    if values.max() <= values.min():
+        raise AnalysisError("cwnd did not grow over the segment")
+    return GrowthFit(
+        start=start,
+        end=end,
+        r2_linear=_r2(grid, values),
+        r2_sqrt=_r2(grid, values ** 2),
+    )
+
+
+def rebuild_segments(
+    loss_times: list[float],
+    start: float,
+    end: float,
+    margin: float = 1.0,
+) -> list[tuple[float, float]]:
+    """The loss-free intervals between consecutive loss detections.
+
+    Each returned ``(a, b)`` interval starts ``margin`` seconds after a
+    loss (skipping the retransmission dip) and ends just before the next
+    loss — the window-rebuild phase a growth law can be fitted to.
+    """
+    times = sorted(t for t in loss_times if start <= t < end)
+    segments: list[tuple[float, float]] = []
+    for current, following in zip(times, times[1:]):
+        a, b = current + margin, following - margin / 10.0
+        if b - a > 4 * margin:
+            segments.append((a, b))
+    return segments
+
+
+def growth_concavity(
+    cwnd: StepSeries,
+    start: float,
+    end: float,
+) -> float:
+    """First-half growth minus second-half growth, in packets.
+
+    Positive values mean decelerating (concave, square-root-like)
+    growth; zero means linear; negative means accelerating
+    (exponential-like, i.e. a dominant slow-start phase).  The paper's
+    post-double-drop claim — square-root growth "rather than an initial
+    exponential and then linear growth" — corresponds to a positive
+    value, which is a more robust discriminator on noisy rebuilds than
+    comparing R² values of competing fits.
+    """
+    if end <= start:
+        raise AnalysisError(f"need end > start, got [{start}, {end}]")
+    mid = (start + end) / 2.0
+    first = cwnd.value_at(mid) - cwnd.value_at(start)
+    second = cwnd.value_at(end) - cwnd.value_at(mid)
+    return first - second

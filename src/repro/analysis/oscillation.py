@@ -1,0 +1,137 @@
+"""Oscillation and rapid-fluctuation measurements on queue-length traces.
+
+Two distinct signals coexist in the paper's two-way queue plots:
+
+- a **low-frequency** sawtooth driven by the window increase-decrease
+  cycle (period tens of seconds), and
+- **high-frequency square waves / rapid fluctuations** caused by
+  ACK-compression, with swings of several packets on a time scale
+  *smaller than one data-packet transmission time* (the darkened bands
+  of Figure 3 and the square waves of Figures 4, 8).
+
+:func:`rapid_fluctuation_amplitude` quantifies the fast component:
+the typical max-min swing of the series inside sliding windows of a
+chosen width (default: one data transmission time).  One-way traffic
+scores ~1 packet (the arrive/depart alternation); ACK-compressed
+two-way traffic scores several packets.
+
+:func:`dominant_period` estimates the slow component's period from the
+autocorrelation of the resampled, mean-removed signal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.metrics.timeseries import StepSeries
+
+__all__ = ["rapid_fluctuation_amplitude", "dominant_period", "plateau_heights"]
+
+
+def rapid_fluctuation_amplitude(
+    series: StepSeries,
+    start: float,
+    end: float,
+    window: float,
+    quantile: float = 0.9,
+) -> float:
+    """Typical short-time-scale swing of a step series.
+
+    Splits ``[start, end)`` into consecutive windows of length
+    ``window`` and returns the ``quantile`` of per-window (max - min).
+    """
+    if window <= 0:
+        raise AnalysisError(f"window must be positive, got {window}")
+    if end - start < 2 * window:
+        raise AnalysisError("interval too short for fluctuation analysis")
+    if not (0 < quantile <= 1):
+        raise AnalysisError(f"quantile must be in (0, 1], got {quantile}")
+    swings: list[float] = []
+    t = start
+    while t + window <= end:
+        hi = series.max_in(t, t + window)
+        lo = series.min_in(t, t + window)
+        swings.append(hi - lo)
+        t += window
+    return float(np.quantile(np.asarray(swings), quantile))
+
+
+def dominant_period(
+    series: StepSeries,
+    start: float,
+    end: float,
+    dt: float,
+    min_period: float | None = None,
+) -> float:
+    """Estimate the dominant oscillation period via autocorrelation.
+
+    The series is resampled at ``dt``, mean-removed, and the first
+    autocorrelation peak past ``min_period`` (default ``2 * dt``) is
+    returned, in seconds.
+    """
+    _, values = series.sample(start, end, dt)
+    if len(values) < 16:
+        raise AnalysisError("window too short for period estimation")
+    centered = values - values.mean()
+    if not np.any(centered):
+        raise AnalysisError("signal is constant; no oscillation present")
+    corr = np.correlate(centered, centered, mode="full")[len(centered) - 1:]
+    corr = corr / corr[0]
+    min_lag = int((min_period if min_period is not None else 2 * dt) / dt)
+    min_lag = max(min_lag, 1)
+    # First local maximum after the initial decay.
+    best_lag = None
+    for lag in range(min_lag + 1, len(corr) - 1):
+        if corr[lag] >= corr[lag - 1] and corr[lag] >= corr[lag + 1] and corr[lag] > 0.1:
+            best_lag = lag
+            break
+    if best_lag is None:
+        best_lag = int(np.argmax(corr[min_lag:]) + min_lag)
+    return best_lag * dt
+
+
+def plateau_heights(
+    series: StepSeries,
+    start: float,
+    end: float,
+    min_duration: float,
+    tolerance: float = 0.0,
+) -> list[float]:
+    """Levels the series holds for at least ``min_duration`` seconds.
+
+    Extracts the square-wave plateau levels of Figures 8-9 (e.g. queue 1
+    sitting at ~55 then dropping).  ``tolerance`` widens what counts as
+    "one level": consecutive change-points whose total spread stays
+    within ``tolerance`` belong to the same plateau.  Queue-length
+    signals need ``tolerance >= 1`` because a busy queue alternates
+    between q and q+1 as packets arrive and depart (the darkened bands
+    in the paper's figures); the plateau is that envelope, not a single
+    value.  Returns the midpoint of each qualifying plateau's band.
+    """
+    if min_duration <= 0:
+        raise AnalysisError(f"min_duration must be positive, got {min_duration}")
+    if tolerance < 0:
+        raise AnalysisError(f"tolerance cannot be negative, got {tolerance}")
+    points = list(series.window(start, end))
+    plateaus: list[float] = []
+    group_start = None
+    group_lo = group_hi = 0.0
+
+    def close(t_end: float) -> None:
+        if group_start is not None and t_end - group_start >= min_duration:
+            plateaus.append((group_lo + group_hi) / 2.0)
+
+    for t, value in points:
+        if group_start is None:
+            group_start, group_lo, group_hi = t, value, value
+            continue
+        lo = min(group_lo, value)
+        hi = max(group_hi, value)
+        if hi - lo <= tolerance:
+            group_lo, group_hi = lo, hi
+        else:
+            close(t)
+            group_start, group_lo, group_hi = t, value, value
+    close(end)
+    return plateaus

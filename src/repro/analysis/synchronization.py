@@ -1,0 +1,128 @@
+"""Synchronization-mode classification.
+
+The paper distinguishes two modes for two-way traffic:
+
+- **in-phase**: the connections' windows (and the two bottleneck
+  queues) rise and fall together — Figures 6-7;
+- **out-of-phase**: one rises while the other falls — Figures 4-5 and
+  the ten-connection data of Figure 3.
+
+We classify by the Pearson correlation of the two signals resampled on
+a common grid, after removing their means.  Strongly positive →
+in-phase; strongly negative → out-of-phase; near zero → ambiguous
+(the paper itself observes modes that "do not fit neatly" — §4.3.3).
+
+Loss-synchronization (do the connections lose in the *same* congestion
+epoch?) is classified separately from drop records.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.epochs import CongestionEpoch
+from repro.errors import AnalysisError
+from repro.metrics.timeseries import StepSeries
+
+__all__ = [
+    "SyncMode",
+    "SyncVerdict",
+    "classify_phase",
+    "phase_correlation",
+    "loss_synchronization",
+    "alternation_fraction",
+]
+
+
+class SyncMode(enum.Enum):
+    """The relative phase of two oscillating signals."""
+
+    IN_PHASE = "in-phase"
+    OUT_OF_PHASE = "out-of-phase"
+    AMBIGUOUS = "ambiguous"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class SyncVerdict:
+    """Classification result with its supporting statistic."""
+
+    mode: SyncMode
+    correlation: float
+
+
+def phase_correlation(
+    a: StepSeries,
+    b: StepSeries,
+    start: float,
+    end: float,
+    dt: float,
+) -> float:
+    """Pearson correlation of two step series resampled on a shared grid."""
+    if end <= start:
+        raise AnalysisError(f"need end > start, got [{start}, {end}]")
+    _, va = a.sample(start, end, dt)
+    _, vb = b.sample(start, end, dt)
+    if len(va) < 4:
+        raise AnalysisError("window too short for the requested sampling interval")
+    va = va - va.mean()
+    vb = vb - vb.mean()
+    denom = float(np.sqrt((va @ va) * (vb @ vb)))
+    if denom == 0.0:
+        return 0.0  # at least one signal is constant: no phase information
+    return float((va @ vb) / denom)
+
+
+def classify_phase(
+    a: StepSeries,
+    b: StepSeries,
+    start: float,
+    end: float,
+    dt: float = 0.25,
+    threshold: float = 0.2,
+) -> SyncVerdict:
+    """Classify two signals as in-phase / out-of-phase / ambiguous.
+
+    ``threshold`` is the minimum |correlation| for a definite verdict.
+    """
+    corr = phase_correlation(a, b, start, end, dt)
+    if corr >= threshold:
+        return SyncVerdict(SyncMode.IN_PHASE, corr)
+    if corr <= -threshold:
+        return SyncVerdict(SyncMode.OUT_OF_PHASE, corr)
+    return SyncVerdict(SyncMode.AMBIGUOUS, corr)
+
+
+def loss_synchronization(epochs: list[CongestionEpoch], n_connections: int) -> float:
+    """Fraction of congestion epochs in which *every* connection lost.
+
+    1.0 reproduces the one-way loss-synchronization of Figure 2; values
+    near 0.0 with alternating single-connection losses correspond to the
+    out-of-phase mode of Figure 4.
+    """
+    if n_connections < 1:
+        raise AnalysisError("need at least one connection")
+    if not epochs:
+        return 0.0
+    synced = sum(1 for epoch in epochs if len(epoch.connections) == n_connections)
+    return synced / len(epochs)
+
+
+def alternation_fraction(epochs: list[CongestionEpoch]) -> float:
+    """How often the single losing connection alternates between epochs.
+
+    Considers only epochs where exactly one connection lost; returns the
+    fraction of consecutive such epochs whose loser differs.  The paper's
+    out-of-phase mode (Figure 4) alternates perfectly: "in the next
+    congestion epoch, the roles are reversed."
+    """
+    losers = [next(iter(e.connections)) for e in epochs if len(e.connections) == 1]
+    if len(losers) < 2:
+        raise AnalysisError("need at least two single-loser epochs")
+    changes = sum(1 for a, b in zip(losers, losers[1:]) if a != b)
+    return changes / (len(losers) - 1)

@@ -1,0 +1,158 @@
+"""Command-line interface.
+
+::
+
+    repro list                      # registered experiments
+    repro run fig4_5 [--fast]       # one experiment, print the report
+    repro report [--fast] [-o F]    # all experiments -> Markdown
+    repro plot fig4 [--window A B]  # ASCII queue plots for a scenario
+    repro figures [-o DIR]          # render every paper figure as text
+    repro run-config FILE [--save-traces F]  # run a JSON scenario
+
+Also usable as ``python -m repro ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+_PLOT_SCENARIOS = ("fig2", "fig3", "fig4", "fig6", "fig8", "fig9")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Zhang, Shenker & Clark (SIGCOMM 1991): "
+            "TCP Tahoe dynamics with two-way traffic"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("experiment", help="experiment id (see `repro list`)")
+    run_p.add_argument("--fast", action="store_true",
+                       help="shorter simulations (smoke mode)")
+
+    rep_p = sub.add_parser("report", help="run all experiments, emit Markdown")
+    rep_p.add_argument("--fast", action="store_true")
+    rep_p.add_argument("-o", "--output", default=None,
+                       help="write Markdown here instead of stdout")
+
+    plot_p = sub.add_parser("plot", help="ASCII queue-length plots")
+    plot_p.add_argument("scenario", choices=_PLOT_SCENARIOS)
+    plot_p.add_argument("--window", nargs=2, type=float, default=None,
+                        metavar=("START", "END"))
+
+    fig_p = sub.add_parser("figures",
+                           help="render every paper figure to text files")
+    fig_p.add_argument("-o", "--output", default="figures",
+                       help="directory for the rendered figures")
+
+    cfg_p = sub.add_parser("run-config",
+                           help="run a scenario described in a JSON file")
+    cfg_p.add_argument("config", help="path to a scenario JSON document")
+    cfg_p.add_argument("--save-traces", default=None, metavar="FILE",
+                       help="also persist the run's traces as JSON")
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.experiments.registry import REGISTRY
+
+    for exp_id, experiment in REGISTRY.items():
+        print(f"{exp_id:16}  {experiment.title}")
+    return 0
+
+
+def _cmd_run(exp_id: str, fast: bool) -> int:
+    from repro.experiments.registry import run_experiment
+
+    report = run_experiment(exp_id, fast=fast)
+    print(report.format())
+    return 0 if report.passed else 1
+
+
+def _cmd_report(fast: bool, output: str | None) -> int:
+    from repro.experiments.registry import run_all
+    from repro.experiments.report import format_reports_markdown
+
+    reports = run_all(fast=fast)
+    text = format_reports_markdown(
+        reports, "EXPERIMENTS — paper vs measured (Zhang/Shenker/Clark 1991)"
+    )
+    if output:
+        with open(output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {output}")
+    else:
+        print(text)
+    return 0 if all(r.passed for r in reports) else 1
+
+
+def _cmd_plot(scenario: str, window: tuple[float, float] | None) -> int:
+    from repro.scenarios import paper, run
+    from repro.viz.ascii_plot import plot_two_series
+
+    factories = {
+        "fig2": paper.figure2,
+        "fig3": paper.figure3,
+        "fig4": paper.figure4,
+        "fig6": paper.figure6,
+        "fig8": paper.figure8,
+        "fig9": paper.figure9,
+    }
+    result = run(factories[scenario]())
+    start, end = window if window else result.window
+    q1 = result.queue_series("sw1->sw2")
+    q2 = result.queue_series("sw2->sw1")
+    print(plot_two_series(q1, q2, start, end,
+                          title=f"{scenario}: queue sw1->sw2 (*) vs sw2->sw1 (o)"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args.experiment, args.fast)
+        if args.command == "report":
+            return _cmd_report(args.fast, args.output)
+        if args.command == "plot":
+            window = tuple(args.window) if args.window else None
+            return _cmd_plot(args.scenario, window)
+        if args.command == "figures":
+            from repro.viz.gallery import render_gallery
+
+            for path in render_gallery(args.output):
+                print(f"wrote {path}")
+            return 0
+        if args.command == "run-config":
+            from repro.scenarios import load_config, run
+
+            result = run(load_config(args.config))
+            print(result.summary())
+            if args.save_traces:
+                from repro.io import save_result
+
+                print(f"traces -> {save_result(result, args.save_traces)}")
+            return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 2  # unreachable with required=True
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

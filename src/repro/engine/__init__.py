@@ -1,0 +1,24 @@
+"""Deterministic discrete-event simulation kernel.
+
+Public surface:
+
+- :class:`~repro.engine.simulator.Simulator` — the event calendar.
+- :class:`~repro.engine.event.Event` / :class:`~repro.engine.event.EventPriority`.
+- :class:`~repro.engine.timer.OneShotTimer` / :class:`~repro.engine.timer.CoarseTimer`.
+- :class:`~repro.engine.rng.SimRandom` — seeded randomness.
+"""
+
+from repro.engine.event import Event, EventPriority
+from repro.engine.rng import SimRandom
+from repro.engine.simulator import Simulator
+from repro.engine.timer import BSD_TICK, CoarseTimer, OneShotTimer
+
+__all__ = [
+    "Event",
+    "EventPriority",
+    "Simulator",
+    "OneShotTimer",
+    "CoarseTimer",
+    "BSD_TICK",
+    "SimRandom",
+]

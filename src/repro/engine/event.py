@@ -1,0 +1,60 @@
+"""Event primitives for the discrete-event engine.
+
+An :class:`Event` is a callback scheduled at a simulated time.  Events are
+totally ordered by ``(time, priority, sequence)`` so that simulations are
+deterministic: two events at the same timestamp always fire in the order
+they were scheduled (unless a priority says otherwise).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+class EventPriority(enum.IntEnum):
+    """Tie-break classes for events scheduled at the same instant.
+
+    Lower values fire first.  The default for everything is ``NORMAL``;
+    monitors that want to observe state *after* all same-time activity
+    settled use ``LATE``, and bookkeeping that must precede packet motion
+    (e.g. timer ticks) can use ``EARLY``.
+    """
+
+    EARLY = 0
+    NORMAL = 1
+    LATE = 2
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Instances are created by :meth:`repro.engine.simulator.Simulator.schedule`
+    and should not be constructed directly.  The comparison order is the
+    execution order.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so it is skipped when popped from the calendar."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event has neither fired nor been cancelled."""
+        return not self.cancelled and not getattr(self, "_fired", False)
+
+    def _mark_fired(self) -> None:
+        self._fired = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, seq={self.sequence}, {self.label!r}, {state})"

@@ -1,0 +1,44 @@
+"""Seeded randomness for simulations.
+
+The paper's dynamics are deterministic once connections are started; the
+only random ingredient is start-time jitter ("the two connections started
+at random times", Section 4.1).  Centralizing the RNG keeps every run
+reproducible from a single integer seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["SimRandom"]
+
+
+class SimRandom:
+    """A thin wrapper over :class:`random.Random` with named draw helpers."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = int(seed)
+        self._rng = random.Random(self._seed)
+
+    @property
+    def seed(self) -> int:
+        """The seed this stream was created with."""
+        return self._seed
+
+    def uniform(self, low: float, high: float) -> float:
+        """Uniform float in [low, high]."""
+        return self._rng.uniform(low, high)
+
+    def start_jitter(self, scale: float) -> float:
+        """A start-time offset in [0, scale] seconds."""
+        if scale < 0:
+            raise ValueError(f"jitter scale must be >= 0, got {scale}")
+        return self._rng.uniform(0.0, scale)
+
+    def choice(self, seq):
+        """Uniform choice from a non-empty sequence."""
+        return self._rng.choice(seq)
+
+    def fork(self, stream_id: int) -> "SimRandom":
+        """Derive an independent child stream (stable across runs)."""
+        return SimRandom(hash((self._seed, stream_id)) & 0x7FFFFFFF)

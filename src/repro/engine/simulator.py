@@ -1,0 +1,170 @@
+"""The discrete-event simulation kernel.
+
+The :class:`Simulator` keeps a calendar of :class:`~repro.engine.event.Event`
+objects in a binary heap and advances virtual time by popping the earliest
+event and invoking its callback.  All model components (links, queues, TCP
+endpoints, monitors) interact with the world only by scheduling events, so
+a run is a pure function of its inputs: repeated runs produce identical
+traces, which the reproduction experiments rely on.
+
+Example
+-------
+>>> sim = Simulator()
+>>> fired = []
+>>> _ = sim.schedule(1.5, lambda: fired.append(sim.now))
+>>> sim.run()
+>>> fired
+[1.5]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.engine.event import Event, EventPriority
+from repro.errors import SimulationError
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """A deterministic discrete-event scheduler.
+
+    Parameters
+    ----------
+    start_time:
+        Initial virtual clock value in seconds.  Defaults to zero.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: list[Event] = []
+        self._sequence = 0
+        self._running = False
+        self._events_processed = 0
+        self._stop_requested = False
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (cancelled events excluded)."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the calendar (including cancelled)."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        priority: EventPriority = EventPriority.NORMAL,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        Returns the :class:`Event`, whose :meth:`~Event.cancel` method can
+        be used to revoke it (e.g. retransmit timers that get refreshed).
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, priority=priority, label=label)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        *,
+        priority: EventPriority = EventPriority.NORMAL,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at an absolute virtual time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} which is before now={self._now}"
+            )
+        event = Event(
+            time=float(time),
+            priority=int(priority),
+            sequence=self._sequence,
+            callback=callback,
+            label=label,
+        )
+        self._sequence += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run until the calendar drains, ``until`` is reached, or
+        ``max_events`` events have executed.
+
+        When ``until`` is given, the clock is advanced to exactly ``until``
+        on return even if the calendar drained earlier, so utilization
+        accounting over ``[0, until]`` is well defined.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        self._stop_requested = False
+        try:
+            while self._heap:
+                if self._stop_requested:
+                    break
+                if max_events is not None and self._events_processed >= max_events:
+                    break
+                event = self._heap[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event._mark_fired()
+                event.callback()
+                self._events_processed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until and not self._stop_requested:
+            self._now = until
+
+    def step(self) -> bool:
+        """Execute exactly one (non-cancelled) event.
+
+        Returns ``True`` if an event ran, ``False`` if the calendar is empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event._mark_fired()
+            event.callback()
+            self._events_processed += 1
+            return True
+        return False
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stop_requested = True
+
+    def peek_time(self) -> float | None:
+        """Time of the next pending event, or ``None`` if none remain."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type.  Sub-types separate scheduler misuse from
+model-configuration mistakes and from protocol-state violations.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "ConfigurationError",
+    "ProtocolError",
+    "AnalysisError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """Misuse of the discrete-event kernel (scheduling into the past, ...)."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid network or scenario configuration."""
+
+
+class ProtocolError(ReproError):
+    """A transport endpoint was driven into an impossible state."""
+
+
+class AnalysisError(ReproError):
+    """An analysis routine received data it cannot interpret."""

@@ -1,0 +1,85 @@
+"""The paper's quantitative claims, as data.
+
+Each constant collects the numbers and qualitative claims the paper
+reports for one figure or prose passage, with the tolerance bands we
+grade against.  Absolute utilizations depend on simulator details the
+paper does not specify (Section 6 of DESIGN.md), so bands are ±10
+percentage points unless the claim itself is sharper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Band", "UTILIZATION", "PERIODS", "QUEUE_MAXIMA", "DROP_PATTERNS"]
+
+
+@dataclass(frozen=True)
+class Band:
+    """A central value with an acceptance interval."""
+
+    value: float
+    low: float
+    high: float
+
+    def contains(self, measured: float) -> bool:
+        """True when ``measured`` lies in [low, high]."""
+        return self.low <= measured <= self.high
+
+    def __str__(self) -> str:
+        return f"{self.value:g} [{self.low:g}, {self.high:g}]"
+
+
+def pct(value: float, tolerance: float = 0.10) -> Band:
+    """A utilization band: value ± tolerance (fractions of 1)."""
+    return Band(value=value, low=value - tolerance, high=value + tolerance)
+
+
+# --- Utilization claims (fractions) -------------------------------------
+UTILIZATION = {
+    # Section 3.1: one-way, tau=1s -> ~90%; tau=0.01s -> ~100%.
+    "fig2_one_way_large_pipe": pct(0.90),
+    "fig2_one_way_small_pipe": Band(value=1.00, low=0.95, high=1.0),
+    # Section 3.2: 5+5 connections, B=30 -> ~91%; B=60 -> ~87%.
+    "fig3_b30": pct(0.91),
+    "fig3_b60": pct(0.87),
+    # Section 4.3.1: two-way small pipe -> ~70%, flat in buffer size.
+    "fig4_two_way_small_pipe": pct(0.70),
+    # Section 4.3.2: two-way large pipe -> ~60%.  Wider band: with the
+    # long RTT the cycle is slow, so the measured mean is noisier and
+    # more sensitive to timer details than the small-pipe cases.
+    "fig6_two_way_large_pipe": pct(0.60, tolerance=0.13),
+    # Section 4.2: Figure 8 underutilized line -> 86%.
+    "fig8_line2": pct(0.86),
+    # Figure 9 lines -> 81% and 70%.
+    "fig9_line1": pct(0.81),
+    "fig9_line2": pct(0.70),
+}
+
+# --- Oscillation periods (seconds) ---------------------------------------
+PERIODS = {
+    # Section 3.1: "relatively low frequency oscillations (with a period
+    # of roughly 34 seconds)".
+    "fig2_cycle": Band(value=34.0, low=26.0, high=42.0),
+}
+
+# --- Queue maxima (packets, buffered only; the paper counts the packet
+# in transmission, hence the -1 offsets in our measured values) ----------
+QUEUE_MAXIMA = {
+    "fig8_q1": Band(value=55.0, low=52.0, high=57.0),
+    "fig8_q2": Band(value=23.0, low=20.0, high=25.0),
+    "fig9_q": Band(value=23.0, low=20.0, high=25.0),
+}
+
+# --- Drop patterns --------------------------------------------------------
+DROP_PATTERNS = {
+    # Figure 4 caption: "during a congestion epoch one connection loses
+    # two packets while the other has no losses".
+    "fig4_drops_per_epoch": Band(value=2.0, low=1.5, high=3.0),
+    # Figure 6 caption: "both connections have a single packet dropped".
+    "fig6_drops_per_epoch": Band(value=2.0, low=1.5, high=3.0),
+    # Section 3.2: "99.8% of the dropped packets are data packets".
+    "fig3_data_drop_fraction": Band(value=0.998, low=0.99, high=1.0),
+    # Section 3.2: average ~10 drops per epoch (= total acceleration).
+    "fig3_drops_per_epoch": Band(value=10.0, low=5.0, high=35.0),
+}

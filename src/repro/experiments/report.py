@@ -1,0 +1,120 @@
+"""Reporting structures for reproduction experiments.
+
+Every experiment produces an :class:`ExperimentReport`: a list of
+:class:`MetricRow` entries each pairing the paper's reported value with
+our measured value and a pass/fail verdict against a tolerance band.
+Reports render as aligned text tables (for the CLI) and as Markdown
+(for EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MetricRow", "ExperimentReport", "format_reports_markdown"]
+
+
+@dataclass(frozen=True)
+class MetricRow:
+    """One paper-vs-measured comparison."""
+
+    metric: str
+    paper: str
+    measured: str
+    ok: bool | None = None
+    """True/False for checked claims; None for informational rows."""
+
+    @property
+    def verdict(self) -> str:
+        """Human-readable pass marker."""
+        if self.ok is None:
+            return "·"
+        return "PASS" if self.ok else "FAIL"
+
+
+@dataclass
+class ExperimentReport:
+    """The outcome of one reproduction experiment."""
+
+    exp_id: str
+    title: str
+    paper_ref: str
+    rows: list[MetricRow] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, metric: str, paper: str, measured: str, ok: bool | None = None) -> None:
+        """Append a comparison row."""
+        self.rows.append(MetricRow(metric=metric, paper=paper, measured=measured, ok=ok))
+
+    def note(self, text: str) -> None:
+        """Append a free-form note."""
+        self.notes.append(text)
+
+    @property
+    def passed(self) -> bool:
+        """True when every checked row passed."""
+        return all(row.ok is not False for row in self.rows)
+
+    @property
+    def checks(self) -> tuple[int, int]:
+        """(passed, total) over rows that carry a verdict."""
+        checked = [row for row in self.rows if row.ok is not None]
+        return (sum(1 for row in checked if row.ok), len(checked))
+
+    def format(self) -> str:
+        """Render as an aligned text table."""
+        passed, total = self.checks
+        header = f"[{self.exp_id}] {self.title} ({self.paper_ref}) — {passed}/{total} checks pass"
+        width_metric = max([len(r.metric) for r in self.rows] + [6])
+        width_paper = max([len(r.paper) for r in self.rows] + [5])
+        width_meas = max([len(r.measured) for r in self.rows] + [8])
+        lines = [header, "-" * len(header)]
+        lines.append(
+            f"{'metric':<{width_metric}}  {'paper':<{width_paper}}  "
+            f"{'measured':<{width_meas}}  verdict"
+        )
+        for row in self.rows:
+            lines.append(
+                f"{row.metric:<{width_metric}}  {row.paper:<{width_paper}}  "
+                f"{row.measured:<{width_meas}}  {row.verdict}"
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def format_markdown(self) -> str:
+        """Render as a Markdown section with a table."""
+        passed, total = self.checks
+        lines = [
+            f"### `{self.exp_id}` — {self.title}",
+            "",
+            f"*Paper reference: {self.paper_ref}.  Checks: {passed}/{total} pass.*",
+            "",
+            "| metric | paper | measured | verdict |",
+            "|---|---|---|---|",
+        ]
+        for row in self.rows:
+            lines.append(
+                f"| {row.metric} | {row.paper} | {row.measured} | {row.verdict} |"
+            )
+        if self.notes:
+            lines.append("")
+            for note in self.notes:
+                lines.append(f"- {note}")
+        lines.append("")
+        return "\n".join(lines)
+
+
+def format_reports_markdown(reports: list[ExperimentReport], title: str) -> str:
+    """Concatenate reports into one Markdown document."""
+    total_pass = sum(report.checks[0] for report in reports)
+    total = sum(report.checks[1] for report in reports)
+    lines = [
+        f"# {title}",
+        "",
+        f"Overall: **{total_pass}/{total}** checked claims reproduce.",
+        "",
+    ]
+    for report in reports:
+        lines.append(report.format_markdown())
+    return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""Trace persistence: save/load finished runs for offline re-analysis."""
+
+from repro.io.persist import SavedRun, load_result, save_result
+
+__all__ = ["SavedRun", "save_result", "load_result"]

@@ -1,0 +1,139 @@
+"""Trace persistence: save a finished run's traces for re-analysis.
+
+A :class:`ScenarioResult` holds live objects; :func:`save_result`
+flattens the analysis-relevant traces (queue lengths, cwnd, drops, ACK
+arrivals, utilizations, config echo) into one JSON document, and
+:func:`load_result` restores them as a :class:`SavedRun` — enough to
+rerun every analysis in :mod:`repro.analysis` without re-simulating.
+
+JSON is chosen over pickle deliberately: the files are diffable,
+portable across versions, and loadable without trusting the producer.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import AnalysisError
+from repro.metrics.ack_log import AckArrival, AckArrivalLog
+from repro.metrics.drop_log import DropLog, DropRecord
+from repro.metrics.timeseries import StepSeries
+from repro.scenarios.runner import ScenarioResult
+
+__all__ = ["SavedRun", "save_result", "load_result"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class SavedRun:
+    """A deserialized run: traces without the live simulator."""
+
+    name: str
+    window: tuple[float, float]
+    utilizations: dict[str, float]
+    queues: dict[str, StepSeries]
+    cwnds: dict[int, StepSeries]
+    acks: dict[int, AckArrivalLog]
+    drops: DropLog
+    meta: dict = field(default_factory=dict)
+
+
+def _series_to_json(series: StepSeries) -> dict:
+    return {"times": list(map(float, series.times)),
+            "values": list(map(float, series.values))}
+
+
+def _series_from_json(name: str, payload: dict) -> StepSeries:
+    series = StepSeries(name=name)
+    series.extend(zip(payload["times"], payload["values"]))
+    return series
+
+
+class _SavedAckLog(AckArrivalLog):
+    """An AckArrivalLog restored from disk (no live sender)."""
+
+    def __init__(self, conn_id: int, arrivals: list[AckArrival]) -> None:
+        self.conn_id = conn_id
+        self.arrivals = arrivals
+
+
+def save_result(result: ScenarioResult, path: str | Path) -> Path:
+    """Serialize the analysis-relevant traces of ``result`` to JSON."""
+    start, end = result.window
+    document = {
+        "format_version": _FORMAT_VERSION,
+        "name": result.config.name,
+        "window": [start, end],
+        "meta": {
+            "description": result.config.description,
+            "duration": result.config.duration,
+            "warmup": result.config.warmup,
+            "seed": result.config.seed,
+            "buffer_packets": result.config.buffer_packets,
+            "bottleneck_propagation": result.config.bottleneck_propagation,
+            "events_processed": result.events_processed,
+        },
+        "utilizations": result.utilizations(),
+        "queues": {
+            name: _series_to_json(monitor.lengths)
+            for name, monitor in result.traces.queues.items()
+        },
+        "cwnds": {
+            str(conn_id): _series_to_json(log.cwnd)
+            for conn_id, log in result.traces.cwnds.items()
+        },
+        "acks": {
+            str(conn_id): [[a.time, a.ack] for a in log.arrivals]
+            for conn_id, log in result.traces.acks.items()
+        },
+        "drops": [
+            [r.time, r.queue, r.conn_id, int(r.is_data), r.seq, int(r.is_retransmit)]
+            for r in result.traces.drops.records
+        ],
+    }
+    target = Path(path)
+    with target.open("w") as handle:
+        json.dump(document, handle)
+    return target
+
+
+def load_result(path: str | Path) -> SavedRun:
+    """Load a run saved by :func:`save_result`."""
+    source = Path(path)
+    with source.open() as handle:
+        document = json.load(handle)
+    version = document.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise AnalysisError(
+            f"{source}: unsupported trace format version {version!r}")
+
+    drops = DropLog()
+    for time, queue, conn_id, is_data, seq, retx in document["drops"]:
+        drops.records.append(DropRecord(
+            time=time, queue=queue, conn_id=conn_id,
+            is_data=bool(is_data), seq=seq, is_retransmit=bool(retx)))
+
+    return SavedRun(
+        name=document["name"],
+        window=tuple(document["window"]),
+        utilizations=dict(document["utilizations"]),
+        queues={
+            name: _series_from_json(f"{name}:qlen", payload)
+            for name, payload in document["queues"].items()
+        },
+        cwnds={
+            int(conn_id): _series_from_json(f"conn{conn_id}:cwnd", payload)
+            for conn_id, payload in document["cwnds"].items()
+        },
+        acks={
+            int(conn_id): _SavedAckLog(
+                int(conn_id),
+                [AckArrival(time=t, ack=int(a)) for t, a in arrivals])
+            for conn_id, arrivals in document["acks"].items()
+        },
+        drops=drops,
+        meta=dict(document.get("meta", {})),
+    )

@@ -1,0 +1,89 @@
+"""Aggregated instrumentation for a simulation run.
+
+:class:`TraceSet` bundles all the monitors of one scenario — queue
+lengths, link utilization, drops, congestion windows, ACK arrivals —
+under string keys so the analysis and reporting layers can address them
+uniformly ("sw1->sw2", "conn 1", ...).
+"""
+
+from __future__ import annotations
+
+from repro.errors import AnalysisError
+from repro.metrics.ack_log import AckArrivalLog
+from repro.metrics.cwnd_log import CwndLog
+from repro.metrics.drop_log import DropLog
+from repro.metrics.link_monitor import LinkMonitor
+from repro.metrics.queue_monitor import QueueMonitor
+from repro.metrics.sojourn import SojournMonitor
+from repro.net.port import OutputPort
+from repro.tcp.connection import Connection
+from repro.tcp.sender import TahoeSender
+
+__all__ = ["TraceSet"]
+
+
+class TraceSet:
+    """All monitors attached to one simulation."""
+
+    def __init__(self) -> None:
+        self.queues: dict[str, QueueMonitor] = {}
+        self.links: dict[str, LinkMonitor] = {}
+        self.sojourns: dict[str, SojournMonitor] = {}
+        self.cwnds: dict[int, CwndLog] = {}
+        self.acks: dict[int, AckArrivalLog] = {}
+        self.drops = DropLog()
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+    def watch_port(self, port: OutputPort, name: str | None = None) -> None:
+        """Attach queue, link, sojourn and drop monitors to ``port``."""
+        label = name or port.name
+        if label in self.queues:
+            raise AnalysisError(f"port {label!r} is already watched")
+        self.queues[label] = QueueMonitor(port, name=label)
+        self.links[label] = LinkMonitor(port, name=label)
+        self.sojourns[label] = SojournMonitor(port, name=label)
+        self.drops.watch(port, name=label)
+
+    def watch_connection(self, conn: Connection) -> None:
+        """Attach cwnd (Tahoe only) and ACK-arrival logs to ``conn``."""
+        if conn.conn_id in self.acks:
+            raise AnalysisError(f"connection {conn.conn_id} is already watched")
+        if isinstance(conn.sender, TahoeSender):
+            self.cwnds[conn.conn_id] = CwndLog(conn.sender)
+        self.acks[conn.conn_id] = AckArrivalLog(conn.sender)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def queue(self, name: str) -> QueueMonitor:
+        """The queue monitor registered under ``name``."""
+        if name not in self.queues:
+            raise AnalysisError(f"no queue monitor named {name!r}; have {sorted(self.queues)}")
+        return self.queues[name]
+
+    def link(self, name: str) -> LinkMonitor:
+        """The link monitor registered under ``name``."""
+        if name not in self.links:
+            raise AnalysisError(f"no link monitor named {name!r}; have {sorted(self.links)}")
+        return self.links[name]
+
+    def sojourn(self, name: str) -> SojournMonitor:
+        """The sojourn (buffer-wait) monitor registered under ``name``."""
+        if name not in self.sojourns:
+            raise AnalysisError(
+                f"no sojourn monitor named {name!r}; have {sorted(self.sojourns)}")
+        return self.sojourns[name]
+
+    def cwnd(self, conn_id: int) -> CwndLog:
+        """The cwnd log of connection ``conn_id``."""
+        if conn_id not in self.cwnds:
+            raise AnalysisError(f"no cwnd log for connection {conn_id}")
+        return self.cwnds[conn_id]
+
+    def ack_log(self, conn_id: int) -> AckArrivalLog:
+        """The ACK-arrival log of connection ``conn_id``."""
+        if conn_id not in self.acks:
+            raise AnalysisError(f"no ACK log for connection {conn_id}")
+        return self.acks[conn_id]

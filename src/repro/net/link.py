@@ -1,0 +1,60 @@
+"""Simplex propagation links.
+
+A :class:`Link` models only the flight of a fully-serialized packet:
+after ``propagation`` seconds it hands the packet to the receiving node.
+Serialization (bandwidth) lives in :class:`repro.net.port.OutputPort`,
+which owns the link, because the transmitter — not the wire — is the
+shared resource that queues form behind.
+
+Links are error-free, matching the paper ("all links are modeled as
+giving error-free transmission").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.engine.simulator import Simulator
+from repro.net.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Node
+
+__all__ = ["Link"]
+
+
+class Link:
+    """One direction of a wire between two nodes."""
+
+    def __init__(self, sim: Simulator, name: str, propagation: float, destination: "Node") -> None:
+        if propagation < 0:
+            raise ValueError(f"propagation delay must be >= 0, got {propagation}")
+        self._sim = sim
+        self.name = name
+        self.propagation = propagation
+        self.destination = destination
+        self._in_flight = 0
+        self._delivered = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Packets currently propagating along this link."""
+        return self._in_flight
+
+    @property
+    def delivered(self) -> int:
+        """Total packets delivered to the far end."""
+        return self._delivered
+
+    def carry(self, packet: Packet) -> None:
+        """Launch ``packet``; it reaches the destination after the delay."""
+        self._in_flight += 1
+        self._sim.schedule(self.propagation, lambda: self._arrive(packet), label=f"{self.name}:arrive")
+
+    def _arrive(self, packet: Packet) -> None:
+        self._in_flight -= 1
+        self._delivered += 1
+        self.destination.handle_packet(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Link({self.name!r}, prop={self.propagation}s -> {self.destination.name!r})"

@@ -1,0 +1,143 @@
+"""Output ports: the serializing transmitter plus its drop-tail buffer.
+
+An :class:`OutputPort` is where congestion physically happens.  It owns
+
+- a :class:`~repro.net.queues.DropTailQueue` (one per outgoing link, no
+  sharing — exactly the paper's switch model), and
+- the transmitter, which serializes one packet at a time at the port's
+  bandwidth and then hands it to the attached :class:`~repro.net.link.Link`.
+
+Semantics chosen to match the paper's accounting:
+
+- A packet arriving at an *idle* port starts transmitting immediately and
+  never appears in the queue; the queue length counts waiting packets
+  only.  (The paper: "the ACK signaled the departure of a single packet
+  from the queue" — a packet in transmission has left the buffer.)
+- Drop-tail applies only to packets that must wait.
+- Zero-size packets (the Section 4.3.3 idealized ACKs) serialize in zero
+  time.
+
+Departure observers fire at transmission *start*, which is the instant a
+packet irrevocably leaves the buffer; this is the stream the clustering
+and ACK-compression analyses consume.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.engine.simulator import Simulator
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.net.queues import DropTailQueue
+from repro.units import transmission_time
+
+__all__ = ["OutputPort"]
+
+DepartureObserver = Callable[[float, Packet], None]
+BusyObserver = Callable[[float, float, Packet], None]
+
+
+class OutputPort:
+    """A bandwidth-limited transmitter feeding a simplex link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        bandwidth: float,
+        link: Link,
+        buffer_packets: int | None,
+        queue: DropTailQueue | None = None,
+    ) -> None:
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        self._sim = sim
+        self.name = name
+        self.bandwidth = bandwidth
+        self.link = link
+        # A custom queue (e.g. RandomDropQueue) may be supplied; it must
+        # expose the DropTailQueue surface.
+        self.queue = queue if queue is not None else DropTailQueue(
+            name=f"{name}:queue", capacity=buffer_packets)
+        self._busy = False
+        self._transmissions = 0
+        self._busy_time = 0.0
+        self._departure_observers: list[DepartureObserver] = []
+        self._busy_observers: list[BusyObserver] = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        """True while a packet is being serialized."""
+        return self._busy
+
+    @property
+    def transmissions(self) -> int:
+        """Total packets fully transmitted."""
+        return self._transmissions
+
+    @property
+    def busy_time(self) -> float:
+        """Cumulative seconds spent transmitting (completed transmissions)."""
+        return self._busy_time
+
+    def tx_time(self, packet: Packet) -> float:
+        """Serialization time for ``packet`` on this port."""
+        if packet.size <= 0:
+            return 0.0
+        return transmission_time(packet.size, self.bandwidth)
+
+    # ------------------------------------------------------------------
+    # Observers
+    # ------------------------------------------------------------------
+    def on_departure(self, observer: DepartureObserver) -> None:
+        """Register ``observer(time, packet)`` at each transmission start."""
+        self._departure_observers.append(observer)
+
+    def on_transmission(self, observer: BusyObserver) -> None:
+        """Register ``observer(start, duration, packet)`` per transmission."""
+        self._busy_observers.append(observer)
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> bool:
+        """Accept ``packet`` for transmission.
+
+        Returns ``False`` when the buffer was full and the packet was
+        discarded (drop-tail), ``True`` otherwise.
+        """
+        now = self._sim.now
+        if not self._busy:
+            # Transmitter idle implies the queue is empty; go straight out.
+            self._begin_transmission(packet)
+            return True
+        return self.queue.offer(now, packet)
+
+    def _begin_transmission(self, packet: Packet) -> None:
+        now = self._sim.now
+        self._busy = True
+        duration = self.tx_time(packet)
+        for observer in self._departure_observers:
+            observer(now, packet)
+        for observer in self._busy_observers:
+            observer(now, duration, packet)
+        self._sim.schedule(
+            duration, lambda: self._finish_transmission(packet, duration), label=f"{self.name}:txdone"
+        )
+
+    def _finish_transmission(self, packet: Packet, duration: float) -> None:
+        self._transmissions += 1
+        self._busy_time += duration
+        self.link.carry(packet)
+        nxt = self.queue.take(self._sim.now)
+        if nxt is not None:
+            self._begin_transmission(nxt)
+        else:
+            self._busy = False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OutputPort({self.name!r}, busy={self._busy}, qlen={len(self.queue)})"

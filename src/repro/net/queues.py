@@ -1,0 +1,147 @@
+"""FIFO drop-tail queues.
+
+The paper's switches have one packet buffer per outgoing link, FIFO
+service, drop-tail discard ("when the buffer is full and a new packet
+arrives, the arriving packet is dropped"), counted in *packets* not
+bytes, and no sharing between output lines.  ``capacity=None`` models
+the infinite buffers used in the fixed-window experiments (Figures 8-9).
+
+Queue-length and drop observers are plain callables so the metrics layer
+can attach without the queue knowing about it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.net.packet import Packet
+
+__all__ = ["DropTailQueue"]
+
+LengthObserver = Callable[[float, int], None]
+DropObserver = Callable[[float, Packet], None]
+EnqueueObserver = Callable[[float, Packet], None]
+DequeueObserver = Callable[[float, Packet], None]
+
+
+class DropTailQueue:
+    """A FIFO packet queue with drop-tail overflow, measured in packets.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic name (e.g. ``"sw1->bottleneck"``).
+    capacity:
+        Maximum packets held (the packet in transmission is NOT counted —
+        it has left the buffer).  ``None`` means unbounded.
+    """
+
+    def __init__(self, name: str, capacity: int | None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1 or None, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self._packets: deque[Packet] = deque()
+        self._drops = 0
+        self._enqueues = 0
+        self._dequeues = 0
+        self._length_observers: list[LengthObserver] = []
+        self._drop_observers: list[DropObserver] = []
+        self._enqueue_observers: list[EnqueueObserver] = []
+        self._dequeue_observers: list[DequeueObserver] = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._packets)
+
+    @property
+    def drops(self) -> int:
+        """Total packets discarded by drop-tail so far."""
+        return self._drops
+
+    @property
+    def enqueues(self) -> int:
+        """Total packets accepted so far."""
+        return self._enqueues
+
+    @property
+    def dequeues(self) -> int:
+        """Total packets removed for transmission so far."""
+        return self._dequeues
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no packet is buffered."""
+        return not self._packets
+
+    @property
+    def is_full(self) -> bool:
+        """True when the next arrival would be dropped."""
+        return self.capacity is not None and len(self._packets) >= self.capacity
+
+    def peek(self) -> Packet | None:
+        """The packet at the head, without removing it."""
+        return self._packets[0] if self._packets else None
+
+    def snapshot(self) -> list[Packet]:
+        """A copy of the buffered packets, head first (for analysis)."""
+        return list(self._packets)
+
+    # ------------------------------------------------------------------
+    # Observers
+    # ------------------------------------------------------------------
+    def on_length_change(self, observer: LengthObserver) -> None:
+        """Register ``observer(time, new_length)`` for every length change."""
+        self._length_observers.append(observer)
+
+    def on_drop(self, observer: DropObserver) -> None:
+        """Register ``observer(time, packet)`` for every drop-tail discard."""
+        self._drop_observers.append(observer)
+
+    def on_enqueue(self, observer: EnqueueObserver) -> None:
+        """Register ``observer(time, packet)`` for every accepted arrival."""
+        self._enqueue_observers.append(observer)
+
+    def on_dequeue(self, observer: DequeueObserver) -> None:
+        """Register ``observer(time, packet)`` for every departure."""
+        self._dequeue_observers.append(observer)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def offer(self, now: float, packet: Packet) -> bool:
+        """Enqueue ``packet`` unless the buffer is full.
+
+        Returns ``True`` if accepted, ``False`` if dropped (drop-tail).
+        """
+        if self.is_full:
+            self._drops += 1
+            for observer in self._drop_observers:
+                observer(now, packet)
+            return False
+        self._packets.append(packet)
+        self._enqueues += 1
+        for observer in self._enqueue_observers:
+            observer(now, packet)
+        for observer in self._length_observers:
+            observer(now, len(self._packets))
+        return True
+
+    def take(self, now: float) -> Packet | None:
+        """Remove and return the head packet, or ``None`` when empty."""
+        if not self._packets:
+            return None
+        packet = self._packets.popleft()
+        self._dequeues += 1
+        for observer in self._dequeue_observers:
+            observer(now, packet)
+        for observer in self._length_observers:
+            observer(now, len(self._packets))
+        return packet
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cap = "inf" if self.capacity is None else str(self.capacity)
+        return f"DropTailQueue({self.name!r}, {len(self)}/{cap}, drops={self._drops})"

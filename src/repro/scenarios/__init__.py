@@ -1,0 +1,32 @@
+"""Scenario layer: declarative configs and the paper's named runs."""
+
+from repro.scenarios import paper
+from repro.scenarios.builder import BuiltScenario, build
+from repro.scenarios.config import FlowKind, FlowSpec, ScenarioConfig, TopologyKind
+from repro.scenarios.runner import ScenarioResult, run
+from repro.scenarios.serialize import (
+    config_from_dict,
+    config_to_dict,
+    load_config,
+    save_config,
+)
+from repro.scenarios.sweeps import SweepPoint, sweep, utilization_sweep
+
+__all__ = [
+    "ScenarioConfig",
+    "FlowSpec",
+    "FlowKind",
+    "TopologyKind",
+    "BuiltScenario",
+    "build",
+    "run",
+    "ScenarioResult",
+    "paper",
+    "SweepPoint",
+    "sweep",
+    "utilization_sweep",
+    "config_to_dict",
+    "config_from_dict",
+    "save_config",
+    "load_config",
+]

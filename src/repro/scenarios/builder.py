@@ -1,0 +1,130 @@
+"""Turn a :class:`~repro.scenarios.config.ScenarioConfig` into live objects.
+
+The builder creates the simulator, topology, connections and monitors.
+All bottleneck (switch-to-switch) ports are watched in both directions;
+every connection gets cwnd and ACK-arrival logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.rng import SimRandom
+from repro.engine.simulator import Simulator
+from repro.errors import ConfigurationError
+from repro.metrics.trace import TraceSet
+from repro.net.topology import Network, build_chain, build_dumbbell
+from repro.scenarios.config import FlowKind, ScenarioConfig, TopologyKind
+from repro.tcp.connection import (
+    Connection,
+    make_fixed_window_connection,
+    make_reno_connection,
+    make_tahoe_connection,
+)
+
+__all__ = ["BuiltScenario", "build"]
+
+
+@dataclass
+class BuiltScenario:
+    """Everything instantiated for one run, pre-wired."""
+
+    config: ScenarioConfig
+    sim: Simulator
+    net: Network
+    connections: list[Connection]
+    traces: TraceSet
+    bottleneck_ports: list[str] = field(default_factory=list)
+    """Names of the watched switch-to-switch ports, e.g. ``"sw1->sw2"``."""
+
+
+def _queue_factory(config: ScenarioConfig):
+    if not config.random_drop:
+        return None
+    from repro.net.random_drop import RandomDropQueue
+
+    rng = SimRandom(config.seed).fork(0xD0D0)
+
+    def factory(name: str, capacity: int | None) -> RandomDropQueue:
+        return RandomDropQueue(name, capacity, rng=rng)
+
+    return factory
+
+
+def _build_network(config: ScenarioConfig, sim: Simulator) -> tuple[Network, list[str]]:
+    if config.topology is TopologyKind.DUMBBELL:
+        net = build_dumbbell(
+            sim,
+            bottleneck_bandwidth=config.bottleneck_bandwidth,
+            bottleneck_propagation=config.bottleneck_propagation,
+            buffer_packets=config.buffer_packets,
+            access_bandwidth=config.access_bandwidth,
+            access_propagation=config.access_propagation,
+            host_processing_delay=config.host_processing_delay,
+            bottleneck_queue_factory=_queue_factory(config),
+        )
+        return net, ["sw1->sw2", "sw2->sw1"]
+    if config.topology is TopologyKind.CHAIN:
+        net = build_chain(
+            sim,
+            n_switches=config.n_switches,
+            bottleneck_bandwidth=config.bottleneck_bandwidth,
+            bottleneck_propagation=config.bottleneck_propagation,
+            buffer_packets=config.buffer_packets,
+            access_bandwidth=config.access_bandwidth,
+            access_propagation=config.access_propagation,
+            host_processing_delay=config.host_processing_delay,
+            bottleneck_queue_factory=_queue_factory(config),
+        )
+        ports = []
+        for i in range(1, config.n_switches):
+            ports.append(f"sw{i}->sw{i + 1}")
+            ports.append(f"sw{i + 1}->sw{i}")
+        return net, ports
+    raise ConfigurationError(f"unknown topology {config.topology}")
+
+
+def build(config: ScenarioConfig) -> BuiltScenario:
+    """Instantiate simulator, network, flows and instrumentation."""
+    sim = Simulator()
+    net, bottleneck_ports = _build_network(config, sim)
+    rng = SimRandom(config.seed)
+
+    traces = TraceSet()
+    for name in bottleneck_ports:
+        a, b = name.split("->")
+        traces.watch_port(net.port(a, b), name=name)
+
+    connections: list[Connection] = []
+    for index, flow in enumerate(config.flows, start=1):
+        start = (
+            flow.start_time
+            if flow.start_time is not None
+            else rng.fork(index).start_jitter(config.start_jitter)
+        )
+        if flow.kind is FlowKind.TAHOE:
+            conn = make_tahoe_connection(
+                sim, net, conn_id=index, src_host=flow.src, dst_host=flow.dst,
+                options=config.tcp, start_time=start,
+            )
+        elif flow.kind is FlowKind.RENO:
+            conn = make_reno_connection(
+                sim, net, conn_id=index, src_host=flow.src, dst_host=flow.dst,
+                options=config.tcp, start_time=start,
+            )
+        else:
+            conn = make_fixed_window_connection(
+                sim, net, conn_id=index, src_host=flow.src, dst_host=flow.dst,
+                window=flow.window or 1, options=config.tcp, start_time=start,
+            )
+        traces.watch_connection(conn)
+        connections.append(conn)
+
+    return BuiltScenario(
+        config=config,
+        sim=sim,
+        net=net,
+        connections=connections,
+        traces=traces,
+        bottleneck_ports=bottleneck_ports,
+    )

@@ -1,0 +1,146 @@
+"""Declarative scenario configuration.
+
+A :class:`ScenarioConfig` captures everything needed to reproduce one of
+the paper's runs: topology parameters, TCP options, the set of flows,
+and the measurement window.  Configs are plain data — building and
+running them is the job of :mod:`repro.scenarios.builder` and
+:mod:`repro.scenarios.runner` — so they can be swept, serialized and
+compared in benchmarks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+from repro.tcp.options import TcpOptions
+from repro.units import (
+    ACCESS_BANDWIDTH,
+    ACCESS_PROPAGATION,
+    BOTTLENECK_BANDWIDTH,
+    HOST_PROCESSING_DELAY,
+    pipe_size,
+)
+
+__all__ = ["FlowKind", "FlowSpec", "TopologyKind", "ScenarioConfig"]
+
+
+class FlowKind(enum.Enum):
+    """Sender type for a flow."""
+
+    TAHOE = "tahoe"
+    RENO = "reno"
+    FIXED = "fixed"
+
+
+class TopologyKind(enum.Enum):
+    """Which topology builder a scenario uses."""
+
+    DUMBBELL = "dumbbell"
+    CHAIN = "chain"
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One unidirectional connection.
+
+    ``start_time=None`` requests a seeded-random start in
+    ``[0, config.start_jitter]`` — the paper's fixed-window runs start
+    "at random times".
+    """
+
+    src: str
+    dst: str
+    kind: FlowKind = FlowKind.TAHOE
+    window: int | None = None  # required for FIXED flows
+    start_time: float | None = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind is FlowKind.FIXED and (self.window is None or self.window < 1):
+            raise ConfigurationError("fixed-window flows need window >= 1")
+        if self.src == self.dst:
+            raise ConfigurationError("flow endpoints must differ")
+        if self.start_time is not None and self.start_time < 0:
+            raise ConfigurationError("start time cannot be negative")
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """A complete, runnable experiment description."""
+
+    name: str
+    flows: tuple[FlowSpec, ...]
+    description: str = ""
+    topology: TopologyKind = TopologyKind.DUMBBELL
+    n_switches: int = 2  # chain topologies only
+    bottleneck_bandwidth: float = BOTTLENECK_BANDWIDTH
+    bottleneck_propagation: float = 0.01
+    buffer_packets: int | None = 20  # None = infinite
+    access_bandwidth: float = ACCESS_BANDWIDTH
+    access_propagation: float = ACCESS_PROPAGATION
+    host_processing_delay: float = HOST_PROCESSING_DELAY
+    tcp: TcpOptions = field(default_factory=TcpOptions)
+    duration: float = 600.0
+    warmup: float = 200.0
+    seed: int = 1
+    start_jitter: float = 1.0
+    random_drop: bool = False
+    """Use Random Drop instead of drop-tail on the bottleneck queues
+    (the alternative gateway discipline of references [4,5,10,18])."""
+
+    def __post_init__(self) -> None:
+        if not self.flows:
+            raise ConfigurationError("scenario needs at least one flow")
+        if self.duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        if not (0 <= self.warmup < self.duration):
+            raise ConfigurationError("need 0 <= warmup < duration")
+        if self.topology is TopologyKind.CHAIN and self.n_switches < 2:
+            raise ConfigurationError("chain topology needs >= 2 switches")
+        if self.start_jitter < 0:
+            raise ConfigurationError("start jitter cannot be negative")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def pipe_size(self) -> float:
+        """P = mu * tau / M in data packets, per the paper."""
+        return pipe_size(
+            self.bottleneck_bandwidth,
+            self.bottleneck_propagation,
+            self.tcp.data_packet_bytes,
+        )
+
+    @property
+    def data_tx_time(self) -> float:
+        """Transmission time of one data packet on the bottleneck."""
+        return self.tcp.data_packet_bytes * 8.0 / self.bottleneck_bandwidth
+
+    @property
+    def ack_tx_time(self) -> float:
+        """Transmission time of one ACK on the bottleneck."""
+        return self.tcp.ack_packet_bytes * 8.0 / self.bottleneck_bandwidth
+
+    @property
+    def capacity(self) -> int:
+        """One-way path capacity C = floor(B + 2P) (meaningful only when
+        the buffer is finite; see Section 3.1)."""
+        if self.buffer_packets is None:
+            raise ConfigurationError("capacity is undefined with infinite buffers")
+        return int(self.buffer_packets + 2 * self.pipe_size)
+
+    @property
+    def measurement_window(self) -> tuple[float, float]:
+        """The (start, end) interval analyses should use."""
+        return (self.warmup, self.duration)
+
+    @property
+    def n_connections(self) -> int:
+        """Number of flows."""
+        return len(self.flows)
+
+    def with_updates(self, **changes) -> "ScenarioConfig":
+        """A copy with the given fields replaced (sweep helper)."""
+        return replace(self, **changes)

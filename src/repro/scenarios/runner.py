@@ -1,0 +1,178 @@
+"""Run scenarios and expose results.
+
+:func:`run` executes a configuration to its configured duration and
+wraps the traces in a :class:`ScenarioResult`, which provides the
+measurements the paper reports — per-direction utilization, queue
+statistics, drop patterns, synchronization verdicts — computed over the
+post-warmup window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.clustering import cluster_runs, clustering_stats
+from repro.analysis.compression import compression_stats
+from repro.analysis.epochs import CongestionEpoch, detect_epochs
+from repro.analysis.synchronization import SyncVerdict, classify_phase
+from repro.errors import AnalysisError
+from repro.metrics.trace import TraceSet
+from repro.net.topology import Network
+from repro.scenarios.builder import BuiltScenario, build
+from repro.scenarios.config import ScenarioConfig
+from repro.tcp.connection import Connection
+
+__all__ = ["ScenarioResult", "run"]
+
+
+@dataclass
+class ScenarioResult:
+    """A finished run plus analysis shortcuts."""
+
+    config: ScenarioConfig
+    net: Network
+    connections: list[Connection]
+    traces: TraceSet
+    bottleneck_ports: list[str]
+    events_processed: int
+
+    # ------------------------------------------------------------------
+    # Windows
+    # ------------------------------------------------------------------
+    @property
+    def window(self) -> tuple[float, float]:
+        """The measurement window (post-warmup)."""
+        return self.config.measurement_window
+
+    # ------------------------------------------------------------------
+    # Headline measurements
+    # ------------------------------------------------------------------
+    def utilization(self, port: str | None = None) -> float:
+        """Bottleneck utilization over the measurement window.
+
+        ``port=None`` uses the first watched bottleneck direction
+        (``sw1->sw2`` on a dumbbell — the direction congested by
+        connection 1's data).
+        """
+        name = port or self.bottleneck_ports[0]
+        start, end = self.window
+        return self.traces.link(name).utilization(start, end)
+
+    def utilizations(self) -> dict[str, float]:
+        """Utilization of every watched bottleneck direction."""
+        start, end = self.window
+        return {
+            name: self.traces.link(name).utilization(start, end)
+            for name in self.bottleneck_ports
+        }
+
+    def queue_series(self, port: str | None = None):
+        """The queue-length :class:`StepSeries` of a bottleneck port."""
+        name = port or self.bottleneck_ports[0]
+        return self.traces.queue(name).lengths
+
+    def max_queue(self, port: str | None = None) -> float:
+        """Maximum queue length in the measurement window."""
+        name = port or self.bottleneck_ports[0]
+        start, end = self.window
+        return self.traces.queue(name).lengths.max_in(start, end)
+
+    # ------------------------------------------------------------------
+    # Drops and epochs
+    # ------------------------------------------------------------------
+    def epochs(self, gap: float = 8.0) -> list[CongestionEpoch]:
+        """Congestion epochs detected in the measurement window."""
+        start, end = self.window
+        return detect_epochs(self.traces.drops, gap=gap, start=start, end=end)
+
+    def data_drop_fraction(self) -> float:
+        """Fraction of all drops (whole run) that were data packets."""
+        return self.traces.drops.data_drop_fraction()
+
+    # ------------------------------------------------------------------
+    # Synchronization
+    # ------------------------------------------------------------------
+    def queue_sync(self, port_a: str | None = None, port_b: str | None = None,
+                   dt: float = 0.25) -> SyncVerdict:
+        """Phase classification of two bottleneck queue-length series."""
+        if len(self.bottleneck_ports) < 2:
+            raise AnalysisError("need two watched ports for queue sync")
+        a = port_a or self.bottleneck_ports[0]
+        b = port_b or self.bottleneck_ports[1]
+        start, end = self.window
+        return classify_phase(
+            self.traces.queue(a).lengths, self.traces.queue(b).lengths,
+            start, end, dt=dt,
+        )
+
+    def window_sync(self, conn_a: int, conn_b: int, dt: float = 0.25) -> SyncVerdict:
+        """Phase classification of two connections' cwnd series."""
+        start, end = self.window
+        return classify_phase(
+            self.traces.cwnd(conn_a).cwnd, self.traces.cwnd(conn_b).cwnd,
+            start, end, dt=dt,
+        )
+
+    # ------------------------------------------------------------------
+    # Clustering / compression
+    # ------------------------------------------------------------------
+    def clustering(self, port: str | None = None):
+        """Clustering statistics of the data departures at a port."""
+        name = port or self.bottleneck_ports[0]
+        start, end = self.window
+        runs = cluster_runs(self.traces.queue(name).departures, start=start, end=end)
+        return clustering_stats(runs)
+
+    def ack_compression(self, conn_id: int, threshold: float = 0.75):
+        """ACK-compression statistics for one connection's source."""
+        start, end = self.window
+        return compression_stats(
+            self.traces.ack_log(conn_id),
+            data_tx_time=self.config.data_tx_time,
+            start=start, end=end, threshold=threshold,
+        )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """A multi-line human-readable digest of the run."""
+        start, end = self.window
+        lines = [
+            f"scenario: {self.config.name}",
+            f"window:   [{start:.0f}s, {end:.0f}s]   events: {self.events_processed}",
+        ]
+        for name, util in self.utilizations().items():
+            monitor = self.traces.queue(name)
+            lines.append(
+                f"  {name}: util={util * 100:5.1f}%  "
+                f"max_q={monitor.lengths.max_in(start, end):.0f}  "
+                f"drops={len([r for r in self.traces.drops.records if r.queue == name])}"
+            )
+        epochs = self.epochs()
+        if epochs:
+            per_epoch = sum(e.total_drops for e in epochs) / len(epochs)
+            lines.append(
+                f"  congestion epochs: {len(epochs)}  mean drops/epoch: {per_epoch:.2f}"
+            )
+        for conn in self.connections:
+            sender = conn.sender
+            lines.append(
+                f"  conn {conn.conn_id} ({conn.src_host}->{conn.dst_host}): "
+                f"sent={sender.packets_sent} acked={sender.snd_una}"
+            )
+        return "\n".join(lines)
+
+
+def run(config: ScenarioConfig) -> ScenarioResult:
+    """Build and execute a scenario to completion."""
+    built: BuiltScenario = build(config)
+    built.sim.run(until=config.duration)
+    return ScenarioResult(
+        config=config,
+        net=built.net,
+        connections=built.connections,
+        traces=built.traces,
+        bottleneck_ports=built.bottleneck_ports,
+        events_processed=built.sim.events_processed,
+    )

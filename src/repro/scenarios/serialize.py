@@ -1,0 +1,119 @@
+"""Scenario (de)serialization to plain JSON-compatible dictionaries.
+
+Lets experiments be described in files and replayed exactly::
+
+    repro run-config my_scenario.json
+
+Only simulation-relevant fields are serialized; everything absent from
+a document takes the :class:`~repro.scenarios.config.ScenarioConfig`
+default, so documents stay minimal and forward-compatible.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import fields
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.scenarios.config import FlowKind, FlowSpec, ScenarioConfig, TopologyKind
+from repro.tcp.options import TcpOptions
+
+__all__ = ["config_to_dict", "config_from_dict", "save_config", "load_config"]
+
+
+def config_to_dict(config: ScenarioConfig) -> dict:
+    """A JSON-compatible representation of ``config``."""
+    return {
+        "name": config.name,
+        "description": config.description,
+        "topology": config.topology.value,
+        "n_switches": config.n_switches,
+        "bottleneck_bandwidth": config.bottleneck_bandwidth,
+        "bottleneck_propagation": config.bottleneck_propagation,
+        "buffer_packets": config.buffer_packets,
+        "access_bandwidth": config.access_bandwidth,
+        "access_propagation": config.access_propagation,
+        "host_processing_delay": config.host_processing_delay,
+        "duration": config.duration,
+        "warmup": config.warmup,
+        "seed": config.seed,
+        "start_jitter": config.start_jitter,
+        "random_drop": config.random_drop,
+        "tcp": {
+            field.name: getattr(config.tcp, field.name)
+            for field in fields(TcpOptions)
+        },
+        "flows": [
+            {
+                "src": flow.src,
+                "dst": flow.dst,
+                "kind": flow.kind.value,
+                "window": flow.window,
+                "start_time": flow.start_time,
+            }
+            for flow in config.flows
+        ],
+    }
+
+
+def config_from_dict(document: dict) -> ScenarioConfig:
+    """Rebuild a :class:`ScenarioConfig` from :func:`config_to_dict` output.
+
+    Unknown keys are rejected (typo protection); missing keys take the
+    dataclass defaults.
+    """
+    data = dict(document)
+    if "name" not in data or "flows" not in data:
+        raise ConfigurationError("scenario document needs 'name' and 'flows'")
+
+    flow_specs = []
+    for raw in data.pop("flows"):
+        raw = dict(raw)
+        try:
+            kind = FlowKind(raw.pop("kind", "tahoe"))
+        except ValueError as exc:
+            raise ConfigurationError(f"unknown flow kind: {exc}") from exc
+        flow_specs.append(FlowSpec(
+            src=raw.pop("src"),
+            dst=raw.pop("dst"),
+            kind=kind,
+            window=raw.pop("window", None),
+            start_time=raw.pop("start_time", 0.0),
+        ))
+        if raw:
+            raise ConfigurationError(f"unknown flow fields: {sorted(raw)}")
+
+    tcp_data = data.pop("tcp", {})
+    known_tcp = {field.name for field in fields(TcpOptions)}
+    unknown_tcp = set(tcp_data) - known_tcp
+    if unknown_tcp:
+        raise ConfigurationError(f"unknown tcp options: {sorted(unknown_tcp)}")
+    tcp = TcpOptions(**tcp_data)
+
+    if "topology" in data:
+        try:
+            data["topology"] = TopologyKind(data["topology"])
+        except ValueError as exc:
+            raise ConfigurationError(f"unknown topology: {exc}") from exc
+
+    known = {field.name for field in fields(ScenarioConfig)}
+    unknown = set(data) - known
+    if unknown:
+        raise ConfigurationError(f"unknown scenario fields: {sorted(unknown)}")
+    return ScenarioConfig(flows=tuple(flow_specs), tcp=tcp, **data)
+
+
+def save_config(config: ScenarioConfig, path: str | Path) -> Path:
+    """Write ``config`` as JSON; returns the path."""
+    target = Path(path)
+    with target.open("w") as handle:
+        json.dump(config_to_dict(config), handle, indent=2)
+    return target
+
+
+def load_config(path: str | Path) -> ScenarioConfig:
+    """Load a scenario document written by :func:`save_config` (or by hand)."""
+    source = Path(path)
+    with source.open() as handle:
+        return config_from_dict(json.load(handle))

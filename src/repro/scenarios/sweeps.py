@@ -1,0 +1,65 @@
+"""Parameter-sweep utilities.
+
+Run a family of scenarios differing in one or two parameters and
+collect a uniform record per run — the pattern behind the paper's
+buffer-size and pipe-size observations, packaged for reuse by examples
+and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.errors import ConfigurationError
+from repro.scenarios.config import ScenarioConfig
+from repro.scenarios.runner import ScenarioResult, run
+
+__all__ = ["SweepPoint", "sweep", "utilization_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One run of a sweep: the varied value plus extracted measurements."""
+
+    value: object
+    measurements: dict[str, float]
+
+
+def sweep(
+    make_config: Callable[[object], ScenarioConfig],
+    values: Iterable[object],
+    extract: Callable[[ScenarioResult], dict[str, float]],
+) -> list[SweepPoint]:
+    """Run ``make_config(v)`` for each value and extract measurements.
+
+    Parameters
+    ----------
+    make_config:
+        Builds the scenario for one swept value.
+    values:
+        The parameter values, run in order.
+    extract:
+        Maps a finished :class:`ScenarioResult` to named numbers.
+    """
+    points: list[SweepPoint] = []
+    for value in values:
+        config = make_config(value)
+        if not isinstance(config, ScenarioConfig):
+            raise ConfigurationError("make_config must return a ScenarioConfig")
+        result = run(config)
+        points.append(SweepPoint(value=value, measurements=extract(result)))
+    return points
+
+
+def utilization_sweep(
+    make_config: Callable[[object], ScenarioConfig],
+    values: Iterable[object],
+) -> list[SweepPoint]:
+    """A sweep whose measurements are the per-direction utilizations."""
+
+    def extract(result: ScenarioResult) -> dict[str, float]:
+        return {f"util:{name}": util
+                for name, util in result.utilizations().items()}
+
+    return sweep(make_config, values, extract)

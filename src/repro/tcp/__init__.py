@@ -1,0 +1,31 @@
+"""Transport layer: Tahoe and Reno TCP, fixed-window and paced senders."""
+
+from repro.tcp.connection import (
+    Connection,
+    make_fixed_window_connection,
+    make_paced_connection,
+    make_reno_connection,
+    make_tahoe_connection,
+)
+from repro.tcp.reno import RenoSender
+from repro.tcp.pacing import PacedWindowSender
+from repro.tcp.fixed_window import FixedWindowSender
+from repro.tcp.options import TcpOptions
+from repro.tcp.receiver import TcpReceiver
+from repro.tcp.rto import RttEstimator
+from repro.tcp.sender import TahoeSender
+
+__all__ = [
+    "TcpOptions",
+    "TahoeSender",
+    "TcpReceiver",
+    "FixedWindowSender",
+    "RttEstimator",
+    "PacedWindowSender",
+    "Connection",
+    "make_tahoe_connection",
+    "make_fixed_window_connection",
+    "make_paced_connection",
+    "RenoSender",
+    "make_reno_connection",
+]

@@ -1,0 +1,184 @@
+"""Connection plumbing: bind a sender and receiver pair onto two hosts.
+
+A :class:`Connection` owns one transport sender on its source host and
+one receiver on its destination host, registers both with the host
+demultiplexers, and schedules the sender's start time.  Connections
+pre-exist (the paper removes set-up/close), so "start" just means the
+first window transmission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.simulator import Simulator
+from repro.errors import ConfigurationError
+from repro.net.packet import PacketKind
+from repro.net.topology import Network
+from repro.tcp.fixed_window import FixedWindowSender
+from repro.tcp.options import TcpOptions
+from repro.tcp.pacing import PacedWindowSender
+from repro.tcp.receiver import TcpReceiver
+from repro.tcp.reno import RenoSender
+from repro.tcp.sender import TahoeSender
+
+__all__ = [
+    "Connection",
+    "make_tahoe_connection",
+    "make_reno_connection",
+    "make_fixed_window_connection",
+    "make_paced_connection",
+]
+
+
+@dataclass
+class Connection:
+    """One unidirectional transport connection, fully wired.
+
+    ``sender`` is a :class:`TahoeSender`, :class:`RenoSender`,
+    :class:`FixedWindowSender` or :class:`PacedWindowSender`;
+    ``receiver`` is always a :class:`TcpReceiver`.
+    """
+
+    conn_id: int
+    src_host: str
+    dst_host: str
+    sender: TahoeSender | RenoSender | FixedWindowSender | PacedWindowSender
+    receiver: TcpReceiver
+    start_time: float = 0.0
+    options: TcpOptions = field(default_factory=TcpOptions)
+
+    @property
+    def is_fixed_window(self) -> bool:
+        """True for fixed-window (non-adaptive) connections."""
+        return isinstance(self.sender, FixedWindowSender)
+
+    @property
+    def is_paced(self) -> bool:
+        """True for paced (rate-spaced) connections."""
+        return isinstance(self.sender, PacedWindowSender)
+
+
+def _wire(
+    sim: Simulator,
+    net: Network,
+    conn: Connection,
+) -> Connection:
+    src = net.host(conn.src_host)
+    dst = net.host(conn.dst_host)
+    if conn.src_host == conn.dst_host:
+        raise ConfigurationError("connection endpoints must differ")
+    # ACKs come back to the source host; DATA arrives at the destination.
+    src.register_endpoint(conn.conn_id, PacketKind.ACK, conn.sender)
+    dst.register_endpoint(conn.conn_id, PacketKind.DATA, conn.receiver)
+    sim.schedule_at(conn.start_time, conn.sender.start, label=f"conn{conn.conn_id}:start")
+    return conn
+
+
+def make_tahoe_connection(
+    sim: Simulator,
+    net: Network,
+    conn_id: int,
+    src_host: str,
+    dst_host: str,
+    options: TcpOptions | None = None,
+    start_time: float = 0.0,
+) -> Connection:
+    """Create, register and schedule a Tahoe TCP connection."""
+    opts = options or TcpOptions()
+    sender = TahoeSender(sim, net.host(src_host), conn_id, dst_host, opts)
+    receiver = TcpReceiver(sim, net.host(dst_host), conn_id, src_host, opts)
+    conn = Connection(
+        conn_id=conn_id,
+        src_host=src_host,
+        dst_host=dst_host,
+        sender=sender,
+        receiver=receiver,
+        start_time=start_time,
+        options=opts,
+    )
+    return _wire(sim, net, conn)
+
+
+def make_reno_connection(
+    sim: Simulator,
+    net: Network,
+    conn_id: int,
+    src_host: str,
+    dst_host: str,
+    options: TcpOptions | None = None,
+    start_time: float = 0.0,
+) -> Connection:
+    """Create, register and schedule a Reno (fast-recovery) connection."""
+    opts = options or TcpOptions()
+    sender = RenoSender(sim, net.host(src_host), conn_id, dst_host, opts)
+    receiver = TcpReceiver(sim, net.host(dst_host), conn_id, src_host, opts)
+    conn = Connection(
+        conn_id=conn_id,
+        src_host=src_host,
+        dst_host=dst_host,
+        sender=sender,
+        receiver=receiver,
+        start_time=start_time,
+        options=opts,
+    )
+    return _wire(sim, net, conn)
+
+
+def make_paced_connection(
+    sim: Simulator,
+    net: Network,
+    conn_id: int,
+    src_host: str,
+    dst_host: str,
+    window: int,
+    pace_interval: float,
+    options: TcpOptions | None = None,
+    start_time: float = 0.0,
+) -> Connection:
+    """Create, register and schedule a paced fixed-window connection.
+
+    The paper's pacing counterfactual (Section 3.1): transmissions are
+    spaced by ``pace_interval`` regardless of ACK bunching, so packet
+    clustering — and with it ACK-compression — cannot form.
+    """
+    opts = options or TcpOptions()
+    sender = PacedWindowSender(sim, net.host(src_host), conn_id, dst_host,
+                               window, pace_interval, opts)
+    receiver = TcpReceiver(sim, net.host(dst_host), conn_id, src_host, opts)
+    conn = Connection(
+        conn_id=conn_id,
+        src_host=src_host,
+        dst_host=dst_host,
+        sender=sender,
+        receiver=receiver,
+        start_time=start_time,
+        options=opts,
+    )
+    return _wire(sim, net, conn)
+
+
+def make_fixed_window_connection(
+    sim: Simulator,
+    net: Network,
+    conn_id: int,
+    src_host: str,
+    dst_host: str,
+    window: int,
+    options: TcpOptions | None = None,
+    start_time: float = 0.0,
+) -> Connection:
+    """Create, register and schedule a fixed-window connection."""
+    opts = options or TcpOptions()
+    sender = FixedWindowSender(sim, net.host(src_host), conn_id, dst_host, window, opts)
+    receiver = TcpReceiver(sim, net.host(dst_host), conn_id, src_host, opts)
+    conn = Connection(
+        conn_id=conn_id,
+        src_host=src_host,
+        dst_host=dst_host,
+        sender=sender,
+        receiver=receiver,
+        start_time=start_time,
+        options=opts,
+    )
+    return _wire(sim, net, conn)

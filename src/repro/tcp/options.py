@@ -1,0 +1,92 @@
+"""Configuration bundles for transport endpoints.
+
+Defaults follow Section 2 of the paper: 500-byte data packets, 50-byte
+ACKs, ``maxwnd = 1000`` (never binding in these scenarios), delayed-ACK
+off, the *modified* congestion-avoidance increment ``cwnd += 1/⌊cwnd⌋``
+(the paper's anomaly fix), and BSD-style coarse (500 ms tick)
+retransmission timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.timer import BSD_TICK
+from repro.errors import ConfigurationError
+from repro.units import ACK_PACKET_BYTES, DATA_PACKET_BYTES, DEFAULT_MAXWND
+
+__all__ = ["TcpOptions"]
+
+
+@dataclass(frozen=True)
+class TcpOptions:
+    """Tunables for a TCP (Tahoe) connection.
+
+    Attributes
+    ----------
+    data_packet_bytes / ack_packet_bytes:
+        Wire sizes.  ``ack_packet_bytes`` may be 0 to model the idealized
+        zero-length-ACK system of Section 4.3.3.
+    maxwnd:
+        Receiver-advertised window in packets; the sender uses
+        ``wnd = floor(min(cwnd, maxwnd))``.
+    initial_cwnd / initial_ssthresh:
+        Starting congestion window (packets) and slow-start threshold.
+        BSD 4.3-Tahoe effectively started with an unbounded threshold, so
+        the default is ``maxwnd``.
+    min_ssthresh:
+        Floor for ssthresh on loss; the paper (footnote 9) notes the
+        implementation clamps it at 2, which is what makes a double drop
+        so costly.
+    modified_avoidance:
+        Use the paper's fixed increment ``1/floor(cwnd)`` rather than the
+        original ``1/cwnd``, so ``floor(cwnd)`` grows by exactly one per
+        epoch.
+    dupack_threshold:
+        Duplicate ACKs that trigger a (Tahoe) fast retransmit.
+    delayed_ack / delayed_ack_timeout:
+        Receiver-side delayed-ACK option: hold the ACK for a second data
+        packet or until the (conservative) timer expires.
+    timer_tick / min_rto / max_rto / initial_rto:
+        Coarse retransmission-timer parameters (BSD slow timeout).
+    """
+
+    data_packet_bytes: int = DATA_PACKET_BYTES
+    ack_packet_bytes: int = ACK_PACKET_BYTES
+    maxwnd: int = DEFAULT_MAXWND
+    initial_cwnd: float = 1.0
+    initial_ssthresh: float | None = None
+    min_ssthresh: float = 2.0
+    modified_avoidance: bool = True
+    dupack_threshold: int = 3
+    delayed_ack: bool = False
+    delayed_ack_timeout: float = 0.2
+    timer_tick: float = BSD_TICK
+    min_rto: float = 2 * BSD_TICK
+    max_rto: float = 64.0
+    initial_rto: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.data_packet_bytes <= 0:
+            raise ConfigurationError("data packets must have positive size")
+        if self.ack_packet_bytes < 0:
+            raise ConfigurationError("ACK size cannot be negative")
+        if self.maxwnd < 1:
+            raise ConfigurationError("maxwnd must be >= 1")
+        if self.initial_cwnd < 1:
+            raise ConfigurationError("initial cwnd must be >= 1")
+        if self.min_ssthresh < 1:
+            raise ConfigurationError("min ssthresh must be >= 1")
+        if self.dupack_threshold < 1:
+            raise ConfigurationError("dupack threshold must be >= 1")
+        if self.delayed_ack_timeout <= 0:
+            raise ConfigurationError("delayed-ACK timeout must be positive")
+        if not (0 < self.min_rto <= self.max_rto):
+            raise ConfigurationError("need 0 < min_rto <= max_rto")
+
+    @property
+    def effective_initial_ssthresh(self) -> float:
+        """The slow-start threshold a fresh connection begins with."""
+        if self.initial_ssthresh is None:
+            return float(self.maxwnd)
+        return self.initial_ssthresh

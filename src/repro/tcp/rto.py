@@ -1,0 +1,75 @@
+"""Round-trip-time estimation and retransmission timeout computation.
+
+This follows Jacobson's mean/deviation estimator as implemented in BSD
+4.3-Tahoe:
+
+- one RTT measurement in flight at a time (a single timed packet),
+- Karn's rule: never sample a retransmitted packet,
+- ``srtt += (sample - srtt) / 8``; ``rttvar += (|err| - rttvar) / 4``,
+- ``RTO = srtt + 4 * rttvar`` clamped to ``[min_rto, max_rto]``,
+- exponential backoff (doubling, capped) on each timer expiry, cleared
+  by the next valid sample.
+"""
+
+from __future__ import annotations
+
+__all__ = ["RttEstimator"]
+
+
+class RttEstimator:
+    """Smoothed RTT / RTT-variance estimator with backoff."""
+
+    SRTT_GAIN = 1.0 / 8.0
+    RTTVAR_GAIN = 1.0 / 4.0
+    VARIANCE_WEIGHT = 4.0
+
+    def __init__(self, initial_rto: float, min_rto: float, max_rto: float) -> None:
+        if not (0 < min_rto <= max_rto):
+            raise ValueError("need 0 < min_rto <= max_rto")
+        if initial_rto <= 0:
+            raise ValueError("initial RTO must be positive")
+        self._initial_rto = initial_rto
+        self._min_rto = min_rto
+        self._max_rto = max_rto
+        self.srtt: float | None = None
+        self.rttvar: float = 0.0
+        self._backoff = 0  # number of consecutive timeouts
+
+    @property
+    def backoff(self) -> int:
+        """Consecutive timeouts since the last valid sample."""
+        return self._backoff
+
+    def sample(self, rtt: float) -> None:
+        """Feed one round-trip measurement (seconds)."""
+        if rtt < 0:
+            raise ValueError(f"RTT sample cannot be negative: {rtt}")
+        if self.srtt is None:
+            # First measurement: initialize as in BSD (var = rtt/2).
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            error = rtt - self.srtt
+            self.srtt += self.SRTT_GAIN * error
+            self.rttvar += self.RTTVAR_GAIN * (abs(error) - self.rttvar)
+        self._backoff = 0
+
+    def on_timeout(self) -> None:
+        """Record a retransmission timeout (exponential backoff)."""
+        self._backoff += 1
+
+    def rto(self) -> float:
+        """Current retransmission timeout in seconds, backoff applied."""
+        if self.srtt is None:
+            base = self._initial_rto
+        else:
+            base = self.srtt + self.VARIANCE_WEIGHT * self.rttvar
+        base = min(max(base, self._min_rto), self._max_rto)
+        scaled = base * (2 ** min(self._backoff, 6))
+        return min(scaled, self._max_rto)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RttEstimator(srtt={self.srtt}, rttvar={self.rttvar:.4f}, "
+            f"rto={self.rto():.3f}s, backoff={self._backoff})"
+        )

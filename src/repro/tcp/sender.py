@@ -1,0 +1,304 @@
+"""The BSD 4.3-Tahoe TCP sender.
+
+This implements exactly the congestion-control algorithm of Section 2.1
+of the paper:
+
+- ``wnd = floor(min(cwnd, maxwnd))`` outstanding packets allowed;
+- on each ACK of new data: ``cwnd += 1`` below ``ssthresh`` (slow
+  start), else ``cwnd += 1/floor(cwnd)`` (the paper's *modified*
+  congestion avoidance, so ``floor(cwnd)`` rises by one per epoch);
+- on loss detection: ``ssthresh = max(min(cwnd/2, maxwnd), 2)``,
+  ``cwnd = 1``, go-back to the lowest unacknowledged packet;
+- loss detected by ``dupack_threshold`` duplicate ACKs (Tahoe fast
+  retransmit) or by the coarse-grained retransmission timer;
+- nonpaced: every transmission happens immediately upon ACK receipt —
+  the property that produces packet clustering and, with two-way
+  traffic, ACK-compression.
+
+The sender has an infinite backlog (the paper's sources "have an
+infinite amount of data to send"); sequence numbers count maximum-size
+packets, not bytes, matching the paper's units.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.engine.simulator import Simulator
+from repro.engine.timer import CoarseTimer
+from repro.errors import ProtocolError
+from repro.net.host import Host
+from repro.net.packet import Packet, PacketKind
+from repro.tcp.options import TcpOptions
+from repro.tcp.rto import RttEstimator
+
+__all__ = ["TahoeSender"]
+
+CwndObserver = Callable[[float, float, float], None]
+LossObserver = Callable[[float, str, int], None]
+SendObserver = Callable[[float, Packet], None]
+AckObserver = Callable[[float, Packet], None]
+
+
+class TahoeSender:
+    """Sending endpoint of one Tahoe TCP connection."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        conn_id: int,
+        destination: str,
+        options: TcpOptions | None = None,
+    ) -> None:
+        self._sim = sim
+        self._host = host
+        self.conn_id = conn_id
+        self.destination = destination
+        self.options = options or TcpOptions()
+
+        # --- congestion state -----------------------------------------
+        self.cwnd: float = self.options.initial_cwnd
+        self.ssthresh: float = self.options.effective_initial_ssthresh
+
+        # --- sequence state (units: packets) --------------------------
+        self.snd_una = 0  # lowest unacknowledged sequence number
+        self.snd_nxt = 0  # next sequence number to transmit
+        self._high_seq = 0  # highest sequence number ever sent + 1
+        self.dupacks = 0
+
+        # --- timing ----------------------------------------------------
+        self.rtt = RttEstimator(
+            initial_rto=self.options.initial_rto,
+            min_rto=self.options.min_rto,
+            max_rto=self.options.max_rto,
+        )
+        self._timed_seq: int | None = None
+        self._timed_at = 0.0
+        self._rexmt = CoarseTimer(
+            sim, self._on_timeout, period=self.options.timer_tick,
+            label=f"conn{conn_id}:rexmt",
+        )
+
+        # --- counters ---------------------------------------------------
+        self.packets_sent = 0
+        self.retransmits = 0
+        self.fast_retransmits = 0
+        self.timeouts = 0
+        self.loss_events = 0
+        self.acks_received = 0
+        self._started = False
+
+        # --- observers ---------------------------------------------------
+        self._cwnd_observers: list[CwndObserver] = []
+        self._loss_observers: list[LossObserver] = []
+        self._send_observers: list[SendObserver] = []
+        self._ack_observers: list[AckObserver] = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def wnd(self) -> int:
+        """The usable window: ``floor(min(cwnd, maxwnd))``, at least 1."""
+        return max(1, int(min(self.cwnd, float(self.options.maxwnd))))
+
+    @property
+    def packets_out(self) -> int:
+        """Packets currently considered outstanding."""
+        return self.snd_nxt - self.snd_una
+
+    @property
+    def started(self) -> bool:
+        """True once :meth:`start` has run."""
+        return self._started
+
+    @property
+    def in_slow_start(self) -> bool:
+        """True when the next growth step would be exponential."""
+        return self.cwnd < self.ssthresh
+
+    # ------------------------------------------------------------------
+    # Observers
+    # ------------------------------------------------------------------
+    def on_cwnd_change(self, observer: CwndObserver) -> None:
+        """Register ``observer(time, cwnd, ssthresh)`` per adjustment."""
+        self._cwnd_observers.append(observer)
+
+    def on_loss_detected(self, observer: LossObserver) -> None:
+        """Register ``observer(time, trigger, seq)``; trigger is
+        ``"dupack"`` or ``"timeout"``."""
+        self._loss_observers.append(observer)
+
+    def on_send(self, observer: SendObserver) -> None:
+        """Register ``observer(time, packet)`` per transmitted packet."""
+        self._send_observers.append(observer)
+
+    def on_ack(self, observer: AckObserver) -> None:
+        """Register ``observer(time, packet)`` per arriving ACK.
+
+        Feeds the ACK-compression analysis, which measures inter-arrival
+        spacing of ACKs at the source.
+        """
+        self._ack_observers.append(observer)
+
+    def _notify_cwnd(self) -> None:
+        now = self._sim.now
+        for observer in self._cwnd_observers:
+            observer(now, self.cwnd, self.ssthresh)
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin transmitting (the connection pre-exists; no handshake)."""
+        if self._started:
+            raise ProtocolError(f"conn {self.conn_id}: started twice")
+        self._started = True
+        self._notify_cwnd()
+        self._fill_window()
+
+    # ------------------------------------------------------------------
+    # Receiving ACKs
+    # ------------------------------------------------------------------
+    def deliver(self, packet: Packet) -> None:
+        """Process an arriving ACK (PacketSink interface)."""
+        if not packet.is_ack:
+            raise ProtocolError(f"conn {self.conn_id}: sender got non-ACK {packet!r}")
+        self.acks_received += 1
+        now = self._sim.now
+        for observer in self._ack_observers:
+            observer(now, packet)
+        ack = packet.ack
+        if ack > self._high_seq:
+            raise ProtocolError(
+                f"conn {self.conn_id}: ACK {ack} beyond highest sent {self._high_seq}"
+            )
+        if ack > self.snd_una:
+            self._on_new_ack(ack)
+        elif ack == self.snd_una and self.packets_out > 0:
+            self._on_duplicate_ack()
+        # ACKs below snd_una are stale remnants of go-back-N; ignored.
+
+    def _on_new_ack(self, ack: int) -> None:
+        self.snd_una = ack
+        # After a go-back-N reset, a cumulative ACK can cover data the
+        # receiver had cached out of order; transmission resumes past it.
+        if self.snd_nxt < ack:
+            self.snd_nxt = ack
+        self.dupacks = 0
+        # RTT sample (Karn: the timed sequence is cleared on any loss).
+        if self._timed_seq is not None and ack > self._timed_seq:
+            self.rtt.sample(self._sim.now - self._timed_at)
+            self._timed_seq = None
+        self._grow_window()
+        if self.packets_out == 0:
+            self._rexmt.cancel()
+        else:
+            self._rexmt.start_seconds(self.rtt.rto())
+        self._fill_window()
+
+    def _on_duplicate_ack(self) -> None:
+        self.dupacks += 1
+        # Trigger only on the exact threshold crossing, as BSD does: the
+        # counter keeps growing past it, so the tail of duplicate ACKs
+        # generated by packets already in flight cannot re-trigger a
+        # second collapse before new data is acknowledged.
+        if self.dupacks == self.options.dupack_threshold:
+            self.fast_retransmits += 1
+            self._on_loss("dupack")
+
+    def _grow_window(self) -> None:
+        if self.cwnd < self.ssthresh:
+            self.cwnd += 1.0  # slow start / congestion recovery
+        elif self.options.modified_avoidance:
+            self.cwnd += 1.0 / float(int(self.cwnd))  # paper's modified rule
+        else:
+            self.cwnd += 1.0 / self.cwnd  # original BSD 4.3-Tahoe rule
+        self.cwnd = min(self.cwnd, float(self.options.maxwnd))
+        self._notify_cwnd()
+
+    # ------------------------------------------------------------------
+    # Loss handling
+    # ------------------------------------------------------------------
+    def _on_loss(self, trigger: str) -> None:
+        now = self._sim.now
+        self.loss_events += 1
+        for observer in self._loss_observers:
+            observer(now, trigger, self.snd_una)
+        # Section 2.1: ssthresh = MAX[MIN(cwnd/2, maxwnd), 2]; cwnd = 1.
+        self.ssthresh = max(
+            min(self.cwnd / 2.0, float(self.options.maxwnd)),
+            self.options.min_ssthresh,
+        )
+        self.cwnd = 1.0
+        self._notify_cwnd()
+        self._timed_seq = None  # Karn's rule
+        if trigger == "timeout":
+            # BSD timeout recovery is go-back-N: everything past snd_una
+            # is treated as unsent and slow start re-sends it in order.
+            self.dupacks = 0
+            self.snd_nxt = self.snd_una
+            self._rexmt.start_seconds(self.rtt.rto())
+            self._fill_window()
+        else:
+            # Fast retransmit resends ONLY the missing segment and keeps
+            # snd_nxt where it was (BSD saves and restores it), so data
+            # the receiver already cached is never sent again.  Re-sending
+            # it would draw duplicate ACKs for packets that were never
+            # lost and lock the sender into spurious-retransmit cycles.
+            self._rexmt.start_seconds(self.rtt.rto())
+            self._transmit(self.snd_una)
+            self._fill_window()
+
+    def _on_timeout(self) -> None:
+        if self.packets_out == 0:
+            return  # stale timer; nothing outstanding
+        self.timeouts += 1
+        self.rtt.on_timeout()
+        self._on_loss("timeout")
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def _fill_window(self) -> None:
+        """Send as many packets as the window permits, back to back.
+
+        This is the nonpaced behavior: a window increase triggered by an
+        ACK immediately releases two packets (the slot the ACK freed plus
+        the increment), with no artificial spacing.
+        """
+        while self.packets_out < self.wnd:
+            self._transmit(self.snd_nxt)
+            self.snd_nxt += 1
+
+    def _transmit(self, seq: int) -> None:
+        now = self._sim.now
+        is_retransmit = seq < self._high_seq
+        packet = Packet(
+            conn_id=self.conn_id,
+            kind=PacketKind.DATA,
+            seq=seq,
+            size=self.options.data_packet_bytes,
+            created_at=now,
+            is_retransmit=is_retransmit,
+        )
+        if is_retransmit:
+            self.retransmits += 1
+        else:
+            self._high_seq = seq + 1
+            if self._timed_seq is None:
+                self._timed_seq = seq
+                self._timed_at = now
+        self.packets_sent += 1
+        if not self._rexmt.armed:
+            self._rexmt.start_seconds(self.rtt.rto())
+        for observer in self._send_observers:
+            observer(now, packet)
+        self._host.send(packet, self.destination)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TahoeSender(conn={self.conn_id}, cwnd={self.cwnd:.2f}, "
+            f"ssthresh={self.ssthresh:.1f}, una={self.snd_una}, nxt={self.snd_nxt})"
+        )

@@ -1,0 +1,25 @@
+"""Visualization: ASCII strip charts and CSV export."""
+
+from repro.viz.ascii_plot import plot_series, plot_two_series
+from repro.viz.export import (
+    series_to_rows,
+    write_departures_csv,
+    write_drops_csv,
+    write_series_csv,
+)
+from repro.viz.gallery import FIGURES, render_figure, render_gallery
+from repro.viz.histogram import ack_gap_histogram, histogram
+
+__all__ = [
+    "plot_series",
+    "plot_two_series",
+    "write_series_csv",
+    "write_drops_csv",
+    "write_departures_csv",
+    "series_to_rows",
+    "FIGURES",
+    "render_figure",
+    "render_gallery",
+    "histogram",
+    "ack_gap_histogram",
+]

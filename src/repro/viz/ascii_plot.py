@@ -1,0 +1,96 @@
+"""ASCII strip charts.
+
+matplotlib is unavailable in the offline environment, so the examples
+and CLI render time series as text: a fixed-size character raster with
+axes, mirroring the paper's queue-length and cwnd strip charts closely
+enough to eyeball square waves, sawtooths and phase relationships.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.metrics.timeseries import StepSeries
+
+__all__ = ["plot_series", "plot_two_series"]
+
+
+def _render(
+    grids: list[np.ndarray],
+    signals: list[np.ndarray],
+    markers: list[str],
+    start: float,
+    end: float,
+    title: str,
+    width: int,
+    height: int,
+    y_max: float | None,
+) -> str:
+    lo = 0.0
+    hi = y_max if y_max is not None else max(float(s.max()) for s in signals)
+    if hi <= lo:
+        hi = lo + 1.0
+    raster = [[" "] * width for _ in range(height)]
+    for signal, marker in zip(signals, markers):
+        # Downsample each signal onto `width` columns, keeping per-column
+        # min and max so rapid fluctuations render as vertical bands, as
+        # in the paper's figures.
+        per_col = max(len(signal) // width, 1)
+        for col in range(width):
+            chunk = signal[col * per_col:(col + 1) * per_col]
+            if len(chunk) == 0:
+                continue
+            v_lo, v_hi = float(chunk.min()), float(chunk.max())
+            row_lo = int((v_lo - lo) / (hi - lo) * (height - 1))
+            row_hi = int((v_hi - lo) / (hi - lo) * (height - 1))
+            for row in range(row_lo, row_hi + 1):
+                r = height - 1 - min(row, height - 1)
+                raster[r][col] = marker
+    lines = [title] if title else []
+    for i, row in enumerate(raster):
+        level = hi - (hi - lo) * i / (height - 1)
+        lines.append(f"{level:7.1f} |" + "".join(row))
+    lines.append(" " * 8 + "+" + "-" * width)
+    lines.append(f"{'':8}{start:<12.1f}{'':{max(width - 24, 0)}}{end:>12.1f}  (seconds)")
+    return "\n".join(lines)
+
+
+def plot_series(
+    series: StepSeries,
+    start: float,
+    end: float,
+    title: str = "",
+    width: int = 100,
+    height: int = 16,
+    y_max: float | None = None,
+) -> str:
+    """Render one step series as an ASCII strip chart."""
+    if end <= start:
+        raise AnalysisError(f"need end > start, got [{start}, {end}]")
+    n_samples = width * 8
+    grid, values = series.sample(start, end, (end - start) / n_samples)
+    return _render([grid], [values], ["*"], start, end,
+                   title or series.name, width, height, y_max)
+
+
+def plot_two_series(
+    a: StepSeries,
+    b: StepSeries,
+    start: float,
+    end: float,
+    title: str = "",
+    width: int = 100,
+    height: int = 16,
+    y_max: float | None = None,
+) -> str:
+    """Overlay two series (markers ``*`` and ``o``) on one chart."""
+    if end <= start:
+        raise AnalysisError(f"need end > start, got [{start}, {end}]")
+    n_samples = width * 8
+    dt = (end - start) / n_samples
+    grid_a, va = a.sample(start, end, dt)
+    _, vb = b.sample(start, end, dt)
+    label = title or f"{a.name} (*) vs {b.name} (o)"
+    return _render([grid_a, grid_a], [va, vb], ["*", "o"], start, end,
+                   label, width, height, y_max)

@@ -1,0 +1,144 @@
+"""Figure gallery: regenerate every paper figure as an ASCII chart.
+
+Writes one text file per paper figure (2 through 9) containing the
+queue-length and (where applicable) cwnd strip charts over a window
+comparable to the one the paper printed, plus a caption with the
+headline measurements.  Used by ``repro figures -o <dir>``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.scenarios import paper, run
+from repro.scenarios.runner import ScenarioResult
+from repro.viz.ascii_plot import plot_series, plot_two_series
+
+__all__ = ["render_figure", "render_gallery", "FIGURES"]
+
+
+def _fig2(result: ScenarioResult) -> str:
+    start, _ = result.window
+    parts = [
+        plot_series(result.queue_series("sw1->sw2"), start, start + 120.0,
+                    title="Figure 2 (top): queue at the bottleneck switch"),
+        plot_two_series(result.traces.cwnd(1).cwnd, result.traces.cwnd(2).cwnd,
+                        start, start + 120.0,
+                        title="Figure 2 (bottom): cwnd of connections 1 (*) and 2 (o)"),
+        f"utilization: {result.utilization('sw1->sw2'):.1%} (paper: ~90%)",
+    ]
+    return "\n\n".join(parts)
+
+
+def _fig3(result: ScenarioResult) -> str:
+    start, _ = result.window
+    parts = [
+        plot_two_series(result.queue_series("sw1->sw2"),
+                        result.queue_series("sw2->sw1"),
+                        start, start + 30.0,
+                        title="Figure 3: queues at switches 1 (*) and 2 (o) — "
+                              "rapid fluctuations, out-of-phase"),
+        f"utilization: {result.utilization('sw1->sw2'):.1%} (paper: ~91%)",
+        f"data packets among drops: {result.data_drop_fraction():.1%} "
+        "(paper: 99.8%)",
+    ]
+    return "\n\n".join(parts)
+
+
+def _fig4_5(result: ScenarioResult) -> str:
+    start, _ = result.window
+    parts = [
+        plot_two_series(result.queue_series("sw1->sw2"),
+                        result.queue_series("sw2->sw1"),
+                        start, start + 30.0,
+                        title="Figure 4: bottleneck queues (two-way, tau=0.01s) — "
+                              "out-of-phase square waves"),
+        plot_two_series(result.traces.cwnd(1).cwnd, result.traces.cwnd(2).cwnd,
+                        start, start + 30.0,
+                        title="Figure 5: cwnd of the two connections, "
+                              "synchronized out-of-phase"),
+        f"utilization: {result.utilization('sw1->sw2'):.1%} (paper: ~70%)",
+    ]
+    return "\n\n".join(parts)
+
+
+def _fig6_7(result: ScenarioResult) -> str:
+    start, _ = result.window
+    parts = [
+        plot_two_series(result.queue_series("sw1->sw2"),
+                        result.queue_series("sw2->sw1"),
+                        start, start + 100.0,
+                        title="Figure 6: bottleneck queues (two-way, tau=1s) — "
+                              "in-phase"),
+        plot_two_series(result.traces.cwnd(1).cwnd, result.traces.cwnd(2).cwnd,
+                        start, start + 100.0,
+                        title="Figure 7: cwnd of the two connections, "
+                              "synchronized in-phase"),
+        f"utilization: {result.utilization('sw1->sw2'):.1%} (paper: ~60%)",
+    ]
+    return "\n\n".join(parts)
+
+
+def _fig8(result: ScenarioResult) -> str:
+    start, _ = result.window
+    parts = [
+        plot_two_series(result.queue_series("sw1->sw2"),
+                        result.queue_series("sw2->sw1"),
+                        start, start + 20.0,
+                        title="Figure 8: fixed windows 30/25, tau=0.01s — "
+                              "asymmetric square waves"),
+        f"queue maxima: {result.max_queue('sw1->sw2') + 1:.0f} / "
+        f"{result.max_queue('sw2->sw1') + 1:.0f} incl. in-tx (paper: 55 / 23)",
+        f"utilizations: "
+        + ", ".join(f"{k} {v:.1%}" for k, v in result.utilizations().items())
+        + " (paper: 100% / 86%)",
+    ]
+    return "\n\n".join(parts)
+
+
+def _fig9(result: ScenarioResult) -> str:
+    start, _ = result.window
+    parts = [
+        plot_two_series(result.queue_series("sw1->sw2"),
+                        result.queue_series("sw2->sw1"),
+                        start, start + 20.0,
+                        title="Figure 9: fixed windows 30/25, tau=1s — "
+                              "equal maxima, plateau alternation"),
+        f"queue maxima: {result.max_queue('sw1->sw2') + 1:.0f} / "
+        f"{result.max_queue('sw2->sw1') + 1:.0f} incl. in-tx (paper: 23 / 23)",
+        f"utilizations: "
+        + ", ".join(f"{k} {v:.1%}" for k, v in result.utilizations().items())
+        + " (paper: 81% / 70%)",
+    ]
+    return "\n\n".join(parts)
+
+
+FIGURES = {
+    "figure2": (paper.figure2, _fig2),
+    "figure3": (paper.figure3, _fig3),
+    "figure4_5": (paper.figure4, _fig4_5),
+    "figure6_7": (paper.figure6, _fig6_7),
+    "figure8": (paper.figure8, _fig8),
+    "figure9": (paper.figure9, _fig9),
+}
+
+
+def render_figure(name: str) -> str:
+    """Run the configuration behind one paper figure and render it."""
+    if name not in FIGURES:
+        raise KeyError(f"unknown figure {name!r}; known: {', '.join(FIGURES)}")
+    factory, renderer = FIGURES[name]
+    result = run(factory())
+    return renderer(result)
+
+
+def render_gallery(out_dir: str | Path) -> list[Path]:
+    """Render every figure to ``<out_dir>/<name>.txt``; returns paths."""
+    target = Path(out_dir)
+    target.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name in FIGURES:
+        path = target / f"{name}.txt"
+        path.write_text(render_figure(name) + "\n")
+        written.append(path)
+    return written

@@ -1,0 +1,71 @@
+"""Unit tests for repro.analysis.acceleration."""
+
+import pytest
+
+from repro.analysis import (
+    check_acceleration_prediction,
+    measured_acceleration,
+    predicted_drops_per_epoch,
+)
+from repro.analysis.epochs import detect_epochs
+from repro.errors import AnalysisError
+from repro.metrics import StepSeries
+from repro.metrics.cwnd_log import CwndLog
+from repro.metrics.drop_log import DropRecord
+
+
+class FakeCwndLog(CwndLog):
+    """A CwndLog preloaded with a trace (no sender needed)."""
+
+    def __init__(self, points):
+        self.conn_id = 1
+        self.cwnd = StepSeries(initial_value=1.0)
+        self.cwnd.extend(points)
+        self.ssthresh = StepSeries(initial_value=1000.0)
+        self.losses = []
+
+
+def _drop(time, conn=1):
+    return DropRecord(time=time, queue="q", conn_id=conn, is_data=True,
+                      seq=0, is_retransmit=False)
+
+
+class TestPrediction:
+    def test_equals_connection_count(self):
+        assert predicted_drops_per_epoch(1) == 1
+        assert predicted_drops_per_epoch(10) == 10
+
+    def test_invalid_count(self):
+        with pytest.raises(AnalysisError):
+            predicted_drops_per_epoch(0)
+
+
+class TestMeasuredAcceleration:
+    def test_growth_of_floor(self):
+        log = FakeCwndLog([(0.0, 5.0), (10.0, 5.5), (20.0, 6.0), (30.0, 6.5)])
+        assert measured_acceleration(log, 0.0, 25.0) == 1.0
+
+    def test_no_growth(self):
+        log = FakeCwndLog([(0.0, 5.0)])
+        assert measured_acceleration(log, 0.0, 10.0) == 0.0
+
+    def test_invalid_window(self):
+        log = FakeCwndLog([(0.0, 5.0)])
+        with pytest.raises(AnalysisError):
+            measured_acceleration(log, 10.0, 10.0)
+
+
+class TestCheck:
+    def test_perfect_match(self):
+        drops = [_drop(0.0, 1), _drop(0.1, 2),
+                 _drop(30.0, 1), _drop(30.1, 2)]
+        epochs = detect_epochs(drops, gap=5.0)
+        check = check_acceleration_prediction(epochs, n_connections=2)
+        assert check.predicted == 2.0
+        assert check.measured_mean == 2.0
+        assert check.ratio == 1.0
+        assert check.epochs_checked == 2
+
+    def test_no_epochs_raises(self):
+        with pytest.raises(AnalysisError):
+            check_acceleration_prediction([], 2)

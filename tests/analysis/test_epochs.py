@@ -1,0 +1,76 @@
+"""Unit tests for repro.analysis.epochs."""
+
+import pytest
+
+from repro.analysis import detect_epochs, drops_per_epoch, epoch_period
+from repro.errors import AnalysisError
+from repro.metrics.drop_log import DropRecord
+
+
+def _drop(time, conn=1, seq=0):
+    return DropRecord(time=time, queue="q", conn_id=conn, is_data=True,
+                      seq=seq, is_retransmit=False)
+
+
+class TestDetection:
+    def test_no_drops_no_epochs(self):
+        assert detect_epochs([]) == []
+
+    def test_single_cluster(self):
+        epochs = detect_epochs([_drop(1.0), _drop(1.5), _drop(2.0)], gap=5.0)
+        assert len(epochs) == 1
+        assert epochs[0].total_drops == 3
+        assert epochs[0].start == 1.0
+        assert epochs[0].end == 2.0
+
+    def test_gap_splits_clusters(self):
+        epochs = detect_epochs([_drop(1.0), _drop(2.0), _drop(50.0)], gap=5.0)
+        assert len(epochs) == 2
+        assert epochs[0].total_drops == 2
+        assert epochs[1].total_drops == 1
+
+    def test_gap_boundary_inclusive(self):
+        epochs = detect_epochs([_drop(0.0), _drop(5.0)], gap=5.0)
+        assert len(epochs) == 1
+
+    def test_unsorted_input_is_sorted(self):
+        epochs = detect_epochs([_drop(50.0), _drop(1.0)], gap=5.0)
+        assert len(epochs) == 2
+        assert epochs[0].start == 1.0
+
+    def test_window_filter(self):
+        drops = [_drop(1.0), _drop(100.0), _drop(200.0)]
+        epochs = detect_epochs(drops, gap=5.0, start=50.0, end=150.0)
+        assert len(epochs) == 1
+        assert epochs[0].start == 100.0
+
+    def test_invalid_gap(self):
+        with pytest.raises(AnalysisError):
+            detect_epochs([_drop(1.0)], gap=0.0)
+
+
+class TestEpochProperties:
+    def test_connections_and_counts(self):
+        epochs = detect_epochs(
+            [_drop(1.0, conn=1), _drop(1.1, conn=2), _drop(1.2, conn=1)], gap=5.0)
+        epoch = epochs[0]
+        assert epoch.connections == {1, 2}
+        assert epoch.drops_by_connection() == {1: 2, 2: 1}
+
+    def test_drops_per_epoch(self):
+        epochs = detect_epochs(
+            [_drop(1.0), _drop(1.1), _drop(50.0)], gap=5.0)
+        assert drops_per_epoch(epochs) == pytest.approx(1.5)
+
+    def test_drops_per_epoch_empty(self):
+        assert drops_per_epoch([]) == 0.0
+
+    def test_epoch_period(self):
+        epochs = detect_epochs(
+            [_drop(0.0), _drop(30.0), _drop(60.0)], gap=5.0)
+        assert epoch_period(epochs) == pytest.approx(30.0)
+
+    def test_epoch_period_needs_two(self):
+        epochs = detect_epochs([_drop(1.0)], gap=5.0)
+        with pytest.raises(AnalysisError):
+            epoch_period(epochs)

@@ -1,0 +1,91 @@
+"""Unit tests for repro.analysis.fairness."""
+
+import pytest
+
+from repro.analysis import connection_goodputs, delivered_in_window, jain_index
+from repro.errors import AnalysisError
+from repro.metrics.ack_log import AckArrival, AckArrivalLog
+
+
+class FakeAckLog(AckArrivalLog):
+    """Preloaded ACK log (no sender needed)."""
+
+    def __init__(self, arrivals):
+        self.conn_id = 1
+        self.arrivals = [AckArrival(time=t, ack=a) for t, a in arrivals]
+
+
+class TestJainIndex:
+    def test_equal_shares(self):
+        assert jain_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_single_user_monopoly(self):
+        assert jain_index([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_single_value_is_fair(self):
+        assert jain_index([7.0]) == 1.0
+
+    def test_all_zero_degenerate(self):
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_partial_unfairness(self):
+        index = jain_index([3.0, 1.0])
+        assert 0.5 < index < 1.0
+
+    def test_errors(self):
+        with pytest.raises(AnalysisError):
+            jain_index([])
+        with pytest.raises(AnalysisError):
+            jain_index([1.0, -1.0])
+
+
+class TestDeliveredInWindow:
+    def test_progress_within_window(self):
+        log = FakeAckLog([(1.0, 10), (5.0, 20), (9.0, 30)])
+        assert delivered_in_window(log, 2.0, 10.0) == 20  # 30 - 10
+
+    def test_whole_run(self):
+        log = FakeAckLog([(1.0, 10), (5.0, 20)])
+        assert delivered_in_window(log, 0.0, 10.0) == 20
+
+    def test_empty_window(self):
+        log = FakeAckLog([(1.0, 10)])
+        assert delivered_in_window(log, 5.0, 10.0) == 0
+
+    def test_no_arrivals(self):
+        assert delivered_in_window(FakeAckLog([]), 0.0, 10.0) == 0
+
+    def test_duplicate_acks_do_not_inflate(self):
+        log = FakeAckLog([(1.0, 10), (2.0, 10), (3.0, 10)])
+        assert delivered_in_window(log, 0.0, 10.0) == 10
+
+    def test_invalid_window(self):
+        with pytest.raises(AnalysisError):
+            delivered_in_window(FakeAckLog([]), 5.0, 5.0)
+
+
+class TestConnectionGoodputs:
+    def test_bits_per_second(self):
+        logs = {
+            1: FakeAckLog([(0.5, 0), (9.5, 100)]),
+            2: FakeAckLog([(0.5, 0), (9.5, 50)]),
+        }
+        goodputs = connection_goodputs(logs, 0.0, 10.0, packet_bytes=500)
+        assert goodputs[1] == pytest.approx(100 * 500 * 8 / 10.0)
+        assert goodputs[2] == pytest.approx(goodputs[1] / 2)
+
+    def test_invalid_packet_size(self):
+        with pytest.raises(AnalysisError):
+            connection_goodputs({}, 0.0, 1.0, packet_bytes=0)
+
+    def test_end_to_end_two_way_fairness(self):
+        """Two symmetric-parameter connections share roughly fairly over
+        a long window even in the out-of-phase mode."""
+        from repro.scenarios import paper, run
+
+        result = run(paper.figure4(duration=300.0, warmup=100.0))
+        goodputs = connection_goodputs(
+            result.traces.acks, 100.0, 300.0,
+            packet_bytes=result.config.tcp.data_packet_bytes)
+        index = jain_index(list(goodputs.values()))
+        assert index > 0.8

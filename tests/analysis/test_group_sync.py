@@ -1,0 +1,58 @@
+"""Unit tests for repro.analysis.group_sync."""
+
+import math
+
+import pytest
+
+from repro.analysis import group_phase
+from repro.errors import AnalysisError
+from repro.metrics import StepSeries
+
+
+def _wave(phase, period=10.0, duration=100.0, dt=0.1):
+    series = StepSeries()
+    t = 0.0
+    while t < duration:
+        series.record(t, math.sin(2 * math.pi * t / period + phase))
+        t += dt
+    return series
+
+
+class TestGroupPhase:
+    def test_coherent_antiphase_groups(self):
+        group_a = [_wave(0.0), _wave(0.05)]
+        group_b = [_wave(math.pi), _wave(math.pi + 0.05)]
+        result = group_phase(group_a, group_b, 0.0, 100.0, dt=0.1)
+        assert result.within_a > 0.9
+        assert result.within_b > 0.9
+        assert result.between < -0.9
+        assert result.groups_internally_in_phase
+        assert result.groups_mutually_out_of_phase
+
+    def test_all_in_phase(self):
+        group_a = [_wave(0.0), _wave(0.0)]
+        group_b = [_wave(0.0), _wave(0.0)]
+        result = group_phase(group_a, group_b, 0.0, 100.0, dt=0.1)
+        assert result.between > 0.9
+        assert not result.groups_mutually_out_of_phase
+
+    def test_incoherent_group_detected(self):
+        group_a = [_wave(0.0), _wave(math.pi)]  # internally anti-phased
+        group_b = [_wave(0.0), _wave(0.0)]
+        result = group_phase(group_a, group_b, 0.0, 100.0, dt=0.1)
+        assert result.within_a < 0.0
+        assert not result.groups_internally_in_phase
+
+    def test_group_size_validated(self):
+        with pytest.raises(AnalysisError):
+            group_phase([_wave(0.0)], [_wave(0.0), _wave(0.0)], 0.0, 100.0)
+        with pytest.raises(AnalysisError):
+            group_phase([_wave(0.0), _wave(0.0)], [], 0.0, 100.0)
+
+    def test_symmetry(self):
+        group_a = [_wave(0.0), _wave(0.1)]
+        group_b = [_wave(1.0), _wave(1.1)]
+        ab = group_phase(group_a, group_b, 0.0, 100.0, dt=0.1)
+        ba = group_phase(group_b, group_a, 0.0, 100.0, dt=0.1)
+        assert ab.between == pytest.approx(ba.between)
+        assert ab.within_a == pytest.approx(ba.within_b)

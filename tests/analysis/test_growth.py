@@ -1,0 +1,102 @@
+"""Unit tests for repro.analysis.growth."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    growth_concavity,
+    rebuild_segments,
+    sqrt_growth_fit,
+)
+from repro.errors import AnalysisError
+from repro.metrics import StepSeries
+
+
+def _trace(func, duration=100.0, dt=0.5):
+    series = StepSeries()
+    t = 0.0
+    while t <= duration:
+        series.record(t, func(t))
+        t += dt
+    return series
+
+
+class TestSqrtGrowthFit:
+    def test_sqrt_signal_prefers_sqrt_law(self):
+        series = _trace(lambda t: 2.0 * math.sqrt(t + 1.0))
+        fit = sqrt_growth_fit(series, 0.0, 100.0)
+        assert fit.r2_sqrt > fit.r2_linear
+        assert fit.sqrt_like
+
+    def test_linear_signal_prefers_linear_law(self):
+        series = _trace(lambda t: 1.0 + 0.3 * t)
+        fit = sqrt_growth_fit(series, 0.0, 100.0)
+        assert fit.r2_linear > fit.r2_sqrt
+        assert not fit.sqrt_like
+
+    def test_flat_signal_rejected(self):
+        series = _trace(lambda t: 5.0)
+        with pytest.raises(AnalysisError):
+            sqrt_growth_fit(series, 0.0, 100.0)
+
+    def test_short_segment_rejected(self):
+        series = _trace(lambda t: t)
+        with pytest.raises(AnalysisError):
+            sqrt_growth_fit(series, 0.0, 2.0, dt=0.5)
+
+    def test_invalid_window(self):
+        series = _trace(lambda t: t)
+        with pytest.raises(AnalysisError):
+            sqrt_growth_fit(series, 10.0, 10.0)
+
+
+class TestConcavity:
+    def test_sqrt_is_concave(self):
+        series = _trace(lambda t: 2.0 * math.sqrt(t))
+        assert growth_concavity(series, 0.0, 100.0) > 0.0
+
+    def test_linear_is_neutral(self):
+        series = _trace(lambda t: 0.5 * t)
+        assert growth_concavity(series, 0.0, 100.0) == pytest.approx(0.0, abs=0.6)
+
+    def test_exponential_is_convex(self):
+        series = _trace(lambda t: math.exp(t / 20.0))
+        assert growth_concavity(series, 0.0, 100.0) < 0.0
+
+    def test_invalid_window(self):
+        series = _trace(lambda t: t)
+        with pytest.raises(AnalysisError):
+            growth_concavity(series, 5.0, 5.0)
+
+
+class TestRebuildSegments:
+    def test_segments_between_losses(self):
+        segments = rebuild_segments([10.0, 40.0, 70.0], 0.0, 100.0, margin=1.0)
+        assert len(segments) == 2
+        assert segments[0][0] == 11.0
+        assert segments[0][1] < 40.0
+
+    def test_short_gaps_excluded(self):
+        segments = rebuild_segments([10.0, 12.0], 0.0, 100.0, margin=1.0)
+        assert segments == []
+
+    def test_losses_outside_window_ignored(self):
+        segments = rebuild_segments([10.0, 40.0, 400.0], 0.0, 100.0)
+        assert len(segments) == 1
+
+
+class TestOnRealRebuilds:
+    def test_fig4_rebuilds_are_concave_not_exponential(self):
+        """Section 4.3.1: after double drops (ssthresh=2), growth
+        decelerates over the cycle — square-root-like, with no dominant
+        exponential phase."""
+        from repro.scenarios import paper, run
+
+        result = run(paper.figure4(duration=400.0, warmup=150.0))
+        log = result.traces.cwnd(1)
+        segments = rebuild_segments(log.loss_times, 150.0, 400.0, margin=1.0)
+        assert segments
+        concavities = [growth_concavity(log.cwnd, a, b) for a, b in segments]
+        concave = sum(1 for c in concavities if c > 0)
+        assert concave / len(concavities) >= 0.6

@@ -1,0 +1,101 @@
+"""Unit tests for repro.analysis.oscillation."""
+
+import math
+
+import pytest
+
+from repro.analysis import dominant_period, plateau_heights, rapid_fluctuation_amplitude
+from repro.errors import AnalysisError
+from repro.metrics import StepSeries
+
+
+def _square_wave(period=1.0, amplitude=5.0, duration=50.0):
+    series = StepSeries()
+    t = 0.0
+    level = 0.0
+    while t < duration:
+        series.record(t, level)
+        level = amplitude - level
+        t += period / 2
+    return series
+
+
+def _sawtooth(period=30.0, peak=20.0, duration=300.0, dt=0.5):
+    series = StepSeries()
+    t = 0.0
+    while t < duration:
+        series.record(t, peak * ((t % period) / period))
+        t += dt
+    return series
+
+
+class TestRapidFluctuations:
+    def test_fast_square_wave_scores_full_amplitude(self):
+        series = _square_wave(period=0.1, amplitude=5.0)
+        amp = rapid_fluctuation_amplitude(series, 0.0, 50.0, window=0.2)
+        assert amp == pytest.approx(5.0)
+
+    def test_slow_signal_scores_small(self):
+        series = _sawtooth(period=30.0, peak=20.0)
+        amp = rapid_fluctuation_amplitude(series, 0.0, 300.0, window=0.5)
+        # Within half a second, a 30 s sawtooth moves ~0.33 packets.
+        assert amp < 1.0
+
+    def test_constant_signal_scores_zero(self):
+        series = StepSeries()
+        series.record(0.0, 3.0)
+        assert rapid_fluctuation_amplitude(series, 0.0, 10.0, window=1.0) == 0.0
+
+    def test_errors(self):
+        series = _square_wave()
+        with pytest.raises(AnalysisError):
+            rapid_fluctuation_amplitude(series, 0.0, 10.0, window=0.0)
+        with pytest.raises(AnalysisError):
+            rapid_fluctuation_amplitude(series, 0.0, 1.0, window=0.9)
+        with pytest.raises(AnalysisError):
+            rapid_fluctuation_amplitude(series, 0.0, 10.0, window=1.0, quantile=0.0)
+
+
+class TestDominantPeriod:
+    def test_recovers_square_wave_period(self):
+        series = _square_wave(period=4.0, duration=100.0)
+        period = dominant_period(series, 0.0, 100.0, dt=0.1)
+        assert period == pytest.approx(4.0, rel=0.15)
+
+    def test_recovers_sawtooth_period(self):
+        series = _sawtooth(period=30.0, duration=300.0)
+        period = dominant_period(series, 0.0, 300.0, dt=0.5)
+        assert period == pytest.approx(30.0, rel=0.15)
+
+    def test_constant_signal_raises(self):
+        series = StepSeries()
+        series.record(0.0, 1.0)
+        with pytest.raises(AnalysisError):
+            dominant_period(series, 0.0, 100.0, dt=1.0)
+
+    def test_short_window_raises(self):
+        series = _square_wave()
+        with pytest.raises(AnalysisError):
+            dominant_period(series, 0.0, 1.0, dt=0.5)
+
+
+class TestPlateaus:
+    def test_extracts_held_levels(self):
+        series = StepSeries()
+        series.record(0.0, 10.0)   # held 5 s
+        series.record(5.0, 55.0)   # held 5 s
+        series.record(10.0, 10.0)  # held to end (15)
+        plateaus = plateau_heights(series, 0.0, 15.0, min_duration=3.0)
+        assert plateaus == [10.0, 55.0, 10.0]
+
+    def test_short_blips_excluded(self):
+        series = StepSeries()
+        series.record(0.0, 10.0)
+        series.record(5.0, 99.0)   # held 0.1 s only
+        series.record(5.1, 10.0)
+        plateaus = plateau_heights(series, 0.0, 20.0, min_duration=1.0)
+        assert 99.0 not in plateaus
+
+    def test_invalid_duration(self):
+        with pytest.raises(AnalysisError):
+            plateau_heights(StepSeries(), 0.0, 1.0, min_duration=0.0)

@@ -1,0 +1,115 @@
+"""Unit tests for repro.analysis.synchronization."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    SyncMode,
+    alternation_fraction,
+    classify_phase,
+    loss_synchronization,
+    phase_correlation,
+)
+from repro.analysis.epochs import detect_epochs
+from repro.errors import AnalysisError
+from repro.metrics import StepSeries
+from repro.metrics.drop_log import DropRecord
+
+
+def _wave(phase, period=10.0, duration=100.0, dt=0.1):
+    series = StepSeries()
+    t = 0.0
+    while t < duration:
+        series.record(t, math.sin(2 * math.pi * t / period + phase))
+        t += dt
+    return series
+
+
+def _drop(time, conn):
+    return DropRecord(time=time, queue="q", conn_id=conn, is_data=True,
+                      seq=0, is_retransmit=False)
+
+
+class TestPhaseClassification:
+    def test_identical_signals_in_phase(self):
+        a, b = _wave(0.0), _wave(0.0)
+        verdict = classify_phase(a, b, 0.0, 100.0, dt=0.1)
+        assert verdict.mode is SyncMode.IN_PHASE
+        assert verdict.correlation > 0.95
+
+    def test_antiphase_signals_out_of_phase(self):
+        a, b = _wave(0.0), _wave(math.pi)
+        verdict = classify_phase(a, b, 0.0, 100.0, dt=0.1)
+        assert verdict.mode is SyncMode.OUT_OF_PHASE
+        assert verdict.correlation < -0.95
+
+    def test_quadrature_is_ambiguous(self):
+        a, b = _wave(0.0), _wave(math.pi / 2)
+        verdict = classify_phase(a, b, 0.0, 100.0, dt=0.1)
+        assert verdict.mode is SyncMode.AMBIGUOUS
+
+    def test_constant_signal_no_phase(self):
+        a = _wave(0.0)
+        flat = StepSeries()
+        flat.record(0.0, 5.0)
+        assert phase_correlation(a, flat, 0.0, 100.0, 0.1) == 0.0
+
+    def test_window_too_short(self):
+        a, b = _wave(0.0), _wave(0.0)
+        with pytest.raises(AnalysisError):
+            classify_phase(a, b, 0.0, 0.5, dt=0.25)
+
+    def test_invalid_window(self):
+        a, b = _wave(0.0), _wave(0.0)
+        with pytest.raises(AnalysisError):
+            classify_phase(a, b, 10.0, 10.0)
+
+    def test_threshold_controls_verdict(self):
+        a, b = _wave(0.0), _wave(math.pi / 3)  # corr = 0.5
+        strict = classify_phase(a, b, 0.0, 100.0, dt=0.1, threshold=0.9)
+        loose = classify_phase(a, b, 0.0, 100.0, dt=0.1, threshold=0.3)
+        assert strict.mode is SyncMode.AMBIGUOUS
+        assert loose.mode is SyncMode.IN_PHASE
+
+
+class TestLossSynchronization:
+    def test_fully_synchronized(self):
+        drops = [_drop(1.0, 1), _drop(1.1, 2), _drop(30.0, 1), _drop(30.1, 2)]
+        epochs = detect_epochs(drops, gap=5.0)
+        assert loss_synchronization(epochs, 2) == 1.0
+
+    def test_unsynchronized(self):
+        drops = [_drop(1.0, 1), _drop(30.0, 2)]
+        epochs = detect_epochs(drops, gap=5.0)
+        assert loss_synchronization(epochs, 2) == 0.0
+
+    def test_no_epochs(self):
+        assert loss_synchronization([], 2) == 0.0
+
+    def test_invalid_connection_count(self):
+        with pytest.raises(AnalysisError):
+            loss_synchronization([], 0)
+
+
+class TestAlternation:
+    def test_perfect_alternation(self):
+        drops = [_drop(0.0, 1), _drop(30.0, 2), _drop(60.0, 1), _drop(90.0, 2)]
+        epochs = detect_epochs(drops, gap=5.0)
+        assert alternation_fraction(epochs) == 1.0
+
+    def test_no_alternation(self):
+        drops = [_drop(0.0, 1), _drop(30.0, 1), _drop(60.0, 1)]
+        epochs = detect_epochs(drops, gap=5.0)
+        assert alternation_fraction(epochs) == 0.0
+
+    def test_multi_loser_epochs_excluded(self):
+        drops = [_drop(0.0, 1), _drop(0.1, 2),  # epoch with both: excluded
+                 _drop(30.0, 1), _drop(60.0, 2)]
+        epochs = detect_epochs(drops, gap=5.0)
+        assert alternation_fraction(epochs) == 1.0
+
+    def test_needs_two_single_loser_epochs(self):
+        epochs = detect_epochs([_drop(0.0, 1)], gap=5.0)
+        with pytest.raises(AnalysisError):
+            alternation_fraction(epochs)

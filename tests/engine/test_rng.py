@@ -1,0 +1,64 @@
+"""Unit tests for repro.engine.rng."""
+
+import pytest
+
+from repro.engine import SimRandom
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = SimRandom(42)
+        b = SimRandom(42)
+        assert [a.uniform(0, 1) for _ in range(10)] == [b.uniform(0, 1) for _ in range(10)]
+
+    def test_different_seed_different_stream(self):
+        a = SimRandom(1)
+        b = SimRandom(2)
+        assert [a.uniform(0, 1) for _ in range(5)] != [b.uniform(0, 1) for _ in range(5)]
+
+    def test_seed_property(self):
+        assert SimRandom(7).seed == 7
+
+
+class TestDraws:
+    def test_uniform_within_bounds(self):
+        rng = SimRandom(0)
+        for _ in range(100):
+            value = rng.uniform(2.0, 3.0)
+            assert 2.0 <= value <= 3.0
+
+    def test_start_jitter_within_scale(self):
+        rng = SimRandom(0)
+        for _ in range(100):
+            assert 0.0 <= rng.start_jitter(5.0) <= 5.0
+
+    def test_start_jitter_zero_scale(self):
+        assert SimRandom(0).start_jitter(0.0) == 0.0
+
+    def test_start_jitter_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            SimRandom(0).start_jitter(-1.0)
+
+    def test_choice(self):
+        rng = SimRandom(3)
+        options = ["a", "b", "c"]
+        assert rng.choice(options) in options
+
+
+class TestFork:
+    def test_fork_is_deterministic(self):
+        a = SimRandom(42).fork(1)
+        b = SimRandom(42).fork(1)
+        assert a.uniform(0, 1) == b.uniform(0, 1)
+
+    def test_forks_with_different_ids_differ(self):
+        parent = SimRandom(42)
+        a = parent.fork(1)
+        b = parent.fork(2)
+        assert [a.uniform(0, 1) for _ in range(5)] != [b.uniform(0, 1) for _ in range(5)]
+
+    def test_fork_independent_of_parent_consumption(self):
+        p1 = SimRandom(42)
+        p1.uniform(0, 1)  # consume some parent entropy
+        p2 = SimRandom(42)
+        assert p1.fork(9).uniform(0, 1) == p2.fork(9).uniform(0, 1)

@@ -1,0 +1,75 @@
+"""Property-based tests for the event calendar (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Simulator
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=200,
+)
+
+
+@given(delays)
+def test_events_fire_in_nondecreasing_time_order(times):
+    sim = Simulator()
+    fired = []
+    for t in times:
+        sim.schedule(t, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(times)
+
+
+@given(delays)
+def test_equal_times_fire_in_insertion_order(times):
+    sim = Simulator()
+    fired = []
+    for index, t in enumerate(times):
+        sim.schedule(t, lambda index=index: fired.append(index))
+    sim.run()
+    # Stable sort of indices by their scheduled time is the required order.
+    expected = [i for i, _ in sorted(enumerate(times), key=lambda p: p[1])]
+    assert fired == expected
+
+
+@given(delays, st.integers(min_value=0, max_value=200))
+def test_cancelling_a_subset_skips_exactly_that_subset(times, cancel_mask):
+    sim = Simulator()
+    fired = []
+    events = [
+        sim.schedule(t, lambda index=index: fired.append(index))
+        for index, t in enumerate(times)
+    ]
+    cancelled = {i for i in range(len(events)) if (cancel_mask >> (i % 32)) & 1}
+    for i in cancelled:
+        events[i].cancel()
+    sim.run()
+    assert set(fired) == set(range(len(times))) - cancelled
+
+
+@given(delays)
+def test_clock_never_goes_backwards(times):
+    sim = Simulator()
+    observed = []
+    for t in times:
+        sim.schedule(t, lambda: observed.append(sim.now))
+    sim.run()
+    for earlier, later in zip(observed, observed[1:]):
+        assert later >= earlier
+
+
+@given(delays, st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+@settings(max_examples=50)
+def test_run_until_is_a_clean_partition(times, cut):
+    """Running to `cut` then to completion fires every event exactly once."""
+    sim = Simulator()
+    fired = []
+    for t in times:
+        sim.schedule(t, lambda t=t: fired.append(t))
+    sim.run(until=cut)
+    assert all(t <= cut for t in fired)
+    sim.run()
+    assert sorted(fired) == sorted(times)

@@ -1,0 +1,92 @@
+"""Unit tests for repro.experiments.replication."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.experiments.replication import MetricSummary, replicate, t_critical_95
+from repro.scenarios import paper
+
+
+class TestTCritical:
+    def test_known_values(self):
+        assert t_critical_95(1) == pytest.approx(12.706)
+        assert t_critical_95(10) == pytest.approx(2.228)
+        assert t_critical_95(30) == pytest.approx(2.042)
+
+    def test_large_df_uses_normal(self):
+        assert t_critical_95(500) == 1.96
+
+    def test_invalid_df(self):
+        with pytest.raises(AnalysisError):
+            t_critical_95(0)
+
+
+class TestSummaryMath:
+    def _summary(self, values):
+        from repro.experiments.replication import _summarize
+
+        return _summarize("m", list(values))
+
+    def test_mean_and_std(self):
+        summary = self._summary([1.0, 2.0, 3.0])
+        assert summary.mean == 2.0
+        assert summary.std == pytest.approx(1.0)
+        assert summary.n == 3
+
+    def test_ci_uses_t(self):
+        summary = self._summary([1.0, 2.0, 3.0])
+        expected = t_critical_95(2) * 1.0 / (3 ** 0.5)
+        assert summary.ci_half_width == pytest.approx(expected)
+        assert summary.contains(2.0)
+        assert not summary.contains(10.0)
+
+    def test_single_value_infinite_ci(self):
+        summary = self._summary([5.0])
+        assert summary.ci_half_width == float("inf")
+        assert summary.contains(99.0)
+
+    def test_str(self):
+        assert "±" in str(self._summary([1.0, 2.0]))
+
+
+class TestReplicate:
+    def test_across_seeds(self):
+        summaries = replicate(
+            lambda seed: paper.two_way(0.01, duration=60.0, warmup=20.0
+                                       ).with_updates(seed=seed),
+            seeds=range(1, 4),
+            extract=lambda result: {
+                "util": result.utilization("sw1->sw2"),
+                "drops": float(len(result.traces.drops)),
+            },
+        )
+        assert set(summaries) == {"util", "drops"}
+        assert summaries["util"].n == 3
+        assert 0.0 <= summaries["util"].mean <= 1.0
+        # Different seeds genuinely vary the dynamics.
+        assert summaries["drops"].std >= 0.0
+
+    def test_no_seeds_rejected(self):
+        with pytest.raises(AnalysisError):
+            replicate(lambda s: paper.figure4(), seeds=[], extract=lambda r: {})
+
+    def test_non_config_rejected(self):
+        with pytest.raises(AnalysisError):
+            replicate(lambda s: 42, seeds=[1], extract=lambda r: {})
+
+    def test_metric_consistency_enforced(self):
+        calls = []
+
+        def flaky_extract(result):
+            calls.append(1)
+            if len(calls) == 1:
+                return {"a": 1.0}
+            return {"b": 1.0}
+
+        with pytest.raises(AnalysisError):
+            replicate(
+                lambda seed: paper.two_way(0.01, duration=30.0, warmup=10.0
+                                           ).with_updates(seed=seed),
+                seeds=[1, 2],
+                extract=flaky_extract,
+            )

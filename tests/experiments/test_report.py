@@ -1,0 +1,67 @@
+"""Unit tests for repro.experiments.report and expectations."""
+
+import pytest
+
+from repro.experiments import ExperimentReport, MetricRow, format_reports_markdown
+from repro.experiments.expectations import Band, pct
+
+
+class TestBand:
+    def test_contains(self):
+        band = Band(value=0.9, low=0.8, high=1.0)
+        assert band.contains(0.85)
+        assert band.contains(0.8) and band.contains(1.0)
+        assert not band.contains(0.79)
+
+    def test_pct_helper(self):
+        band = pct(0.70, tolerance=0.10)
+        assert band.contains(0.61) and band.contains(0.79)
+        assert not band.contains(0.59)
+
+    def test_str(self):
+        assert "0.9" in str(Band(value=0.9, low=0.8, high=1.0))
+
+
+class TestMetricRow:
+    def test_verdicts(self):
+        assert MetricRow("m", "p", "x", ok=True).verdict == "PASS"
+        assert MetricRow("m", "p", "x", ok=False).verdict == "FAIL"
+        assert MetricRow("m", "p", "x", ok=None).verdict == "·"
+
+
+class TestExperimentReport:
+    def _report(self):
+        report = ExperimentReport(exp_id="x", title="Test", paper_ref="Fig 0")
+        report.add("a", "1", "1.02", True)
+        report.add("b", "2", "9", False)
+        report.add("c", "3", "3", None)
+        report.note("a note")
+        return report
+
+    def test_checks_counts_only_graded_rows(self):
+        assert self._report().checks == (1, 2)
+
+    def test_passed_requires_all_graded(self):
+        assert not self._report().passed
+        good = ExperimentReport(exp_id="y", title="T", paper_ref="F")
+        good.add("a", "1", "1", True)
+        good.add("info", "-", "-", None)
+        assert good.passed
+
+    def test_format_text(self):
+        text = self._report().format()
+        assert "[x] Test (Fig 0)" in text
+        assert "PASS" in text and "FAIL" in text
+        assert "note: a note" in text
+
+    def test_format_markdown(self):
+        md = self._report().format_markdown()
+        assert md.startswith("### `x`")
+        assert "| a | 1 | 1.02 | PASS |" in md
+        assert "- a note" in md
+
+    def test_format_reports_markdown_totals(self):
+        reports = [self._report(), self._report()]
+        doc = format_reports_markdown(reports, "Title")
+        assert doc.startswith("# Title")
+        assert "**2/4**" in doc

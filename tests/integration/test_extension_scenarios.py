@@ -1,0 +1,89 @@
+"""Integration tests for the extension scenarios.
+
+Shortened runs of the delayed-ACK, four-switch, Reno and Random Drop
+configurations, checking their distinguishing behaviors end to end.
+"""
+
+import pytest
+
+from repro.analysis import cluster_runs, clustering_stats
+from repro.scenarios import paper, run
+
+
+class TestDelayedAckScenario:
+    def test_receiver_combines_acks(self):
+        result = run(paper.delayed_ack_two_way(maxwnd=8, duration=120.0,
+                                               warmup=40.0))
+        for conn in result.connections:
+            receiver = conn.receiver
+            # Roughly half as many ACKs as data packets (pairs combined).
+            assert receiver.acks_sent < receiver.packets_received * 0.75
+
+    def test_delack_timer_fires_occasionally(self):
+        result = run(paper.delayed_ack_two_way(maxwnd=8, duration=120.0,
+                                               warmup=40.0))
+        fires = sum(c.receiver.delayed_ack_fires for c in result.connections)
+        assert fires >= 1
+
+    def test_small_windows_cut_clusters(self):
+        result = run(paper.delayed_ack_two_way(maxwnd=8, duration=150.0,
+                                               warmup=50.0))
+        stats = clustering_stats(cluster_runs(
+            result.traces.queue("sw1->sw2").departures,
+            data_only=False, start=50.0, end=150.0))
+        assert stats.max_run_length <= 8
+
+
+class TestFourSwitchScenario:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run(paper.four_switch(duration=150.0, warmup=60.0))
+
+    def test_all_six_connections_progress(self, result):
+        for conn in result.connections:
+            assert conn.receiver.rcv_nxt > 20
+
+    def test_every_interswitch_port_carries_traffic(self, result):
+        for name in result.bottleneck_ports:
+            assert result.traces.link(name).transmissions > 50
+
+    def test_multihop_acks_can_be_dropped(self, result):
+        # Unlike the dumbbell, compressed ACK clusters hit downstream
+        # full queues at rate RA; the no-ACK-drop theorem does not hold.
+        assert result.data_drop_fraction() < 1.0
+
+
+class TestRenoScenario:
+    def test_fast_recovery_dominates_timeouts(self):
+        result = run(paper.reno_two_way(duration=250.0, warmup=100.0))
+        recoveries = sum(c.sender.fast_recoveries for c in result.connections)
+        timeouts = sum(c.sender.timeouts for c in result.connections)
+        assert recoveries > timeouts
+
+    def test_cwnd_never_one_during_pure_fast_recovery_epochs(self):
+        result = run(paper.reno_two_way(duration=250.0, warmup=100.0))
+        # Unlike Tahoe, Reno's cwnd trace should spend most time above 1.
+        log = result.traces.cwnd(1)
+        start, end = result.window
+        _, values = log.cwnd.sample(start, end, 0.5)
+        assert (values > 1.0).mean() > 0.9
+
+
+class TestRandomDropScenario:
+    def test_drop_tail_vs_random_drop_loss_location(self):
+        drop_tail = run(paper.figure4(duration=150.0, warmup=60.0))
+        random_drop = run(paper.figure4(duration=150.0, warmup=60.0)
+                          .with_updates(random_drop=True))
+        # Both congest; random drop must actually be in effect (it admits
+        # arrivals, so the dropped seq is never the arriving packet's at
+        # the moment the buffer is full — statistically visible as
+        # victims spread over the buffer).
+        assert len(drop_tail.traces.drops) > 0
+        assert len(random_drop.traces.drops) > 0
+
+    def test_random_drop_deterministic_per_seed(self):
+        config = paper.figure4(duration=100.0, warmup=40.0).with_updates(
+            random_drop=True)
+        a = run(config)
+        b = run(config)
+        assert a.traces.drops.times() == b.traces.drops.times()

@@ -1,0 +1,69 @@
+"""Property-based tests for StepSeries."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import StepSeries
+
+values = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+point_lists = st.lists(
+    st.tuples(st.floats(min_value=0.0, max_value=1e3, allow_nan=False), values),
+    min_size=1,
+    max_size=100,
+).map(lambda pts: sorted(pts, key=lambda p: p[0]))
+
+
+def _series(points):
+    series = StepSeries(initial_value=0.0)
+    series.extend(points)
+    return series
+
+
+@given(point_lists)
+def test_time_average_bounded_by_extremes(points):
+    series = _series(points)
+    start, end = 0.0, points[-1][0] + 10.0
+    avg = series.time_average(start, end)
+    lo = series.min_in(start, end)
+    hi = series.max_in(start, end)
+    assert lo - 1e-9 <= avg <= hi + 1e-9
+
+
+@given(point_lists, st.floats(min_value=0.0, max_value=1100.0, allow_nan=False))
+def test_sample_agrees_with_value_at(points, probe):
+    series = _series(points)
+    grid, sampled = series.sample(0.0, 1100.0, 13.7)
+    for t, v in zip(grid, sampled):
+        assert v == series.value_at(t)
+
+
+@given(point_lists)
+def test_window_preserves_values(points):
+    series = _series(points)
+    mid = points[len(points) // 2][0]
+    window = series.window(mid, points[-1][0] + 1.0)
+    for probe in [mid, mid + 0.5, points[-1][0]]:
+        assert window.value_at(probe) == series.value_at(probe)
+
+
+@given(point_lists)
+def test_fraction_at_or_below_max_is_one(points):
+    series = _series(points)
+    start, end = 0.0, points[-1][0] + 1.0
+    hi = series.max_in(start, end)
+    fraction = series.fraction_at_or_below(hi, start, end)
+    # Interval accumulation carries float rounding; 1.0 up to epsilon.
+    assert fraction <= 1.0
+    assert fraction >= 1.0 - 1e-9
+
+
+@given(point_lists)
+def test_fraction_is_monotone_in_threshold(points):
+    series = _series(points)
+    start, end = 0.0, points[-1][0] + 1.0
+    lo = series.min_in(start, end)
+    hi = series.max_in(start, end)
+    f_lo = series.fraction_at_or_below(lo, start, end)
+    f_mid = series.fraction_at_or_below((lo + hi) / 2, start, end)
+    f_hi = series.fraction_at_or_below(hi, start, end)
+    assert f_lo <= f_mid + 1e-12 <= f_hi + 1e-12

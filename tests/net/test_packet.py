@@ -1,0 +1,43 @@
+"""Unit tests for repro.net.packet."""
+
+from repro.net import Packet, PacketKind
+
+
+class TestPacketKind:
+    def test_data_flag(self):
+        packet = Packet(conn_id=1, kind=PacketKind.DATA, seq=5, size=500)
+        assert packet.is_data
+        assert not packet.is_ack
+
+    def test_ack_flag(self):
+        packet = Packet(conn_id=1, kind=PacketKind.ACK, ack=7, size=50)
+        assert packet.is_ack
+        assert not packet.is_data
+
+    def test_kind_str(self):
+        assert str(PacketKind.DATA) == "data"
+        assert str(PacketKind.ACK) == "ack"
+
+
+class TestPacketIdentity:
+    def test_uids_are_unique(self):
+        a = Packet(conn_id=1, kind=PacketKind.DATA)
+        b = Packet(conn_id=1, kind=PacketKind.DATA)
+        assert a.uid != b.uid
+
+    def test_defaults(self):
+        packet = Packet(conn_id=3, kind=PacketKind.DATA)
+        assert packet.seq == 0
+        assert packet.ack == 0
+        assert packet.size == 0
+        assert not packet.is_retransmit
+        assert packet.src == "" and packet.dst == ""
+
+    def test_zero_size_allowed(self):
+        packet = Packet(conn_id=1, kind=PacketKind.ACK, size=0)
+        assert packet.size == 0
+
+    def test_repr_mentions_direction(self):
+        packet = Packet(conn_id=1, kind=PacketKind.DATA, seq=4, size=500,
+                        src="host1", dst="host2")
+        assert "host1->host2" in repr(packet)

@@ -1,0 +1,65 @@
+"""Property-based tests for the drop-tail queue."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net import DropTailQueue, Packet, PacketKind
+
+# An operation stream: True = offer, False = take.
+ops = st.lists(st.booleans(), min_size=1, max_size=300)
+capacities = st.one_of(st.none(), st.integers(min_value=1, max_value=20))
+
+
+def _drive(queue, operations):
+    """Run an op stream; return (accepted_seqs, taken_seqs)."""
+    accepted, taken = [], []
+    seq = 0
+    for is_offer in operations:
+        if is_offer:
+            packet = Packet(conn_id=1, kind=PacketKind.DATA, seq=seq, size=1)
+            if queue.offer(float(seq), packet):
+                accepted.append(seq)
+            seq += 1
+        else:
+            packet = queue.take(float(seq))
+            if packet is not None:
+                taken.append(packet.seq)
+    return accepted, taken
+
+
+@given(ops, capacities)
+def test_taken_is_prefix_of_accepted(operations, capacity):
+    queue = DropTailQueue("q", capacity=capacity)
+    accepted, taken = _drive(queue, operations)
+    assert taken == accepted[: len(taken)]
+
+
+@given(ops, capacities)
+def test_length_never_exceeds_capacity(operations, capacity):
+    queue = DropTailQueue("q", capacity=capacity)
+    seq = 0
+    for is_offer in operations:
+        if is_offer:
+            queue.offer(0.0, Packet(conn_id=1, kind=PacketKind.DATA, seq=seq, size=1))
+            seq += 1
+        else:
+            queue.take(0.0)
+        if capacity is not None:
+            assert len(queue) <= capacity
+
+
+@given(ops, capacities)
+def test_conservation_invariant(operations, capacity):
+    queue = DropTailQueue("q", capacity=capacity)
+    offered = sum(1 for op in operations if op)
+    _drive(queue, operations)
+    assert queue.enqueues + queue.drops == offered
+    assert queue.enqueues == queue.dequeues + len(queue)
+
+
+@given(ops)
+def test_unbounded_queue_accepts_everything(operations):
+    queue = DropTailQueue("q", capacity=None)
+    accepted, _ = _drive(queue, operations)
+    assert queue.drops == 0
+    assert len(accepted) == sum(1 for op in operations if op)

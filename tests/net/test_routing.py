@@ -1,0 +1,82 @@
+"""Unit tests for repro.net.routing (BFS next hops)."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net import compute_next_hops
+
+
+def _chain(names):
+    adjacency = {name: [] for name in names}
+    for a, b in zip(names, names[1:]):
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+    return adjacency
+
+
+class TestChainRouting:
+    def test_two_node_chain(self):
+        tables = compute_next_hops(_chain(["a", "b"]), ["a", "b"])
+        assert tables["a"]["b"] == "b"
+        assert tables["b"]["a"] == "a"
+
+    def test_multi_hop_chain(self):
+        tables = compute_next_hops(_chain(["a", "b", "c", "d"]), ["a", "d"])
+        assert tables["a"]["d"] == "b"
+        assert tables["b"]["d"] == "c"
+        assert tables["c"]["d"] == "d"
+        assert tables["d"]["a"] == "c"
+
+    def test_destination_has_no_self_route(self):
+        tables = compute_next_hops(_chain(["a", "b"]), ["a"])
+        assert "a" not in tables["a"]
+
+
+class TestStarRouting:
+    def test_star(self):
+        adjacency = {
+            "hub": ["s1", "s2", "s3"],
+            "s1": ["hub"], "s2": ["hub"], "s3": ["hub"],
+        }
+        tables = compute_next_hops(adjacency, ["s1", "s2", "s3"])
+        assert tables["s1"]["s2"] == "hub"
+        assert tables["hub"]["s3"] == "s3"
+
+
+class TestErrors:
+    def test_unknown_destination(self):
+        with pytest.raises(ConfigurationError):
+            compute_next_hops(_chain(["a", "b"]), ["z"])
+
+    def test_partitioned_network(self):
+        adjacency = {"a": ["b"], "b": ["a"], "c": []}
+        with pytest.raises(ConfigurationError):
+            compute_next_hops(adjacency, ["a"])
+
+
+class TestAgainstNetworkx:
+    """Cross-validate next-hop distances against networkx shortest paths."""
+
+    def test_random_tree(self):
+        graph = nx.random_labeled_tree(12, seed=4)
+        graph = nx.relabel_nodes(graph, {n: f"n{n}" for n in graph.nodes})
+        adjacency = {node: list(graph.neighbors(node)) for node in graph.nodes}
+        destinations = list(adjacency)[:4]
+        tables = compute_next_hops(adjacency, destinations)
+        for dst in destinations:
+            lengths = nx.single_source_shortest_path_length(graph, dst)
+            for node in adjacency:
+                if node == dst:
+                    continue
+                hop = tables[node][dst]
+                # Following the next hop must strictly decrease distance.
+                assert lengths[hop] == lengths[node] - 1
+
+    def test_grid_with_ties_is_deterministic(self):
+        graph = nx.grid_2d_graph(3, 3)
+        graph = nx.relabel_nodes(graph, {n: f"{n[0]}{n[1]}" for n in graph.nodes})
+        adjacency = {node: list(graph.neighbors(node)) for node in graph.nodes}
+        tables_a = compute_next_hops(adjacency, ["00"])
+        tables_b = compute_next_hops(adjacency, ["00"])
+        assert tables_a == tables_b

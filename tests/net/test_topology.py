@@ -1,0 +1,99 @@
+"""Unit tests for repro.net.topology."""
+
+import pytest
+
+from repro.engine import Simulator
+from repro.errors import ConfigurationError
+from repro.net import Network, build_chain, build_dumbbell
+
+
+class TestDumbbell:
+    def test_node_inventory(self):
+        net = build_dumbbell(Simulator())
+        assert sorted(net.nodes) == ["host1", "host2", "sw1", "sw2"]
+
+    def test_bottleneck_parameters(self):
+        net = build_dumbbell(
+            Simulator(), bottleneck_bandwidth=50_000.0,
+            bottleneck_propagation=1.0, buffer_packets=20,
+        )
+        port = net.port("sw1", "sw2")
+        assert port.bandwidth == 50_000.0
+        assert port.link.propagation == 1.0
+        assert port.queue.capacity == 20
+
+    def test_access_links_unbuffered_by_default(self):
+        net = build_dumbbell(Simulator())
+        assert net.port("host1", "sw1").queue.capacity is None
+
+    def test_infinite_bottleneck_buffers(self):
+        net = build_dumbbell(Simulator(), buffer_packets=None)
+        assert net.port("sw1", "sw2").queue.capacity is None
+
+    def test_routes_installed(self):
+        net = build_dumbbell(Simulator())
+        assert net.nodes["host1"].routes["host2"] == "sw1"
+        assert net.nodes["sw1"].routes["host2"] == "sw2"
+        assert net.nodes["sw2"].routes["host1"] == "sw1"
+
+    def test_host_lookup_type_checked(self):
+        net = build_dumbbell(Simulator())
+        with pytest.raises(ConfigurationError):
+            net.host("sw1")
+        with pytest.raises(ConfigurationError):
+            net.switch("host1")
+
+    def test_unknown_port(self):
+        net = build_dumbbell(Simulator())
+        with pytest.raises(ConfigurationError):
+            net.port("sw1", "host2")
+
+
+class TestChain:
+    def test_node_inventory(self):
+        net = build_chain(Simulator(), n_switches=4)
+        assert sorted(n for n in net.nodes if n.startswith("sw")) == [
+            "sw1", "sw2", "sw3", "sw4"]
+        assert sorted(n for n in net.nodes if n.startswith("host")) == [
+            "host1", "host2", "host3", "host4"]
+
+    def test_multi_hop_routes(self):
+        net = build_chain(Simulator(), n_switches=4)
+        assert net.nodes["sw1"].routes["host4"] == "sw2"
+        assert net.nodes["sw2"].routes["host4"] == "sw3"
+        assert net.nodes["sw4"].routes["host1"] == "sw3"
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ConfigurationError):
+            build_chain(Simulator(), n_switches=1)
+
+    def test_inter_switch_buffers(self):
+        net = build_chain(Simulator(), n_switches=3, buffer_packets=7)
+        assert net.port("sw1", "sw2").queue.capacity == 7
+        assert net.port("sw3", "sw2").queue.capacity == 7
+
+
+class TestNetworkConstruction:
+    def test_duplicate_node_name_rejected(self):
+        net = Network(Simulator())
+        net.add_host("h")
+        with pytest.raises(ConfigurationError):
+            net.add_switch("h")
+
+    def test_duplicate_link_rejected(self):
+        sim = Simulator()
+        net = Network(sim)
+        a = net.add_switch("a")
+        b = net.add_switch("b")
+        net.connect(a, b, 1e6, 0.01, 5, 5)
+        with pytest.raises(ConfigurationError):
+            net.connect(b, a, 1e6, 0.01, 5, 5)
+
+    def test_asymmetric_buffers(self):
+        sim = Simulator()
+        net = Network(sim)
+        a = net.add_switch("a")
+        b = net.add_switch("b")
+        duplex = net.connect(a, b, 1e6, 0.01, 3, None)
+        assert duplex.forward.queue.capacity == 3
+        assert duplex.reverse.queue.capacity is None

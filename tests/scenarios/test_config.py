@@ -1,0 +1,107 @@
+"""Unit tests for repro.scenarios.config."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios import FlowKind, FlowSpec, ScenarioConfig, TopologyKind
+from repro.tcp import TcpOptions
+
+
+def _flow(**kwargs):
+    defaults = dict(src="host1", dst="host2")
+    defaults.update(kwargs)
+    return FlowSpec(**defaults)
+
+
+def _config(**kwargs):
+    defaults = dict(name="test", flows=(_flow(),))
+    defaults.update(kwargs)
+    return ScenarioConfig(**defaults)
+
+
+class TestFlowSpec:
+    def test_tahoe_default(self):
+        assert _flow().kind is FlowKind.TAHOE
+
+    def test_fixed_needs_window(self):
+        with pytest.raises(ConfigurationError):
+            _flow(kind=FlowKind.FIXED)
+        with pytest.raises(ConfigurationError):
+            _flow(kind=FlowKind.FIXED, window=0)
+        assert _flow(kind=FlowKind.FIXED, window=5).window == 5
+
+    def test_same_endpoints_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _flow(dst="host1")
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _flow(start_time=-1.0)
+
+    def test_none_start_means_jittered(self):
+        assert _flow(start_time=None).start_time is None
+
+
+class TestScenarioValidation:
+    def test_needs_flows(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(name="x", flows=())
+
+    def test_duration_positive(self):
+        with pytest.raises(ConfigurationError):
+            _config(duration=0.0)
+
+    def test_warmup_before_duration(self):
+        with pytest.raises(ConfigurationError):
+            _config(duration=100.0, warmup=100.0)
+
+    def test_chain_needs_switches(self):
+        with pytest.raises(ConfigurationError):
+            _config(topology=TopologyKind.CHAIN, n_switches=1)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _config(start_jitter=-1.0)
+
+
+class TestDerivedQuantities:
+    def test_pipe_size_small(self):
+        config = _config(bottleneck_propagation=0.01)
+        assert config.pipe_size == pytest.approx(0.125)
+
+    def test_pipe_size_large(self):
+        config = _config(bottleneck_propagation=1.0)
+        assert config.pipe_size == pytest.approx(12.5)
+
+    def test_tx_times(self):
+        config = _config()
+        assert config.data_tx_time == pytest.approx(0.08)
+        assert config.ack_tx_time == pytest.approx(0.008)
+
+    def test_capacity_formula(self):
+        config = _config(bottleneck_propagation=1.0, buffer_packets=20)
+        assert config.capacity == int(20 + 2 * 12.5)
+
+    def test_capacity_undefined_for_infinite_buffers(self):
+        config = _config(buffer_packets=None)
+        with pytest.raises(ConfigurationError):
+            config.capacity
+
+    def test_measurement_window(self):
+        config = _config(duration=100.0, warmup=30.0)
+        assert config.measurement_window == (30.0, 100.0)
+
+    def test_n_connections(self):
+        config = _config(flows=(_flow(), _flow()))
+        assert config.n_connections == 2
+
+    def test_with_updates(self):
+        config = _config(buffer_packets=20)
+        changed = config.with_updates(buffer_packets=60)
+        assert changed.buffer_packets == 60
+        assert config.buffer_packets == 20
+        assert changed.name == config.name
+
+    def test_zero_ack_tx_time(self):
+        config = _config(tcp=TcpOptions(ack_packet_bytes=0))
+        assert config.ack_tx_time == 0.0

@@ -1,0 +1,86 @@
+"""Error-path and edge-case tests for the scenario runner."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.scenarios import FlowKind, FlowSpec, ScenarioConfig, run
+from repro.scenarios import paper
+
+
+def _one_way_config(**kwargs):
+    defaults = dict(
+        name="one-way",
+        flows=(FlowSpec(src="host1", dst="host2"),),
+        duration=40.0,
+        warmup=10.0,
+    )
+    defaults.update(kwargs)
+    return ScenarioConfig(**defaults)
+
+
+class TestRunnerEdgeCases:
+    def test_window_sync_requires_cwnd_logs(self):
+        """Fixed-window connections have no cwnd; asking for window sync
+        must raise, not return garbage."""
+        config = ScenarioConfig(
+            name="fixed",
+            flows=(
+                FlowSpec(src="host1", dst="host2", kind=FlowKind.FIXED, window=5),
+                FlowSpec(src="host2", dst="host1", kind=FlowKind.FIXED, window=5),
+            ),
+            buffer_packets=None,
+            duration=40.0, warmup=10.0,
+        )
+        result = run(config)
+        with pytest.raises(AnalysisError):
+            result.window_sync(1, 2)
+
+    def test_unknown_port_name_raises(self):
+        result = run(_one_way_config())
+        with pytest.raises(AnalysisError):
+            result.utilization("sw9->sw8")
+        with pytest.raises(AnalysisError):
+            result.queue_series("nope")
+
+    def test_unknown_connection_raises(self):
+        result = run(_one_way_config())
+        with pytest.raises(AnalysisError):
+            result.ack_compression(42)
+
+    def test_no_drops_yields_no_epochs(self):
+        # One connection with a huge buffer never drops.
+        config = _one_way_config(buffer_packets=None)
+        result = run(config)
+        assert result.epochs() == []
+        assert result.data_drop_fraction() == 1.0  # vacuous convention
+
+    def test_compression_analysis_needs_acks_in_window(self):
+        # Warmup nearly equal to duration leaves almost no ACKs.
+        config = _one_way_config(duration=40.0, warmup=39.9)
+        result = run(config)
+        with pytest.raises(AnalysisError):
+            result.ack_compression(1)
+
+    def test_summary_handles_no_epochs(self):
+        config = _one_way_config(buffer_packets=None)
+        text = run(config).summary()
+        assert "congestion epochs" not in text
+
+    def test_queue_sync_requires_two_ports(self):
+        # Dumbbell always watches two; simulate the error via direct call.
+        result = run(_one_way_config())
+        result.bottleneck_ports = ["sw1->sw2"]
+        with pytest.raises(AnalysisError):
+            result.queue_sync()
+
+
+class TestScenarioResultConsistency:
+    def test_utilizations_match_single_queries(self):
+        result = run(paper.two_way(0.01, duration=60.0, warmup=20.0))
+        all_utils = result.utilizations()
+        for name, value in all_utils.items():
+            assert result.utilization(name) == value
+
+    def test_default_port_is_first_bottleneck(self):
+        result = run(paper.two_way(0.01, duration=60.0, warmup=20.0))
+        assert result.utilization() == result.utilization("sw1->sw2")

@@ -1,0 +1,107 @@
+"""Unit tests for repro.scenarios.serialize."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios import (
+    FlowKind,
+    config_from_dict,
+    config_to_dict,
+    load_config,
+    paper,
+    save_config,
+)
+from repro.tcp import TcpOptions
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("factory", [
+        paper.figure2, paper.figure3, paper.figure4, paper.figure6,
+        paper.figure8, paper.figure9, paper.four_switch, paper.reno_two_way,
+    ])
+    def test_every_paper_config_round_trips(self, factory):
+        config = factory()
+        restored = config_from_dict(config_to_dict(config))
+        assert restored == config
+
+    def test_tcp_options_preserved(self):
+        config = paper.delayed_ack_two_way(maxwnd=8)
+        restored = config_from_dict(config_to_dict(config))
+        assert restored.tcp.delayed_ack is True
+        assert restored.tcp.maxwnd == 8
+
+    def test_random_drop_flag_preserved(self):
+        config = paper.figure4().with_updates(random_drop=True)
+        restored = config_from_dict(config_to_dict(config))
+        assert restored.random_drop is True
+
+    def test_file_round_trip(self, tmp_path):
+        config = paper.figure8()
+        path = save_config(config, tmp_path / "scenario.json")
+        assert load_config(path) == config
+        # The file is human-editable JSON.
+        document = json.loads(path.read_text())
+        assert document["name"] == "figure8"
+
+
+class TestValidation:
+    def test_missing_required_fields(self):
+        with pytest.raises(ConfigurationError):
+            config_from_dict({"name": "x"})
+        with pytest.raises(ConfigurationError):
+            config_from_dict({"flows": []})
+
+    def test_unknown_scenario_field_rejected(self):
+        document = config_to_dict(paper.figure4())
+        document["bogus"] = 1
+        with pytest.raises(ConfigurationError):
+            config_from_dict(document)
+
+    def test_unknown_flow_field_rejected(self):
+        document = config_to_dict(paper.figure4())
+        document["flows"][0]["oops"] = 1
+        with pytest.raises(ConfigurationError):
+            config_from_dict(document)
+
+    def test_unknown_tcp_option_rejected(self):
+        document = config_to_dict(paper.figure4())
+        document["tcp"]["nagle"] = True
+        with pytest.raises(ConfigurationError):
+            config_from_dict(document)
+
+    def test_unknown_kind_rejected(self):
+        document = config_to_dict(paper.figure4())
+        document["flows"][0]["kind"] = "vegas"
+        with pytest.raises(ConfigurationError):
+            config_from_dict(document)
+
+    def test_unknown_topology_rejected(self):
+        document = config_to_dict(paper.figure4())
+        document["topology"] = "torus"
+        with pytest.raises(ConfigurationError):
+            config_from_dict(document)
+
+
+class TestMinimalDocuments:
+    def test_defaults_fill_in(self):
+        config = config_from_dict({
+            "name": "minimal",
+            "flows": [{"src": "host1", "dst": "host2"}],
+        })
+        assert config.buffer_packets == 20
+        assert config.flows[0].kind is FlowKind.TAHOE
+        assert config.tcp == TcpOptions()
+
+    def test_minimal_document_runs(self):
+        from repro.scenarios import run
+
+        config = config_from_dict({
+            "name": "minimal",
+            "flows": [{"src": "host1", "dst": "host2"}],
+            "duration": 30.0,
+            "warmup": 10.0,
+        })
+        result = run(config)
+        assert result.events_processed > 0

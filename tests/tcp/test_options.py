@@ -1,0 +1,48 @@
+"""Unit tests for repro.tcp.options."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tcp import TcpOptions
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        opts = TcpOptions()
+        assert opts.data_packet_bytes == 500
+        assert opts.ack_packet_bytes == 50
+        assert opts.maxwnd == 1000
+        assert opts.delayed_ack is False
+        assert opts.modified_avoidance is True
+        assert opts.dupack_threshold == 3
+
+    def test_initial_ssthresh_defaults_to_maxwnd(self):
+        assert TcpOptions(maxwnd=64).effective_initial_ssthresh == 64.0
+
+    def test_explicit_initial_ssthresh(self):
+        assert TcpOptions(initial_ssthresh=16.0).effective_initial_ssthresh == 16.0
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            TcpOptions().maxwnd = 5
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"data_packet_bytes": 0},
+        {"data_packet_bytes": -5},
+        {"ack_packet_bytes": -1},
+        {"maxwnd": 0},
+        {"initial_cwnd": 0.5},
+        {"min_ssthresh": 0.0},
+        {"dupack_threshold": 0},
+        {"delayed_ack_timeout": 0.0},
+        {"min_rto": 0.0},
+        {"min_rto": 10.0, "max_rto": 5.0},
+    ])
+    def test_invalid_configurations_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TcpOptions(**kwargs)
+
+    def test_zero_ack_bytes_allowed(self):
+        assert TcpOptions(ack_packet_bytes=0).ack_packet_bytes == 0

@@ -1,0 +1,80 @@
+"""Property-based tests for the TCP receiver's reassembly logic."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Simulator
+from repro.tcp import TcpOptions, TcpReceiver
+from tests.tcp.conftest import FakeHost, make_data
+
+
+def _drive(sequence_numbers, delayed_ack=False):
+    sim = Simulator()
+    host = FakeHost(sim)
+    receiver = TcpReceiver(sim, host, conn_id=1, destination="h1",
+                          options=TcpOptions(delayed_ack=delayed_ack))
+    for seq in sequence_numbers:
+        receiver.deliver(make_data(1, seq))
+    return sim, host, receiver
+
+
+# Arbitrary delivery orders (with duplicates) over a small sequence space.
+deliveries = st.lists(st.integers(min_value=0, max_value=30),
+                      min_size=1, max_size=120)
+
+
+@given(deliveries)
+def test_rcv_nxt_is_first_gap(seqs):
+    _, _, receiver = _drive(seqs)
+    delivered = set(seqs)
+    expected = 0
+    while expected in delivered:
+        expected += 1
+    assert receiver.rcv_nxt == expected
+
+
+@given(deliveries)
+def test_acks_are_monotone_nondecreasing(seqs):
+    _, host, _ = _drive(seqs)
+    acks = [p.ack for p in host.ack_packets]
+    assert acks == sorted(acks)
+
+
+@given(deliveries)
+def test_reassembly_queue_holds_only_above_rcv_nxt(seqs):
+    _, _, receiver = _drive(seqs)
+    for seq in receiver.reassembly_queue:
+        assert seq > receiver.rcv_nxt
+
+
+@given(deliveries)
+def test_one_ack_per_packet_without_delack(seqs):
+    _, host, receiver = _drive(seqs, delayed_ack=False)
+    assert len(host.ack_packets) == len(seqs)
+    assert receiver.packets_received == len(seqs)
+
+
+@given(deliveries)
+@settings(max_examples=50)
+def test_delack_never_sends_more_acks_than_packets(seqs):
+    sim, host, _ = _drive(seqs, delayed_ack=True)
+    sim.run(until=10.0)  # flush any pending delayed-ACK timer
+    assert len(host.ack_packets) <= len(seqs)
+    # And the final cumulative state is still communicated.
+    if host.ack_packets:
+        final = max(p.ack for p in host.ack_packets)
+        delivered = set(seqs)
+        expected = 0
+        while expected in delivered:
+            expected += 1
+        assert final == expected
+
+
+@given(deliveries)
+def test_counters_partition_arrivals(seqs):
+    _, _, receiver = _drive(seqs)
+    in_order = (receiver.packets_received
+                - receiver.duplicates_received
+                - receiver.out_of_order_received)
+    assert in_order >= 0
+    assert receiver.packets_received == len(seqs)

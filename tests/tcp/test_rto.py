@@ -1,0 +1,103 @@
+"""Unit tests for repro.tcp.rto (Jacobson estimator)."""
+
+import pytest
+
+from repro.tcp import RttEstimator
+
+
+def make(initial=3.0, lo=1.0, hi=64.0):
+    return RttEstimator(initial_rto=initial, min_rto=lo, max_rto=hi)
+
+
+class TestInitialization:
+    def test_initial_rto_before_any_sample(self):
+        assert make(initial=3.0).rto() == 3.0
+
+    def test_first_sample_initializes_srtt_and_var(self):
+        est = make()
+        est.sample(2.0)
+        assert est.srtt == 2.0
+        assert est.rttvar == 1.0
+        assert est.rto() == pytest.approx(2.0 + 4 * 1.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            RttEstimator(initial_rto=0.0, min_rto=1.0, max_rto=2.0)
+        with pytest.raises(ValueError):
+            RttEstimator(initial_rto=1.0, min_rto=2.0, max_rto=1.0)
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            make().sample(-0.1)
+
+
+class TestSmoothing:
+    def test_constant_rtt_converges(self):
+        est = make(lo=0.01)
+        for _ in range(200):
+            est.sample(1.0)
+        assert est.srtt == pytest.approx(1.0, abs=1e-6)
+        assert est.rttvar == pytest.approx(0.0, abs=1e-3)
+
+    def test_gains_match_bsd(self):
+        est = make()
+        est.sample(1.0)  # srtt=1, var=0.5
+        est.sample(2.0)
+        # srtt += (2-1)/8 = 1.125; var += (|1| - 0.5)/4 = 0.625
+        assert est.srtt == pytest.approx(1.125)
+        assert est.rttvar == pytest.approx(0.625)
+
+    def test_rto_is_srtt_plus_4var(self):
+        est = make(lo=0.01)
+        est.sample(1.0)
+        est.sample(2.0)
+        assert est.rto() == pytest.approx(1.125 + 4 * 0.625)
+
+
+class TestClamping:
+    def test_min_rto(self):
+        est = make(lo=2.0)
+        for _ in range(100):
+            est.sample(0.01)
+        assert est.rto() == 2.0
+
+    def test_max_rto(self):
+        est = make(hi=10.0)
+        est.sample(50.0)
+        assert est.rto() == 10.0
+
+
+class TestBackoff:
+    def test_backoff_doubles(self):
+        est = make(lo=0.1)
+        est.sample(1.0)
+        base = est.rto()
+        est.on_timeout()
+        assert est.rto() == pytest.approx(min(2 * base, 64.0))
+        est.on_timeout()
+        assert est.rto() == pytest.approx(min(4 * base, 64.0))
+
+    def test_backoff_capped_at_max_rto(self):
+        est = make(hi=8.0)
+        est.sample(1.0)
+        for _ in range(10):
+            est.on_timeout()
+        assert est.rto() == 8.0
+
+    def test_backoff_cleared_by_sample(self):
+        est = make(lo=0.1)
+        est.sample(1.0)
+        base = est.rto()
+        est.on_timeout()
+        est.on_timeout()
+        est.sample(1.0)
+        assert est.backoff == 0
+        assert est.rto() == pytest.approx(base, rel=0.2)
+
+    def test_backoff_exponent_capped(self):
+        est = make(hi=1e9)
+        est.sample(1.0)
+        for _ in range(50):
+            est.on_timeout()
+        # Exponent caps at 2**6 even with a huge max_rto.
+        assert est.rto() <= (est.srtt + 4 * est.rttvar) * 64 + 1e-9

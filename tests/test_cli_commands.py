@@ -1,0 +1,58 @@
+"""CLI command tests that exercise real (but small) runs."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.scenarios import paper, save_config
+
+
+class TestRunConfigCommand:
+    @pytest.fixture
+    def config_file(self, tmp_path):
+        config = paper.two_way(0.01, duration=30.0, warmup=10.0)
+        return str(save_config(config, tmp_path / "scenario.json"))
+
+    def test_runs_and_prints_summary(self, config_file, capsys):
+        assert main(["run-config", config_file]) == 0
+        out = capsys.readouterr().out
+        assert "two-way" in out
+        assert "sw1->sw2" in out
+
+    def test_save_traces_option(self, config_file, tmp_path, capsys):
+        traces = tmp_path / "traces.json"
+        assert main(["run-config", config_file, "--save-traces", str(traces)]) == 0
+        document = json.loads(traces.read_text())
+        assert document["format_version"] == 1
+        assert "sw1->sw2" in document["queues"]
+
+    def test_invalid_document_is_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"name": "x", "flows": [], "bogus": 1}))
+        assert main(["run-config", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFiguresCommand:
+    def test_renders_to_directory(self, tmp_path, capsys, monkeypatch):
+        # Swap the gallery for one fast figure.
+        from repro.viz import gallery
+
+        fast = {
+            "figure8": (lambda: paper.figure8(duration=100.0, warmup=60.0),
+                        gallery.FIGURES["figure8"][1]),
+        }
+        monkeypatch.setattr(gallery, "FIGURES", fast)
+        out_dir = tmp_path / "figs"
+        assert main(["figures", "-o", str(out_dir)]) == 0
+        assert (out_dir / "figure8.txt").exists()
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestRunCommandFast:
+    def test_fast_experiment_passes(self, capsys):
+        assert main(["run", "fig8", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "queue 1 maximum" in out

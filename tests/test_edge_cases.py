@@ -1,0 +1,108 @@
+"""Edge-case tests across modules: boundaries the main suites skip."""
+
+import pytest
+
+from repro.engine import Simulator
+from repro.metrics import StepSeries
+from repro.net import Link, OutputPort, Packet, PacketKind
+from repro.net.node import Node
+from repro.viz import plot_series
+
+
+class _Sink(Node):
+    def __init__(self, sim):
+        super().__init__(sim, "sink")
+        self.arrived = []
+
+    def handle_packet(self, packet):
+        self.arrived.append((self.sim.now, packet))
+
+
+class TestZeroSizePackets:
+    """The Section 4.3.3 zero-length-ACK idealization at the port level."""
+
+    def test_zero_size_transmits_in_zero_time(self):
+        sim = Simulator()
+        sink = _Sink(sim)
+        link = Link(sim, "wire", 0.5, destination=sink)
+        port = OutputPort(sim, "p", 50_000.0, link, buffer_packets=None)
+        packet = Packet(conn_id=1, kind=PacketKind.ACK, ack=1, size=0)
+        port.send(packet)
+        sim.run()
+        # Only propagation delay remains.
+        assert sink.arrived[0][0] == 0.5
+
+    def test_zero_size_burst_keeps_order(self):
+        sim = Simulator()
+        sink = _Sink(sim)
+        link = Link(sim, "wire", 0.0, destination=sink)
+        port = OutputPort(sim, "p", 50_000.0, link, buffer_packets=None)
+        for i in range(5):
+            port.send(Packet(conn_id=1, kind=PacketKind.ACK, ack=i, size=0))
+        sim.run()
+        assert [p.ack for _, p in sink.arrived] == [0, 1, 2, 3, 4]
+
+    def test_zero_size_between_data(self):
+        sim = Simulator()
+        sink = _Sink(sim)
+        link = Link(sim, "wire", 0.0, destination=sink)
+        port = OutputPort(sim, "p", 50_000.0, link, buffer_packets=None)
+        port.send(Packet(conn_id=1, kind=PacketKind.DATA, seq=0, size=500))
+        port.send(Packet(conn_id=1, kind=PacketKind.ACK, ack=1, size=0))
+        port.send(Packet(conn_id=1, kind=PacketKind.DATA, seq=1, size=500))
+        sim.run()
+        times = [t for t, _ in sink.arrived]
+        assert times == pytest.approx([0.08, 0.08, 0.16])
+
+
+class TestEngineBoundaries:
+    def test_schedule_at_exactly_now(self):
+        sim = Simulator(start_time=5.0)
+        fired = []
+        sim.schedule_at(5.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [5.0]
+
+    def test_zero_propagation_link(self):
+        sim = Simulator()
+        sink = _Sink(sim)
+        link = Link(sim, "wire", 0.0, destination=sink)
+        link.carry(Packet(conn_id=1, kind=PacketKind.DATA, size=1))
+        sim.run()
+        assert sink.arrived[0][0] == 0.0
+
+
+class TestPlotBoundaries:
+    def test_values_above_y_max_clamp_to_top(self):
+        series = StepSeries(name="spiky")
+        series.record(0.0, 1.0)
+        series.record(5.0, 1000.0)
+        text = plot_series(series, 0.0, 10.0, y_max=10.0, height=6)
+        assert "spiky" in text  # renders without error
+
+    def test_single_point_series(self):
+        series = StepSeries(name="point")
+        series.record(3.0, 7.0)
+        text = plot_series(series, 0.0, 10.0)
+        assert "*" in text
+
+
+class TestStepSeriesBoundaries:
+    def test_window_at_exact_change_point(self):
+        series = StepSeries()
+        series.extend([(1.0, 10.0), (2.0, 20.0), (3.0, 30.0)])
+        window = series.window(2.0, 3.0)
+        # 2.0 belongs to the window; 3.0 does not (half-open).
+        assert window.value_at(2.0) == 20.0
+        assert window.last_value == 20.0
+
+    def test_sample_grid_excludes_end(self):
+        series = StepSeries()
+        series.record(0.0, 1.0)
+        grid, _ = series.sample(0.0, 1.0, 0.5)
+        assert grid[-1] == 0.5
+
+    def test_time_average_window_before_any_point(self):
+        series = StepSeries(initial_value=3.0)
+        series.record(100.0, 9.0)
+        assert series.time_average(0.0, 10.0) == 3.0

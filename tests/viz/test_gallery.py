@@ -1,0 +1,52 @@
+"""Unit tests for the figure gallery (structure only; full renders are
+exercised by the CLI's `figures` command and benchmarks)."""
+
+import pytest
+
+from repro.viz.gallery import FIGURES, render_figure
+
+
+class TestGalleryRegistry:
+    def test_every_paper_figure_present(self):
+        assert set(FIGURES) == {
+            "figure2", "figure3", "figure4_5", "figure6_7", "figure8", "figure9",
+        }
+
+    def test_entries_are_factory_renderer_pairs(self):
+        for factory, renderer in FIGURES.values():
+            assert callable(factory)
+            assert callable(renderer)
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(KeyError):
+            render_figure("figure99")
+
+
+class TestRenderOne:
+    def test_figure8_renders_with_caption(self, tmp_path, monkeypatch):
+        # Shorten the run by monkeypatching the factory used.
+        from repro.scenarios import paper
+        from repro.viz import gallery
+
+        monkeypatch.setitem(
+            gallery.FIGURES, "figure8",
+            (lambda: paper.figure8(duration=120.0, warmup=80.0),
+             gallery.FIGURES["figure8"][1]))
+        text = render_figure("figure8")
+        assert "Figure 8" in text
+        assert "paper: 55 / 23" in text
+        assert "*" in text and "o" in text
+
+    def test_render_gallery_writes_files(self, tmp_path, monkeypatch):
+        from repro.scenarios import paper
+        from repro.viz import gallery
+
+        # Swap in a single fast figure to keep the test quick.
+        fast = {
+            "figure8": (lambda: paper.figure8(duration=120.0, warmup=80.0),
+                        gallery.FIGURES["figure8"][1]),
+        }
+        monkeypatch.setattr(gallery, "FIGURES", fast)
+        paths = gallery.render_gallery(tmp_path / "figs")
+        assert len(paths) == 1
+        assert paths[0].read_text().startswith("Figure 8")

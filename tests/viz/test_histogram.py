@@ -1,0 +1,56 @@
+"""Unit tests for repro.viz.histogram."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.viz import ack_gap_histogram, histogram
+
+
+class TestHistogram:
+    def test_basic_render(self):
+        text = histogram([1.0, 1.1, 1.2, 5.0], bins=4, title="gaps")
+        assert text.startswith("gaps")
+        assert "n=4" in text
+        assert "#" in text
+
+    def test_counts_sum_to_n(self):
+        values = [0.1] * 7 + [0.9] * 3
+        text = histogram(values, bins=2, width=10)
+        assert "7" in text and "3" in text
+
+    def test_single_value(self):
+        text = histogram([2.0], bins=3)
+        assert "n=1" in text
+
+    def test_errors(self):
+        with pytest.raises(AnalysisError):
+            histogram([])
+        with pytest.raises(AnalysisError):
+            histogram([1.0], bins=0)
+
+
+class TestAckGapHistogram:
+    def test_bimodal_annotation(self):
+        # Mix of compressed (8 ms) and self-clocked (80 ms) gaps.
+        gaps = [0.008] * 30 + [0.080] * 70
+        text = ack_gap_histogram(gaps, data_tx_time=0.08)
+        assert "compressed" in text
+        assert "30%" in text
+
+    def test_uncompressed_stream(self):
+        text = ack_gap_histogram([0.08] * 50, data_tx_time=0.08)
+        assert "0%" in text
+
+    def test_errors(self):
+        with pytest.raises(AnalysisError):
+            ack_gap_histogram([], data_tx_time=0.08)
+        with pytest.raises(AnalysisError):
+            ack_gap_histogram([0.1], data_tx_time=0.0)
+
+    def test_on_real_run(self):
+        from repro.scenarios import paper, run
+
+        result = run(paper.figure8(duration=120.0, warmup=80.0))
+        gaps = result.traces.ack_log(1).inter_arrival_times(80.0, 120.0)
+        text = ack_gap_histogram(gaps, data_tx_time=result.config.data_tx_time)
+        assert "compressed" in text
