@@ -8,31 +8,41 @@ the headline dynamics, documenting *why* the reproduction needs it:
 - the duplicate-ACK threshold;
 - symmetric vs jittered start times (the lockstep artifact);
 - ACK size (what ACK-compression actually depends on).
+
+Every ablation is a two-config family run through the sweep machinery
+(``repro.scenarios.families.identity_config``), so the pair executes in
+parallel under ``REPRO_JOBS=2`` and warm re-runs hit the result cache.
 """
 
-from repro.scenarios import paper, run
+from repro.scenarios import families, paper, sweep
+from repro.scenarios.config import FlowSpec, ScenarioConfig
 from repro.tcp import TcpOptions
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import SWEEP_CACHE, SWEEP_JOBS, run_once
 
 DURATION, WARMUP = 300.0, 120.0
+
+
+def _pair(benchmark, config_a, config_b, extract):
+    points = run_once(benchmark, lambda: sweep(
+        families.identity_config, [config_a, config_b], extract,
+        jobs=min(SWEEP_JOBS, 2), cache=SWEEP_CACHE))
+    return points[0].measurements, points[1].measurements
 
 
 def test_ablation_modified_vs_original_avoidance(benchmark, record):
     """The anomaly fix should not change qualitative behavior, only
     regularity — both rules must show the same mode and similar
     utilization."""
-
-    def pair():
-        modified = run(paper.two_way(0.01, duration=DURATION, warmup=WARMUP,
-                                     tcp=TcpOptions(modified_avoidance=True)))
-        original = run(paper.two_way(0.01, duration=DURATION, warmup=WARMUP,
-                                     tcp=TcpOptions(modified_avoidance=False)))
-        return modified, original
-
-    modified, original = run_once(benchmark, pair)
-    u_mod = modified.utilization("sw1->sw2")
-    u_orig = original.utilization("sw1->sw2")
+    modified, original = _pair(
+        benchmark,
+        paper.two_way(0.01, duration=DURATION, warmup=WARMUP,
+                      tcp=TcpOptions(modified_avoidance=True)),
+        paper.two_way(0.01, duration=DURATION, warmup=WARMUP,
+                      tcp=TcpOptions(modified_avoidance=False)),
+        families.utilization_extract)
+    u_mod = modified["util:sw1->sw2"]
+    u_orig = original["util:sw1->sw2"]
     record(modified_utilization=round(u_mod, 3),
            original_utilization=round(u_orig, 3))
     assert abs(u_mod - u_orig) < 0.15
@@ -40,87 +50,73 @@ def test_ablation_modified_vs_original_avoidance(benchmark, record):
 
 def test_ablation_dupack_threshold(benchmark, record):
     """A higher threshold delays loss detection; timeouts should rise."""
-
-    def pair():
-        fast = run(paper.two_way(0.01, duration=DURATION, warmup=WARMUP,
-                                 tcp=TcpOptions(dupack_threshold=3)))
-        slow = run(paper.two_way(0.01, duration=DURATION, warmup=WARMUP,
-                                 tcp=TcpOptions(dupack_threshold=50)))
-        return fast, slow
-
-    fast, slow = run_once(benchmark, pair)
-    fast_timeouts = sum(c.sender.timeouts for c in fast.connections)
-    slow_timeouts = sum(c.sender.timeouts for c in slow.connections)
-    record(threshold3_timeouts=fast_timeouts, threshold50_timeouts=slow_timeouts)
-    assert slow_timeouts > fast_timeouts
+    fast, slow = _pair(
+        benchmark,
+        paper.two_way(0.01, duration=DURATION, warmup=WARMUP,
+                      tcp=TcpOptions(dupack_threshold=3)),
+        paper.two_way(0.01, duration=DURATION, warmup=WARMUP,
+                      tcp=TcpOptions(dupack_threshold=50)),
+        families.timeouts_extract)
+    record(threshold3_timeouts=fast["timeouts"],
+           threshold50_timeouts=slow["timeouts"])
+    assert slow["timeouts"] > fast["timeouts"]
 
 
 def test_ablation_simultaneous_starts_lockstep(benchmark, record):
     """Exactly simultaneous two-way starts produce an artificial
     perfectly-symmetric state the paper's runs never occupy."""
-
-    def pair():
-        from repro.scenarios.config import FlowSpec, ScenarioConfig
-
-        sym = ScenarioConfig(
-            name="sym",
-            flows=(FlowSpec(src="host1", dst="host2", start_time=0.0),
-                   FlowSpec(src="host2", dst="host1", start_time=0.0)),
-            bottleneck_propagation=0.01, buffer_packets=20,
-            duration=DURATION, warmup=WARMUP)
-        jit = paper.two_way(0.01, duration=DURATION, warmup=WARMUP)
-        return run(sym), run(jit)
-
-    sym, jit = run_once(benchmark, pair)
-    sym_sent = [c.sender.packets_sent for c in sym.connections]
+    sym_config = ScenarioConfig(
+        name="sym",
+        flows=(FlowSpec(src="host1", dst="host2", start_time=0.0),
+               FlowSpec(src="host2", dst="host1", start_time=0.0)),
+        bottleneck_propagation=0.01, buffer_packets=20,
+        duration=DURATION, warmup=WARMUP)
+    sym, jit = _pair(
+        benchmark,
+        sym_config,
+        paper.two_way(0.01, duration=DURATION, warmup=WARMUP),
+        families.lockstep_extract)
+    sym_sent = [sym["sent:1"], sym["sent:2"]]
     record(symmetric_sent=sym_sent,
-           symmetric_queue_corr=round(sym.queue_sync().correlation, 3),
-           jittered_queue_corr=round(jit.queue_sync().correlation, 3))
+           symmetric_queue_corr=round(sym["queue_correlation"], 3),
+           jittered_queue_corr=round(jit["queue_correlation"], 3))
     # Lockstep: byte-identical behavior and perfect positive correlation.
-    assert sym_sent[0] == sym_sent[1]
-    assert sym.queue_sync().correlation > 0.95
-    assert jit.queue_sync().correlation < 0.5
+    assert sym["sent:1"] == sym["sent:2"]
+    assert sym["queue_correlation"] > 0.95
+    assert jit["queue_correlation"] < 0.5
 
 
 def test_ablation_ack_size_drives_compression(benchmark, record):
     """With ACKs as large as data packets there is nothing to compress:
     the square waves should flatten."""
-
-    def pair():
-        small_acks = run(paper.fixed_window_two_way(
-            30, 25, 0.01, ack_bytes=50, duration=200.0, warmup=100.0))
-        big_acks = run(paper.fixed_window_two_way(
-            30, 25, 0.01, ack_bytes=500, duration=200.0, warmup=100.0))
-        return small_acks, big_acks
-
-    small_acks, big_acks = run_once(benchmark, pair)
-    small_factor = small_acks.ack_compression(1).compression_factor
-    big_factor = big_acks.ack_compression(1).compression_factor
-    record(ack50_compression_factor=round(small_factor, 2),
-           ack500_compression_factor=round(big_factor, 2))
-    assert small_factor >= 5.0
-    assert big_factor <= 1.5
+    small_acks, big_acks = _pair(
+        benchmark,
+        paper.fixed_window_two_way(30, 25, 0.01, ack_bytes=50,
+                                   duration=200.0, warmup=100.0),
+        paper.fixed_window_two_way(30, 25, 0.01, ack_bytes=500,
+                                   duration=200.0, warmup=100.0),
+        families.compression_extract)
+    record(ack50_compression_factor=round(small_acks["compression_factor"], 2),
+           ack500_compression_factor=round(big_acks["compression_factor"], 2))
+    assert small_acks["compression_factor"] >= 5.0
+    assert big_acks["compression_factor"] <= 1.5
 
 
 def test_ablation_random_drop_gateway(benchmark, record):
     """Random Drop (the [4,5,10,18] gateway discipline) spreads losses
     across connections, weakening the out-of-phase single-loser pattern
     drop-tail produces."""
-
-    def pair():
-        drop_tail = run(paper.figure4(duration=DURATION, warmup=WARMUP))
-        random_drop = run(paper.figure4(duration=DURATION, warmup=WARMUP)
-                          .with_updates(random_drop=True))
-        return drop_tail, random_drop
-
-    drop_tail, random_drop = run_once(benchmark, pair)
-    dt_epochs = drop_tail.epochs()
-    rd_epochs = random_drop.epochs()
-    dt_single = sum(1 for e in dt_epochs if len(e.connections) == 1) / len(dt_epochs)
-    rd_shared = sum(1 for e in rd_epochs if len(e.connections) == 2) / len(rd_epochs)
-    record(droptail_single_loser_fraction=round(dt_single, 2),
-           randomdrop_shared_loss_fraction=round(rd_shared, 2),
-           droptail_util=round(drop_tail.utilization(), 3),
-           randomdrop_util=round(random_drop.utilization(), 3))
-    assert dt_single >= 0.6
-    assert rd_shared >= 0.3
+    drop_tail, random_drop = _pair(
+        benchmark,
+        paper.figure4(duration=DURATION, warmup=WARMUP),
+        paper.figure4(duration=DURATION, warmup=WARMUP)
+            .with_updates(random_drop=True),
+        families.epoch_pattern_extract)
+    record(droptail_single_loser_fraction=round(
+               drop_tail["single_loser_fraction"], 2),
+           randomdrop_shared_loss_fraction=round(
+               random_drop["shared_loss_fraction"], 2),
+           droptail_util=round(drop_tail["utilization"], 3),
+           randomdrop_util=round(random_drop["utilization"], 3))
+    assert drop_tail["single_loser_fraction"] >= 0.6
+    assert random_drop["shared_loss_fraction"] >= 0.3

@@ -3,48 +3,37 @@
 The paper's counterintuitive headline: with two-way traffic, increasing
 the buffer does NOT increase throughput (utilization stays ~70%), while
 with one-way traffic idle time vanishes as buffers grow.
+
+The sweeps run through ``repro.scenarios`` sweep machinery with the
+content-addressed cache (warm re-runs skip simulation) and honour
+``REPRO_JOBS`` for parallel execution.
 """
 
 import pytest
 
-from repro.scenarios import paper, run
+from repro.scenarios import families, utilization_sweep
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import SWEEP_CACHE, SWEEP_JOBS, run_once
 
-BUFFERS = (20, 60, 120)
-
-
-def _duration_for(buffers):
-    """The increase-decrease cycle grows ~linearly with the buffer
-    (~230 s at B=120); scale the run so steady state dominates."""
-    scale = max(1.0, buffers / 24.0)
-    return 300.0 * scale, 120.0 * scale
+BUFFERS = families.BUFFER_SIZES
 
 
 @pytest.mark.parametrize("buffers", BUFFERS)
 def test_two_way_flat_utilization(benchmark, record, buffers):
-    duration, warmup = _duration_for(buffers)
-    result = run_once(
-        benchmark,
-        lambda: run(paper.figure4(buffer_packets=buffers,
-                                  duration=duration, warmup=warmup)))
-    util = result.utilization("sw1->sw2")
+    points = run_once(benchmark, lambda: utilization_sweep(
+        families.buffer_config, [buffers], cache=SWEEP_CACHE))
+    util = points[0].measurements["util:sw1->sw2"]
     record(buffer_packets=buffers, paper_utilization="~0.70 (flat)",
            measured_utilization=round(util, 3))
     assert 0.55 <= util <= 0.85
 
 
 def test_two_way_spread_is_small(benchmark, record):
-    def sweep():
-        out = {}
-        for buffers in BUFFERS:
-            duration, warmup = _duration_for(buffers)
-            out[buffers] = run(paper.figure4(
-                buffer_packets=buffers, duration=duration, warmup=warmup)
-            ).utilization("sw1->sw2")
-        return out
-
-    utils = run_once(benchmark, sweep)
+    points = run_once(benchmark, lambda: utilization_sweep(
+        families.buffer_config, list(BUFFERS),
+        jobs=SWEEP_JOBS, cache=SWEEP_CACHE))
+    utils = {point.value: point.measurements["util:sw1->sw2"]
+             for point in points}
     spread = max(utils.values()) - min(utils.values())
     record(measured_utils={str(k): round(v, 3) for k, v in utils.items()},
            measured_spread=round(spread, 3))
@@ -53,16 +42,9 @@ def test_two_way_spread_is_small(benchmark, record):
 
 def test_one_way_idle_time_shrinks_with_buffers(benchmark, record):
     """Contrast case: one-way idle fraction decreases with buffer size."""
-
-    def sweep():
-        out = {}
-        for buffers in (10, 40):
-            result = run(paper.one_way(
-                n_connections=3, propagation=1.0, buffer_packets=buffers,
-                duration=250.0, warmup=100.0))
-            out[buffers] = result.utilization("sw1->sw2")
-        return out
-
-    utils = run_once(benchmark, sweep)
+    points = run_once(benchmark, lambda: utilization_sweep(
+        families.one_way_buffer_config, [10, 40], cache=SWEEP_CACHE))
+    utils = {point.value: point.measurements["util:sw1->sw2"]
+             for point in points}
     record(measured_b10=round(utils[10], 3), measured_b40=round(utils[40], 3))
     assert utils[40] > utils[10]

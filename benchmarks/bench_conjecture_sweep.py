@@ -3,37 +3,57 @@
 For fixed windows W1 >= W2 and pipe P with zero-size ACKs:
 W1 > W2 + 2P => out-of-phase, exactly one line fully utilized;
 W1 < W2 + 2P => in-phase, neither line fully utilized.
+
+All cases route through ``repro.scenarios.sweep`` with the
+content-addressed result cache, so a warm re-run of this file skips
+simulation entirely; ``REPRO_JOBS`` fans the grid over worker processes.
 """
 
 import pytest
 
 from repro.analysis import predict
-from repro.scenarios import paper, run
-from repro.units import LARGE_PIPE_PROPAGATION, SMALL_PIPE_PROPAGATION
+from repro.scenarios import families, sweep
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import SWEEP_CACHE, SWEEP_JOBS, run_once
 
-CASES = [
-    (30, 25, SMALL_PIPE_PROPAGATION),
-    (30, 5, SMALL_PIPE_PROPAGATION),
-    (30, 25, LARGE_PIPE_PROPAGATION),
-    (20, 18, LARGE_PIPE_PROPAGATION),
-    (40, 10, LARGE_PIPE_PROPAGATION),
-    (26, 25, LARGE_PIPE_PROPAGATION),
-]
+CASES = families.CONJECTURE_CASES
+
+
+def _bench_config(case):
+    """The paper's full durations — the cache makes re-runs free."""
+    return families.conjecture_config(case, duration=600.0, warmup=400.0)
+
+
+def _full_lines(measurements):
+    return sum(1 for util in measurements.values() if util >= 0.99)
 
 
 @pytest.mark.parametrize("w1,w2,tau", CASES)
 def test_conjecture_case(benchmark, record, w1, w2, tau):
-    config = paper.zero_ack_fixed_window(w1, w2, tau,
-                                         duration=150.0, warmup=100.0)
-    result = run_once(benchmark, lambda: run(config))
+    case = (w1, w2, tau)
+    config = _bench_config(case)
+    points = run_once(benchmark, lambda: sweep(
+        _bench_config, [case], families.utilization_extract,
+        cache=SWEEP_CACHE))
     prediction = predict(w1, w2, config.pipe_size)
-    utils = result.utilizations()
-    full = sum(1 for u in utils.values() if u >= 0.99)
+    measurements = points[0].measurements
+    full = _full_lines(measurements)
     record(w1=w1, w2=w2, two_p=round(2 * config.pipe_size, 3),
            predicted_mode=str(prediction.mode),
            predicted_full_lines=prediction.fully_utilized_lines,
            measured_full_lines=full,
-           measured_utils=[round(u, 3) for u in utils.values()])
+           measured_utils=[round(u, 3) for u in measurements.values()])
     assert full == prediction.fully_utilized_lines
+
+
+def test_conjecture_grid_sweep(benchmark, record):
+    """The whole grid through one (possibly parallel) sweep call."""
+    points = run_once(benchmark, lambda: sweep(
+        _bench_config, list(CASES), families.utilization_extract,
+        jobs=SWEEP_JOBS, cache=SWEEP_CACHE))
+    record(jobs=SWEEP_JOBS, cached=SWEEP_CACHE, n_points=len(points))
+    assert [p.value for p in points] == list(CASES)
+    for (w1, w2, tau), point in zip(CASES, points):
+        config = _bench_config((w1, w2, tau))
+        prediction = predict(w1, w2, config.pipe_size)
+        assert _full_lines(point.measurements) == prediction.fully_utilized_lines

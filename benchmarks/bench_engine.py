@@ -31,6 +31,32 @@ def test_event_throughput(benchmark):
     assert events == 100_000
 
 
+def test_cancel_churn_throughput(benchmark):
+    """Retransmit-timer pattern: schedule far-future events, cancel and
+    replace them repeatedly.  Exercises the lazy-cancellation compaction;
+    without it the calendar holds every dead entry until its time comes.
+    """
+
+    def churn():
+        sim = Simulator()
+        fired = [0]
+
+        def tick():
+            fired[0] += 1
+
+        stale = None
+        for _ in range(50_000):
+            if stale is not None:
+                stale.cancel()
+            stale = sim.schedule(1_000.0, tick)
+        sim.run()
+        return fired[0], sim.calendar_size
+
+    fired, leftover = benchmark(churn)
+    assert fired == 1  # only the last timer survives
+    assert leftover == 0
+
+
 def test_queue_offer_take_throughput(benchmark):
     packet = Packet(conn_id=1, kind=PacketKind.DATA, seq=0, size=500)
 

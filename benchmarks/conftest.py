@@ -8,9 +8,23 @@ in measurement noise.
 
 Durations here are the experiment registry's "fast" values: long enough
 for steady state, short enough that the whole suite stays in minutes.
+
+Sweep-shaped benchmarks honour two environment knobs:
+
+- ``REPRO_JOBS`` — worker processes for sweep families (default 1);
+- ``REPRO_NO_CACHE`` — set (non-empty) to bypass the on-disk result
+  cache, forcing every point to simulate.
 """
 
+import os
+
 import pytest
+
+#: Worker pool size for the sweep benchmarks.
+SWEEP_JOBS = max(1, int(os.environ.get("REPRO_JOBS", "1")))
+
+#: Whether sweep benchmarks go through the content-addressed cache.
+SWEEP_CACHE = os.environ.get("REPRO_NO_CACHE", "") == ""
 
 
 def run_once(benchmark, func):

@@ -1,0 +1,137 @@
+"""Append engine / sweep throughput numbers to ``BENCH_engine.json``.
+
+Run after engine or sweep-layer changes::
+
+    PYTHONPATH=src python benchmarks/perf_harness.py
+
+Each invocation appends one record to the JSON array in
+``BENCH_engine.json`` at the repo root (override with ``--output``), so
+the perf trajectory stays visible PR over PR:
+
+- ``event_throughput_eps`` — chained schedule/pop events per second;
+- ``cancel_churn_eps`` — schedule+cancel pairs per second (compaction);
+- ``dumbbell_packets_per_s`` — delivered packets per wall second on the
+  one-connection dumbbell;
+- ``sweep_cold_s`` / ``sweep_warm_s`` / ``cache_speedup`` — a four-point
+  fixed-window sweep, cold vs through a warm result cache.
+"""
+
+from __future__ import annotations
+
+import argparse
+import functools
+import json
+import platform
+import sys
+import tempfile
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.engine import Simulator  # noqa: E402
+from repro.net import build_dumbbell  # noqa: E402
+from repro.parallel import ResultCache  # noqa: E402
+from repro.scenarios import families, sweep  # noqa: E402
+from repro.tcp import make_tahoe_connection  # noqa: E402
+
+
+def bench_event_throughput(n: int = 200_000) -> float:
+    """Chained tick events per second."""
+    sim = Simulator()
+    remaining = [n]
+
+    def tick():
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            sim.schedule(0.001, tick)
+
+    sim.schedule(0.001, tick)
+    started = time.perf_counter()
+    sim.run()
+    return n / (time.perf_counter() - started)
+
+
+def bench_cancel_churn(n: int = 100_000) -> float:
+    """Schedule+cancel pairs per second (the refreshed-timer pattern)."""
+    sim = Simulator()
+    stale = None
+    started = time.perf_counter()
+    for _ in range(n):
+        if stale is not None:
+            stale.cancel()
+        stale = sim.schedule(1_000.0, lambda: None)
+    sim.run()
+    return n / (time.perf_counter() - started)
+
+
+def bench_dumbbell(duration: float = 60.0) -> float:
+    """Delivered data packets per wall second, one Tahoe connection."""
+    sim = Simulator()
+    net = build_dumbbell(sim, bottleneck_propagation=0.01)
+    conn = make_tahoe_connection(sim, net, 1, "host1", "host2")
+    started = time.perf_counter()
+    sim.run(until=duration)
+    return conn.receiver.rcv_nxt / (time.perf_counter() - started)
+
+
+def bench_sweep_cache() -> tuple[float, float]:
+    """(cold_seconds, warm_seconds) for a four-point fixed-window sweep."""
+    cases = families.CONJECTURE_CASES[:4]
+    make_config = functools.partial(families.conjecture_config,
+                                    duration=120.0, warmup=60.0)
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(tmp)
+        started = time.perf_counter()
+        sweep(make_config, cases, families.utilization_extract, cache=cache)
+        cold = time.perf_counter() - started
+        started = time.perf_counter()
+        sweep(make_config, cases, families.utilization_extract, cache=cache)
+        warm = time.perf_counter() - started
+    return cold, warm
+
+
+def collect() -> dict:
+    cold, warm = bench_sweep_cache()
+    return {
+        "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "event_throughput_eps": round(bench_event_throughput()),
+        "cancel_churn_eps": round(bench_cancel_churn()),
+        "dumbbell_packets_per_s": round(bench_dumbbell()),
+        "sweep_cold_s": round(cold, 3),
+        "sweep_warm_s": round(warm, 4),
+        "cache_speedup": round(cold / warm, 1),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_engine.json"),
+                        help="JSON array file to append to")
+    args = parser.parse_args(argv)
+
+    record = collect()
+    target = Path(args.output)
+    history: list[dict] = []
+    if target.exists():
+        try:
+            history = json.loads(target.read_text())
+        except ValueError:
+            history = []
+        if not isinstance(history, list):
+            history = [history]
+    history.append(record)
+    target.write_text(json.dumps(history, indent=2) + "\n")
+
+    for key, value in record.items():
+        print(f"{key}: {value}")
+    print(f"appended to {target} ({len(history)} records)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,7 @@ The package provides:
 - ``repro.analysis`` — ACK-compression, clustering, synchronization-mode
   and congestion-epoch analyses;
 - ``repro.scenarios`` — the paper's named configurations;
+- ``repro.parallel`` — multiprocess sweep execution + on-disk result cache;
 - ``repro.experiments`` — paper-vs-measured reproduction harness;
 - ``repro.viz`` — ASCII strip charts, histograms and CSV export;
 - ``repro.io`` — trace persistence for offline re-analysis.
@@ -23,7 +24,18 @@ Quickstart::
     print(result.summary())
 """
 
-from repro import analysis, engine, experiments, io, metrics, net, scenarios, tcp, viz
+from repro import (
+    analysis,
+    engine,
+    experiments,
+    io,
+    metrics,
+    net,
+    parallel,
+    scenarios,
+    tcp,
+    viz,
+)
 from repro.engine import Simulator
 from repro.errors import (
     AnalysisError,
@@ -44,6 +56,7 @@ __all__ = [
     "tcp",
     "metrics",
     "analysis",
+    "parallel",
     "scenarios",
     "experiments",
     "viz",

@@ -8,6 +8,7 @@
     repro plot fig4 [--window A B]  # ASCII queue plots for a scenario
     repro figures [-o DIR]          # render every paper figure as text
     repro run-config FILE [--save-traces F]  # run a JSON scenario
+    repro sweep conjecture --jobs 4 # parallel, cached parameter sweep
 
 Also usable as ``python -m repro ...``.
 """
@@ -62,6 +63,20 @@ def build_parser() -> argparse.ArgumentParser:
     cfg_p.add_argument("config", help="path to a scenario JSON document")
     cfg_p.add_argument("--save-traces", default=None, metavar="FILE",
                        help="also persist the run's traces as JSON")
+
+    swp_p = sub.add_parser(
+        "sweep",
+        help="run a named sweep family over a worker pool with result caching")
+    swp_p.add_argument("family", choices=("buffer", "conjecture"),
+                       help="which sweep family to run")
+    swp_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes (default: 1, serial)")
+    swp_p.add_argument("--no-cache", action="store_true",
+                       help="always simulate; skip the on-disk result cache")
+    swp_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache directory (default: ~/.cache/repro)")
+    swp_p.add_argument("--fast", action="store_true",
+                       help="shorter simulations (smoke mode)")
     return parser
 
 
@@ -119,6 +134,46 @@ def _cmd_plot(scenario: str, window: tuple[float, float] | None) -> int:
     return 0
 
 
+def _cmd_sweep(family: str, jobs: int, no_cache: bool,
+               cache_dir: str | None, fast: bool) -> int:
+    import functools
+    import time
+
+    from repro.parallel import resolve_cache
+    from repro.scenarios import families, sweep
+
+    if family == "conjecture":
+        values: list[object] = list(families.CONJECTURE_CASES)
+        make_config = (
+            functools.partial(families.conjecture_config,
+                              duration=60.0, warmup=40.0)
+            if fast else families.conjecture_config)
+    else:
+        values = list(families.BUFFER_SIZES)
+        make_config = (
+            functools.partial(families.buffer_config,
+                              base_duration=80.0, base_warmup=30.0)
+            if fast else families.buffer_config)
+
+    cache = None if no_cache else resolve_cache(cache_dir or True)
+    done = [0]
+
+    def on_point(point) -> None:
+        done[0] += 1
+        numbers = "  ".join(f"{key}={value:.3f}"
+                            for key, value in sorted(point.measurements.items()))
+        print(f"[{done[0]}/{len(values)}] {point.value}: {numbers}")
+
+    started = time.perf_counter()
+    sweep(make_config, values, families.utilization_extract,
+          jobs=jobs, cache=cache, on_point=on_point)
+    elapsed = time.perf_counter() - started
+    status = (f"cache: {cache.hits} hits, {cache.misses} misses"
+              if cache is not None else "cache: off")
+    print(f"{len(values)} points in {elapsed:.2f}s (jobs={jobs}, {status})")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -138,6 +193,9 @@ def main(argv: list[str] | None = None) -> int:
             for path in render_gallery(args.output):
                 print(f"wrote {path}")
             return 0
+        if args.command == "sweep":
+            return _cmd_sweep(args.family, args.jobs, args.no_cache,
+                              args.cache_dir, args.fast)
         if args.command == "run-config":
             from repro.scenarios import load_config, run
 

@@ -27,13 +27,14 @@ class EventPriority(enum.IntEnum):
     LATE = 2
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A single scheduled callback.
 
     Instances are created by :meth:`repro.engine.simulator.Simulator.schedule`
     and should not be constructed directly.  The comparison order is the
-    execution order.
+    execution order.  ``__slots__`` keeps the per-event footprint small —
+    simulations allocate millions of these.
     """
 
     time: float
@@ -42,15 +43,26 @@ class Event:
     callback: Callable[[], None] = field(compare=False)
     label: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    _fired: bool = field(compare=False, default=False, init=False, repr=False)
+    _owner: object = field(compare=False, default=None, init=False, repr=False)
 
     def cancel(self) -> None:
-        """Mark the event so it is skipped when popped from the calendar."""
+        """Mark the event so it is skipped when popped from the calendar.
+
+        The owning simulator (if any) is notified so it can account for
+        the dead entry and compact its heap when too many accumulate.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        owner = self._owner
+        if owner is not None and not self._fired:
+            owner._event_cancelled()
 
     @property
     def pending(self) -> bool:
         """True while the event has neither fired nor been cancelled."""
-        return not self.cancelled and not getattr(self, "_fired", False)
+        return not self.cancelled and not self._fired
 
     def _mark_fired(self) -> None:
         self._fired = True

@@ -7,6 +7,17 @@ endpoints, monitors) interact with the world only by scheduling events, so
 a run is a pure function of its inputs: repeated runs produce identical
 traces, which the reproduction experiments rely on.
 
+Two hot-path details matter for throughput:
+
+- Heap entries are ``(time, priority, sequence, event)`` tuples, so heap
+  sifting compares plain tuples at C speed instead of invoking the
+  dataclass ``__lt__`` of :class:`Event`.
+- Cancelled events stay in the calendar (cancellation is O(1)) but are
+  counted, and when they exceed :attr:`COMPACT_CANCELLED_FRACTION` of a
+  sufficiently large calendar the heap is compacted in one pass.  Without
+  this, refreshed retransmit timers leave a trail of dead entries that
+  inflate every subsequent push/pop.
+
 Example
 -------
 >>> sim = Simulator()
@@ -27,6 +38,8 @@ from repro.errors import SimulationError
 
 __all__ = ["Simulator"]
 
+_NORMAL = int(EventPriority.NORMAL)
+
 
 class Simulator:
     """A deterministic discrete-event scheduler.
@@ -37,13 +50,19 @@ class Simulator:
         Initial virtual clock value in seconds.  Defaults to zero.
     """
 
+    #: Calendar size below which compaction is never attempted.
+    COMPACT_MIN_EVENTS = 128
+    #: Cancelled fraction above which the calendar is compacted.
+    COMPACT_CANCELLED_FRACTION = 0.5
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, int, Event]] = []
         self._sequence = 0
         self._running = False
         self._events_processed = 0
         self._stop_requested = False
+        self._cancelled_pending = 0
 
     # ------------------------------------------------------------------
     # Clock
@@ -60,7 +79,17 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still in the calendar (including cancelled)."""
+        """Number of live (non-cancelled) events still in the calendar."""
+        return len(self._heap) - self._cancelled_pending
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Number of cancelled events still occupying calendar slots."""
+        return self._cancelled_pending
+
+    @property
+    def calendar_size(self) -> int:
+        """Raw calendar length, cancelled entries included."""
         return len(self._heap)
 
     # ------------------------------------------------------------------
@@ -78,10 +107,21 @@ class Simulator:
 
         Returns the :class:`Event`, whose :meth:`~Event.cancel` method can
         be used to revoke it (e.g. retransmit timers that get refreshed).
+
+        This is the hot path — the vast majority of events are label-less
+        relative schedules — so the push is inlined rather than delegated
+        to :meth:`schedule_at`.
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, priority=priority, label=label)
+        time = self._now + delay
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        prio = _NORMAL if priority is EventPriority.NORMAL else int(priority)
+        event = Event(time, prio, sequence, callback, label)
+        event._owner = self
+        heapq.heappush(self._heap, (time, prio, sequence, event))
+        return event
 
     def schedule_at(
         self,
@@ -96,15 +136,13 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} which is before now={self._now}"
             )
-        event = Event(
-            time=float(time),
-            priority=int(priority),
-            sequence=self._sequence,
-            callback=callback,
-            label=label,
-        )
-        self._sequence += 1
-        heapq.heappush(self._heap, event)
+        time = float(time)
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        prio = int(priority)
+        event = Event(time, prio, sequence, callback, label)
+        event._owner = self
+        heapq.heappush(self._heap, (time, prio, sequence, event))
         return event
 
     # ------------------------------------------------------------------
@@ -122,20 +160,24 @@ class Simulator:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         self._stop_requested = False
+        heap = self._heap
+        pop = heapq.heappop
         try:
-            while self._heap:
+            while heap:
                 if self._stop_requested:
                     break
                 if max_events is not None and self._events_processed >= max_events:
                     break
-                event = self._heap[0]
-                if until is not None and event.time > until:
+                entry = heap[0]
+                if until is not None and entry[0] > until:
                     break
-                heapq.heappop(self._heap)
+                pop(heap)
+                event = entry[3]
                 if event.cancelled:
+                    self._cancelled_pending -= 1
                     continue
-                self._now = event.time
-                event._mark_fired()
+                self._now = entry[0]
+                event._fired = True
                 event.callback()
                 self._events_processed += 1
         finally:
@@ -149,11 +191,13 @@ class Simulator:
         Returns ``True`` if an event ran, ``False`` if the calendar is empty.
         """
         while self._heap:
-            event = heapq.heappop(self._heap)
+            entry = heapq.heappop(self._heap)
+            event = entry[3]
             if event.cancelled:
+                self._cancelled_pending -= 1
                 continue
-            self._now = event.time
-            event._mark_fired()
+            self._now = entry[0]
+            event._fired = True
             event.callback()
             self._events_processed += 1
             return True
@@ -165,6 +209,38 @@ class Simulator:
 
     def peek_time(self) -> float | None:
         """Time of the next pending event, or ``None`` if none remain."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+            self._cancelled_pending -= 1
+        return heap[0][0] if heap else None
+
+    # ------------------------------------------------------------------
+    # Cancellation accounting
+    # ------------------------------------------------------------------
+    def compact(self) -> int:
+        """Drop cancelled entries from the calendar and re-heapify.
+
+        Returns the number of entries removed.  Safe to call at any time;
+        :meth:`run` triggers it automatically via :meth:`Event.cancel`
+        when the cancelled fraction crosses
+        :attr:`COMPACT_CANCELLED_FRACTION`.
+        """
+        if not self._cancelled_pending:
+            return 0
+        heap = self._heap
+        before = len(heap)
+        # In place: run() holds a local alias to the heap list across
+        # callbacks, and a callback may trigger this compaction.
+        heap[:] = [entry for entry in heap if not entry[3].cancelled]
+        heapq.heapify(heap)
+        self._cancelled_pending = 0
+        return before - len(heap)
+
+    def _event_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel` for events owned by this calendar."""
+        self._cancelled_pending += 1
+        heap_len = len(self._heap)
+        if (heap_len >= self.COMPACT_MIN_EVENTS
+                and self._cancelled_pending > heap_len * self.COMPACT_CANCELLED_FRACTION):
+            self.compact()

@@ -1,0 +1,33 @@
+"""Parallel sweep execution and the content-addressed result cache.
+
+Public surface:
+
+- :class:`~repro.parallel.runner.ParallelSweepRunner` — fans independent
+  scenario runs over a worker pool, in deterministic input order.
+- :class:`~repro.parallel.cache.ResultCache` — on-disk measurement cache
+  keyed by the SHA-256 of the canonical config JSON.
+- :func:`~repro.parallel.cache.cache_key` / helpers for addressing.
+
+The convenient entry points are the ``jobs=`` / ``cache=`` keywords on
+:func:`repro.scenarios.sweeps.sweep` and the ``repro sweep`` CLI command;
+this package is the machinery underneath.
+"""
+
+from repro.parallel.cache import (
+    CACHE_SCHEMA_VERSION,
+    ResultCache,
+    cache_key,
+    canonical_config_json,
+    default_cache_dir,
+)
+from repro.parallel.runner import ParallelSweepRunner, resolve_cache
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "ResultCache",
+    "ParallelSweepRunner",
+    "cache_key",
+    "canonical_config_json",
+    "default_cache_dir",
+    "resolve_cache",
+]

@@ -1,0 +1,186 @@
+"""Content-addressed on-disk cache for sweep measurements.
+
+Simulations here are pure functions of their :class:`ScenarioConfig`, so
+a finished run's extracted measurements can be keyed by the config alone:
+the key is the SHA-256 of the canonical (sorted, compact) JSON form of
+:func:`~repro.scenarios.serialize.config_to_dict`, prefixed with a cache
+schema version.  Because the extractor decides *which* numbers are pulled
+out of a run, its fingerprint (qualified name + source hash) is folded
+into the key too — editing an extractor invalidates its entries without
+touching anybody else's.
+
+Entries are single JSON files under ``~/.cache/repro`` (override with
+``REPRO_CACHE_DIR`` or ``XDG_CACHE_HOME``), written atomically via a
+temp-file rename so concurrent sweep workers never observe torn entries.
+Bumping :data:`CACHE_SCHEMA_VERSION` orphans all old entries at once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import Callable
+
+from repro.scenarios.config import ScenarioConfig
+from repro.scenarios.serialize import config_to_dict
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "ResultCache",
+    "cache_key",
+    "canonical_config_json",
+    "default_cache_dir",
+]
+
+#: Bump when the meaning of cached measurements changes (engine semantics,
+#: serialization format, ...) to invalidate every existing entry.
+CACHE_SCHEMA_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``,
+    else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def canonical_config_json(config: ScenarioConfig) -> str:
+    """The canonical JSON serialization used for content addressing.
+
+    Sorted keys and compact separators make the byte stream independent
+    of dict construction order, so equal configs always hash equally.
+    """
+    return json.dumps(config_to_dict(config), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def _extractor_fingerprint(extract: Callable | None) -> str:
+    """A stable identity for the measurement extractor.
+
+    Module-level functions hash their qualified name plus source text, so
+    renaming or editing the extractor invalidates its cache entries.  For
+    objects without retrievable source, the qualified name alone is used.
+    """
+    if extract is None:
+        return ""
+    name = f"{getattr(extract, '__module__', '?')}.{getattr(extract, '__qualname__', repr(extract))}"
+    try:
+        source = inspect.getsource(extract)
+    except (OSError, TypeError):
+        source = ""
+    digest = hashlib.sha256(source.encode()).hexdigest()[:16]
+    return f"{name}:{digest}"
+
+
+def cache_key(config: ScenarioConfig, extract: Callable | None = None) -> str:
+    """The content address of one (config, extractor) measurement set."""
+    blob = "|".join((
+        f"v{CACHE_SCHEMA_VERSION}",
+        canonical_config_json(config),
+        _extractor_fingerprint(extract),
+    ))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ResultCache:
+    """On-disk measurement store addressed by :func:`cache_key`.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; defaults to :func:`default_cache_dir`.  Created
+        lazily on first write.
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Raw key interface
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.root / f"v{CACHE_SCHEMA_VERSION}" / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The stored measurements for ``key``, or ``None`` on a miss.
+
+        Unreadable/corrupt entries count as misses and are removed.
+        """
+        path = self._path(key)
+        try:
+            with path.open() as handle:
+                document = json.load(handle)
+            measurements = document["measurements"]
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError):
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return measurements
+
+    def put(self, key: str, measurements: dict,
+            config: ScenarioConfig | None = None) -> Path:
+        """Store ``measurements`` under ``key`` (atomic write).
+
+        The originating config document is stored alongside for
+        debuggability (``repro``'s cache files are self-describing).
+        """
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "config": config_to_dict(config) if config is not None else None,
+            "measurements": measurements,
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("w") as handle:
+            json.dump(document, handle, indent=2)
+        tmp.replace(path)
+        return path
+
+    # ------------------------------------------------------------------
+    # Config-level interface
+    # ------------------------------------------------------------------
+    def get_config(self, config: ScenarioConfig,
+                   extract: Callable | None = None) -> dict | None:
+        """Cached measurements for a (config, extractor) pair, if any."""
+        return self.get(cache_key(config, extract))
+
+    def put_config(self, config: ScenarioConfig, measurements: dict,
+                   extract: Callable | None = None) -> Path:
+        """Store measurements for a (config, extractor) pair."""
+        return self.put(cache_key(config, extract), measurements, config=config)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        version_dir = self.root / f"v{CACHE_SCHEMA_VERSION}"
+        if not version_dir.is_dir():
+            return 0
+        return sum(1 for _ in version_dir.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry of the current schema; returns the count."""
+        count = len(self)
+        shutil.rmtree(self.root / f"v{CACHE_SCHEMA_VERSION}",
+                      ignore_errors=True)
+        return count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ResultCache(root={str(self.root)!r}, entries={len(self)}, "
+                f"hits={self.hits}, misses={self.misses})")

@@ -1,0 +1,209 @@
+"""Fan sweep points out over a multiprocessing worker pool.
+
+Every scenario here is deterministic and independent, which makes sweep
+families embarrassingly parallel: the runner pickles each
+:class:`ScenarioConfig` to a worker (spawn-safe — configs are plain
+frozen dataclasses), runs it there, applies the caller's extractor in
+the worker so only small measurement dicts travel back, and reassembles
+results in deterministic input order regardless of completion order.
+
+Combined with the content-addressed :class:`~repro.parallel.cache.ResultCache`
+the runner skips simulation entirely for points it has seen before, so a
+warm re-run of a benchmark sweep costs milliseconds.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import sys
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.parallel.cache import ResultCache
+from repro.scenarios.config import ScenarioConfig
+from repro.scenarios.runner import ScenarioResult
+from repro.scenarios.runner import run as run_scenario
+
+__all__ = ["ParallelSweepRunner", "resolve_cache"]
+
+
+def resolve_cache(cache) -> ResultCache | None:
+    """Normalize the user-facing ``cache=`` argument.
+
+    ``None``/``False`` disable caching, ``True`` uses the default cache
+    directory, a path opens a cache there, and a :class:`ResultCache` is
+    used as-is.
+    """
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return ResultCache()
+    if isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+def _check_spawnable_main() -> None:
+    """Refuse pool creation when spawn cannot re-import ``__main__``.
+
+    A ``__main__`` fed from stdin (``python - <<EOF``) reports a
+    ``__file__`` of ``<stdin>`` that spawn children try — and fail — to
+    re-run, and the pool replaces the crashing workers forever.  Raising
+    here turns an infinite hang into an actionable error.
+    """
+    process = multiprocessing.current_process()
+    if process.daemon or process.name != "MainProcess":
+        raise ConfigurationError(
+            "parallel sweeps cannot be started from a worker process; "
+            "guard the sweep call with `if __name__ == \"__main__\":` so "
+            "spawn children do not re-run it on import."
+        )
+    main = sys.modules.get("__main__")
+    if main is None or getattr(main, "__spec__", None) is not None:
+        return
+    main_file = getattr(main, "__file__", None)
+    if main_file is not None and not os.path.exists(main_file):
+        raise ConfigurationError(
+            "jobs > 1 needs a __main__ module that worker processes can "
+            f"re-import, but it came from {main_file!r} (a piped script or "
+            "REPL). Run from a real file or use jobs=1."
+        )
+
+
+def _execute_point(task: tuple) -> tuple[int, dict]:
+    """Worker body: run one config and extract its measurements.
+
+    Module-level so it pickles by reference under the spawn start method.
+    """
+    index, config, extract = task
+    return index, extract(run_scenario(config))
+
+
+class ParallelSweepRunner:
+    """Executes families of independent scenarios, optionally in parallel
+    and through the result cache.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count.  ``1`` runs everything serially in-process
+        (no pickling requirements).
+    cache:
+        Anything :func:`resolve_cache` accepts.
+    chunksize:
+        Points handed to a worker per dispatch; defaults to roughly four
+        chunks per worker so stragglers stay balanced.
+    start_method:
+        The multiprocessing start method.  ``spawn`` (default) works on
+        every platform and never inherits dirty parent state.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache=None,
+        chunksize: int | None = None,
+        start_method: str = "spawn",
+    ) -> None:
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = int(jobs)
+        self.cache = resolve_cache(cache)
+        self.chunksize = chunksize
+        self.start_method = start_method
+
+    # ------------------------------------------------------------------
+    # Core
+    # ------------------------------------------------------------------
+    def run_configs(
+        self,
+        configs: Sequence[ScenarioConfig],
+        extract: Callable[[ScenarioResult], dict],
+        on_point: Callable[[int, dict], None] | None = None,
+    ) -> list[dict]:
+        """Measurements for each config, in input order.
+
+        ``on_point(index, measurements)`` fires as each point becomes
+        available — cache hits first, then simulations in completion
+        order — so long sweeps can report progress.
+        """
+        for config in configs:
+            if not isinstance(config, ScenarioConfig):
+                raise ConfigurationError("make_config must return a ScenarioConfig")
+
+        results: list[dict | None] = [None] * len(configs)
+        cache = self.cache
+        pending: list[int] = []
+        if cache is not None:
+            for index, config in enumerate(configs):
+                hit = cache.get_config(config, extract)
+                if hit is None:
+                    pending.append(index)
+                else:
+                    results[index] = hit
+                    if on_point is not None:
+                        on_point(index, hit)
+        else:
+            pending = list(range(len(configs)))
+
+        def complete(index: int, measurements: dict) -> None:
+            results[index] = measurements
+            if cache is not None:
+                cache.put_config(configs[index], measurements, extract)
+            if on_point is not None:
+                on_point(index, measurements)
+
+        jobs = min(self.jobs, len(pending))
+        if jobs <= 1:
+            for index in pending:
+                complete(index, extract(run_scenario(configs[index])))
+        else:
+            _check_spawnable_main()
+            try:
+                pickle.dumps(extract)
+            except Exception as exc:
+                raise ConfigurationError(
+                    "extract must be a module-level (picklable) callable "
+                    f"when jobs > 1: {exc}"
+                ) from exc
+            tasks = [(index, configs[index], extract) for index in pending]
+            chunksize = self.chunksize or max(1, len(tasks) // (jobs * 4))
+            context = multiprocessing.get_context(self.start_method)
+            with context.Pool(processes=jobs) as pool:
+                for index, measurements in pool.imap_unordered(
+                        _execute_point, tasks, chunksize=chunksize):
+                    complete(index, measurements)
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Sweep-shaped front end
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        make_config: Callable[[object], ScenarioConfig],
+        values: Iterable[object],
+        extract: Callable[[ScenarioResult], dict],
+        on_point: Callable | None = None,
+    ) -> list:
+        """Run ``make_config(v)`` for each value; the parallel ``sweep()``.
+
+        Returns :class:`~repro.scenarios.sweeps.SweepPoint` objects in
+        input order.  ``on_point`` receives each finished ``SweepPoint``.
+        """
+        from repro.scenarios.sweeps import SweepPoint
+
+        values = list(values)
+        if not values:
+            raise ConfigurationError("sweep needs at least one value")
+        configs = [make_config(value) for value in values]
+
+        wrapped = None
+        if on_point is not None:
+            def wrapped(index: int, measurements: dict) -> None:
+                on_point(SweepPoint(value=values[index], measurements=measurements))
+
+        measurements = self.run_configs(configs, extract, on_point=wrapped)
+        return [SweepPoint(value=value, measurements=m)
+                for value, m in zip(values, measurements)]

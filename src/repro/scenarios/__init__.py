@@ -1,6 +1,6 @@
 """Scenario layer: declarative configs and the paper's named runs."""
 
-from repro.scenarios import paper
+from repro.scenarios import families, paper
 from repro.scenarios.builder import BuiltScenario, build
 from repro.scenarios.config import FlowKind, FlowSpec, ScenarioConfig, TopologyKind
 from repro.scenarios.runner import ScenarioResult, run
@@ -22,6 +22,7 @@ __all__ = [
     "run",
     "ScenarioResult",
     "paper",
+    "families",
     "SweepPoint",
     "sweep",
     "utilization_sweep",

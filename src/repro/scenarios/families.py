@@ -1,0 +1,160 @@
+"""Named sweep families: picklable config factories and extractors.
+
+Parallel sweeps pickle the ``make_config`` products and the ``extract``
+callable to worker processes, and the result cache fingerprints the
+extractor's source.  Both want *module-level* functions — closures and
+lambdas neither pickle nor fingerprint stably — so the sweep families
+shared by the CLI (``repro sweep``), the benchmarks, and the tests live
+here.  Partial application (``functools.partial``) of these functions is
+picklable too and is the supported way to fix durations or seeds.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios import paper
+from repro.scenarios.config import ScenarioConfig
+from repro.scenarios.runner import ScenarioResult
+from repro.units import LARGE_PIPE_PROPAGATION, SMALL_PIPE_PROPAGATION
+
+__all__ = [
+    "CONJECTURE_CASES",
+    "BUFFER_SIZES",
+    "buffer_config",
+    "buffer_duration",
+    "conjecture_config",
+    "fixed_window_config",
+    "one_way_buffer_config",
+    "identity_config",
+    "utilization_extract",
+    "timeouts_extract",
+    "lockstep_extract",
+    "compression_extract",
+    "epoch_pattern_extract",
+]
+
+#: The Section 4.3.3 zero-ACK conjecture grid: (W1, W2, tau) with W1 >= W2.
+#: Dense on both sides of the W1 = W2 + 2P boundary for both pipe sizes
+#: (right buffer sizing and regime mapping need grids, not spot checks).
+CONJECTURE_CASES: tuple[tuple[int, int, float], ...] = (
+    (30, 25, SMALL_PIPE_PROPAGATION),
+    (30, 5, SMALL_PIPE_PROPAGATION),
+    (35, 20, SMALL_PIPE_PROPAGATION),
+    (28, 14, SMALL_PIPE_PROPAGATION),
+    (33, 11, SMALL_PIPE_PROPAGATION),
+    (25, 10, SMALL_PIPE_PROPAGATION),
+    (30, 25, LARGE_PIPE_PROPAGATION),
+    (20, 18, LARGE_PIPE_PROPAGATION),
+    (40, 10, LARGE_PIPE_PROPAGATION),
+    (26, 25, LARGE_PIPE_PROPAGATION),
+    (50, 10, LARGE_PIPE_PROPAGATION),
+    (45, 15, LARGE_PIPE_PROPAGATION),
+    (22, 20, LARGE_PIPE_PROPAGATION),
+    (35, 30, LARGE_PIPE_PROPAGATION),
+    (28, 26, LARGE_PIPE_PROPAGATION),
+    (60, 20, LARGE_PIPE_PROPAGATION),
+    (55, 5, LARGE_PIPE_PROPAGATION),
+    (32, 28, LARGE_PIPE_PROPAGATION),
+)
+
+#: The Section 4.3.1 buffer grid showing flat two-way utilization.
+BUFFER_SIZES: tuple[int, ...] = (20, 60, 120)
+
+
+# ----------------------------------------------------------------------
+# Config factories (``make_config`` candidates)
+# ----------------------------------------------------------------------
+def conjecture_config(case: tuple[int, int, float],
+                      duration: float = 150.0,
+                      warmup: float = 100.0) -> ScenarioConfig:
+    """A zero-ACK fixed-window run for one ``(w1, w2, tau)`` case."""
+    w1, w2, tau = case
+    return paper.zero_ack_fixed_window(w1, w2, tau,
+                                       duration=duration, warmup=warmup)
+
+
+def fixed_window_config(case: tuple[int, int, float],
+                        duration: float = 200.0,
+                        warmup: float = 100.0) -> ScenarioConfig:
+    """A 50-byte-ACK fixed-window run (the figure 8/9 family)."""
+    w1, w2, tau = case
+    return paper.fixed_window_two_way(w1, w2, tau,
+                                      duration=duration, warmup=warmup)
+
+
+def buffer_duration(buffers: int,
+                    base_duration: float = 300.0,
+                    base_warmup: float = 120.0) -> tuple[float, float]:
+    """(duration, warmup) scaled to the buffer size.
+
+    The two-way increase-decrease cycle grows ~linearly with the buffer
+    (~230 s at B=120), so runs are stretched until steady state dominates.
+    """
+    scale = max(1.0, buffers / 24.0)
+    return base_duration * scale, base_warmup * scale
+
+
+def buffer_config(buffers: int,
+                  base_duration: float = 300.0,
+                  base_warmup: float = 120.0) -> ScenarioConfig:
+    """The figure-4 two-way scenario at one buffer size, duration-scaled."""
+    duration, warmup = buffer_duration(buffers, base_duration, base_warmup)
+    return paper.figure4(buffer_packets=buffers,
+                         duration=duration, warmup=warmup)
+
+
+def one_way_buffer_config(buffers: int,
+                          duration: float = 250.0,
+                          warmup: float = 100.0) -> ScenarioConfig:
+    """The contrasting one-way case: idle time shrinks as buffers grow."""
+    return paper.one_way(n_connections=3, propagation=1.0,
+                         buffer_packets=buffers,
+                         duration=duration, warmup=warmup)
+
+
+def identity_config(config: ScenarioConfig) -> ScenarioConfig:
+    """``make_config`` for sweeps whose values already *are* configs
+    (ablation pairs and other heterogeneous families)."""
+    return config
+
+
+# ----------------------------------------------------------------------
+# Extractors (``extract`` candidates)
+# ----------------------------------------------------------------------
+def utilization_extract(result: ScenarioResult) -> dict[str, float]:
+    """Per-direction bottleneck utilization — the workhorse measurement."""
+    return {f"util:{name}": util
+            for name, util in result.utilizations().items()}
+
+
+def timeouts_extract(result: ScenarioResult) -> dict[str, float]:
+    """Total retransmission timeouts across all senders."""
+    return {"timeouts": float(sum(c.sender.timeouts
+                                  for c in result.connections))}
+
+
+def lockstep_extract(result: ScenarioResult) -> dict[str, float]:
+    """Per-connection send counts plus queue phase correlation."""
+    out = {f"sent:{c.conn_id}": float(c.sender.packets_sent)
+           for c in result.connections}
+    out["queue_correlation"] = float(result.queue_sync().correlation)
+    return out
+
+
+def compression_extract(result: ScenarioResult) -> dict[str, float]:
+    """ACK-compression factor observed by connection 1."""
+    return {"compression_factor":
+            float(result.ack_compression(1).compression_factor)}
+
+
+def epoch_pattern_extract(result: ScenarioResult) -> dict[str, float]:
+    """Loss-epoch sharing pattern (drop-tail vs Random Drop signature)."""
+    epochs = result.epochs()
+    n = len(epochs)
+    single = sum(1 for e in epochs if len(e.connections) == 1) / n if n else 0.0
+    shared = sum(1 for e in epochs if len(e.connections) == 2) / n if n else 0.0
+    return {
+        "epochs": float(n),
+        "single_loser_fraction": single,
+        "shared_loss_fraction": shared,
+        "utilization": result.utilization(),
+    }

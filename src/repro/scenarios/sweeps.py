@@ -4,6 +4,15 @@ Run a family of scenarios differing in one or two parameters and
 collect a uniform record per run — the pattern behind the paper's
 buffer-size and pipe-size observations, packaged for reuse by examples
 and benchmarks.
+
+Sweep points are independent deterministic runs, so :func:`sweep` can
+fan them over a process pool (``jobs=N``) and memoize finished points in
+the content-addressed on-disk cache (``cache=True``); see
+:mod:`repro.parallel`.  Results are always returned in input order and
+are identical whatever the ``jobs`` setting.  With ``jobs > 1`` the
+``make_config`` values and the ``extract`` callable must be picklable —
+use module-level functions such as the ones in
+:mod:`repro.scenarios.families`.
 """
 
 from __future__ import annotations
@@ -13,7 +22,8 @@ from typing import Callable, Iterable
 
 from repro.errors import ConfigurationError
 from repro.scenarios.config import ScenarioConfig
-from repro.scenarios.runner import ScenarioResult, run
+from repro.scenarios.families import utilization_extract
+from repro.scenarios.runner import ScenarioResult
 
 __all__ = ["SweepPoint", "sweep", "utilization_sweep"]
 
@@ -30,6 +40,10 @@ def sweep(
     make_config: Callable[[object], ScenarioConfig],
     values: Iterable[object],
     extract: Callable[[ScenarioResult], dict[str, float]],
+    *,
+    jobs: int = 1,
+    cache: object = None,
+    on_point: Callable[[SweepPoint], None] | None = None,
 ) -> list[SweepPoint]:
     """Run ``make_config(v)`` for each value and extract measurements.
 
@@ -38,28 +52,40 @@ def sweep(
     make_config:
         Builds the scenario for one swept value.
     values:
-        The parameter values, run in order.
+        The parameter values; results come back in this order.  An empty
+        iterable is a configuration error — a sweep with no points is
+        always a bug at the call site.
     extract:
-        Maps a finished :class:`ScenarioResult` to named numbers.
+        Maps a finished :class:`ScenarioResult` to named numbers.  Runs
+        in the worker process when ``jobs > 1`` so only small dicts
+        cross process boundaries.
+    jobs:
+        Worker processes; ``1`` (default) runs serially in-process.
+    cache:
+        ``True`` for the default on-disk cache, a path or
+        :class:`~repro.parallel.cache.ResultCache` for a specific one,
+        ``None``/``False`` (default) to disable.
+    on_point:
+        Progress callback invoked with each finished :class:`SweepPoint`
+        (cache hits first, then completions).
     """
-    points: list[SweepPoint] = []
-    for value in values:
-        config = make_config(value)
-        if not isinstance(config, ScenarioConfig):
-            raise ConfigurationError("make_config must return a ScenarioConfig")
-        result = run(config)
-        points.append(SweepPoint(value=value, measurements=extract(result)))
-    return points
+    from repro.parallel.runner import ParallelSweepRunner
+
+    values = list(values)
+    if not values:
+        raise ConfigurationError("sweep needs at least one value")
+    runner = ParallelSweepRunner(jobs=jobs, cache=cache)
+    return runner.run(make_config, values, extract, on_point=on_point)
 
 
 def utilization_sweep(
     make_config: Callable[[object], ScenarioConfig],
     values: Iterable[object],
+    *,
+    jobs: int = 1,
+    cache: object = None,
+    on_point: Callable[[SweepPoint], None] | None = None,
 ) -> list[SweepPoint]:
     """A sweep whose measurements are the per-direction utilizations."""
-
-    def extract(result: ScenarioResult) -> dict[str, float]:
-        return {f"util:{name}": util
-                for name, util in result.utilizations().items()}
-
-    return sweep(make_config, values, extract)
+    return sweep(make_config, values, utilization_extract,
+                 jobs=jobs, cache=cache, on_point=on_point)

@@ -58,3 +58,28 @@ class TestLifecycle:
         a = Event(time=1.0, priority=1, sequence=1, callback=lambda: 1)
         b = Event(time=1.0, priority=1, sequence=1, callback=lambda: 2)
         assert not a < b and not b < a
+
+
+class TestFootprint:
+    def test_events_are_slotted(self):
+        event = _event()
+        assert not hasattr(event, "__dict__")
+
+    def test_fired_flag_is_a_real_field(self):
+        event = _event()
+        assert event._fired is False
+        event._mark_fired()
+        assert event._fired is True
+
+    def test_double_cancel_notifies_owner_once(self):
+        calls = []
+
+        class Owner:
+            def _event_cancelled(self):
+                calls.append(1)
+
+        event = _event()
+        event._owner = Owner()
+        event.cancel()
+        event.cancel()
+        assert calls == [1]

@@ -190,3 +190,119 @@ class TestRunControl:
         assert sim.pending_events == 2
         sim.run()
         assert sim.pending_events == 0
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        victim = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        victim.cancel()
+        assert sim.pending_events == 1
+        assert sim.cancelled_pending == 1
+        assert sim.calendar_size == 2
+
+
+class TestCompaction:
+    def test_manual_compact_drops_cancelled_entries(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        for event in events[:4]:
+            event.cancel()
+        assert sim.compact() == 4
+        assert sim.calendar_size == 6
+        assert sim.cancelled_pending == 0
+        sim.run()
+        assert sim.events_processed == 6
+
+    def test_compact_on_clean_calendar_is_a_noop(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        assert sim.compact() == 0
+        assert sim.calendar_size == 1
+
+    def test_automatic_compaction_bounds_the_calendar(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None)
+                  for i in range(1000)]
+        for event in events[:600]:
+            event.cancel()
+        # Cancelling crossed the threshold, so dead entries were dropped.
+        assert sim.calendar_size < 1000
+        assert sim.pending_events == 400
+        assert sim.calendar_size - sim.cancelled_pending == 400
+        sim.run()
+        assert sim.events_processed == 400
+
+    def test_small_calendars_are_never_compacted(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        for event in events:
+            event.cancel()
+        assert sim.calendar_size == 10  # below COMPACT_MIN_EVENTS
+        assert sim.pending_events == 0
+        sim.run()
+        assert sim.events_processed == 0
+        assert sim.calendar_size == 0
+        assert sim.cancelled_pending == 0
+
+    def test_timer_churn_stays_bounded(self):
+        """The refreshed retransmit-timer pattern must not accumulate
+        dead calendar entries."""
+        sim = Simulator()
+        stale = None
+        for _ in range(10_000):
+            if stale is not None:
+                stale.cancel()
+            stale = sim.schedule(1_000.0, lambda: None)
+        assert sim.pending_events == 1
+        assert sim.calendar_size < 1000
+        sim.run()
+        assert sim.events_processed == 1
+
+    def test_ordering_preserved_across_compaction(self):
+        sim = Simulator()
+        order = []
+        keep = []
+        for i in range(300):
+            event = sim.schedule(float(i + 1), lambda i=i: order.append(i))
+            if i % 3 == 0:
+                keep.append(i)
+            else:
+                event.cancel()
+        sim.run()
+        assert order == keep
+
+    def test_compaction_during_run_keeps_future_events(self):
+        """A callback that triggers auto-compaction must not detach the
+        running loop from the calendar: events scheduled afterwards (and
+        events already pending) still execute."""
+        sim = Simulator()
+        fired = []
+
+        def churn_and_reschedule():
+            # Cross the compaction threshold from inside a callback.
+            doomed = [sim.schedule(50.0, lambda: None) for _ in range(300)]
+            for event in doomed:
+                event.cancel()
+            sim.schedule(1.0, lambda: fired.append("after-compaction"))
+
+        sim.schedule(1.0, churn_and_reschedule)
+        sim.schedule(10.0, lambda: fired.append("pre-existing"))
+        sim.run()
+        assert fired == ["after-compaction", "pre-existing"]
+        assert sim.calendar_size == 0
+
+    def test_peek_time_updates_cancelled_accounting(self):
+        sim = Simulator()
+        first = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        first.cancel()
+        assert sim.cancelled_pending == 1
+        assert sim.peek_time() == 2.0
+        assert sim.cancelled_pending == 0
+
+    def test_cancel_after_firing_does_not_corrupt_accounting(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.run()
+        event.cancel()
+        assert sim.cancelled_pending == 0

@@ -1,0 +1,127 @@
+"""Unit tests for repro.parallel.runner.
+
+The parallel-vs-serial equivalence tests use short fixed-window runs:
+spawn workers cost real wall time, so the grid is small, but the
+assertion is exact — measurements must be byte-identical across paths.
+"""
+
+import functools
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel import ParallelSweepRunner, ResultCache
+from repro.scenarios import families, sweep
+from repro.scenarios.sweeps import SweepPoint
+
+# The fig-8/fig-9 conjecture corner of the grid: small and large pipe.
+CASES = [(30, 25, 0.01), (30, 5, 0.01), (30, 25, 1.0), (26, 25, 1.0)]
+make_config = functools.partial(families.conjecture_config,
+                                duration=30.0, warmup=15.0)
+
+
+class TestSerial:
+    def test_points_in_input_order(self):
+        runner = ParallelSweepRunner(jobs=1)
+        points = runner.run(make_config, CASES[:2],
+                            families.utilization_extract)
+        assert [p.value for p in points] == CASES[:2]
+        for point in points:
+            assert set(point.measurements) == {"util:sw1->sw2",
+                                               "util:sw2->sw1"}
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            ParallelSweepRunner(jobs=0)
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelSweepRunner().run(make_config, [],
+                                      families.utilization_extract)
+
+    def test_non_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelSweepRunner().run(lambda v: "nope", [1],
+                                      families.utilization_extract)
+
+
+class TestParallelEquivalence:
+    def test_jobs4_identical_to_serial(self):
+        serial = sweep(make_config, CASES, families.utilization_extract)
+        parallel = sweep(make_config, CASES, families.utilization_extract,
+                         jobs=4)
+        assert parallel == serial  # byte-identical SweepPoints
+
+    def test_chunked_completion_still_input_ordered(self):
+        runner = ParallelSweepRunner(jobs=2, chunksize=1)
+        points = runner.run(make_config, CASES,
+                            families.utilization_extract)
+        assert [p.value for p in points] == CASES
+
+    def test_unpicklable_extract_is_a_clean_error(self):
+        with pytest.raises(ConfigurationError, match="picklable"):
+            sweep(make_config, CASES[:2], lambda r: {}, jobs=2)
+
+    def test_stdin_main_module_is_a_clean_error(self, monkeypatch):
+        """A __main__ that spawn children cannot re-import (piped stdin
+        script) must raise instead of hanging in a worker respawn loop."""
+        import sys
+        import types
+
+        fake_main = types.ModuleType("__main__")
+        fake_main.__file__ = "<stdin>"
+        fake_main.__spec__ = None
+        monkeypatch.setitem(sys.modules, "__main__", fake_main)
+        with pytest.raises(ConfigurationError, match="re-import"):
+            sweep(make_config, CASES[:2], families.utilization_extract,
+                  jobs=2)
+
+
+class TestCacheIntegration:
+    def test_second_sweep_is_all_hits(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = sweep(make_config, CASES[:2], families.utilization_extract,
+                     cache=cache)
+        assert (cache.hits, cache.misses) == (0, 2)
+        warm = sweep(make_config, CASES[:2], families.utilization_extract,
+                     cache=cache)
+        assert (cache.hits, cache.misses) == (2, 2)
+        assert warm == cold
+
+    def test_parallel_populates_cache_serial_reads_it(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        parallel = sweep(make_config, CASES[:2],
+                         families.utilization_extract,
+                         jobs=2, cache=cache)
+        warm = sweep(make_config, CASES[:2], families.utilization_extract,
+                     cache=cache)
+        assert warm == parallel
+        assert cache.hits == 2
+
+    def test_partial_hits_only_simulate_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        sweep(make_config, CASES[:1], families.utilization_extract,
+              cache=cache)
+        cache.hits = cache.misses = 0
+        points = sweep(make_config, CASES[:2], families.utilization_extract,
+                       cache=cache)
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert [p.value for p in points] == CASES[:2]
+
+
+class TestProgressCallback:
+    def test_on_point_sees_every_point(self):
+        seen = []
+        points = sweep(make_config, CASES[:2], families.utilization_extract,
+                       on_point=seen.append)
+        assert seen == points
+        assert all(isinstance(p, SweepPoint) for p in seen)
+
+    def test_on_point_fires_for_cache_hits(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        sweep(make_config, CASES[:2], families.utilization_extract,
+              cache=cache)
+        seen = []
+        sweep(make_config, CASES[:2], families.utilization_extract,
+              cache=cache, on_point=seen.append)
+        assert [p.value for p in seen] == CASES[:2]

@@ -20,8 +20,19 @@ class TestSweep:
         with pytest.raises(ConfigurationError):
             sweep(lambda v: "not a config", [1], lambda r: {})
 
-    def test_empty_values(self):
-        assert sweep(lambda v: paper.figure4(), [], lambda r: {}) == []
+    def test_empty_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep(lambda v: paper.figure4(), [], lambda r: {})
+
+    def test_on_point_reports_progress_in_order(self):
+        seen = []
+        points = sweep(
+            lambda tau: paper.two_way(tau, duration=30.0, warmup=10.0),
+            [0.01, 1.0],
+            lambda result: {"events": float(result.events_processed)},
+            on_point=seen.append,
+        )
+        assert seen == points
 
 
 class TestUtilizationSweep:

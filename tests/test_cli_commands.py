@@ -56,3 +56,35 @@ class TestRunCommandFast:
         out = capsys.readouterr().out
         assert "PASS" in out
         assert "queue 1 maximum" in out
+
+
+class TestSweepCommand:
+    def test_conjecture_cold_then_warm(self, tmp_path, capsys):
+        from repro.scenarios import families
+
+        n = len(families.CONJECTURE_CASES)
+        cache_dir = str(tmp_path / "cache")
+        assert main(["sweep", "conjecture", "--fast",
+                     "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert f"{n} points" in out
+        assert f"0 hits, {n} misses" in out
+        assert f"[{n}/{n}]" in out
+
+        # Second run resolves every point from the cache.
+        assert main(["sweep", "conjecture", "--fast",
+                     "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert f"{n} hits, 0 misses" in out
+
+    def test_no_cache_flag_disables_caching(self, tmp_path, capsys):
+        assert main(["sweep", "conjecture", "--fast", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "cache: off" in out
+
+    def test_parallel_jobs_accepted(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["sweep", "conjecture", "--fast", "--jobs", "2",
+                     "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "jobs=2" in out
