@@ -2,13 +2,28 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench report figures examples clean
+.PHONY: install test lint bench report figures examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# repro's own determinism linter always runs (stdlib-only); ruff and mypy
+# run when installed and are skipped quietly otherwise (CI installs both).
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro lint src
+	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "ruff not installed; skipping (pip install ruff)"; \
+	fi
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy; \
+	else \
+		echo "mypy not installed; skipping (pip install mypy)"; \
+	fi
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

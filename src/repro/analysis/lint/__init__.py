@@ -1,0 +1,62 @@
+"""Determinism & simulation-correctness static analysis (``repro lint``).
+
+An AST-based linter encoding constraints the discrete-event engine
+depends on but generic linters cannot express:
+
+========  ==============================================================
+RPR000    blanket or unjustified ``# repro: noqa`` suppression
+RPR001    wall-clock time / unseeded randomness in simulation code
+RPR002    ``==``/``!=`` between float simulation timestamps
+RPR003    mutation of an Event's ordering fields after scheduling
+RPR004    unordered (set) iteration in engine/net hot paths
+RPR005    unpicklable (lambda / nested) sweep callables
+RPR006    ``float('inf')`` sentinel timestamps entering the heap
+RPR900    unparseable source
+========  ==============================================================
+
+Use ``repro lint [paths]`` from the CLI, ``repro lint --explain CODE``
+for the rationale behind a rule, and suppress single lines with
+``# repro: noqa[CODE] -- justification``.  The dynamic twins of these
+checks are the runtime sanitizer invariants enabled by
+``Simulator(strict=True)`` or ``REPRO_SANITIZE=1``.
+"""
+
+from repro.analysis.lint.model import (
+    LINT_RULESET_VERSION,
+    RULES,
+    Rule,
+    Violation,
+    explain,
+    get_rule,
+    iter_rules,
+)
+from repro.analysis.lint.noqa import Suppression, parse_suppressions
+from repro.analysis.lint.runner import (
+    LintContext,
+    format_violations,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.lint import rules as _rules  # registers RPR001..RPR006
+
+__all__ = [
+    "LINT_RULESET_VERSION",
+    "RULES",
+    "Rule",
+    "Violation",
+    "Suppression",
+    "LintContext",
+    "explain",
+    "get_rule",
+    "iter_rules",
+    "parse_suppressions",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "iter_python_files",
+    "format_violations",
+]
+
+del _rules

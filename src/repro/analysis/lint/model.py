@@ -1,0 +1,125 @@
+"""Rule registry and violation model for the determinism linter.
+
+A rule is a named check with a stable ``RPRnnn`` code, a one-line
+summary (shown in violation listings) and a longer rationale (shown by
+``repro lint --explain CODE``).  Rules register themselves with the
+:func:`rule` decorator; the registry is what the CLI, the suppression
+layer and the docs generator consume.
+
+The :data:`LINT_RULESET_VERSION` integer is bumped whenever a rule is
+added, removed, or its detection logic changes meaningfully.  The sweep
+result cache records it alongside each entry so a cache file says which
+generation of static checking the producing tree had passed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, TYPE_CHECKING
+
+from repro.errors import LintError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.lint.runner import LintContext
+
+__all__ = [
+    "LINT_RULESET_VERSION",
+    "Violation",
+    "Rule",
+    "RULES",
+    "rule",
+    "iter_rules",
+    "get_rule",
+    "explain",
+]
+
+#: Bump when rules are added/removed or detection logic changes.
+LINT_RULESET_VERSION = 1
+
+CheckFunction = Callable[["LintContext"], Iterator["Violation"]]
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One finding: a rule fired at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    @property
+    def sort_key(self) -> tuple[str, int, int, str]:
+        """Deterministic report order: path, then position, then code."""
+        return (self.path, self.line, self.col, self.code)
+
+    def format(self) -> str:
+        """The canonical ``path:line:col: CODE message`` display form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered static check."""
+
+    code: str
+    name: str
+    summary: str
+    rationale: str
+    check: CheckFunction | None = field(default=None, compare=False)
+
+    def explain(self) -> str:
+        """Multi-line help text for ``repro lint --explain``."""
+        lines = [f"{self.code} ({self.name})", "", self.summary, ""]
+        lines.append(self.rationale.strip())
+        lines.append("")
+        lines.append(
+            f"Suppress a single line with:  # repro: noqa[{self.code}] -- <why>"
+        )
+        return "\n".join(lines)
+
+
+#: code -> Rule, in registration order (insertion-ordered dict).
+RULES: dict[str, Rule] = {}
+
+
+def rule(code: str, name: str, summary: str, rationale: str) -> Callable[[CheckFunction], CheckFunction]:
+    """Class-free registration decorator for rule check functions."""
+
+    def decorator(check: CheckFunction) -> CheckFunction:
+        if code in RULES:
+            raise LintError(f"duplicate lint rule code {code}")
+        RULES[code] = Rule(code=code, name=name, summary=summary,
+                           rationale=rationale, check=check)
+        return check
+
+    return decorator
+
+
+def register_descriptive(code: str, name: str, summary: str, rationale: str) -> None:
+    """Register a rule that has no AST check (emitted by other layers)."""
+    if code in RULES:
+        raise LintError(f"duplicate lint rule code {code}")
+    RULES[code] = Rule(code=code, name=name, summary=summary,
+                       rationale=rationale, check=None)
+
+
+def iter_rules() -> Iterable[Rule]:
+    """All registered rules in code order."""
+    return [RULES[code] for code in sorted(RULES)]
+
+
+def get_rule(code: str) -> Rule:
+    """Look up one rule; raises :class:`LintError` for unknown codes."""
+    normalized = code.strip().upper()
+    try:
+        return RULES[normalized]
+    except KeyError:
+        known = ", ".join(sorted(RULES))
+        raise LintError(f"unknown lint rule {code!r} (known: {known})") from None
+
+
+def explain(code: str) -> str:
+    """The ``--explain`` text for a rule code."""
+    return get_rule(code).explain()

@@ -1,0 +1,444 @@
+"""The simulator-specific AST rules.
+
+These encode determinism and simulation-correctness constraints that
+generic linters cannot express because they need to know what the
+discrete-event engine promises: a run is a pure function of its
+``ScenarioConfig``, event order is ``(time, priority, sequence)``, and
+the multiprocess sweep runner substitutes cached results for re-runs on
+the assumption that both would have been identical.
+
+Static analysis is necessarily approximate.  Each rule documents its
+scope and known blind spots in its rationale; false positives are
+suppressed per line with ``# repro: noqa[CODE] -- why`` (see
+:mod:`repro.analysis.lint.noqa`).  The dynamic twins of these checks
+live in the runtime sanitizer (:mod:`repro.engine.sanitize`).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.model import Violation, rule
+from repro.analysis.lint.runner import LintContext
+
+__all__: list[str] = []
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers
+# ----------------------------------------------------------------------
+def _terminal_name(node: ast.expr) -> str | None:
+    """The rightmost identifier of a Name/Attribute chain, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _violation(ctx: LintContext, node: ast.AST, code: str, message: str) -> Violation:
+    return Violation(
+        path=ctx.path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        code=code,
+        message=message,
+    )
+
+
+def _is_infinite_literal(node: ast.expr) -> bool:
+    """True for ``float('inf')``-style and ``math.inf``-style expressions."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_infinite_literal(node.operand)
+    if isinstance(node, ast.Attribute):
+        return (node.attr in {"inf", "nan"}
+                and isinstance(node.value, ast.Name)
+                and node.value.id in {"math", "numpy", "np"})
+    if (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "float"
+            and len(node.args) == 1
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)):
+        text = node.args[0].value.strip().lower().lstrip("+-")
+        return text in {"inf", "infinity", "nan"}
+    return False
+
+
+# ----------------------------------------------------------------------
+# RPR001 — wall-clock time / unseeded randomness
+# ----------------------------------------------------------------------
+_WALL_CLOCK_TIME_ATTRS = {"time", "time_ns"}
+_WALL_CLOCK_DATETIME_ATTRS = {"now", "utcnow", "today"}
+_ALLOWED_RANDOM_ATTRS = {"Random"}  # seeded construction is the sanctioned path
+_RNG_MODULE = "repro.engine.rng"
+
+
+@rule(
+    "RPR001",
+    "wall-clock-or-unseeded-randomness",
+    "No wall-clock time or unseeded randomness inside `repro` simulation code.",
+    """\
+A simulation run must be a pure function of its ScenarioConfig: the
+parallel sweep cache substitutes an old result for a re-run, and the
+paper's phase effects (in-/out-of-phase synchronization, ACK
+compression) silently flip under tiny perturbations rather than
+crashing.  `time.time()`, `datetime.now()` and module-level `random.*`
+draws make a run depend on when and where it executed.  All randomness
+must flow through the seeded `repro.engine.rng.SimRandom` stream (that
+module is the single exemption); wall-clock reads for *reporting*
+(e.g. `time.perf_counter()` around a sweep, for display only) are
+allowed because they never enter simulation state.""",
+)
+def check_wall_clock(ctx: LintContext) -> Iterator[Violation]:
+    if not ctx.module.startswith("repro"):
+        return
+    if ctx.module == _RNG_MODULE:
+        return
+    # alias -> source module, from `import x as y` / `from m import x as y`.
+    imported_from: dict[str, str] = {}
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                imported_from[name.asname or name.name.split(".")[0]] = name.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for name in node.names:
+                imported_from[name.asname or name.name] = f"{node.module}.{name.name}"
+
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        # time.time() / time.time_ns()
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and imported_from.get(func.value.id, func.value.id) == "time"
+                and func.attr in _WALL_CLOCK_TIME_ATTRS):
+            yield _violation(ctx, node, "RPR001",
+                             f"wall-clock read `time.{func.attr}()` in simulation "
+                             "code; derive times from `Simulator.now`")
+        # datetime.now() / datetime.datetime.now() / date.today()
+        elif (isinstance(func, ast.Attribute)
+              and func.attr in _WALL_CLOCK_DATETIME_ATTRS
+              and _terminal_name(func.value) in {"datetime", "date"}):
+            yield _violation(ctx, node, "RPR001",
+                             f"wall-clock read `{ast.unparse(func)}()` in "
+                             "simulation code")
+        # random.<draw>() for any draw other than seeded Random construction
+        elif (isinstance(func, ast.Attribute)
+              and isinstance(func.value, ast.Name)
+              and imported_from.get(func.value.id, func.value.id) == "random"
+              and func.attr not in _ALLOWED_RANDOM_ATTRS):
+            yield _violation(ctx, node, "RPR001",
+                             f"unseeded randomness `random.{func.attr}()`; draw "
+                             "from a seeded `repro.engine.rng.SimRandom` instead")
+        # from random import randint; randint(...)
+        elif (isinstance(func, ast.Name)
+              and imported_from.get(func.id, "").startswith("random.")
+              and imported_from[func.id].split(".", 1)[1] not in _ALLOWED_RANDOM_ATTRS):
+            yield _violation(ctx, node, "RPR001",
+                             f"unseeded randomness `{func.id}()` (imported from "
+                             "`random`); use `repro.engine.rng.SimRandom`")
+        # os.urandom / uuid.uuid4 — other entropy back doors
+        elif (isinstance(func, ast.Attribute)
+              and isinstance(func.value, ast.Name)
+              and (func.value.id, func.attr) in {("os", "urandom"), ("uuid", "uuid4")}):
+            yield _violation(ctx, node, "RPR001",
+                             f"entropy source `{func.value.id}.{func.attr}()` in "
+                             "simulation code")
+
+
+# ----------------------------------------------------------------------
+# RPR002 — float timestamp equality
+# ----------------------------------------------------------------------
+def _is_time_like(node: ast.expr) -> bool:
+    name = _terminal_name(node)
+    if name is None:
+        return False
+    lowered = name.lower()
+    if lowered in {"now", "time", "expiry"}:
+        return True
+    return "time" in lowered and not lowered.endswith(("times", "timer"))
+
+
+@rule(
+    "RPR002",
+    "timestamp-equality",
+    "No `==`/`!=` between float simulation timestamps; use epsilon helpers.",
+    """\
+Virtual timestamps are floats accumulated through additions
+(`now + delay`), so two paths to "the same" instant can differ in the
+last ulp — e.g. a tick boundary computed as `3 * 0.5` versus
+`0.5 + 0.5 + 0.5`.  Exact equality then silently takes the wrong branch
+and the simulation lands in a different synchronization mode instead of
+crashing.  Compare timestamps with `repro.units.times_close(a, b)` (or
+explicit `<`/`>=` window logic).  The rule flags any `==`/`!=` whose
+operand is a name or attribute containing `time` or named `now`;
+counters like `busy_times` that are genuinely integral can suppress
+with a justification.""",
+)
+def check_timestamp_equality(ctx: LintContext) -> Iterator[Violation]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            # `x == None` is an `is` bug, not a float comparison; E711 turf.
+            if any(isinstance(o, ast.Constant) and o.value is None
+                   for o in (left, right)):
+                continue
+            for side in (left, right):
+                if _is_time_like(side):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield _violation(
+                        ctx, node, "RPR002",
+                        f"`{symbol}` on timestamp `{ast.unparse(side)}`; use "
+                        "`repro.units.times_close()` or ordered comparisons")
+                    break
+
+
+# ----------------------------------------------------------------------
+# RPR003 — mutation of event ordering fields
+# ----------------------------------------------------------------------
+_ORDERING_FIELDS = {"time", "priority", "sequence"}
+_EVENT_INTERNAL_MODULES = {"repro.engine.event", "repro.engine.simulator"}
+
+
+@rule(
+    "RPR003",
+    "event-ordering-mutation",
+    "No mutation of an Event's `time`/`priority`/`sequence` after scheduling.",
+    """\
+The calendar heap snapshots `(time, priority, sequence)` into its entry
+tuple when an event is scheduled.  Mutating those fields afterwards
+desynchronizes the Event from its heap position: the event still fires
+at its *original* time while any code reading `event.time` sees the new
+one, which breaks expiry introspection and — if the heap were ever
+rebuilt, as compaction does — silently reorders execution.  Reschedule
+by cancelling and scheduling a fresh event instead.  The engine's own
+internals (`repro.engine.event` / `repro.engine.simulator`) are exempt;
+the runtime sanitizer enforces the same invariant dynamically by
+checking popped events against their heap entry.""",
+)
+def check_event_field_mutation(ctx: LintContext) -> Iterator[Violation]:
+    if ctx.module in _EVENT_INTERNAL_MODULES:
+        return
+    for node in ast.walk(ctx.tree):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif (isinstance(node, ast.Call)
+              and isinstance(node.func, ast.Name)
+              and node.func.id == "setattr"
+              and len(node.args) >= 2
+              and isinstance(node.args[1], ast.Constant)
+              and node.args[1].value in _ORDERING_FIELDS):
+            yield _violation(ctx, node, "RPR003",
+                             f"setattr of ordering field {node.args[1].value!r} "
+                             "after scheduling; cancel and re-schedule instead")
+            continue
+        for target in targets:
+            # Only attribute stores count: `obj.time = ...` is flagged
+            # wherever it appears (the field names are this distinctive on
+            # purpose); plain locals named `time` are not.
+            if (isinstance(target, ast.Attribute)
+                    and target.attr in _ORDERING_FIELDS):
+                yield _violation(
+                    ctx, node, "RPR003",
+                    f"assignment to ordering field `.{target.attr}`; heap "
+                    "entries snapshot it at schedule time — cancel and "
+                    "re-schedule instead")
+
+
+# ----------------------------------------------------------------------
+# RPR004 — unordered iteration in engine/net hot paths
+# ----------------------------------------------------------------------
+_SET_METHODS = {"intersection", "union", "difference", "symmetric_difference"}
+_DICT_VIEW_METHODS = {"values", "keys", "items"}
+_SCHEDULING_CALLS = {"schedule", "schedule_at", "send", "carry"}
+
+
+def _is_set_expression(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in {"set", "frozenset"}:
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in _SET_METHODS:
+            return True
+    return False
+
+
+def _body_schedules(nodes: list[ast.stmt]) -> bool:
+    for statement in nodes:
+        for node in ast.walk(statement):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _SCHEDULING_CALLS):
+                return True
+    return False
+
+
+@rule(
+    "RPR004",
+    "unordered-hot-path-iteration",
+    "No iteration over set-ordered collections in engine/net hot paths.",
+    """\
+Set iteration order depends on element hashes (PYTHONHASHSEED for
+strings, allocation addresses for objects), so a loop over a set in the
+event engine or the packet path can fire observers, accumulate floats,
+or schedule events in a different order on each run or in each sweep
+worker process — changing which synchronization mode the paper
+scenarios land in, not crashing.  Inside `repro.engine.*` and
+`repro.net.*`, iterate lists/deques, or wrap the set in `sorted(...)`.
+Dict views (`.values()`/`.keys()`/`.items()`) are insertion-ordered in
+Python and are flagged only when the loop body schedules events or
+sends packets — insertion order is deterministic only if every insertion
+site is, so scheduling from a view deserves a justified suppression or
+a sort.""",
+)
+def check_unordered_iteration(ctx: LintContext) -> Iterator[Violation]:
+    if not (ctx.module.startswith("repro.engine")
+            or ctx.module.startswith("repro.net")):
+        return
+    for node in ast.walk(ctx.tree):
+        iters: list[tuple[ast.expr, list[ast.stmt]]] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters.append((node.iter, node.body))
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            iters.extend((gen.iter, []) for gen in node.generators)
+        for iter_expr, body in iters:
+            if _is_set_expression(iter_expr):
+                yield _violation(
+                    ctx, iter_expr, "RPR004",
+                    "iteration over a set in an engine/net hot path; order is "
+                    "hash-dependent — use a list or `sorted(...)`")
+            elif (isinstance(iter_expr, ast.Call)
+                  and isinstance(iter_expr.func, ast.Attribute)
+                  and iter_expr.func.attr in _DICT_VIEW_METHODS
+                  and _body_schedules(body)):
+                yield _violation(
+                    ctx, iter_expr, "RPR004",
+                    f"loop over `.{iter_expr.func.attr}()` schedules events; "
+                    "guarantee a deterministic insertion order or iterate a "
+                    "sorted copy")
+
+
+# ----------------------------------------------------------------------
+# RPR005 — sweep callables must be module-level (picklable)
+# ----------------------------------------------------------------------
+_SWEEP_ENTRYPOINTS = {"sweep", "utilization_sweep", "run_configs"}
+# Argument slots that cross process boundaries under jobs > 1.
+_PICKLED_POSITIONS = {
+    "sweep": (0, 2),            # make_config, extract
+    "utilization_sweep": (0,),  # make_config
+    "run_configs": (1,),        # extract (configs are data, not callables)
+}
+_PICKLED_KEYWORDS = {"make_config", "extract"}
+
+
+def _nested_function_names(tree: ast.Module) -> set[str]:
+    """Names of `def`s defined inside another function (not picklable)."""
+    nested: set[str] = set()
+
+    def visit(node: ast.AST, inside_function: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if inside_function:
+                    nested.add(child.name)
+                visit(child, True)
+            else:
+                visit(child, inside_function)
+
+    visit(tree, False)
+    return nested
+
+
+@rule(
+    "RPR005",
+    "unpicklable-sweep-callable",
+    "Sweep `make_config`/`extract` callables must be module-level functions.",
+    """\
+With `jobs > 1` the sweep runner pickles `make_config` results and the
+`extract` callable to spawn-started worker processes.  Lambdas and
+functions defined inside another function pickle by *reference to a
+qualified name the child cannot import*, so the sweep dies with an
+opaque PicklingError — or worse, works in serial mode and fails only on
+the parallel path CI doesn't exercise.  Define sweep families as
+module-level functions (see `repro.scenarios.families`); the progress
+callback `on_point` runs in the parent and is exempt.  `functools.partial`
+over a module-level function is fine and is not flagged.""",
+)
+def check_sweep_callables(ctx: LintContext) -> Iterator[Violation]:
+    nested = _nested_function_names(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _terminal_name(node.func)
+        if name not in _SWEEP_ENTRYPOINTS:
+            continue
+        candidates: list[ast.expr] = []
+        for position in _PICKLED_POSITIONS[name]:
+            if len(node.args) > position:
+                candidates.append(node.args[position])
+        candidates.extend(
+            keyword.value for keyword in node.keywords
+            if keyword.arg in _PICKLED_KEYWORDS
+        )
+        for argument in candidates:
+            if isinstance(argument, ast.Lambda):
+                yield _violation(
+                    ctx, argument, "RPR005",
+                    f"lambda passed to `{name}()`; lambdas never pickle — "
+                    "use a module-level function (repro.scenarios.families)")
+            elif isinstance(argument, ast.Name) and argument.id in nested:
+                yield _violation(
+                    ctx, argument, "RPR005",
+                    f"nested function `{argument.id}` passed to `{name}()`; "
+                    "spawn workers cannot import it — move it to module level")
+
+
+# ----------------------------------------------------------------------
+# RPR006 — infinite sentinel timestamps entering the heap
+# ----------------------------------------------------------------------
+@rule(
+    "RPR006",
+    "infinite-sentinel-timestamp",
+    "No `float('inf')`/`math.inf` sentinel passed to `schedule`/`schedule_at`.",
+    """\
+An event at `t = inf` never fires but permanently occupies a calendar
+slot, defeats compaction accounting, poisons `peek_time()`, and — with
+`run(until=...)` — turns "calendar drained" into "spin until the wall".
+`inf - inf` and `inf * 0` are NaN, so downstream arithmetic on such a
+timestamp corrupts silently.  Model "never" by *not scheduling* (timers
+already support disarmed state), and open-ended analysis windows with
+`float('inf')` are fine — only scheduling calls are flagged.  The
+runtime sanitizer rejects non-finite timestamps dynamically
+(`Simulator(strict=True)`).""",
+)
+def check_infinite_schedule(ctx: LintContext) -> Iterator[Violation]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _terminal_name(node.func)
+        if name not in {"schedule", "schedule_at"}:
+            continue
+        candidates: list[ast.expr] = []
+        if node.args:
+            candidates.append(node.args[0])
+        candidates.extend(
+            keyword.value for keyword in node.keywords
+            if keyword.arg in {"delay", "time"}
+        )
+        for argument in candidates:
+            if _is_infinite_literal(argument):
+                yield _violation(
+                    ctx, argument, "RPR006",
+                    f"non-finite timestamp `{ast.unparse(argument)}` entering "
+                    "the event heap; model 'never' by not scheduling")

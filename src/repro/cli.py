@@ -9,6 +9,8 @@
     repro figures [-o DIR]          # render every paper figure as text
     repro run-config FILE [--save-traces F]  # run a JSON scenario
     repro sweep conjecture --jobs 4 # parallel, cached parameter sweep
+    repro lint src/                 # determinism static analysis
+    repro lint --explain RPR002     # why a rule exists, how to suppress
 
 Also usable as ``python -m repro ...``.
 """
@@ -77,6 +79,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cache directory (default: ~/.cache/repro)")
     swp_p.add_argument("--fast", action="store_true",
                        help="shorter simulations (smoke mode)")
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="determinism & simulation-correctness static analysis")
+    lint_p.add_argument("paths", nargs="*", default=None, metavar="PATH",
+                        help="files or directories to lint (default: src)")
+    lint_p.add_argument("--explain", default=None, metavar="CODE",
+                        help="print the rationale for one rule code and exit")
+    lint_p.add_argument("--list", action="store_true", dest="list_rules",
+                        help="list all registered rule codes and exit")
     return parser
 
 
@@ -174,6 +186,27 @@ def _cmd_sweep(family: str, jobs: int, no_cache: bool,
     return 0
 
 
+def _cmd_lint(paths: list[str] | None, explain_code: str | None,
+              list_rules: bool) -> int:
+    from repro.analysis.lint import (
+        explain,
+        format_violations,
+        iter_rules,
+        lint_paths,
+    )
+
+    if explain_code is not None:
+        print(explain(explain_code))
+        return 0
+    if list_rules:
+        for rule in iter_rules():
+            print(f"{rule.code}  {rule.name:32}  {rule.summary}")
+        return 0
+    violations = lint_paths(paths or ["src"])
+    print(format_violations(violations))
+    return 1 if violations else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -196,6 +229,8 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "sweep":
             return _cmd_sweep(args.family, args.jobs, args.no_cache,
                               args.cache_dir, args.fast)
+        if args.command == "lint":
+            return _cmd_lint(args.paths, args.explain, args.list_rules)
         if args.command == "run-config":
             from repro.scenarios import load_config, run
 

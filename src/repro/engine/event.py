@@ -10,7 +10,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:
+    from repro.engine.simulator import Simulator
 
 
 class EventPriority(enum.IntEnum):
@@ -44,7 +47,8 @@ class Event:
     label: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
     _fired: bool = field(compare=False, default=False, init=False, repr=False)
-    _owner: object = field(compare=False, default=None, init=False, repr=False)
+    _owner: "Simulator | None" = field(compare=False, default=None, init=False,
+                                       repr=False)
 
     def cancel(self) -> None:
         """Mark the event so it is skipped when popped from the calendar.

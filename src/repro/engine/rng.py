@@ -9,8 +9,11 @@ reproducible from a single integer seed.
 from __future__ import annotations
 
 import random
+from typing import Sequence, TypeVar
 
 __all__ = ["SimRandom"]
+
+T = TypeVar("T")
 
 
 class SimRandom:
@@ -35,10 +38,23 @@ class SimRandom:
             raise ValueError(f"jitter scale must be >= 0, got {scale}")
         return self._rng.uniform(0.0, scale)
 
-    def choice(self, seq):
+    def choice(self, seq: Sequence[T]) -> T:
         """Uniform choice from a non-empty sequence."""
         return self._rng.choice(seq)
 
     def fork(self, stream_id: int) -> "SimRandom":
-        """Derive an independent child stream (stable across runs)."""
+        """Derive an independent child stream (stable across runs).
+
+        ``stream_id`` must be an integer: the derivation uses ``hash()``,
+        which is deterministic for ints but salted per-process for
+        strings and bytes (PYTHONHASHSEED) — a string id would give each
+        spawn-started sweep worker a *different* child seed and silently
+        desynchronize parallel runs from serial ones.
+        """
+        if not isinstance(stream_id, int) or isinstance(stream_id, bool):
+            raise TypeError(
+                f"stream_id must be an int, got {type(stream_id).__name__}: "
+                "str/bytes hashes are salted per-process (PYTHONHASHSEED) and "
+                "would break cross-process determinism"
+            )
         return SimRandom(hash((self._seed, stream_id)) & 0x7FFFFFFF)

@@ -31,9 +31,11 @@ Example
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Callable
 
 from repro.engine.event import Event, EventPriority
+from repro.engine.sanitize import SanitizerError, sanitize_enabled
 from repro.errors import SimulationError
 
 __all__ = ["Simulator"]
@@ -48,6 +50,10 @@ class Simulator:
     ----------
     start_time:
         Initial virtual clock value in seconds.  Defaults to zero.
+    strict:
+        Enable the runtime invariant sanitizer for this simulator
+        (see :mod:`repro.engine.sanitize`).  ``None`` (default) defers
+        to the ``REPRO_SANITIZE`` environment variable.
     """
 
     #: Calendar size below which compaction is never attempted.
@@ -55,7 +61,8 @@ class Simulator:
     #: Cancelled fraction above which the calendar is compacted.
     COMPACT_CANCELLED_FRACTION = 0.5
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(self, start_time: float = 0.0, *,
+                 strict: bool | None = None) -> None:
         self._now = float(start_time)
         self._heap: list[tuple[float, int, int, Event]] = []
         self._sequence = 0
@@ -63,6 +70,7 @@ class Simulator:
         self._events_processed = 0
         self._stop_requested = False
         self._cancelled_pending = 0
+        self._strict = sanitize_enabled() if strict is None else bool(strict)
 
     # ------------------------------------------------------------------
     # Clock
@@ -71,6 +79,11 @@ class Simulator:
     def now(self) -> float:
         """Current virtual time in seconds."""
         return self._now
+
+    @property
+    def strict(self) -> bool:
+        """True when the runtime sanitizer checks this simulator's runs."""
+        return self._strict
 
     @property
     def events_processed(self) -> int:
@@ -115,6 +128,11 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         time = self._now + delay
+        if self._strict and not math.isfinite(time):
+            raise SanitizerError(
+                f"non-finite timestamp t={time} entering the calendar "
+                f"(delay={delay}); model 'never' by not scheduling"
+            )
         sequence = self._sequence
         self._sequence = sequence + 1
         prio = _NORMAL if priority is EventPriority.NORMAL else int(priority)
@@ -137,6 +155,11 @@ class Simulator:
                 f"cannot schedule at t={time} which is before now={self._now}"
             )
         time = float(time)
+        if self._strict and not math.isfinite(time):
+            raise SanitizerError(
+                f"non-finite timestamp t={time} entering the calendar; "
+                "model 'never' by not scheduling"
+            )
         sequence = self._sequence
         self._sequence = sequence + 1
         prio = int(priority)
@@ -176,6 +199,8 @@ class Simulator:
                 if event.cancelled:
                     self._cancelled_pending -= 1
                     continue
+                if self._strict:
+                    self._sanitize_pop(entry, event)
                 self._now = entry[0]
                 event._fired = True
                 event.callback()
@@ -196,6 +221,8 @@ class Simulator:
             if event.cancelled:
                 self._cancelled_pending -= 1
                 continue
+            if self._strict:
+                self._sanitize_pop(entry, event)
             self._now = entry[0]
             event._fired = True
             event.callback()
@@ -214,6 +241,36 @@ class Simulator:
             heapq.heappop(heap)
             self._cancelled_pending -= 1
         return heap[0][0] if heap else None
+
+    # ------------------------------------------------------------------
+    # Sanitizer
+    # ------------------------------------------------------------------
+    def _sanitize_pop(self, entry: tuple[float, int, int, Event],
+                      event: Event) -> None:
+        """Strict-mode invariants checked as an event leaves the calendar.
+
+        The heap entry snapshotted ``(time, priority, sequence)`` when
+        the event was scheduled; divergence means somebody mutated the
+        event's ordering fields afterwards (the dynamic twin of lint
+        rule RPR003).  A pop behind the clock means the calendar order
+        itself was corrupted (e.g. an entry injected directly into the
+        heap), and a re-fire means one callback ran twice.
+        """
+        time, priority, sequence = entry[0], entry[1], entry[2]
+        if time < self._now:
+            raise SanitizerError(
+                f"monotonic clock violation: popped event {event!r} at "
+                f"t={time} with clock already at now={self._now}"
+            )
+        if (event.time != time or event.priority != priority  # repro: noqa[RPR002] -- mutation check needs bit-identity with the heap snapshot, not closeness
+                or event.sequence != sequence):
+            raise SanitizerError(
+                "event ordering fields mutated after scheduling: heap entry "
+                f"(t={time}, prio={priority}, seq={sequence}) vs event "
+                f"(t={event.time}, prio={event.priority}, seq={event.sequence})"
+            )
+        if event._fired:
+            raise SanitizerError(f"event {event!r} fired twice")
 
     # ------------------------------------------------------------------
     # Cancellation accounting

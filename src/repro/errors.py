@@ -10,9 +10,11 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "SimulationError",
+    "SanitizerError",
     "ConfigurationError",
     "ProtocolError",
     "AnalysisError",
+    "LintError",
 ]
 
 
@@ -22,6 +24,15 @@ class ReproError(Exception):
 
 class SimulationError(ReproError):
     """Misuse of the discrete-event kernel (scheduling into the past, ...)."""
+
+
+class SanitizerError(SimulationError):
+    """A runtime invariant check tripped in sanitizer (strict) mode.
+
+    Raised only when ``Simulator(strict=True)`` or ``REPRO_SANITIZE=1``
+    is in effect: monotonic-clock violations, mutated event ordering
+    fields, packet-conservation failures, or non-FIFO queue service.
+    """
 
 
 class ConfigurationError(ReproError):
@@ -34,3 +45,7 @@ class ProtocolError(ReproError):
 
 class AnalysisError(ReproError):
     """An analysis routine received data it cannot interpret."""
+
+
+class LintError(ReproError):
+    """The static-analysis pass could not run (unknown rule, bad path)."""

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Callable, Protocol
 
+from repro.engine.simulator import Simulator
 from repro.errors import ConfigurationError
 from repro.net.node import Node
 from repro.net.packet import Packet, PacketKind
@@ -33,7 +34,8 @@ class PacketSink(Protocol):
 class Host(Node):
     """A traffic endpoint with per-packet processing delay."""
 
-    def __init__(self, sim, name: str, processing_delay: float = 0.0) -> None:
+    def __init__(self, sim: Simulator, name: str,
+                 processing_delay: float = 0.0) -> None:
         super().__init__(sim, name)
         if processing_delay < 0:
             raise ConfigurationError(

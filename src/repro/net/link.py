@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.engine.sanitize import SanitizerError
 from repro.engine.simulator import Simulator
 from repro.net.packet import Packet
 
@@ -24,7 +25,12 @@ __all__ = ["Link"]
 
 
 class Link:
-    """One direction of a wire between two nodes."""
+    """One direction of a wire between two nodes.
+
+    When the owning simulator runs in sanitizer mode the link verifies
+    packet conservation on every delivery: every packet launched is
+    either still propagating or was delivered, exactly once.
+    """
 
     def __init__(self, sim: Simulator, name: str, propagation: float, destination: "Node") -> None:
         if propagation < 0:
@@ -35,6 +41,8 @@ class Link:
         self.destination = destination
         self._in_flight = 0
         self._delivered = 0
+        self._carried = 0
+        self._strict = sim.strict
 
     @property
     def in_flight(self) -> int:
@@ -46,14 +54,28 @@ class Link:
         """Total packets delivered to the far end."""
         return self._delivered
 
+    @property
+    def carried(self) -> int:
+        """Total packets ever launched onto this link."""
+        return self._carried
+
     def carry(self, packet: Packet) -> None:
         """Launch ``packet``; it reaches the destination after the delay."""
         self._in_flight += 1
+        self._carried += 1
         self._sim.schedule(self.propagation, lambda: self._arrive(packet), label=f"{self.name}:arrive")
 
     def _arrive(self, packet: Packet) -> None:
         self._in_flight -= 1
         self._delivered += 1
+        if self._strict and (
+                self._in_flight < 0
+                or self._carried != self._delivered + self._in_flight):
+            raise SanitizerError(
+                f"{self.name}: packet conservation violated — carried "
+                f"{self._carried} != delivered {self._delivered} + "
+                f"in-flight {self._in_flight}"
+            )
         self.destination.handle_packet(packet)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -57,9 +57,10 @@ class OutputPort:
         self.bandwidth = bandwidth
         self.link = link
         # A custom queue (e.g. RandomDropQueue) may be supplied; it must
-        # expose the DropTailQueue surface.
+        # expose the DropTailQueue surface.  The default queue inherits
+        # the simulator's sanitizer setting.
         self.queue = queue if queue is not None else DropTailQueue(
-            name=f"{name}:queue", capacity=buffer_packets)
+            name=f"{name}:queue", capacity=buffer_packets, strict=sim.strict)
         self._busy = False
         self._transmissions = 0
         self._busy_time = 0.0

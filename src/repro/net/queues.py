@@ -15,6 +15,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable
 
+from repro.engine.sanitize import SanitizerError, sanitize_enabled
 from repro.net.packet import Packet
 
 __all__ = ["DropTailQueue"]
@@ -35,21 +36,35 @@ class DropTailQueue:
     capacity:
         Maximum packets held (the packet in transmission is NOT counted —
         it has left the buffer).  ``None`` means unbounded.
+    strict:
+        Enable runtime sanitizer checks (packet conservation, strict
+        FIFO service — see :mod:`repro.engine.sanitize`).  ``None``
+        (default) defers to the ``REPRO_SANITIZE`` environment variable;
+        :class:`~repro.net.port.OutputPort` propagates its simulator's
+        setting instead.
     """
 
-    def __init__(self, name: str, capacity: int | None) -> None:
+    def __init__(self, name: str, capacity: int | None, *,
+                 strict: bool | None = None) -> None:
         if capacity is not None and capacity < 1:
             raise ValueError(f"queue capacity must be >= 1 or None, got {capacity}")
         self.name = name
         self.capacity = capacity
+        self.strict = sanitize_enabled() if strict is None else bool(strict)
         self._packets: deque[Packet] = deque()
         self._drops = 0
         self._enqueues = 0
         self._dequeues = 0
+        self._evictions = 0
         self._length_observers: list[LengthObserver] = []
         self._drop_observers: list[DropObserver] = []
         self._enqueue_observers: list[EnqueueObserver] = []
         self._dequeue_observers: list[DequeueObserver] = []
+        # Sanitizer bookkeeping: arrival order stamps, keyed by packet
+        # identity.  Entries are overwritten on (re)admission and popped
+        # on departure, so id() reuse after eviction cannot alias.
+        self._arrival_counter = 0
+        self._stamps: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -71,6 +86,12 @@ class DropTailQueue:
     def dequeues(self) -> int:
         """Total packets removed for transmission so far."""
         return self._dequeues
+
+    @property
+    def evictions(self) -> int:
+        """Admitted packets later discarded by an overflow rule (Random
+        Drop); always zero for pure drop-tail."""
+        return self._evictions
 
     @property
     def is_empty(self) -> bool:
@@ -122,13 +143,44 @@ class DropTailQueue:
             for observer in self._drop_observers:
                 observer(now, packet)
             return False
+        self._admit(now, packet)
+        return True
+
+    def _admit(self, now: float, packet: Packet) -> None:
+        """Append an accepted packet and fire the admission observers.
+
+        Shared by every overflow discipline (drop-tail here, Random Drop
+        in the subclass) so the sanitizer's arrival stamps and counters
+        stay consistent whichever rule admitted the packet.
+        """
+        if self.strict:
+            self._arrival_counter += 1
+            self._stamps[id(packet)] = self._arrival_counter
         self._packets.append(packet)
         self._enqueues += 1
         for observer in self._enqueue_observers:
             observer(now, packet)
         for observer in self._length_observers:
             observer(now, len(self._packets))
-        return True
+        if self.strict:
+            self._check_conservation()
+
+    def _evict_at(self, now: float, index: int) -> Packet:
+        """Remove the buffered packet at ``index`` as an overflow victim.
+
+        Counts as a drop (the victim is reported to the drop observers)
+        and as an eviction for the conservation ledger — unlike a
+        drop-tail discard, the victim *had* been admitted.
+        """
+        victim = self._packets[index]
+        del self._packets[index]
+        self._evictions += 1
+        self._drops += 1
+        if self.strict:
+            self._stamps.pop(id(victim), None)
+        for observer in self._drop_observers:
+            observer(now, victim)
+        return victim
 
     def take(self, now: float) -> Packet | None:
         """Remove and return the head packet, or ``None`` when empty."""
@@ -136,11 +188,43 @@ class DropTailQueue:
             return None
         packet = self._packets.popleft()
         self._dequeues += 1
+        if self.strict:
+            self._check_fifo(packet)
+            self._check_conservation()
         for observer in self._dequeue_observers:
             observer(now, packet)
         for observer in self._length_observers:
             observer(now, len(self._packets))
         return packet
+
+    # ------------------------------------------------------------------
+    # Sanitizer invariants (strict mode only)
+    # ------------------------------------------------------------------
+    def _check_fifo(self, taken: Packet) -> None:
+        """The departing packet must predate every packet left buffered."""
+        stamp = self._stamps.pop(id(taken), None)
+        if stamp is None:
+            raise SanitizerError(
+                f"{self.name}: packet {taken!r} left the queue without an "
+                "arrival stamp (admitted outside offer/_admit?)"
+            )
+        for remaining in self._packets:
+            other = self._stamps.get(id(remaining))
+            if other is not None and other < stamp:
+                raise SanitizerError(
+                    f"{self.name}: FIFO violation — served arrival #{stamp} "
+                    f"while arrival #{other} ({remaining!r}) still waits"
+                )
+
+    def _check_conservation(self) -> None:
+        """Admitted packets are buffered, served, or evicted — never lost."""
+        buffered = len(self._packets)
+        if self._enqueues - self._dequeues - self._evictions != buffered:
+            raise SanitizerError(
+                f"{self.name}: packet conservation violated — "
+                f"{self._enqueues} admitted != {self._dequeues} served + "
+                f"{self._evictions} evicted + {buffered} buffered"
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         cap = "inf" if self.capacity is None else str(self.capacity)

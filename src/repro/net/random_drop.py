@@ -26,8 +26,10 @@ __all__ = ["RandomDropQueue"]
 class RandomDropQueue(DropTailQueue):
     """FIFO service with random-drop overflow."""
 
-    def __init__(self, name: str, capacity: int | None, rng: SimRandom | None = None) -> None:
-        super().__init__(name, capacity)
+    def __init__(self, name: str, capacity: int | None,
+                 rng: SimRandom | None = None, *,
+                 strict: bool | None = None) -> None:
+        super().__init__(name, capacity, strict=strict)
         self._rng = rng or SimRandom(0)
 
     def offer(self, now: float, packet: Packet) -> bool:
@@ -42,16 +44,7 @@ class RandomDropQueue(DropTailQueue):
             return super().offer(now, packet)
         victim_index = int(self._rng.uniform(0, len(self._packets)))
         victim_index = min(victim_index, len(self._packets) - 1)
-        victim = self._packets[victim_index]
-        del self._packets[victim_index]
-        self._drops += 1
-        for observer in self._drop_observers:
-            observer(now, victim)
+        self._evict_at(now, victim_index)
         # Admit the arrival into the freed slot.
-        self._packets.append(packet)
-        self._enqueues += 1
-        for observer in self._enqueue_observers:
-            observer(now, packet)
-        for observer in self._length_observers:
-            observer(now, len(self._packets))
+        self._admit(now, packet)
         return True

@@ -8,6 +8,7 @@ that output port.
 
 from __future__ import annotations
 
+from repro.engine.simulator import Simulator
 from repro.net.node import Node
 from repro.net.packet import Packet
 
@@ -17,7 +18,7 @@ __all__ = ["Switch"]
 class Switch(Node):
     """A FIFO drop-tail switch with static routes."""
 
-    def __init__(self, sim, name: str) -> None:
+    def __init__(self, sim: Simulator, name: str) -> None:
         super().__init__(sim, name)
         self._forwarded = 0
 

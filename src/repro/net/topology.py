@@ -13,6 +13,7 @@ paper's configurations:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.engine.simulator import Simulator
 from repro.errors import ConfigurationError
@@ -20,6 +21,7 @@ from repro.net.host import Host
 from repro.net.link import Link
 from repro.net.node import Node
 from repro.net.port import OutputPort
+from repro.net.queues import DropTailQueue
 from repro.net.routing import compute_next_hops
 from repro.net.switch import Switch
 from repro.units import (
@@ -29,7 +31,10 @@ from repro.units import (
     HOST_PROCESSING_DELAY,
 )
 
-__all__ = ["Network", "DuplexLink", "build_dumbbell", "build_chain"]
+__all__ = ["Network", "DuplexLink", "QueueFactory", "build_dumbbell", "build_chain"]
+
+#: Builds a queue discipline for one direction of a link: ``(name, capacity)``.
+QueueFactory = Callable[[str, int | None], DropTailQueue]
 
 
 @dataclass
@@ -80,7 +85,7 @@ class Network:
         propagation: float,
         buffer_ab: int | None,
         buffer_ba: int | None,
-        queue_factory=None,
+        queue_factory: QueueFactory | None = None,
     ) -> DuplexLink:
         """Join ``a`` and ``b`` with a duplex link.
 
@@ -156,7 +161,7 @@ def build_dumbbell(
     access_propagation: float = ACCESS_PROPAGATION,
     host_processing_delay: float = HOST_PROCESSING_DELAY,
     access_buffer_packets: int | None = None,
-    bottleneck_queue_factory=None,
+    bottleneck_queue_factory: QueueFactory | None = None,
 ) -> Network:
     """The paper's Figure 1 topology.
 
@@ -191,7 +196,7 @@ def build_chain(
     access_bandwidth: float = ACCESS_BANDWIDTH,
     access_propagation: float = ACCESS_PROPAGATION,
     host_processing_delay: float = HOST_PROCESSING_DELAY,
-    bottleneck_queue_factory=None,
+    bottleneck_queue_factory: QueueFactory | None = None,
 ) -> Network:
     """A chain of ``n_switches`` switches, one host per switch.
 

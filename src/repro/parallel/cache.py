@@ -13,6 +13,13 @@ Entries are single JSON files under ``~/.cache/repro`` (override with
 ``REPRO_CACHE_DIR`` or ``XDG_CACHE_HOME``), written atomically via a
 temp-file rename so concurrent sweep workers never observe torn entries.
 Bumping :data:`CACHE_SCHEMA_VERSION` orphans all old entries at once.
+
+A cache hit silently substitutes an old result for a re-run, so it is
+only sound while the engine stays bit-for-bit deterministic.  Each
+stored document therefore notes the :data:`~repro.analysis.lint.LINT_RULESET_VERSION`
+the producing tree was checked against — a provenance breadcrumb for
+debugging stale-looking entries (it does not affect the key; bump the
+schema version to actually invalidate).
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ import shutil
 from pathlib import Path
 from typing import Callable
 
+from repro.analysis.lint.model import LINT_RULESET_VERSION
 from repro.scenarios.config import ScenarioConfig
 from repro.scenarios.serialize import config_to_dict
 
@@ -143,6 +151,7 @@ class ResultCache:
         document = {
             "schema": CACHE_SCHEMA_VERSION,
             "key": key,
+            "lint_ruleset": LINT_RULESET_VERSION,
             "config": config_to_dict(config) if config is not None else None,
             "measurements": measurements,
         }

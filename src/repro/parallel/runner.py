@@ -18,8 +18,10 @@ import multiprocessing
 import os
 import pickle
 import sys
+import warnings
 from typing import Callable, Iterable, Sequence
 
+from repro.engine.sanitize import SANITIZE_ENV, sanitize_enabled
 from repro.errors import ConfigurationError
 from repro.parallel.cache import ResultCache
 from repro.scenarios.config import ScenarioConfig
@@ -113,6 +115,15 @@ class ParallelSweepRunner:
         self.cache = resolve_cache(cache)
         self.chunksize = chunksize
         self.start_method = start_method
+        if self.cache is not None and sanitize_enabled():
+            warnings.warn(
+                f"{SANITIZE_ENV}=1 with the result cache enabled: sanitized "
+                "runs are slower, and cache hits skip the sanitizer entirely "
+                "(they replay stored measurements). Disable the cache to "
+                "sanitize every point, or unset the env var for timing runs.",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     # ------------------------------------------------------------------
     # Core

@@ -38,7 +38,7 @@ class BuiltScenario:
     """Names of the watched switch-to-switch ports, e.g. ``"sw1->sw2"``."""
 
 
-def _queue_factory(config: ScenarioConfig):
+def _queue_factory(config: ScenarioConfig, sim: Simulator):
     if not config.random_drop:
         return None
     from repro.net.random_drop import RandomDropQueue
@@ -46,7 +46,7 @@ def _queue_factory(config: ScenarioConfig):
     rng = SimRandom(config.seed).fork(0xD0D0)
 
     def factory(name: str, capacity: int | None) -> RandomDropQueue:
-        return RandomDropQueue(name, capacity, rng=rng)
+        return RandomDropQueue(name, capacity, rng=rng, strict=sim.strict)
 
     return factory
 
@@ -61,7 +61,7 @@ def _build_network(config: ScenarioConfig, sim: Simulator) -> tuple[Network, lis
             access_bandwidth=config.access_bandwidth,
             access_propagation=config.access_propagation,
             host_processing_delay=config.host_processing_delay,
-            bottleneck_queue_factory=_queue_factory(config),
+            bottleneck_queue_factory=_queue_factory(config, sim),
         )
         return net, ["sw1->sw2", "sw2->sw1"]
     if config.topology is TopologyKind.CHAIN:
@@ -74,7 +74,7 @@ def _build_network(config: ScenarioConfig, sim: Simulator) -> tuple[Network, lis
             access_bandwidth=config.access_bandwidth,
             access_propagation=config.access_propagation,
             host_processing_delay=config.host_processing_delay,
-            bottleneck_queue_factory=_queue_factory(config),
+            bottleneck_queue_factory=_queue_factory(config, sim),
         )
         ports = []
         for i in range(1, config.n_switches):

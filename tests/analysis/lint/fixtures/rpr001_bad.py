@@ -1,0 +1,11 @@
+# repro-lint-module: repro.scenarios.demo
+"""Positive fixture: wall-clock reads and unseeded randomness (RPR001)."""
+import random
+import time
+from random import randint
+
+
+def jittered_start() -> float:
+    base = time.time()
+    jitter = random.random()
+    return base + jitter + randint(0, 3)

@@ -1,0 +1,11 @@
+# repro-lint-module: repro.scenarios.demo
+"""Negative fixture: randomness through the seeded stream is clean."""
+import time
+
+from repro.engine.rng import SimRandom
+
+
+def jittered_start(rng: SimRandom) -> float:
+    started = time.perf_counter()  # reporting-only wall clock is allowed
+    del started
+    return rng.start_jitter(2.0)

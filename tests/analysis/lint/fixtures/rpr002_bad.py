@@ -1,0 +1,10 @@
+# repro-lint-module: repro.scenarios.demo
+"""Positive fixture: exact equality on float timestamps (RPR002)."""
+
+
+def is_due(event_time: float, now: float) -> bool:
+    return event_time == now
+
+
+def still_pending(deadline_time: float, sim) -> bool:
+    return deadline_time != sim.now

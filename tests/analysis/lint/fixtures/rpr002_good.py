@@ -1,0 +1,11 @@
+# repro-lint-module: repro.scenarios.demo
+"""Negative fixture: epsilon helpers and ordered comparisons are clean."""
+from repro.units import times_close
+
+
+def is_due(event_time: float, now: float) -> bool:
+    return times_close(event_time, now) or event_time < now
+
+
+def expired(deadline_time: float, now: float) -> bool:
+    return now >= deadline_time

@@ -1,0 +1,10 @@
+# repro-lint-module: repro.scenarios.demo
+"""Positive fixture: mutating Event ordering fields after scheduling (RPR003)."""
+
+
+def postpone(event, delay: float) -> None:
+    event.time += delay
+
+
+def reprioritize(event) -> None:
+    setattr(event, "priority", 0)

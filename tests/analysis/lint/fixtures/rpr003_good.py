@@ -1,0 +1,7 @@
+# repro-lint-module: repro.scenarios.demo
+"""Negative fixture: cancel-and-reschedule is the sanctioned way to move an event."""
+
+
+def postpone(sim, event, delay: float):
+    event.cancel()
+    return sim.schedule(delay, event.callback)

@@ -1,0 +1,9 @@
+# repro-lint-module: repro.net.demo
+"""Positive fixture: hash-ordered iteration in a net hot path (RPR004)."""
+
+
+def flush(ports, stalled, sim):
+    for port in stalled.intersection(ports):
+        port.poke()
+    for port in ports.values():
+        sim.schedule(0.0, port.poke)

@@ -1,0 +1,9 @@
+# repro-lint-module: repro.net.demo
+"""Negative fixture: sorted iteration, and dict views that never schedule."""
+
+
+def flush(ports, sim):
+    for name in sorted(ports):
+        sim.schedule(0.0, ports[name].poke)
+    for port in ports.values():  # no scheduling in the body: allowed
+        port.counter += 1

@@ -1,0 +1,9 @@
+# repro-lint-module: repro.scenarios.demo
+"""Positive fixture: unpicklable callables crossing the sweep boundary (RPR005)."""
+
+
+def run_family(sweep, build, values):
+    def local_extract(result):
+        return {"u": result.utilization}
+
+    return sweep(lambda v: build(v), values, local_extract)

@@ -1,0 +1,18 @@
+# repro-lint-module: repro.scenarios.demo
+"""Negative fixture: module-level sweep callables pickle by reference."""
+import functools
+
+
+def make_config(value, duration=100.0):
+    return (value, duration)
+
+
+def extract(result):
+    return {"u": result.utilization}
+
+
+def run_family(sweep, values):
+    # partial over a module-level function is fine; on_point stays in the
+    # parent process so a lambda there is exempt.
+    return sweep(functools.partial(make_config, duration=50.0), values,
+                 extract, on_point=lambda point: print(point))

@@ -1,0 +1,8 @@
+# repro-lint-module: repro.scenarios.demo
+"""Positive fixture: infinite sentinel timestamps entering the heap (RPR006)."""
+import math
+
+
+def disarm(sim, callback):
+    sim.schedule(float("inf"), callback)
+    sim.schedule_at(time=math.inf, callback=callback)

@@ -1,0 +1,8 @@
+# repro-lint-module: repro.scenarios.demo
+"""Negative fixture: finite schedules; `inf` as an analysis window bound is fine."""
+HORIZON = float("inf")  # open-ended window, never scheduled
+
+
+def arm(sim, callback, delay: float):
+    if delay >= 0.0:
+        sim.schedule(delay, callback)

@@ -1,0 +1,44 @@
+"""The `repro lint` subcommand: exit codes, --explain, --list."""
+
+import pathlib
+
+from repro.cli import main
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def test_clean_file_exits_zero(capsys):
+    assert main(["lint", str(FIXTURES / "rpr001_good.py")]) == 0
+    assert "no violations found" in capsys.readouterr().out
+
+
+def test_violations_exit_one_with_report(capsys):
+    assert main(["lint", str(FIXTURES / "rpr001_bad.py")]) == 1
+    out = capsys.readouterr().out
+    assert "RPR001" in out
+    assert "violations found" in out
+
+
+def test_explain_prints_rationale(capsys):
+    assert main(["lint", "--explain", "RPR006"]) == 0
+    out = capsys.readouterr().out
+    assert "RPR006" in out
+    assert "noqa" in out
+
+
+def test_explain_unknown_code_exits_two(capsys):
+    assert main(["lint", "--explain", "RPR999"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_list_shows_every_code(capsys):
+    assert main(["lint", "--list"]) == 0
+    out = capsys.readouterr().out
+    for code in ("RPR000", "RPR001", "RPR002", "RPR003",
+                 "RPR004", "RPR005", "RPR006", "RPR900"):
+        assert code in out
+
+
+def test_missing_path_exits_two(capsys):
+    assert main(["lint", "/no/such/dir"]) == 2
+    assert "error:" in capsys.readouterr().err

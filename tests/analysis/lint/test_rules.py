@@ -1,0 +1,65 @@
+"""Fixture-driven tests for the six determinism rules.
+
+Each rule has a positive fixture (must fire, with the expected count and
+no other codes) and a negative fixture (must stay silent).  Fixtures
+claim their logical module with a ``# repro-lint-module:`` directive so
+path-scoped rules behave as they would inside ``src/``.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.analysis.lint import lint_file, lint_source
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+# (code, positive fixture, expected violation count, negative fixture)
+CASES = [
+    ("RPR001", "rpr001_bad.py", 3, "rpr001_good.py"),
+    ("RPR002", "rpr002_bad.py", 2, "rpr002_good.py"),
+    ("RPR003", "rpr003_bad.py", 2, "rpr003_good.py"),
+    ("RPR004", "rpr004_bad.py", 2, "rpr004_good.py"),
+    ("RPR005", "rpr005_bad.py", 2, "rpr005_good.py"),
+    ("RPR006", "rpr006_bad.py", 2, "rpr006_good.py"),
+]
+
+
+@pytest.mark.parametrize("code,bad,count,good", CASES,
+                         ids=[case[0] for case in CASES])
+def test_positive_fixture_fires(code, bad, count, good):
+    violations = lint_file(FIXTURES / bad)
+    assert [v.code for v in violations] == [code] * count
+    for violation in violations:
+        assert violation.line > 0
+        assert code in violation.format()
+
+
+@pytest.mark.parametrize("code,bad,count,good", CASES,
+                         ids=[case[0] for case in CASES])
+def test_negative_fixture_clean(code, bad, count, good):
+    assert lint_file(FIXTURES / good) == []
+
+
+class TestScoping:
+    def test_rng_module_exempt_from_rpr001(self):
+        source = "import random\nx = random.random()\n"
+        assert lint_source(source, module="repro.engine.rng") == []
+        assert [v.code for v in
+                lint_source(source, module="repro.engine.other")] == ["RPR001"]
+
+    def test_rpr001_ignores_code_outside_repro(self):
+        source = "import time\nx = time.time()\n"
+        assert lint_source(source, module="some.other.pkg") == []
+
+    def test_engine_internals_exempt_from_rpr003(self):
+        source = "def f(event):\n    event.time = 0.0\n"
+        assert lint_source(source, module="repro.engine.simulator") == []
+        assert [v.code for v in
+                lint_source(source, module="repro.tcp.sender")] == ["RPR003"]
+
+    def test_rpr004_scoped_to_engine_and_net(self):
+        source = "for x in set(items):\n    x.poke()\n"
+        assert lint_source(source, module="repro.viz.gallery") == []
+        assert [v.code for v in
+                lint_source(source, module="repro.net.switch")] == ["RPR004"]

@@ -1,0 +1,81 @@
+"""Runner mechanics: module resolution, file walking, RPR900, reports."""
+
+import pytest
+
+from repro.analysis.lint import (
+    format_violations,
+    get_rule,
+    iter_rules,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.lint.runner import iter_python_files, resolve_module
+from repro.errors import LintError
+
+
+class TestModuleResolution:
+    def test_path_based(self):
+        assert resolve_module("src/repro/net/link.py", "") == "repro.net.link"
+        assert resolve_module("src/repro/__init__.py", "") == "repro"
+        assert resolve_module("/elsewhere/scratch.py", "") == ""
+
+    def test_directive_wins_over_path(self):
+        source = "# repro-lint-module: repro.engine.rng\nimport random\nx = random.random()\n"
+        assert resolve_module("/tmp/whatever.py", source) == "repro.engine.rng"
+        # The directive exempts this file from RPR001.
+        assert lint_source(source, path="/tmp/whatever.py") == []
+
+
+class TestSyntaxErrors:
+    def test_unparseable_file_is_rpr900(self):
+        violations = lint_source("def broken(:\n", path="bad.py")
+        assert [v.code for v in violations] == ["RPR900"]
+        assert "syntax error" in violations[0].message
+
+
+class TestFileWalking:
+    def test_directories_expand_sorted_and_skip_caches(self, tmp_path):
+        (tmp_path / "b.py").write_text("x = 1\n")
+        (tmp_path / "a.py").write_text("x = 1\n")
+        pycache = tmp_path / "__pycache__"
+        pycache.mkdir()
+        (pycache / "a.cpython-311.py").write_text("x = 1\n")
+        names = [p.name for p in iter_python_files([tmp_path])]
+        assert names == ["a.py", "b.py"]
+
+    def test_missing_path_raises_lint_error(self):
+        with pytest.raises(LintError):
+            list(iter_python_files(["/no/such/path"]))
+
+    def test_lint_paths_aggregates(self, tmp_path):
+        (tmp_path / "clean.py").write_text("x = 1\n")
+        (tmp_path / "broken.py").write_text("def oops(:\n")
+        violations = lint_paths([tmp_path])
+        assert [v.code for v in violations] == ["RPR900"]
+
+
+class TestRegistry:
+    def test_all_rules_registered(self):
+        codes = [rule.code for rule in iter_rules()]
+        assert codes == ["RPR000", "RPR001", "RPR002", "RPR003",
+                         "RPR004", "RPR005", "RPR006", "RPR900"]
+
+    def test_explain_mentions_suppression_syntax(self):
+        text = get_rule("RPR002").explain()
+        assert "RPR002" in text
+        assert "noqa" in text
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(LintError):
+            get_rule("RPR999")
+
+
+class TestReport:
+    def test_empty_report(self):
+        assert format_violations([]) == "no violations found"
+
+    def test_report_lines_and_summary(self):
+        violations = lint_source("def broken(:\n", path="bad.py")
+        text = format_violations(violations)
+        assert text.startswith("bad.py:1:")
+        assert text.endswith("1 violation found")

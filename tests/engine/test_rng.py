@@ -62,3 +62,12 @@ class TestFork:
         p1.uniform(0, 1)  # consume some parent entropy
         p2 = SimRandom(42)
         assert p1.fork(9).uniform(0, 1) == p2.fork(9).uniform(0, 1)
+
+    def test_fork_rejects_non_int_stream_ids(self):
+        # str/bytes hash differently in every process (PYTHONHASHSEED), so
+        # a string id would silently desynchronize spawn-started sweep
+        # workers from serial runs; the contract is ints only.
+        parent = SimRandom(42)
+        for bad in ("conn-1", b"conn-1", 1.5, None, True):
+            with pytest.raises(TypeError):
+                parent.fork(bad)

@@ -1,0 +1,58 @@
+"""A sanitized run must be bit-for-bit identical to an unsanitized one.
+
+This is the acceptance property of strict mode: the invariant checks are
+observations only, so ``REPRO_SANITIZE=1`` may never perturb a
+simulation — it can only make a broken one fail loudly.
+"""
+
+import pytest
+
+from repro.engine.sanitize import SANITIZE_ENV
+from repro.scenarios import FlowSpec, ScenarioConfig, run
+
+
+def _config(**kwargs):
+    defaults = dict(
+        name="sanitizer-parity",
+        flows=(
+            FlowSpec(src="host1", dst="host2"),
+            FlowSpec(src="host2", dst="host1"),
+        ),
+        duration=40.0,
+        warmup=10.0,
+        bottleneck_propagation=0.01,
+    )
+    defaults.update(kwargs)
+    return ScenarioConfig(**defaults)
+
+
+def _fingerprint(result):
+    return (
+        result.events_processed,
+        list(result.queue_series("sw1->sw2")),
+        list(result.queue_series("sw2->sw1")),
+    )
+
+
+def test_strict_run_matches_normal_run(monkeypatch):
+    monkeypatch.delenv(SANITIZE_ENV, raising=False)
+    baseline = _fingerprint(run(_config()))
+    monkeypatch.setenv(SANITIZE_ENV, "1")
+    sanitized = _fingerprint(run(_config()))
+    assert sanitized == baseline
+
+
+def test_strict_run_with_jittered_starts_matches(monkeypatch):
+    config = _config(
+        flows=(
+            FlowSpec(src="host1", dst="host2", start_time=None),
+            FlowSpec(src="host2", dst="host1", start_time=None),
+        ),
+        seed=5,
+        start_jitter=3.0,
+    )
+    monkeypatch.delenv(SANITIZE_ENV, raising=False)
+    baseline = _fingerprint(run(config))
+    monkeypatch.setenv(SANITIZE_ENV, "1")
+    sanitized = _fingerprint(run(config))
+    assert sanitized == baseline

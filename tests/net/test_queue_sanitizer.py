@@ -1,0 +1,83 @@
+"""Queue sanitizer invariants: FIFO-of-survivors and packet conservation."""
+
+import pytest
+
+from repro.engine.rng import SimRandom
+from repro.engine.sanitize import SANITIZE_ENV
+from repro.errors import SanitizerError
+from repro.net import DropTailQueue, Packet, PacketKind
+from repro.net.random_drop import RandomDropQueue
+
+
+def _packet(seq=0):
+    return Packet(conn_id=1, kind=PacketKind.DATA, seq=seq, size=500)
+
+
+class TestEnablement:
+    def test_queue_consults_env_by_default(self, monkeypatch):
+        monkeypatch.setenv(SANITIZE_ENV, "1")
+        assert DropTailQueue("q", capacity=3).strict
+        monkeypatch.delenv(SANITIZE_ENV)
+        assert not DropTailQueue("q", capacity=3).strict
+
+
+class TestFifo:
+    def test_reordered_buffer_trips_fifo_check(self):
+        queue = DropTailQueue("q", capacity=5, strict=True)
+        queue.offer(0.0, _packet(0))
+        queue.offer(0.0, _packet(1))
+        queue._packets.rotate(1)  # a non-FIFO queue: newest packet at head
+        with pytest.raises(SanitizerError, match="FIFO violation"):
+            queue.take(1.0)
+
+    def test_packet_admitted_behind_queues_back_trips_stamp_check(self):
+        queue = DropTailQueue("q", capacity=5, strict=True)
+        queue.offer(0.0, _packet(0))
+        queue._packets.appendleft(_packet(1))  # bypasses admission
+        with pytest.raises(SanitizerError, match="arrival stamp"):
+            queue.take(1.0)
+
+    def test_normal_fifo_service_is_clean(self):
+        queue = DropTailQueue("q", capacity=3, strict=True)
+        for seq in range(3):
+            queue.offer(0.0, _packet(seq))
+        assert [queue.take(1.0).seq for _ in range(3)] == [0, 1, 2]
+
+    def test_non_strict_does_not_check(self):
+        queue = DropTailQueue("q", capacity=5, strict=False)
+        queue.offer(0.0, _packet(0))
+        queue.offer(0.0, _packet(1))
+        queue._packets.rotate(1)
+        assert queue.take(1.0).seq == 1  # silently out of order
+
+
+class TestConservation:
+    def test_lost_packet_trips_conservation_ledger(self):
+        queue = DropTailQueue("q", capacity=5, strict=True)
+        queue.offer(0.0, _packet(0))
+        queue._packets.pop()  # a buffered packet vanishes
+        with pytest.raises(SanitizerError, match="conservation"):
+            queue.offer(0.0, _packet(1))
+
+    def test_drop_tail_discards_do_not_count_as_evictions(self):
+        queue = DropTailQueue("q", capacity=1, strict=True)
+        assert queue.offer(0.0, _packet(0))
+        assert not queue.offer(0.0, _packet(1))
+        assert queue.drops == 1
+        assert queue.evictions == 0
+        assert queue.take(1.0).seq == 0
+
+
+class TestRandomDropUnderStrict:
+    def test_eviction_keeps_ledger_and_fifo_consistent(self):
+        queue = RandomDropQueue("q", capacity=3, rng=SimRandom(7), strict=True)
+        for seq in range(6):  # 3 admissions + 3 overflow evictions
+            assert queue.offer(0.0, _packet(seq))
+        assert queue.enqueues == 6
+        assert queue.evictions == 3
+        assert queue.drops == 3
+        # The survivors drain strictly in arrival order, no sanitizer trip.
+        stamps = [queue.take(1.0) for _ in range(3)]
+        assert all(p is not None for p in stamps)
+        assert queue.dequeues == 3
+        assert queue.is_empty

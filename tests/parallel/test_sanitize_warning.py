@@ -1,0 +1,25 @@
+"""The sweep runner warns when sanitizing is combined with the cache."""
+
+import warnings
+
+import pytest
+
+from repro.engine.sanitize import SANITIZE_ENV
+from repro.parallel.runner import ParallelSweepRunner
+
+
+def test_warns_when_sanitize_env_set_with_cache(monkeypatch, tmp_path):
+    monkeypatch.setenv(SANITIZE_ENV, "1")
+    with pytest.warns(RuntimeWarning, match="REPRO_SANITIZE"):
+        ParallelSweepRunner(cache=tmp_path / "cache")
+
+
+def test_silent_without_cache_or_without_sanitize(monkeypatch, tmp_path):
+    monkeypatch.setenv(SANITIZE_ENV, "1")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        ParallelSweepRunner(cache=None)
+    monkeypatch.delenv(SANITIZE_ENV)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        ParallelSweepRunner(cache=tmp_path / "cache")
