@@ -256,7 +256,7 @@ def check_event_field_mutation(ctx: LintContext) -> Iterator[Violation]:
 
 
 # ----------------------------------------------------------------------
-# RPR004 — unordered iteration in engine/net hot paths
+# RPR004 — unordered iteration in engine/net/obs hot paths
 # ----------------------------------------------------------------------
 _SET_METHODS = {"intersection", "union", "difference", "symmetric_difference"}
 _DICT_VIEW_METHODS = {"values", "keys", "items"}
@@ -288,24 +288,29 @@ def _body_schedules(nodes: list[ast.stmt]) -> bool:
 @rule(
     "RPR004",
     "unordered-hot-path-iteration",
-    "No iteration over set-ordered collections in engine/net hot paths.",
+    "No iteration over set-ordered collections in engine/net/obs hot paths.",
     """\
 Set iteration order depends on element hashes (PYTHONHASHSEED for
 strings, allocation addresses for objects), so a loop over a set in the
 event engine or the packet path can fire observers, accumulate floats,
 or schedule events in a different order on each run or in each sweep
 worker process — changing which synchronization mode the paper
-scenarios land in, not crashing.  Inside `repro.engine.*` and
-`repro.net.*`, iterate lists/deques, or wrap the set in `sorted(...)`.
-Dict views (`.values()`/`.keys()`/`.items()`) are insertion-ordered in
-Python and are flagged only when the loop body schedules events or
-sends packets — insertion order is deterministic only if every insertion
-site is, so scheduling from a view deserves a justified suppression or
-a sort.""",
+scenarios land in, not crashing.  The observability layer
+(`repro.obs.*`) is held to the same bar: its instrumentation registers
+observers on the packet path and its exporters promise byte-stable
+output for identical runs, so hash-ordered iteration there reorders
+observer lists or trace records instead of events.  Inside
+`repro.engine.*`, `repro.net.*` and `repro.obs.*`, iterate
+lists/deques, or wrap the set in `sorted(...)`.  Dict views
+(`.values()`/`.keys()`/`.items()`) are insertion-ordered in Python and
+are flagged only when the loop body schedules events or sends packets —
+insertion order is deterministic only if every insertion site is, so
+scheduling from a view deserves a justified suppression or a sort.""",
 )
 def check_unordered_iteration(ctx: LintContext) -> Iterator[Violation]:
     if not (ctx.module.startswith("repro.engine")
-            or ctx.module.startswith("repro.net")):
+            or ctx.module.startswith("repro.net")
+            or ctx.module.startswith("repro.obs")):
         return
     for node in ast.walk(ctx.tree):
         iters: list[tuple[ast.expr, list[ast.stmt]]] = []

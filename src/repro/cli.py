@@ -9,6 +9,9 @@
     repro figures [-o DIR]          # render every paper figure as text
     repro run-config FILE [--save-traces F]  # run a JSON scenario
     repro sweep conjecture --jobs 4 # parallel, cached parameter sweep
+    repro sweep buffer --progress   # per-point start/finish telemetry
+    repro trace fig4 --out t.json   # Perfetto-loadable execution trace
+    repro profile fig4              # per-category wall-time attribution
     repro lint src/                 # determinism static analysis
     repro lint --explain RPR002     # why a rule exists, how to suppress
 
@@ -25,6 +28,23 @@ from repro.errors import ReproError
 __all__ = ["main", "build_parser"]
 
 _PLOT_SCENARIOS = ("fig2", "fig3", "fig4", "fig6", "fig8", "fig9")
+
+#: Default sim-time slice a ``repro trace`` records: enough to show several
+#: congestion epochs without producing a multi-hundred-MB trace file.
+_TRACE_WINDOW_SECONDS = 60.0
+
+
+def _scenario_factories():
+    from repro.scenarios import paper
+
+    return {
+        "fig2": paper.figure2,
+        "fig3": paper.figure3,
+        "fig4": paper.figure4,
+        "fig6": paper.figure6,
+        "fig8": paper.figure8,
+        "fig9": paper.figure9,
+    }
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -79,6 +99,36 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cache directory (default: ~/.cache/repro)")
     swp_p.add_argument("--fast", action="store_true",
                        help="shorter simulations (smoke mode)")
+    swp_p.add_argument("--progress", action="store_true",
+                       help="print per-point start/finish lines with worker "
+                            "id, cache status and wall time")
+    swp_p.add_argument("--manifest-dir", default=None, metavar="DIR",
+                       help="write one provenance manifest per sweep point")
+
+    trc_p = sub.add_parser(
+        "trace",
+        help="run a scenario with the tracer attached, export a Chrome "
+             "trace-event JSON loadable in Perfetto / chrome://tracing")
+    trc_p.add_argument("scenario", choices=_PLOT_SCENARIOS)
+    trc_p.add_argument("--out", default="trace.json", metavar="FILE",
+                       help="output trace path (default: trace.json)")
+    trc_p.add_argument("--window", nargs=2, type=float, default=None,
+                       metavar=("START", "END"),
+                       help="sim-time slice to record (default: the first "
+                            f"{_TRACE_WINDOW_SECONDS:.0f}s of the "
+                            "measurement window)")
+    trc_p.add_argument("--full", action="store_true",
+                       help="record the entire run (large output)")
+    trc_p.add_argument("--spans", action="store_true",
+                       help="also record per-event dispatch spans")
+    trc_p.add_argument("--jsonl", default=None, metavar="FILE",
+                       help="additionally export a structured JSONL log")
+
+    prf_p = sub.add_parser(
+        "profile",
+        help="run a scenario traced and print per-category wall-time "
+             "attribution")
+    prf_p.add_argument("scenario", choices=_PLOT_SCENARIOS)
 
     lint_p = sub.add_parser(
         "lint",
@@ -126,18 +176,10 @@ def _cmd_report(fast: bool, output: str | None) -> int:
 
 
 def _cmd_plot(scenario: str, window: tuple[float, float] | None) -> int:
-    from repro.scenarios import paper, run
+    from repro.scenarios import run
     from repro.viz.ascii_plot import plot_two_series
 
-    factories = {
-        "fig2": paper.figure2,
-        "fig3": paper.figure3,
-        "fig4": paper.figure4,
-        "fig6": paper.figure6,
-        "fig8": paper.figure8,
-        "fig9": paper.figure9,
-    }
-    result = run(factories[scenario]())
+    result = run(_scenario_factories()[scenario]())
     start, end = window if window else result.window
     q1 = result.queue_series("sw1->sw2")
     q2 = result.queue_series("sw2->sw1")
@@ -146,8 +188,50 @@ def _cmd_plot(scenario: str, window: tuple[float, float] | None) -> int:
     return 0
 
 
+def _cmd_trace(scenario: str, out: str, window: tuple[float, float] | None,
+               full: bool, spans: bool, jsonl: str | None) -> int:
+    from repro.obs import Tracer, export_chrome_trace, export_jsonl
+    from repro.scenarios import run
+
+    config = _scenario_factories()[scenario]()
+    if full:
+        record_window = None
+    elif window is not None:
+        record_window = window
+    else:
+        start, end = config.measurement_window
+        record_window = (start, min(end, start + _TRACE_WINDOW_SECONDS))
+    tracer = Tracer(record_spans=spans, record_hops=True, window=record_window)
+    result = run(config, trace=tracer, manifest=True)
+    shown = "full run" if record_window is None else (
+        f"[{record_window[0]:.0f}s, {record_window[1]:.0f}s]")
+    print(f"{scenario}: {result.events_processed} events in "
+          f"{result.wall_seconds:.2f}s, recorded {tracer.hop_count} hops"
+          + (f", {len(tracer.spans)} spans" if spans else "")
+          + f" over {shown}")
+    path = export_chrome_trace(tracer, out, traces=result.traces,
+                               manifest=result.manifest)
+    print(f"trace -> {path} (load in https://ui.perfetto.dev "
+          "or chrome://tracing)")
+    if jsonl:
+        print(f"jsonl -> {export_jsonl(tracer, jsonl, manifest=result.manifest)}")
+    return 0
+
+
+def _cmd_profile(scenario: str) -> int:
+    from repro.obs import Tracer, format_profile
+    from repro.scenarios import run
+
+    tracer = Tracer(record_spans=False, record_hops=False)
+    result = run(_scenario_factories()[scenario](), trace=tracer)
+    print(f"{scenario}: {result.config.name}")
+    print(format_profile(tracer, wall_seconds=result.wall_seconds))
+    return 0
+
+
 def _cmd_sweep(family: str, jobs: int, no_cache: bool,
-               cache_dir: str | None, fast: bool) -> int:
+               cache_dir: str | None, fast: bool, progress: bool,
+               manifest_dir: str | None) -> int:
     import functools
     import time
 
@@ -176,9 +260,25 @@ def _cmd_sweep(family: str, jobs: int, no_cache: bool,
                             for key, value in sorted(point.measurements.items()))
         print(f"[{done[0]}/{len(values)}] {point.value}: {numbers}")
 
+    on_progress = None
+    if progress:
+        def on_progress(event) -> None:
+            value = values[event.index]
+            if event.phase == "start":
+                print(f"  point {event.index} ({value}): start "
+                      f"[{event.worker}]")
+            elif event.cached:
+                print(f"  point {event.index} ({value}): finish "
+                      "[cache hit]")
+            else:
+                print(f"  point {event.index} ({value}): finish "
+                      f"[{event.worker}] {event.wall_seconds:.2f}s "
+                      f"{event.events_processed} events [cache miss]")
+
     started = time.perf_counter()
     sweep(make_config, values, families.utilization_extract,
-          jobs=jobs, cache=cache, on_point=on_point)
+          jobs=jobs, cache=cache, on_point=on_point,
+          on_progress=on_progress, manifest=manifest_dir)
     elapsed = time.perf_counter() - started
     status = (f"cache: {cache.hits} hits, {cache.misses} misses"
               if cache is not None else "cache: off")
@@ -228,7 +328,14 @@ def main(argv: list[str] | None = None) -> int:
             return 0
         if args.command == "sweep":
             return _cmd_sweep(args.family, args.jobs, args.no_cache,
-                              args.cache_dir, args.fast)
+                              args.cache_dir, args.fast, args.progress,
+                              args.manifest_dir)
+        if args.command == "trace":
+            window = tuple(args.window) if args.window else None
+            return _cmd_trace(args.scenario, args.out, window, args.full,
+                              args.spans, args.jsonl)
+        if args.command == "profile":
+            return _cmd_profile(args.scenario)
         if args.command == "lint":
             return _cmd_lint(args.paths, args.explain, args.list_rules)
         if args.command == "run-config":

@@ -32,15 +32,29 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Callable
+from time import perf_counter_ns
+from typing import Callable, Protocol
 
 from repro.engine.event import Event, EventPriority
 from repro.engine.sanitize import SanitizerError, sanitize_enabled
 from repro.errors import SimulationError
 
-__all__ = ["Simulator"]
+__all__ = ["DispatchTracer", "Simulator"]
 
 _NORMAL = int(EventPriority.NORMAL)
+
+
+class DispatchTracer(Protocol):
+    """What the engine needs from a tracer (see :mod:`repro.obs`).
+
+    Defined as a protocol so the engine — the bottom layer — never
+    imports the observability package that observes it.
+    """
+
+    def dispatch(self, sim_time: float, wall_ns: int, label: str,
+                 calendar_size: int, sequence: int) -> None:
+        """Record one executed event."""
+        ...  # pragma: no cover
 
 
 class Simulator:
@@ -71,6 +85,7 @@ class Simulator:
         self._stop_requested = False
         self._cancelled_pending = 0
         self._strict = sanitize_enabled() if strict is None else bool(strict)
+        self._tracer: DispatchTracer | None = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -84,6 +99,23 @@ class Simulator:
     def strict(self) -> bool:
         """True when the runtime sanitizer checks this simulator's runs."""
         return self._strict
+
+    @property
+    def tracer(self) -> DispatchTracer | None:
+        """The attached dispatch tracer, if any."""
+        return self._tracer
+
+    def set_tracer(self, tracer: DispatchTracer | None) -> None:
+        """Attach (or with ``None`` detach) a dispatch tracer.
+
+        The tracer is sampled once when :meth:`run` starts — the
+        untraced dispatch loop contains no tracer code at all (the
+        zero-cost fast path the perf harness guards), so attaching or
+        detaching from inside a callback takes effect on the next
+        :meth:`run`/:meth:`step` call.  Tracing is observation-only;
+        attaching a tracer never changes a run's trajectory.
+        """
+        self._tracer = tracer
 
     @property
     def events_processed(self) -> int:
@@ -185,6 +217,12 @@ class Simulator:
         self._stop_requested = False
         heap = self._heap
         pop = heapq.heappop
+        # The tracer is sampled once per run() so the untraced loop
+        # carries no tracer code at all; the two loops are otherwise
+        # identical (dispatch order and state transitions match exactly —
+        # the traced variant only adds wall-clock sampling around the
+        # callback, which never feeds back into simulation state).
+        tracer = self._tracer
         try:
             while heap:
                 if self._stop_requested:
@@ -203,7 +241,16 @@ class Simulator:
                     self._sanitize_pop(entry, event)
                 self._now = entry[0]
                 event._fired = True
-                event.callback()
+                if tracer is None:
+                    event.callback()
+                else:
+                    # +1: the popped entry itself still counts toward the
+                    # calendar depth the handler ran at.
+                    depth = len(heap) + 1
+                    begin = perf_counter_ns()
+                    event.callback()
+                    tracer.dispatch(entry[0], perf_counter_ns() - begin,
+                                    event.label, depth, entry[2])
                 self._events_processed += 1
         finally:
             self._running = False
@@ -225,7 +272,15 @@ class Simulator:
                 self._sanitize_pop(entry, event)
             self._now = entry[0]
             event._fired = True
-            event.callback()
+            tracer = self._tracer
+            if tracer is None:
+                event.callback()
+            else:
+                depth = len(self._heap) + 1
+                begin = perf_counter_ns()
+                event.callback()
+                tracer.dispatch(entry[0], perf_counter_ns() - begin,
+                                event.label, depth, entry[2])
             self._events_processed += 1
             return True
         return False

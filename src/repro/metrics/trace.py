@@ -17,7 +17,6 @@ from repro.metrics.queue_monitor import QueueMonitor
 from repro.metrics.sojourn import SojournMonitor
 from repro.net.port import OutputPort
 from repro.tcp.connection import Connection
-from repro.tcp.sender import TahoeSender
 
 __all__ = ["TraceSet"]
 
@@ -47,10 +46,16 @@ class TraceSet:
         self.drops.watch(port, name=label)
 
     def watch_connection(self, conn: Connection) -> None:
-        """Attach cwnd (Tahoe only) and ACK-arrival logs to ``conn``."""
+        """Attach cwnd and ACK-arrival logs to ``conn``.
+
+        Any sender with a congestion window — one exposing the
+        ``on_cwnd_change`` observer hook, i.e. Tahoe and its Reno
+        subclass — gets a :class:`CwndLog`; fixed-window and paced
+        senders have no dynamic window to log.
+        """
         if conn.conn_id in self.acks:
             raise AnalysisError(f"connection {conn.conn_id} is already watched")
-        if isinstance(conn.sender, TahoeSender):
+        if hasattr(conn.sender, "on_cwnd_change"):
             self.cwnds[conn.conn_id] = CwndLog(conn.sender)
         self.acks[conn.conn_id] = AckArrivalLog(conn.sender)
 

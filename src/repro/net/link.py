@@ -12,7 +12,7 @@ giving error-free transmission").
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.engine.sanitize import SanitizerError
 from repro.engine.simulator import Simulator
@@ -22,6 +22,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.net.node import Node
 
 __all__ = ["Link"]
+
+DeliverObserver = Callable[[float, Packet], None]
 
 
 class Link:
@@ -43,6 +45,7 @@ class Link:
         self._delivered = 0
         self._carried = 0
         self._strict = sim.strict
+        self._deliver_observers: list[DeliverObserver] = []
 
     @property
     def in_flight(self) -> int:
@@ -58,6 +61,14 @@ class Link:
     def carried(self) -> int:
         """Total packets ever launched onto this link."""
         return self._carried
+
+    def on_deliver(self, observer: DeliverObserver) -> None:
+        """Register ``observer(time, packet)`` at each far-end delivery.
+
+        Fires just before the destination node handles the packet — the
+        hop the tracer records as ``deliver``.
+        """
+        self._deliver_observers.append(observer)
 
     def carry(self, packet: Packet) -> None:
         """Launch ``packet``; it reaches the destination after the delay."""
@@ -76,6 +87,10 @@ class Link:
                 f"{self._carried} != delivered {self._delivered} + "
                 f"in-flight {self._in_flight}"
             )
+        if self._deliver_observers:
+            now = self._sim.now
+            for observer in self._deliver_observers:
+                observer(now, packet)
         self.destination.handle_packet(packet)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -16,9 +16,22 @@ import enum
 import itertools
 from dataclasses import dataclass, field
 
-__all__ = ["PacketKind", "Packet"]
+__all__ = ["PacketKind", "Packet", "reset_packet_uids"]
 
 _packet_uid = itertools.count()
+
+
+def reset_packet_uids() -> None:
+    """Restart uid allocation from zero.
+
+    Called once per scenario build so packet uids are a pure function
+    of the run rather than of process history — without this, exported
+    traces of back-to-back runs in one process would differ only in
+    their uid stamps.  Uids stay unique within any single run because
+    the counter is only rewound between builds, never mid-run.
+    """
+    global _packet_uid
+    _packet_uid = itertools.count()
 
 
 class PacketKind(enum.Enum):

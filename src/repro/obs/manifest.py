@@ -1,0 +1,125 @@
+"""Run manifests: per-run provenance documents.
+
+A :class:`RunManifest` pins down *which* simulation produced a result:
+the content hash of its :class:`~repro.scenarios.config.ScenarioConfig`
+(the same canonical JSON the parallel result cache is keyed by), the
+seed, the schema/ruleset versions of the producing tree, and — for runs
+that actually executed — event counts, wall time and peak calendar
+size.  Sweep points emit one manifest each, whether the measurements
+came from a live simulation or a cache hit, so cached and live results
+carry identical identity fields (``run_id`` / ``config_hash`` /
+``cache_key``) and differ only in the ``source`` marker and the
+execution statistics.
+
+The ``run_id`` is deterministic — a prefix of the config hash plus the
+seed — because a run here is a pure function of its config; re-running
+the same scenario *is* the same run, and its telemetry should say so.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable
+
+from repro.analysis.lint.model import LINT_RULESET_VERSION
+from repro.parallel.cache import CACHE_SCHEMA_VERSION, cache_key, config_hash
+from repro.scenarios.config import ScenarioConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.tracer import Tracer
+
+__all__ = ["OBS_SCHEMA_VERSION", "RunManifest", "build_manifest", "run_id_for",
+           "write_manifest"]
+
+#: Bump when the manifest or trace-record layout changes.
+OBS_SCHEMA_VERSION = 1
+
+
+def run_id_for(config: ScenarioConfig) -> str:
+    """The deterministic run identifier of ``config``."""
+    return f"{config_hash(config)[:12]}-s{config.seed}"
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Provenance and execution statistics of one scenario run."""
+
+    run_id: str
+    scenario: str
+    config_hash: str
+    """SHA-256 of the canonical config JSON (the cache's addressing base)."""
+    cache_key: str | None
+    """Full parallel-cache key for the (config, extractor) pair, when an
+    extractor is in play (sweep points); ``None`` for standalone runs."""
+    seed: int
+    source: str
+    """``"live"`` (simulated now) or ``"cache"`` (replayed measurements)."""
+    events_processed: int | None
+    wall_seconds: float | None
+    peak_calendar: int | None
+    """Largest raw calendar size observed (requires a tracer; ``None``
+    otherwise — the untraced engine does not pay for the bookkeeping)."""
+    event_categories: dict[str, int] | None
+    """Executed-event counts per handler category, when traced."""
+    obs_schema: int = OBS_SCHEMA_VERSION
+    cache_schema: int = CACHE_SCHEMA_VERSION
+    lint_ruleset: int = LINT_RULESET_VERSION
+
+    def to_dict(self) -> dict:
+        """A JSON-compatible representation."""
+        return asdict(self)
+
+
+def build_manifest(
+    config: ScenarioConfig,
+    *,
+    source: str = "live",
+    events_processed: int | None = None,
+    wall_seconds: float | None = None,
+    tracer: "Tracer | None" = None,
+    extract: Callable | None = None,
+) -> RunManifest:
+    """Assemble the manifest of one run of ``config``.
+
+    ``extract`` is the sweep measurement extractor, when there is one;
+    folding it in makes :attr:`RunManifest.cache_key` byte-identical to
+    the key the :class:`~repro.parallel.cache.ResultCache` files the
+    point under.
+    """
+    if source not in ("live", "cache"):
+        raise ValueError(f"manifest source must be 'live' or 'cache', got {source!r}")
+    peak = tracer.peak_calendar if tracer is not None else None
+    categories = None
+    if tracer is not None:
+        categories = {name: stats.events
+                      for name, stats in sorted(tracer.categories().items())}
+    return RunManifest(
+        run_id=run_id_for(config),
+        scenario=config.name,
+        config_hash=config_hash(config),
+        cache_key=cache_key(config, extract) if extract is not None else None,
+        seed=config.seed,
+        source=source,
+        events_processed=events_processed,
+        wall_seconds=round(wall_seconds, 6) if wall_seconds is not None else None,
+        peak_calendar=peak,
+        event_categories=categories,
+    )
+
+
+def write_manifest(manifest: RunManifest, path: str | Path) -> Path:
+    """Write ``manifest`` as JSON.
+
+    A directory path gets one ``<run_id>.manifest.json`` file per run
+    inside it (created if needed); any other path is written directly.
+    """
+    target = Path(path)
+    if target.is_dir() or not target.suffix:
+        target.mkdir(parents=True, exist_ok=True)
+        target = target / f"{manifest.run_id}.manifest.json"
+    with target.open("w") as handle:
+        json.dump(manifest.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return target

@@ -1,0 +1,116 @@
+"""Record types of the observability layer.
+
+Everything the tracer captures is one of two flat records:
+
+- a :class:`DispatchSpan` per executed engine event — where simulated
+  activity *happened* (sim-time) and what it *cost* (wall-time), tagged
+  with the handler category derived from the event label;
+- a :class:`PacketHop` per packet-lifecycle transition — the raw
+  material for following one packet through the pipeline and for
+  reconstructing queue dynamics (each hop carries the occupancy of the
+  site after the transition).
+
+Records are frozen slotted dataclasses: traced runs allocate millions of
+them, and immutability guarantees a trace cannot be edited into
+disagreeing with the run that produced it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DispatchSpan", "PacketHop", "CategoryStats", "HOP_KINDS", "span_category"]
+
+#: The packet-lifecycle transitions the tracer records, in pipeline order.
+HOP_KINDS = (
+    "send",      # transport sender released the packet (source host)
+    "enqueue",   # packet admitted to an output-port buffer
+    "dequeue",   # packet left the buffer for the transmitter
+    "drop",      # packet discarded by the overflow rule
+    "transmit",  # serialization started (irrevocable buffer departure)
+    "deliver",   # link handed the packet to the far-end node
+    "ack",       # an ACK reached the originating sender
+)
+
+
+def span_category(label: str) -> str:
+    """The handler category of an event label.
+
+    Labels follow a ``site:category`` convention throughout the code
+    base (``"conn1:rexmt"``, ``"sw1->sw2:txdone"``, ``"host1:proc"``),
+    so the category is the text after the last colon.  Unlabeled events
+    — anonymous callbacks scheduled straight off the hot path — fall
+    into ``"unlabeled"``.
+    """
+    if not label:
+        return "unlabeled"
+    return label.rsplit(":", 1)[-1]
+
+
+@dataclass(frozen=True, slots=True)
+class DispatchSpan:
+    """One executed engine event: when it ran and what it cost."""
+
+    sim_time: float
+    """Virtual time the event fired."""
+    wall_ns: int
+    """Wall-clock nanoseconds spent inside the callback."""
+    category: str
+    """Handler category (see :func:`span_category`)."""
+    label: str
+    """The raw event label (may be empty)."""
+    calendar_size: int
+    """Raw calendar length (cancelled entries included) at dispatch."""
+    sequence: int
+    """The event's engine sequence number — globally unique per run."""
+
+
+@dataclass(frozen=True, slots=True)
+class PacketHop:
+    """One packet-lifecycle transition at one site."""
+
+    sim_time: float
+    hop: str
+    """One of :data:`HOP_KINDS`."""
+    site: str
+    """Port/queue/link/connection name where the transition happened."""
+    uid: int
+    """The packet's globally unique id — the thread to follow a packet."""
+    conn_id: int
+    kind: str
+    """``"data"`` or ``"ack"``."""
+    seq: int
+    """Sequence number for DATA packets, acknowledgment number for ACKs."""
+    queue_len: int
+    """Buffer occupancy at the site *after* the transition (-1 when the
+    site has no buffer, e.g. link delivery)."""
+    duration: float = 0.0
+    """Sim-time seconds the transition covers (serialization time for
+    ``transmit`` hops; zero for instantaneous transitions)."""
+
+
+@dataclass(slots=True)
+class CategoryStats:
+    """Online per-category aggregate over dispatch spans."""
+
+    category: str
+    events: int = 0
+    wall_ns: int = 0
+    max_wall_ns: int = 0
+
+    def add(self, wall_ns: int) -> None:
+        """Fold one span into the aggregate."""
+        self.events += 1
+        self.wall_ns += wall_ns
+        if wall_ns > self.max_wall_ns:
+            self.max_wall_ns = wall_ns
+
+    @property
+    def wall_seconds(self) -> float:
+        """Total wall-clock seconds attributed to this category."""
+        return self.wall_ns / 1e9
+
+    @property
+    def mean_us(self) -> float:
+        """Mean microseconds per event."""
+        return (self.wall_ns / self.events) / 1e3 if self.events else 0.0

@@ -1,0 +1,249 @@
+"""The hook-based run tracer.
+
+A :class:`Tracer` observes a simulation from two vantage points:
+
+- **the engine** — :meth:`dispatch` is invoked by the
+  :class:`~repro.engine.simulator.Simulator` around every executed
+  event (sim-time, wall-time, handler category, calendar depth).  With
+  no tracer attached the engine pays one attribute check per event;
+  the micro-benchmarked overhead of the disabled path is guarded below
+  2% by ``benchmarks/perf_harness.py``.
+- **the packet path** — :meth:`instrument` subscribes to the existing
+  observer callbacks of queues, ports, links and transport senders, so
+  every enqueue/dequeue/drop/transmit/deliver (plus transport-level
+  send/ack) becomes a :class:`~repro.obs.model.PacketHop` carrying the
+  buffer occupancy at that instant.
+
+Tracing is **observation only**: the tracer never schedules events,
+never mutates model state, and draws wall-clock readings exclusively
+for reporting, so a traced run is bit-identical to an untraced run
+(``tests/obs/test_parity.py`` asserts this over the figures set — the
+same parity discipline the runtime sanitizer established).
+
+Example
+-------
+>>> from repro.obs import Tracer
+>>> from repro.scenarios import paper, run
+>>> result = run(paper.figure4(), trace=Tracer(window=(200.0, 260.0)))
+>>> result.tracer.hop_count > 0
+True
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.engine.simulator import Simulator
+from repro.errors import ConfigurationError
+from repro.net.packet import Packet
+from repro.net.port import OutputPort
+from repro.net.topology import Network
+from repro.obs.model import CategoryStats, DispatchSpan, PacketHop, span_category
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.scenarios.builder import BuiltScenario
+    from repro.tcp.connection import Connection
+
+__all__ = ["Tracer", "resolve_tracer"]
+
+
+def resolve_tracer(trace: object) -> "Tracer | None":
+    """Normalize the user-facing ``trace=`` argument.
+
+    ``None``/``False`` disable tracing, ``True`` creates a default
+    :class:`Tracer`, and a :class:`Tracer` instance is used as-is.
+    """
+    if trace is None or trace is False:
+        return None
+    if trace is True:
+        return Tracer()
+    if isinstance(trace, Tracer):
+        return trace
+    raise ConfigurationError(
+        f"trace must be True, False, None or a Tracer, got {trace!r}")
+
+
+class Tracer:
+    """Records dispatch spans and packet hops for one simulation run.
+
+    Parameters
+    ----------
+    record_spans:
+        Keep every :class:`DispatchSpan` in :attr:`spans`.  Aggregated
+        per-category statistics (:meth:`profile`) are maintained either
+        way, so the profiler can run span-storage-free over multi-minute
+        simulations.
+    record_hops:
+        Keep every :class:`PacketHop` in :attr:`hops`.
+    window:
+        Optional ``(start, end)`` sim-time interval; records outside it
+        are not *stored* (aggregates still cover the whole run).  Long
+        scenarios produce millions of records — a window keeps exported
+        traces loadable.
+    """
+
+    def __init__(
+        self,
+        *,
+        record_spans: bool = False,
+        record_hops: bool = True,
+        window: tuple[float, float] | None = None,
+    ) -> None:
+        if window is not None and window[1] < window[0]:
+            raise ConfigurationError(
+                f"trace window end {window[1]} before start {window[0]}")
+        self.record_spans = record_spans
+        self.record_hops = record_hops
+        self.window = window
+        self.spans: list[DispatchSpan] = []
+        self.hops: list[PacketHop] = []
+        self.events_observed = 0
+        self.peak_calendar = 0
+        self.wall_ns_total = 0
+        self._categories: dict[str, CategoryStats] = {}
+        self._instrumented = False
+
+    # ------------------------------------------------------------------
+    # Engine hook
+    # ------------------------------------------------------------------
+    def dispatch(self, sim_time: float, wall_ns: int, label: str,
+                 calendar_size: int, sequence: int) -> None:
+        """Record one executed engine event (called by the simulator)."""
+        self.events_observed += 1
+        self.wall_ns_total += wall_ns
+        if calendar_size > self.peak_calendar:
+            self.peak_calendar = calendar_size
+        category = span_category(label)
+        stats = self._categories.get(category)
+        if stats is None:
+            stats = self._categories[category] = CategoryStats(category)
+        stats.add(wall_ns)
+        if self.record_spans and self._in_window(sim_time):
+            self.spans.append(DispatchSpan(
+                sim_time=sim_time, wall_ns=wall_ns, category=category,
+                label=label, calendar_size=calendar_size, sequence=sequence,
+            ))
+
+    # ------------------------------------------------------------------
+    # Packet-path hook
+    # ------------------------------------------------------------------
+    def packet_hop(self, sim_time: float, hop: str, site: str, packet: Packet,
+                   queue_len: int = -1, duration: float = 0.0) -> None:
+        """Record one packet-lifecycle transition."""
+        if not (self.record_hops and self._in_window(sim_time)):
+            return
+        self.hops.append(PacketHop(
+            sim_time=sim_time, hop=hop, site=site, uid=packet.uid,
+            conn_id=packet.conn_id, kind=str(packet.kind),
+            seq=packet.seq if packet.is_data else packet.ack,
+            queue_len=queue_len, duration=duration,
+        ))
+
+    def _in_window(self, sim_time: float) -> bool:
+        window = self.window
+        return window is None or (window[0] <= sim_time < window[1])
+
+    # ------------------------------------------------------------------
+    # Instrumentation
+    # ------------------------------------------------------------------
+    def attach(self, sim: Simulator) -> None:
+        """Hook this tracer into ``sim``'s dispatch loop."""
+        sim.set_tracer(self)
+
+    def instrument(self, built: "BuiltScenario") -> "Tracer":
+        """Attach to a built scenario: engine, every port, every flow."""
+        self.attach(built.sim)
+        self.instrument_network(built.net)
+        for conn in built.connections:
+            self.instrument_connection(conn)
+        return self
+
+    def instrument_network(self, net: Network) -> None:
+        """Subscribe to packet hops on every port of ``net``.
+
+        Ports are visited in sorted link order so observer lists — and
+        therefore trace record order at equal timestamps — never depend
+        on construction order.
+        """
+        for key in sorted(net.links):
+            duplex = net.links[key]
+            self.instrument_port(duplex.forward)
+            self.instrument_port(duplex.reverse)
+
+    def instrument_port(self, port: OutputPort, name: str | None = None) -> None:
+        """Subscribe to buffer, transmitter and delivery hops of ``port``."""
+        site = name or port.name
+        queue = port.queue
+        link = port.link
+        record = self.packet_hop
+
+        def on_enqueue(time: float, packet: Packet) -> None:
+            record(time, "enqueue", site, packet, len(queue))
+
+        def on_dequeue(time: float, packet: Packet) -> None:
+            record(time, "dequeue", site, packet, len(queue))
+
+        def on_drop(time: float, packet: Packet) -> None:
+            record(time, "drop", site, packet, len(queue))
+
+        def on_transmission(start: float, duration: float, packet: Packet) -> None:
+            record(start, "transmit", site, packet, len(queue), duration)
+
+        def on_deliver(time: float, packet: Packet) -> None:
+            record(time, "deliver", link.name, packet)
+
+        queue.on_enqueue(on_enqueue)
+        queue.on_dequeue(on_dequeue)
+        queue.on_drop(on_drop)
+        port.on_transmission(on_transmission)
+        link.on_deliver(on_deliver)
+        self._instrumented = True
+
+    def instrument_connection(self, conn: "Connection") -> None:
+        """Subscribe to transport-level send/ack hops of ``conn``."""
+        site = f"conn{conn.conn_id}"
+        record = self.packet_hop
+
+        def on_send(time: float, packet: Packet) -> None:
+            record(time, "send", site, packet)
+
+        def on_ack(time: float, packet: Packet) -> None:
+            record(time, "ack", site, packet)
+
+        conn.sender.on_send(on_send)
+        conn.sender.on_ack(on_ack)
+        self._instrumented = True
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def hop_count(self) -> int:
+        """Number of packet hops stored."""
+        return len(self.hops)
+
+    def profile(self) -> list[CategoryStats]:
+        """Per-category aggregates, heaviest wall-time first.
+
+        Ties (and the zero-cost case) break on the category name so the
+        ordering is deterministic.
+        """
+        return sorted(self._categories.values(),
+                      key=lambda stats: (-stats.wall_ns, stats.category))
+
+    def categories(self) -> dict[str, CategoryStats]:
+        """The per-category aggregates keyed by category name."""
+        return dict(self._categories)
+
+    def packet_journey(self, uid: int) -> list[PacketHop]:
+        """Every stored hop of packet ``uid``, in simulation order."""
+        return [hop for hop in self.hops if hop.uid == uid]
+
+    def hops_at(self, site: str, hop: str | None = None) -> list[PacketHop]:
+        """Stored hops at ``site``, optionally filtered by hop kind."""
+        return [record for record in self.hops
+                if record.site == site and (hop is None or record.hop == hop)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Tracer(events={self.events_observed}, hops={len(self.hops)}, "
+                f"spans={len(self.spans)}, peak_calendar={self.peak_calendar})")

@@ -18,16 +18,19 @@ from repro.parallel.cache import (
     ResultCache,
     cache_key,
     canonical_config_json,
+    config_hash,
     default_cache_dir,
 )
-from repro.parallel.runner import ParallelSweepRunner, resolve_cache
+from repro.parallel.runner import ParallelSweepRunner, PointProgress, resolve_cache
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
     "ResultCache",
     "ParallelSweepRunner",
+    "PointProgress",
     "cache_key",
     "canonical_config_json",
+    "config_hash",
     "default_cache_dir",
     "resolve_cache",
 ]

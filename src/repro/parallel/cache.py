@@ -41,6 +41,7 @@ __all__ = [
     "ResultCache",
     "cache_key",
     "canonical_config_json",
+    "config_hash",
     "default_cache_dir",
 ]
 
@@ -68,6 +69,16 @@ def canonical_config_json(config: ScenarioConfig) -> str:
     """
     return json.dumps(config_to_dict(config), sort_keys=True,
                       separators=(",", ":"))
+
+
+def config_hash(config: ScenarioConfig) -> str:
+    """SHA-256 of the canonical config JSON alone.
+
+    This is the extractor-independent identity of a scenario — what run
+    manifests record — whereas :func:`cache_key` additionally folds in
+    the cache schema version and the extractor fingerprint.
+    """
+    return hashlib.sha256(canonical_config_json(config).encode()).hexdigest()
 
 
 def _extractor_fingerprint(extract: Callable | None) -> str:

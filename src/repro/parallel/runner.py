@@ -19,6 +19,9 @@ import os
 import pickle
 import sys
 import warnings
+from dataclasses import dataclass
+from pathlib import Path
+from time import perf_counter
 from typing import Callable, Iterable, Sequence
 
 from repro.engine.sanitize import SANITIZE_ENV, sanitize_enabled
@@ -28,7 +31,26 @@ from repro.scenarios.config import ScenarioConfig
 from repro.scenarios.runner import ScenarioResult
 from repro.scenarios.runner import run as run_scenario
 
-__all__ = ["ParallelSweepRunner", "resolve_cache"]
+__all__ = ["ParallelSweepRunner", "PointProgress", "resolve_cache"]
+
+
+@dataclass(frozen=True)
+class PointProgress:
+    """One progress notification from a sweep execution.
+
+    ``phase`` is ``"start"`` when a point begins simulating (emitted in
+    serial mode only — a spawn pool cannot report start times to the
+    parent) and ``"finish"`` when its measurements are available.
+    Cache hits finish immediately with ``cached=True`` and no
+    execution statistics.
+    """
+
+    index: int
+    phase: str
+    cached: bool = False
+    worker: str = ""
+    wall_seconds: float = 0.0
+    events_processed: int = 0
 
 
 def resolve_cache(cache) -> ResultCache | None:
@@ -74,13 +96,20 @@ def _check_spawnable_main() -> None:
         )
 
 
-def _execute_point(task: tuple) -> tuple[int, dict]:
+def _execute_point(task: tuple) -> tuple[int, dict, str, float, int]:
     """Worker body: run one config and extract its measurements.
 
     Module-level so it pickles by reference under the spawn start method.
+    Alongside the measurements it reports the worker's process name, the
+    wall time spent simulating, and the engine's event count, so the
+    parent can emit progress lines and write live-point manifests.
     """
     index, config, extract = task
-    return index, extract(run_scenario(config))
+    begin = perf_counter()
+    result = run_scenario(config)
+    wall_seconds = perf_counter() - begin
+    return (index, extract(result), multiprocessing.current_process().name,
+            wall_seconds, result.events_processed)
 
 
 class ParallelSweepRunner:
@@ -133,12 +162,21 @@ class ParallelSweepRunner:
         configs: Sequence[ScenarioConfig],
         extract: Callable[[ScenarioResult], dict],
         on_point: Callable[[int, dict], None] | None = None,
+        on_progress: Callable[[PointProgress], None] | None = None,
+        manifest_dir: str | Path | None = None,
     ) -> list[dict]:
         """Measurements for each config, in input order.
 
         ``on_point(index, measurements)`` fires as each point becomes
         available — cache hits first, then simulations in completion
-        order — so long sweeps can report progress.
+        order — so long sweeps can report progress.  ``on_progress``
+        additionally receives :class:`PointProgress` start/finish
+        notifications carrying worker identity and timing.
+
+        ``manifest_dir`` writes one ``<run_id>.manifest.json`` per point
+        into that directory; cached and live points carry identical
+        identity fields (``run_id`` / ``config_hash`` / ``cache_key``)
+        and differ only in ``source`` and the execution statistics.
         """
         for config in configs:
             if not isinstance(config, ScenarioConfig):
@@ -146,6 +184,27 @@ class ParallelSweepRunner:
 
         results: list[dict | None] = [None] * len(configs)
         cache = self.cache
+
+        def emit(progress: PointProgress) -> None:
+            if on_progress is not None:
+                on_progress(progress)
+
+        def write_point_manifest(index: int, *, source: str,
+                                 events: int | None = None,
+                                 wall: float | None = None) -> None:
+            if manifest_dir is None:
+                return
+            # Lazy: obs sits above this layer (its manifest module keys
+            # off repro.parallel.cache).
+            from repro.obs.manifest import build_manifest, write_manifest
+
+            write_manifest(
+                build_manifest(configs[index], source=source,
+                               events_processed=events, wall_seconds=wall,
+                               extract=extract),
+                manifest_dir,
+            )
+
         pending: list[int] = []
         if cache is not None:
             for index, config in enumerate(configs):
@@ -156,20 +215,35 @@ class ParallelSweepRunner:
                     results[index] = hit
                     if on_point is not None:
                         on_point(index, hit)
+                    write_point_manifest(index, source="cache")
+                    emit(PointProgress(index=index, phase="finish",
+                                       cached=True, worker="cache"))
         else:
             pending = list(range(len(configs)))
 
-        def complete(index: int, measurements: dict) -> None:
+        def complete(index: int, measurements: dict, worker: str,
+                     wall_seconds: float, events: int) -> None:
             results[index] = measurements
             if cache is not None:
                 cache.put_config(configs[index], measurements, extract)
             if on_point is not None:
                 on_point(index, measurements)
+            write_point_manifest(index, source="live", events=events,
+                                 wall=wall_seconds)
+            emit(PointProgress(index=index, phase="finish", cached=False,
+                               worker=worker, wall_seconds=wall_seconds,
+                               events_processed=events))
 
         jobs = min(self.jobs, len(pending))
         if jobs <= 1:
+            worker = multiprocessing.current_process().name
             for index in pending:
-                complete(index, extract(run_scenario(configs[index])))
+                emit(PointProgress(index=index, phase="start", worker=worker))
+                begin = perf_counter()
+                result = run_scenario(configs[index])
+                wall_seconds = perf_counter() - begin
+                complete(index, extract(result), worker, wall_seconds,
+                         result.events_processed)
         else:
             _check_spawnable_main()
             try:
@@ -183,9 +257,10 @@ class ParallelSweepRunner:
             chunksize = self.chunksize or max(1, len(tasks) // (jobs * 4))
             context = multiprocessing.get_context(self.start_method)
             with context.Pool(processes=jobs) as pool:
-                for index, measurements in pool.imap_unordered(
-                        _execute_point, tasks, chunksize=chunksize):
-                    complete(index, measurements)
+                for index, measurements, worker, wall_seconds, events in (
+                        pool.imap_unordered(_execute_point, tasks,
+                                            chunksize=chunksize)):
+                    complete(index, measurements, worker, wall_seconds, events)
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
@@ -197,11 +272,15 @@ class ParallelSweepRunner:
         values: Iterable[object],
         extract: Callable[[ScenarioResult], dict],
         on_point: Callable | None = None,
+        on_progress: Callable[[PointProgress], None] | None = None,
+        manifest_dir: str | Path | None = None,
     ) -> list:
         """Run ``make_config(v)`` for each value; the parallel ``sweep()``.
 
         Returns :class:`~repro.scenarios.sweeps.SweepPoint` objects in
-        input order.  ``on_point`` receives each finished ``SweepPoint``.
+        input order.  ``on_point`` receives each finished ``SweepPoint``;
+        ``on_progress`` and ``manifest_dir`` behave as in
+        :meth:`run_configs`.
         """
         from repro.scenarios.sweeps import SweepPoint
 
@@ -215,6 +294,8 @@ class ParallelSweepRunner:
             def wrapped(index: int, measurements: dict) -> None:
                 on_point(SweepPoint(value=values[index], measurements=measurements))
 
-        measurements = self.run_configs(configs, extract, on_point=wrapped)
+        measurements = self.run_configs(configs, extract, on_point=wrapped,
+                                        on_progress=on_progress,
+                                        manifest_dir=manifest_dir)
         return [SweepPoint(value=value, measurements=m)
                 for value, m in zip(values, measurements)]

@@ -13,6 +13,7 @@ from repro.engine.rng import SimRandom
 from repro.engine.simulator import Simulator
 from repro.errors import ConfigurationError
 from repro.metrics.trace import TraceSet
+from repro.net.packet import reset_packet_uids
 from repro.net.topology import Network, build_chain, build_dumbbell
 from repro.scenarios.config import FlowKind, ScenarioConfig, TopologyKind
 from repro.tcp.connection import (
@@ -86,6 +87,7 @@ def _build_network(config: ScenarioConfig, sim: Simulator) -> tuple[Network, lis
 
 def build(config: ScenarioConfig) -> BuiltScenario:
     """Instantiate simulator, network, flows and instrumentation."""
+    reset_packet_uids()
     sim = Simulator()
     net, bottleneck_ports = _build_network(config, sim)
     rng = SimRandom(config.seed)

@@ -9,7 +9,9 @@ post-warmup window.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import TYPE_CHECKING
 
 from repro.analysis.clustering import cluster_runs, clustering_stats
 from repro.analysis.compression import compression_stats
@@ -21,6 +23,10 @@ from repro.net.topology import Network
 from repro.scenarios.builder import BuiltScenario, build
 from repro.scenarios.config import ScenarioConfig
 from repro.tcp.connection import Connection
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.manifest import RunManifest
+    from repro.obs.tracer import Tracer
 
 __all__ = ["ScenarioResult", "run"]
 
@@ -35,6 +41,14 @@ class ScenarioResult:
     traces: TraceSet
     bottleneck_ports: list[str]
     events_processed: int
+    tracer: "Tracer | None" = field(default=None, compare=False)
+    """The attached :class:`~repro.obs.tracer.Tracer` when the run was
+    traced (``trace=`` on :func:`run`)."""
+    manifest: "RunManifest | None" = field(default=None, compare=False)
+    """Provenance document, populated when ``manifest=`` was requested."""
+    wall_seconds: float = field(default=0.0, compare=False)
+    """Wall-clock seconds :func:`run` spent inside ``sim.run`` (reporting
+    only; never enters simulation state)."""
 
     # ------------------------------------------------------------------
     # Windows
@@ -164,10 +178,54 @@ class ScenarioResult:
         return "\n".join(lines)
 
 
-def run(config: ScenarioConfig) -> ScenarioResult:
-    """Build and execute a scenario to completion."""
+def run(
+    config: ScenarioConfig,
+    *,
+    trace: "Tracer | bool | None" = None,
+    manifest: bool = False,
+) -> ScenarioResult:
+    """Build and execute a scenario to completion.
+
+    Parameters
+    ----------
+    trace:
+        Anything :func:`repro.obs.resolve_tracer` accepts — ``True`` for
+        a default :class:`~repro.obs.Tracer`, or a configured instance.
+        The tracer is attached before the first event fires and is
+        observation-only: the traced run is bit-identical to the
+        untraced one.
+    manifest:
+        Build a :class:`~repro.obs.RunManifest` for the run (config
+        hash, seed, event count, wall time, plus tracer aggregates when
+        traced) and attach it to the result.
+
+    The :mod:`repro.obs` imports are deliberately lazy: obs sits above
+    scenarios in the layer diagram (its manifest module reaches into
+    :mod:`repro.parallel`, which imports this runner), so a top-level
+    import would be circular.
+    """
     built: BuiltScenario = build(config)
+    tracer = None
+    if trace is not None and trace is not False:
+        from repro.obs.tracer import resolve_tracer
+
+        tracer = resolve_tracer(trace)
+        if tracer is not None:
+            tracer.instrument(built)
+    begin = perf_counter()
     built.sim.run(until=config.duration)
+    wall_seconds = perf_counter() - begin
+    run_manifest = None
+    if manifest:
+        from repro.obs.manifest import build_manifest
+
+        run_manifest = build_manifest(
+            config,
+            source="live",
+            events_processed=built.sim.events_processed,
+            wall_seconds=wall_seconds,
+            tracer=tracer,
+        )
     return ScenarioResult(
         config=config,
         net=built.net,
@@ -175,4 +233,7 @@ def run(config: ScenarioConfig) -> ScenarioResult:
         traces=built.traces,
         bottleneck_ports=built.bottleneck_ports,
         events_processed=built.sim.events_processed,
+        tracer=tracer,
+        manifest=run_manifest,
+        wall_seconds=wall_seconds,
     )

@@ -18,12 +18,16 @@ use module-level functions such as the ones in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.errors import ConfigurationError
 from repro.scenarios.config import ScenarioConfig
 from repro.scenarios.families import utilization_extract
 from repro.scenarios.runner import ScenarioResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.parallel.runner import PointProgress
 
 __all__ = ["SweepPoint", "sweep", "utilization_sweep"]
 
@@ -44,6 +48,8 @@ def sweep(
     jobs: int = 1,
     cache: object = None,
     on_point: Callable[[SweepPoint], None] | None = None,
+    on_progress: "Callable[[PointProgress], None] | None" = None,
+    manifest: str | Path | None = None,
 ) -> list[SweepPoint]:
     """Run ``make_config(v)`` for each value and extract measurements.
 
@@ -68,6 +74,16 @@ def sweep(
     on_point:
         Progress callback invoked with each finished :class:`SweepPoint`
         (cache hits first, then completions).
+    on_progress:
+        Lower-level progress callback receiving
+        :class:`~repro.parallel.runner.PointProgress` start/finish
+        notifications with worker identity, cache-hit status and timing
+        (what ``repro sweep --progress`` prints).
+    manifest:
+        Directory receiving one ``<run_id>.manifest.json`` provenance
+        document per sweep point, cache hits included; the manifest's
+        ``config_hash``/``cache_key`` match the result cache's
+        addressing exactly.
     """
     from repro.parallel.runner import ParallelSweepRunner
 
@@ -75,7 +91,8 @@ def sweep(
     if not values:
         raise ConfigurationError("sweep needs at least one value")
     runner = ParallelSweepRunner(jobs=jobs, cache=cache)
-    return runner.run(make_config, values, extract, on_point=on_point)
+    return runner.run(make_config, values, extract, on_point=on_point,
+                      on_progress=on_progress, manifest_dir=manifest)
 
 
 def utilization_sweep(
@@ -85,7 +102,10 @@ def utilization_sweep(
     jobs: int = 1,
     cache: object = None,
     on_point: Callable[[SweepPoint], None] | None = None,
+    on_progress: "Callable[[PointProgress], None] | None" = None,
+    manifest: str | Path | None = None,
 ) -> list[SweepPoint]:
     """A sweep whose measurements are the per-direction utilizations."""
     return sweep(make_config, values, utilization_extract,
-                 jobs=jobs, cache=cache, on_point=on_point)
+                 jobs=jobs, cache=cache, on_point=on_point,
+                 on_progress=on_progress, manifest=manifest)

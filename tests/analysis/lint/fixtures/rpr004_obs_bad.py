@@ -1,0 +1,15 @@
+# repro-lint-module: repro.obs.demo
+"""Positive fixture: hash-ordered iteration in an obs hot path (RPR004).
+
+The observability layer registers observers and emits trace records;
+hash-ordered iteration there makes observer lists and exported traces
+differ between runs of the same scenario.
+"""
+
+
+def instrument(tracer, ports, watched):
+    for port in watched.intersection(ports):
+        tracer.instrument_port(port)
+    events = [record for site in {port.name for port in ports}
+              for record in tracer.hops_at(site)]
+    return events

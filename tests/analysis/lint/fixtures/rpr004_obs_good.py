@@ -1,0 +1,10 @@
+# repro-lint-module: repro.obs.demo
+"""Negative fixture: the obs layer iterating in sorted, stable order."""
+
+
+def instrument(tracer, ports, watched):
+    for port in sorted(watched.intersection(ports), key=lambda p: p.name):
+        tracer.instrument_port(port)
+    events = [record for site in sorted({port.name for port in ports})
+              for record in tracer.hops_at(site)]
+    return events

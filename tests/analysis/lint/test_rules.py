@@ -20,13 +20,14 @@ CASES = [
     ("RPR002", "rpr002_bad.py", 2, "rpr002_good.py"),
     ("RPR003", "rpr003_bad.py", 2, "rpr003_good.py"),
     ("RPR004", "rpr004_bad.py", 2, "rpr004_good.py"),
+    ("RPR004", "rpr004_obs_bad.py", 2, "rpr004_obs_good.py"),
     ("RPR005", "rpr005_bad.py", 2, "rpr005_good.py"),
     ("RPR006", "rpr006_bad.py", 2, "rpr006_good.py"),
 ]
 
 
 @pytest.mark.parametrize("code,bad,count,good", CASES,
-                         ids=[case[0] for case in CASES])
+                         ids=[case[1] for case in CASES])
 def test_positive_fixture_fires(code, bad, count, good):
     violations = lint_file(FIXTURES / bad)
     assert [v.code for v in violations] == [code] * count
@@ -36,7 +37,7 @@ def test_positive_fixture_fires(code, bad, count, good):
 
 
 @pytest.mark.parametrize("code,bad,count,good", CASES,
-                         ids=[case[0] for case in CASES])
+                         ids=[case[1] for case in CASES])
 def test_negative_fixture_clean(code, bad, count, good):
     assert lint_file(FIXTURES / good) == []
 
@@ -58,8 +59,10 @@ class TestScoping:
         assert [v.code for v in
                 lint_source(source, module="repro.tcp.sender")] == ["RPR003"]
 
-    def test_rpr004_scoped_to_engine_and_net(self):
+    def test_rpr004_scoped_to_engine_net_and_obs(self):
         source = "for x in set(items):\n    x.poke()\n"
         assert lint_source(source, module="repro.viz.gallery") == []
         assert [v.code for v in
                 lint_source(source, module="repro.net.switch")] == ["RPR004"]
+        assert [v.code for v in
+                lint_source(source, module="repro.obs.tracer")] == ["RPR004"]

@@ -151,3 +151,87 @@ class TestFractionAtOrBelow:
         # Queue busy [0,4), empty [4,10).
         series = make_series([(0.0, 5.0), (4.0, 0.0)])
         assert series.fraction_at_or_below(0.0, 0.0, 10.0) == pytest.approx(0.6)
+
+
+class TestWindowBoundaries:
+    """Exact-breakpoint semantics of window/sample/time_average.
+
+    The contract: windows are half-open ``[start, end)`` with the
+    carried-in value re-anchored at ``start``; a change-point exactly at
+    ``start`` is superseded by the carried value (last-wins at one
+    instant), and one exactly at ``end`` is excluded.
+    """
+
+    def test_change_point_exactly_at_start(self):
+        series = make_series([(1.0, 5.0), (2.0, 7.0)])
+        out = series.window(1.0, 3.0)
+        # value_at(1.0) is 5.0 (last wins), re-anchored at start.
+        assert list(out) == [(1.0, 5.0), (2.0, 7.0)]
+
+    def test_change_point_exactly_at_end_excluded(self):
+        series = make_series([(1.0, 5.0), (3.0, 9.0)])
+        assert list(series.window(0.0, 3.0)) == [(0.0, 0.0), (1.0, 5.0)]
+
+    def test_empty_series_window_carries_initial(self):
+        series = StepSeries(initial_value=4.0)
+        assert list(series.window(2.0, 5.0)) == [(2.0, 4.0)]
+
+    def test_single_point_window(self):
+        series = make_series([(2.0, 8.0)])
+        assert list(series.window(0.0, 10.0)) == [(0.0, 0.0), (2.0, 8.0)]
+        assert list(series.window(2.0, 10.0)) == [(2.0, 8.0)]
+        assert list(series.window(3.0, 10.0)) == [(3.0, 8.0)]
+
+    def test_degenerate_window_start_equals_end(self):
+        series = make_series([(1.0, 5.0)])
+        assert list(series.window(1.0, 1.0)) == [(1.0, 5.0)]
+
+    def test_duplicate_instants_last_wins_at_start(self):
+        series = make_series([(1.0, 5.0), (1.0, 6.0), (1.0, 7.0)])
+        assert list(series.window(1.0, 2.0)) == [(1.0, 7.0)]
+
+
+class TestSampleBoundaries:
+    def test_grid_point_on_change_takes_new_value(self):
+        series = make_series([(0.0, 1.0), (2.0, 9.0)])
+        grid, values = series.sample(0.0, 4.0, 1.0)
+        assert list(grid) == [0.0, 1.0, 2.0, 3.0]
+        assert list(values) == [1.0, 1.0, 9.0, 9.0]
+
+    def test_end_is_exclusive(self):
+        series = make_series([(0.0, 1.0)])
+        grid, _ = series.sample(0.0, 2.0, 1.0)
+        assert list(grid) == [0.0, 1.0]
+
+    def test_grid_before_first_point_uses_initial(self):
+        series = make_series([(5.0, 3.0)], initial=1.5)
+        _, values = series.sample(0.0, 10.0, 2.5)
+        assert list(values) == [1.5, 1.5, 3.0, 3.0]
+
+    def test_empty_series_samples_initial(self):
+        series = StepSeries(initial_value=2.0)
+        grid, values = series.sample(0.0, 3.0, 1.0)
+        assert list(values) == [2.0] * len(grid)
+
+
+class TestTimeAverageBoundaries:
+    def test_change_exactly_at_start(self):
+        series = make_series([(1.0, 4.0)])
+        assert series.time_average(1.0, 3.0) == pytest.approx(4.0)
+
+    def test_change_exactly_at_end_contributes_nothing(self):
+        series = make_series([(0.0, 2.0), (4.0, 100.0)])
+        assert series.time_average(0.0, 4.0) == pytest.approx(2.0)
+
+    def test_empty_series_averages_initial(self):
+        series = StepSeries(initial_value=7.0)
+        assert series.time_average(0.0, 5.0) == pytest.approx(7.0)
+
+    def test_single_point_mid_window(self):
+        series = make_series([(5.0, 10.0)], initial=0.0)
+        assert series.time_average(0.0, 10.0) == pytest.approx(5.0)
+
+    def test_duplicate_instants_use_last_value_forward(self):
+        series = make_series([(2.0, 1.0), (2.0, 3.0)])
+        # [0,2): initial 0; [2,4): 3 (last record at t=2 wins).
+        assert series.time_average(0.0, 4.0) == pytest.approx(1.5)

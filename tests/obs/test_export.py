@@ -1,0 +1,110 @@
+"""Unit tests for repro.obs.export: Chrome trace-event JSON and JSONL."""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.obs import Tracer, chrome_trace_events, export_chrome_trace, export_jsonl
+from repro.scenarios import FlowSpec, ScenarioConfig, run
+
+
+@pytest.fixture(scope="module")
+def traced():
+    config = ScenarioConfig(
+        name="obs-export",
+        flows=(
+            FlowSpec(src="host1", dst="host2"),
+            FlowSpec(src="host2", dst="host1"),
+        ),
+        duration=20.0,
+        warmup=5.0,
+        bottleneck_propagation=0.01,
+    )
+    tracer = Tracer(record_spans=True)
+    result = run(config, trace=tracer, manifest=True)
+    return tracer, result
+
+
+class TestChromeTrace:
+    def test_structure(self, traced):
+        tracer, result = traced
+        events = chrome_trace_events(tracer, traces=result.traces)
+        phases = {e["ph"] for e in events}
+        assert {"M", "X", "i", "C"} <= phases
+        # Metadata names every port track and both connection tracks.
+        meta = [e for e in events if e["ph"] == "M" and e["name"] == "thread_name"]
+        names = {e["args"]["name"] for e in meta}
+        assert "sw1->sw2" in names
+        assert "conn1" in names
+        assert "conn2" in names
+
+    def test_transmit_events_have_duration(self, traced):
+        tracer, result = traced
+        events = chrome_trace_events(tracer, traces=result.traces)
+        tx = [e for e in events if e["ph"] == "X" and e["name"].startswith("tx")]
+        assert tx
+        assert all(e["dur"] > 0 for e in tx)
+
+    def test_queue_and_cwnd_counters(self, traced):
+        tracer, result = traced
+        events = chrome_trace_events(tracer, traces=result.traces)
+        counters = {e["name"] for e in events if e["ph"] == "C"}
+        assert "sw1->sw2 queue" in counters
+        assert "conn1 cwnd" in counters
+
+    def test_timestamps_are_sim_microseconds(self, traced):
+        tracer, result = traced
+        events = chrome_trace_events(tracer)
+        stamped = [e for e in events if "ts" in e]
+        assert stamped
+        horizon = result.config.duration * 1e6
+        assert all(0 <= e["ts"] <= horizon for e in stamped)
+
+    def test_file_export_and_manifest_embedding(self, traced, tmp_path):
+        tracer, result = traced
+        target = tmp_path / "trace.json"
+        assert export_chrome_trace(tracer, target, traces=result.traces,
+                                   manifest=result.manifest) == target
+        document = json.loads(target.read_text())
+        assert isinstance(document["traceEvents"], list)
+        assert document["otherData"]["run_id"] == result.manifest.run_id
+
+    def test_export_is_deterministic(self, traced, tmp_path):
+        # Byte-identical traces for the same run: the exporter must not
+        # leak wall-clock, hash ordering, or process history (packet
+        # uids are rewound per build) into sim-time records.  Digests
+        # keep a mismatch readable — the files run to megabytes.
+        _, result = traced
+        digests = []
+        for name in ("a.json", "b.json"):
+            tracer = Tracer(record_spans=False)
+            rerun = run(result.config, trace=tracer)
+            export_chrome_trace(tracer, tmp_path / name, traces=rerun.traces)
+            digests.append(hashlib.sha256(
+                (tmp_path / name).read_bytes()).hexdigest())
+        assert digests[0] == digests[1]
+
+
+class TestJsonl:
+    def test_lines_and_header(self, traced, tmp_path):
+        tracer, result = traced
+        target = tmp_path / "trace.jsonl"
+        export_jsonl(tracer, target, manifest=result.manifest)
+        lines = [json.loads(line) for line in target.read_text().splitlines()]
+        header, records = lines[0], lines[1:]
+        assert header["type"] == "run"
+        assert header["run_id"] == result.manifest.run_id
+        types = {record["type"] for record in records}
+        assert types <= {"span", "hop"}
+        hops = [r for r in records if r["type"] == "hop"]
+        assert len(hops) == tracer.hop_count
+        assert all(record["run_id"] == header["run_id"] for record in records)
+
+    def test_span_records_present_when_recorded(self, traced, tmp_path):
+        tracer, _ = traced
+        target = tmp_path / "spans.jsonl"
+        export_jsonl(tracer, target, run_id="test-run")
+        lines = [json.loads(line) for line in target.read_text().splitlines()]
+        spans = [r for r in lines if r.get("type") == "span"]
+        assert len(spans) == len(tracer.spans)

@@ -1,0 +1,111 @@
+"""Unit tests for repro.obs.manifest: run identity and provenance."""
+
+import json
+
+import pytest
+
+from repro.obs import OBS_SCHEMA_VERSION, Tracer, build_manifest, run_id_for, write_manifest
+from repro.parallel import CACHE_SCHEMA_VERSION, ResultCache, cache_key, config_hash
+from repro.scenarios import FlowSpec, ScenarioConfig, run
+from repro.scenarios.families import utilization_extract
+
+
+def small_config(**kwargs):
+    defaults = dict(
+        name="obs-manifest",
+        flows=(FlowSpec(src="host1", dst="host2"),),
+        duration=5.0,
+        warmup=1.0,
+    )
+    defaults.update(kwargs)
+    return ScenarioConfig(**defaults)
+
+
+class TestRunId:
+    def test_deterministic_and_config_addressed(self):
+        config = small_config()
+        assert run_id_for(config) == run_id_for(small_config())
+        assert run_id_for(config) == f"{config_hash(config)[:12]}-s{config.seed}"
+
+    def test_distinct_configs_distinct_ids(self):
+        assert run_id_for(small_config()) != run_id_for(small_config(duration=6.0))
+
+    def test_seed_visible_in_id(self):
+        assert run_id_for(small_config(seed=7)).endswith("-s7")
+
+
+class TestBuildManifest:
+    def test_live_manifest_fields(self):
+        config = small_config()
+        tracer = Tracer()
+        result = run(config, trace=tracer)
+        manifest = build_manifest(config, source="live",
+                                  events_processed=result.events_processed,
+                                  wall_seconds=result.wall_seconds,
+                                  tracer=tracer)
+        assert manifest.run_id == run_id_for(config)
+        assert manifest.scenario == config.name
+        assert manifest.config_hash == config_hash(config)
+        assert manifest.cache_key is None
+        assert manifest.source == "live"
+        assert manifest.events_processed == result.events_processed
+        assert manifest.peak_calendar == tracer.peak_calendar
+        assert manifest.obs_schema == OBS_SCHEMA_VERSION
+        assert manifest.cache_schema == CACHE_SCHEMA_VERSION
+        assert sum(manifest.event_categories.values()) == result.events_processed
+
+    def test_cache_manifest_has_identity_but_no_stats(self):
+        config = small_config()
+        manifest = build_manifest(config, source="cache",
+                                  extract=utilization_extract)
+        assert manifest.source == "cache"
+        assert manifest.events_processed is None
+        assert manifest.wall_seconds is None
+        assert manifest.peak_calendar is None
+        assert manifest.cache_key == cache_key(config, utilization_extract)
+
+    def test_cache_key_matches_result_cache_addressing(self, tmp_path):
+        # The manifest must point at the exact file the cache would use.
+        config = small_config()
+        cache = ResultCache(tmp_path)
+        stored = cache.put_config(config, {"u": 1.0}, utilization_extract)
+        manifest = build_manifest(config, source="cache",
+                                  extract=utilization_extract)
+        assert stored.stem == manifest.cache_key
+
+    def test_invalid_source_rejected(self):
+        with pytest.raises(ValueError):
+            build_manifest(small_config(), source="replay")
+
+    def test_run_manifest_knob(self):
+        result = run(small_config(), manifest=True)
+        assert result.manifest is not None
+        assert result.manifest.source == "live"
+        assert result.manifest.events_processed == result.events_processed
+        # Untraced runs do not pay for calendar bookkeeping.
+        assert result.manifest.peak_calendar is None
+        untraced = run(small_config())
+        assert untraced.manifest is None
+
+
+class TestWriteManifest:
+    def test_directory_target_uses_run_id(self, tmp_path):
+        config = small_config()
+        manifest = build_manifest(config)
+        path = write_manifest(manifest, tmp_path)
+        assert path.name == f"{manifest.run_id}.manifest.json"
+        data = json.loads(path.read_text())
+        assert data["config_hash"] == config_hash(config)
+        assert data["lint_ruleset"] == manifest.lint_ruleset
+
+    def test_explicit_file_target(self, tmp_path):
+        manifest = build_manifest(small_config())
+        target = tmp_path / "point.json"
+        assert write_manifest(manifest, target) == target
+        assert json.loads(target.read_text())["run_id"] == manifest.run_id
+
+    def test_round_trip_is_stable(self, tmp_path):
+        manifest = build_manifest(small_config())
+        first = write_manifest(manifest, tmp_path / "a.json").read_text()
+        second = write_manifest(manifest, tmp_path / "b.json").read_text()
+        assert first == second
