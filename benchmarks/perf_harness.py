@@ -19,6 +19,11 @@ the perf trajectory stays visible PR over PR:
   dispatch loop with no tracer check at all.  CI guards the disabled
   path with ``--max-tracing-overhead 2``: detached tracing must stay
   within 2% of the hook-free baseline.
+- ``resilience_disabled_overhead_pct`` — cost of routing a sweep
+  through ``ParallelSweepRunner`` with resilience left off, priced
+  against a bare run-and-extract loop over the same configs.  CI
+  guards it with ``--max-resilience-overhead 2``: the fault-tolerance
+  machinery must stay out of the fault-free hot path.
 """
 
 from __future__ import annotations
@@ -207,6 +212,77 @@ def bench_tracing_overhead(n: int = 20_000, reps: int = 25,
             (min(enabled_medians) - 1.0) * 100)
 
 
+def bench_resilience_overhead(points: int = 4, reps: int = 9,
+                              passes: int = 4) -> float:
+    """Overhead pct of the resilience-disabled sweep path vs a bare loop.
+
+    The resilience layer threads timeout/retry/journal decisions through
+    ``ParallelSweepRunner.run_configs``, but with ``resilience=None``
+    (the default) every one of those branches must collapse to a cheap
+    ``is None`` check.  This prices the serial runner — no cache, no
+    journal, no policy — against a bare ``run_scenario`` + extract loop
+    over identical configs, using the same alternating / per-pass
+    median / min-of-passes estimator as :func:`bench_tracing_overhead`.
+    The workload is deliberately short-duration so per-point runner
+    bookkeeping is not drowned out by simulation time.
+    """
+    from statistics import median
+
+    from repro.parallel import ParallelSweepRunner
+    from repro.scenarios.runner import run as run_scenario
+
+    cases = families.CONJECTURE_CASES[:points]
+    make_config = functools.partial(families.conjecture_config,
+                                    duration=10.0, warmup=2.0)
+    configs = [make_config(case) for case in cases]
+    extract = families.utilization_extract
+
+    def _timed(body) -> float:
+        # Collection pauses are of the same order as the per-point costs
+        # being compared, so they are kept out of the timed region (the
+        # same treatment _tick_throughput gives the tracing kernels).
+        import gc
+
+        gc.collect()
+        was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            started = time.perf_counter()
+            body()
+            return time.perf_counter() - started
+        finally:
+            if was_enabled:
+                gc.enable()
+
+    def bare_seconds() -> float:
+        def body():
+            for config in configs:
+                extract(run_scenario(config))
+        return _timed(body)
+
+    def runner_seconds() -> float:
+        runner = ParallelSweepRunner(jobs=1)
+        return _timed(lambda: runner.run_configs(configs, extract))
+
+    # Warm-up: first runs pay import and allocation costs.
+    bare_seconds()
+    runner_seconds()
+
+    medians: list[float] = []
+    for _ in range(passes):
+        ratios: list[float] = []
+        for rep in range(reps):
+            if rep % 2:
+                through = runner_seconds()
+                bare = bare_seconds()
+            else:
+                bare = bare_seconds()
+                through = runner_seconds()
+            ratios.append(through / bare)
+        medians.append(median(ratios))
+    return (min(medians) - 1.0) * 100
+
+
 def bench_sweep_cache() -> tuple[float, float]:
     """(cold_seconds, warm_seconds) for a four-point fixed-window sweep."""
     cases = families.CONJECTURE_CASES[:4]
@@ -238,6 +314,7 @@ def collect() -> dict:
         "cache_speedup": round(cold / warm, 1),
         "tracing_disabled_overhead_pct": round(tracing_disabled, 2),
         "tracing_enabled_overhead_pct": round(tracing_enabled, 2),
+        "resilience_disabled_overhead_pct": round(bench_resilience_overhead(), 2),
     }
 
 
@@ -250,6 +327,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="fail (exit 1) when the disabled-tracer fast "
                              "path costs more than PCT%% vs the hook-free "
                              "reference loop")
+    parser.add_argument("--max-resilience-overhead", type=float, default=None,
+                        metavar="PCT",
+                        help="fail (exit 1) when the resilience-disabled "
+                             "sweep path costs more than PCT%% vs a bare "
+                             "run-and-extract loop")
     args = parser.parse_args(argv)
 
     record = collect()
@@ -277,6 +359,15 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         print(f"tracing-overhead guard OK: {overhead:.2f}% <= "
               f"{args.max_tracing_overhead:.2f}%")
+
+    if args.max_resilience_overhead is not None:
+        overhead = record["resilience_disabled_overhead_pct"]
+        if overhead > args.max_resilience_overhead:
+            print(f"FAIL: resilience-disabled sweep overhead {overhead:.2f}% "
+                  f"exceeds the {args.max_resilience_overhead:.2f}% budget")
+            return 1
+        print(f"resilience-overhead guard OK: {overhead:.2f}% <= "
+              f"{args.max_resilience_overhead:.2f}%")
     return 0
 
 

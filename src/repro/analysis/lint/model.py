@@ -34,7 +34,8 @@ __all__ = [
 ]
 
 #: Bump when rules are added/removed or detection logic changes.
-LINT_RULESET_VERSION = 1
+#: v2: RPR007 (swallowed exceptions) added with the resilience layer.
+LINT_RULESET_VERSION = 2
 
 CheckFunction = Callable[["LintContext"], Iterator["Violation"]]
 

@@ -447,3 +447,69 @@ def check_infinite_schedule(ctx: LintContext) -> Iterator[Violation]:
                     ctx, argument, "RPR006",
                     f"non-finite timestamp `{ast.unparse(argument)}` entering "
                     "the event heap; model 'never' by not scheduling")
+
+
+# ----------------------------------------------------------------------
+# RPR007 — swallowed exceptions
+# ----------------------------------------------------------------------
+_CATCH_ALL_NAMES = {"BaseException"}
+
+
+def _handler_body_is_inert(handler: ast.ExceptHandler) -> bool:
+    """True when the handler does literally nothing (`pass`/`...`/docstring)."""
+    for statement in handler.body:
+        if isinstance(statement, ast.Pass):
+            continue
+        if (isinstance(statement, ast.Expr)
+                and isinstance(statement.value, ast.Constant)):
+            continue
+        return False
+    return True
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(node, ast.Raise)
+               for statement in handler.body
+               for node in ast.walk(statement))
+
+
+@rule(
+    "RPR007",
+    "swallowed-exception",
+    "No `except: pass` and no bare/`BaseException` handlers that fail to re-raise.",
+    """\
+The resilience layer guarantees that a failed sweep point is *reported*
+— retried, journaled, surfaced as a PointFailure — never silently
+absent: partial data from a sweep that pretends to be complete corrupts
+the paper's phase diagrams more subtly than a crash ever could.  A
+handler whose body is only `pass`/`...` discards the one signal that
+something went wrong, and a bare `except:` (or `except BaseException:`)
+that does not re-raise additionally eats `KeyboardInterrupt` — turning
+Ctrl-C during a long sweep into a hang with orphaned worker processes.
+Handle the exception with a real statement (count it, return a
+fallback, `continue` a scan loop), name the exception types you mean,
+or finish the handler with `raise`.  Typed handlers with real bodies
+are never flagged; cleanup-then-`raise` catch-alls are fine.""",
+)
+def check_swallowed_exceptions(ctx: LintContext) -> Iterator[Violation]:
+    if not ctx.module.startswith("repro"):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if _handler_body_is_inert(node):
+            shown = (f"except {ast.unparse(node.type)}"
+                     if node.type is not None else "bare except")
+            yield _violation(
+                ctx, node, "RPR007",
+                f"`{shown}` body does nothing — the error vanishes; handle "
+                "it with a real statement, or re-raise")
+        elif ((node.type is None
+               or _terminal_name(node.type) in _CATCH_ALL_NAMES)
+              and not _handler_reraises(node)):
+            shown = ("bare except" if node.type is None
+                     else f"except {ast.unparse(node.type)}")
+            yield _violation(
+                ctx, node, "RPR007",
+                f"`{shown}` swallows everything, KeyboardInterrupt included; "
+                "name the exception types or end the handler with `raise`")

@@ -10,6 +10,8 @@
     repro run-config FILE [--save-traces F]  # run a JSON scenario
     repro sweep conjecture --jobs 4 # parallel, cached parameter sweep
     repro sweep buffer --progress   # per-point start/finish telemetry
+    repro sweep conjecture --jobs 4 --timeout 120 --retries 3 \
+          --resume sweep.journal    # supervised: contain crashes, resume
     repro trace fig4 --out t.json   # Perfetto-loadable execution trace
     repro profile fig4              # per-category wall-time attribution
     repro lint src/                 # determinism static analysis
@@ -28,6 +30,34 @@ from repro.errors import ReproError
 __all__ = ["main", "build_parser"]
 
 _PLOT_SCENARIOS = ("fig2", "fig3", "fig4", "fig6", "fig8", "fig9")
+
+#: Process exit codes.  ``repro run``/``report``/``lint`` use 1 for
+#: "ran fine, checks failed"; 2 is argparse's own usage-error code, which
+#: configuration errors share; sweeps add the partial/total split so CI
+#: can tell "some points salvageable" from "nothing came back".
+EXIT_OK = 0
+EXIT_CHECK_FAILED = 1
+EXIT_CONFIG_ERROR = 2
+EXIT_SWEEP_PARTIAL = 3
+EXIT_SWEEP_TOTAL = 4
+
+_SWEEP_EPILOG = """\
+exit codes:
+  0  every point produced measurements
+  2  configuration error (bad flags, bad REPRO_FAULTS spec, or a
+     __main__ that spawn workers cannot re-import -- use --jobs 1)
+  3  some points failed after exhausting their retries; completed
+     measurements were still returned/journaled (with --allow-partial
+     this case exits 0 instead)
+  4  every point failed
+
+Supervision (--timeout/--retries/--resume, and any REPRO_FAULTS fault
+injection) runs each point in its own worker process when --jobs > 1;
+with --jobs 1 points run in-process, so retries still apply but
+per-point timeouts cannot be enforced.  Failed points are reported on
+stderr and recorded in --manifest-dir manifests and the --report
+document.
+"""
 
 #: Default sim-time slice a ``repro trace`` records: enough to show several
 #: congestion epochs without producing a multi-hundred-MB trace file.
@@ -88,7 +118,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     swp_p = sub.add_parser(
         "sweep",
-        help="run a named sweep family over a worker pool with result caching")
+        help="run a named sweep family over a worker pool with result "
+             "caching and fault-tolerant supervision",
+        epilog=_SWEEP_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     swp_p.add_argument("family", choices=("buffer", "conjecture"),
                        help="which sweep family to run")
     swp_p.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -100,10 +133,29 @@ def build_parser() -> argparse.ArgumentParser:
     swp_p.add_argument("--fast", action="store_true",
                        help="shorter simulations (smoke mode)")
     swp_p.add_argument("--progress", action="store_true",
-                       help="print per-point start/finish lines with worker "
-                            "id, cache status and wall time")
+                       help="print per-point start/finish/retry/fail lines "
+                            "with worker id, cache status and wall time")
     swp_p.add_argument("--manifest-dir", default=None, metavar="DIR",
                        help="write one provenance manifest per sweep point")
+    swp_p.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-point wall-clock budget; an attempt running "
+                            "longer is killed and retried (needs --jobs >= 2)")
+    swp_p.add_argument("--retries", type=int, default=2, metavar="N",
+                       help="retries per point after the first attempt "
+                            "(default: 2)")
+    swp_p.add_argument("--resume", default=None, metavar="JOURNAL",
+                       help="checkpoint journal: completed points are "
+                            "appended as they finish and skipped when the "
+                            "sweep is re-run against the same file")
+    swp_p.add_argument("--allow-partial", action="store_true",
+                       help="exit 0 even when some (not all) points failed")
+    swp_p.add_argument("--report", default=None, metavar="FILE",
+                       help="write the resilience report (attempts, "
+                            "retries, failures) as JSON")
+    swp_p.add_argument("--export", default=None, metavar="FILE",
+                       help="write the sweep's values and measurements as "
+                            "JSON (stable field order, for diffing runs)")
 
     trc_p = sub.add_parser(
         "trace",
@@ -229,29 +281,34 @@ def _cmd_profile(scenario: str) -> int:
     return 0
 
 
-def _cmd_sweep(family: str, jobs: int, no_cache: bool,
-               cache_dir: str | None, fast: bool, progress: bool,
-               manifest_dir: str | None) -> int:
+def _cmd_sweep(args: argparse.Namespace) -> int:
     import functools
+    import json
     import time
 
-    from repro.parallel import resolve_cache
-    from repro.scenarios import families, sweep
+    from repro.parallel import ParallelSweepRunner, resolve_cache
+    from repro.resilience import ResilienceConfig
+    from repro.scenarios import families
 
-    if family == "conjecture":
+    if args.family == "conjecture":
         values: list[object] = list(families.CONJECTURE_CASES)
         make_config = (
             functools.partial(families.conjecture_config,
                               duration=60.0, warmup=40.0)
-            if fast else families.conjecture_config)
+            if args.fast else families.conjecture_config)
     else:
         values = list(families.BUFFER_SIZES)
         make_config = (
             functools.partial(families.buffer_config,
                               base_duration=80.0, base_warmup=30.0)
-            if fast else families.buffer_config)
+            if args.fast else families.buffer_config)
 
-    cache = None if no_cache else resolve_cache(cache_dir or True)
+    cache = None if args.no_cache else resolve_cache(args.cache_dir or True)
+    # Always allow_partial at the library level: the CLI wants the
+    # partial results and the report either way, and decides the exit
+    # code itself from the failure count.
+    policy = ResilienceConfig(timeout=args.timeout, retries=args.retries,
+                              journal=args.resume, allow_partial=True)
     done = [0]
 
     def on_point(point) -> None:
@@ -261,29 +318,73 @@ def _cmd_sweep(family: str, jobs: int, no_cache: bool,
         print(f"[{done[0]}/{len(values)}] {point.value}: {numbers}")
 
     on_progress = None
-    if progress:
+    if args.progress:
         def on_progress(event) -> None:
             value = values[event.index]
+            tag = f"  point {event.index} ({value})"
             if event.phase == "start":
-                print(f"  point {event.index} ({value}): start "
+                attempt = (f" attempt {event.attempt}"
+                           if event.attempt > 1 else "")
+                print(f"{tag}: start{attempt} [{event.worker}]")
+            elif event.phase == "retry":
+                print(f"{tag}: attempt {event.attempt} failed, retrying "
+                      f"[{event.worker}]")
+            elif event.phase == "fail":
+                print(f"{tag}: FAILED after {event.attempt} attempts "
                       f"[{event.worker}]")
             elif event.cached:
-                print(f"  point {event.index} ({value}): finish "
-                      "[cache hit]")
+                print(f"{tag}: finish [{event.worker} hit]")
             else:
-                print(f"  point {event.index} ({value}): finish "
-                      f"[{event.worker}] {event.wall_seconds:.2f}s "
+                print(f"{tag}: finish [{event.worker}] "
+                      f"{event.wall_seconds:.2f}s "
                       f"{event.events_processed} events [cache miss]")
 
+    runner = ParallelSweepRunner(jobs=args.jobs, cache=cache,
+                                 resilience=policy)
     started = time.perf_counter()
-    sweep(make_config, values, families.utilization_extract,
-          jobs=jobs, cache=cache, on_point=on_point,
-          on_progress=on_progress, manifest=manifest_dir)
+    points = runner.run(make_config, values, families.utilization_extract,
+                        on_point=on_point, on_progress=on_progress,
+                        manifest_dir=args.manifest_dir)
     elapsed = time.perf_counter() - started
+    report = runner.last_report
+
+    if args.export:
+        document = [{"value": str(point.value),
+                     "measurements": point.measurements}
+                    for point in points]
+        with open(args.export, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"export -> {args.export}")
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report -> {args.report}")
+
     status = (f"cache: {cache.hits} hits, {cache.misses} misses"
               if cache is not None else "cache: off")
-    print(f"{len(values)} points in {elapsed:.2f}s (jobs={jobs}, {status})")
-    return 0
+    if args.resume:
+        status += (f"; journal: {report.journal_skips} restored, "
+                   f"recorded to {args.resume}")
+    if report.retries:
+        status += f"; {report.retries} retried attempts"
+    print(f"{len(values)} points in {elapsed:.2f}s "
+          f"(jobs={args.jobs}, {status})")
+
+    if not report.failures:
+        return EXIT_OK
+    for failure in report.failures:
+        print(f"error: point {failure.index} ({values[failure.index]}) "
+              f"failed after {failure.attempts} attempt(s): "
+              f"{failure.kind}: {failure.message}", file=sys.stderr)
+    if len(report.failures) == len(values):
+        print("error: every sweep point failed", file=sys.stderr)
+        return EXIT_SWEEP_TOTAL
+    print(f"error: {len(report.failures)}/{len(values)} points failed; "
+          "completed measurements were "
+          + ("journaled" if args.resume else "returned"), file=sys.stderr)
+    return EXIT_OK if args.allow_partial else EXIT_SWEEP_PARTIAL
 
 
 def _cmd_lint(paths: list[str] | None, explain_code: str | None,
@@ -327,9 +428,7 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"wrote {path}")
             return 0
         if args.command == "sweep":
-            return _cmd_sweep(args.family, args.jobs, args.no_cache,
-                              args.cache_dir, args.fast, args.progress,
-                              args.manifest_dir)
+            return _cmd_sweep(args)
         if args.command == "trace":
             window = tuple(args.window) if args.window else None
             return _cmd_trace(args.scenario, args.out, window, args.full,
@@ -350,8 +449,8 @@ def main(argv: list[str] | None = None) -> int:
             return 0
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
-    return 2  # unreachable with required=True
+        return EXIT_CONFIG_ERROR
+    return EXIT_CONFIG_ERROR  # unreachable with required=True
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -7,6 +7,11 @@ model-configuration mistakes and from protocol-state violations.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.report import PointFailure
+
 __all__ = [
     "ReproError",
     "SimulationError",
@@ -15,6 +20,8 @@ __all__ = [
     "ProtocolError",
     "AnalysisError",
     "LintError",
+    "FaultInjectionError",
+    "SweepFailureError",
 ]
 
 
@@ -49,3 +56,34 @@ class AnalysisError(ReproError):
 
 class LintError(ReproError):
     """The static-analysis pass could not run (unknown rule, bad path)."""
+
+
+class FaultInjectionError(ReproError):
+    """An injected fault fired (``REPRO_FAULTS`` ``raise`` clause).
+
+    Only ever raised by the deterministic fault-injection harness
+    (:mod:`repro.resilience.faults`) — seeing it outside a chaos test
+    means ``REPRO_FAULTS`` leaked into a real run's environment.
+    """
+
+
+class SweepFailureError(ReproError):
+    """One or more sweep points exhausted their retry budget.
+
+    Carries the structured :class:`~repro.resilience.report.PointFailure`
+    records in :attr:`failures` and the partial measurement list (with
+    ``None`` at the failed indices) in :attr:`results`, so callers can
+    salvage completed work even when not using ``allow_partial``.
+    """
+
+    def __init__(self, failures: "Sequence[PointFailure]",
+                 results: "Sequence[object] | None" = None) -> None:
+        self.failures = list(failures)
+        self.results = list(results) if results is not None else None
+        indices = ", ".join(str(failure.index) for failure in self.failures[:8])
+        if len(self.failures) > 8:
+            indices += ", ..."
+        super().__init__(
+            f"{len(self.failures)} sweep point(s) failed after retries "
+            f"(indices {indices}); pass allow_partial / --allow-partial to "
+            "accept partial results")

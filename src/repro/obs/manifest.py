@@ -29,12 +29,20 @@ from repro.scenarios.config import ScenarioConfig
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.tracer import Tracer
+    from repro.resilience.report import PointFailure
 
-__all__ = ["OBS_SCHEMA_VERSION", "RunManifest", "build_manifest", "run_id_for",
-           "write_manifest"]
+__all__ = ["MANIFEST_SOURCES", "OBS_SCHEMA_VERSION", "RunManifest",
+           "build_manifest", "run_id_for", "write_manifest"]
 
 #: Bump when the manifest or trace-record layout changes.
-OBS_SCHEMA_VERSION = 1
+#: v2: ``attempts`` / ``failure`` fields and the ``journal`` / ``failed``
+#: sources, added with the resilience layer.
+OBS_SCHEMA_VERSION = 2
+
+#: Where a point's measurements came from.  ``live`` simulated now,
+#: ``cache`` replayed from the result cache, ``journal`` restored from a
+#: resume journal, ``failed`` exhausted its retry budget (no measurements).
+MANIFEST_SOURCES = ("live", "cache", "journal", "failed")
 
 
 def run_id_for(config: ScenarioConfig) -> str:
@@ -63,11 +71,17 @@ class RunManifest:
     otherwise — the untraced engine does not pay for the bookkeeping)."""
     event_categories: dict[str, int] | None
     """Executed-event counts per handler category, when traced."""
+    attempts: int = 1
+    """How many execution attempts the point consumed (supervised sweeps
+    retry failed points; an unsupervised run is always one attempt)."""
+    failure: dict[str, object] | None = None
+    """The serialized :class:`~repro.resilience.report.PointFailure` for
+    ``source == "failed"`` points; ``None`` everywhere else."""
     obs_schema: int = OBS_SCHEMA_VERSION
     cache_schema: int = CACHE_SCHEMA_VERSION
     lint_ruleset: int = LINT_RULESET_VERSION
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         """A JSON-compatible representation."""
         return asdict(self)
 
@@ -80,16 +94,24 @@ def build_manifest(
     wall_seconds: float | None = None,
     tracer: "Tracer | None" = None,
     extract: Callable | None = None,
+    attempts: int = 1,
+    failure: "PointFailure | None" = None,
 ) -> RunManifest:
     """Assemble the manifest of one run of ``config``.
 
     ``extract`` is the sweep measurement extractor, when there is one;
     folding it in makes :attr:`RunManifest.cache_key` byte-identical to
     the key the :class:`~repro.parallel.cache.ResultCache` files the
-    point under.
+    point under.  Supervised sweeps report how many ``attempts`` the
+    point consumed and, for ``source="failed"`` points, the structured
+    ``failure`` record.
     """
-    if source not in ("live", "cache"):
-        raise ValueError(f"manifest source must be 'live' or 'cache', got {source!r}")
+    if source not in MANIFEST_SOURCES:
+        raise ValueError(
+            f"manifest source must be one of {'/'.join(MANIFEST_SOURCES)}, "
+            f"got {source!r}")
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
     peak = tracer.peak_calendar if tracer is not None else None
     categories = None
     if tracer is not None:
@@ -106,6 +128,8 @@ def build_manifest(
         wall_seconds=round(wall_seconds, 6) if wall_seconds is not None else None,
         peak_calendar=peak,
         event_categories=categories,
+        attempts=attempts,
+        failure=failure.to_dict() if failure is not None else None,
     )
 
 

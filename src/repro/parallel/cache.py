@@ -13,6 +13,10 @@ Entries are single JSON files under ``~/.cache/repro`` (override with
 ``REPRO_CACHE_DIR`` or ``XDG_CACHE_HOME``), written atomically via a
 temp-file rename so concurrent sweep workers never observe torn entries.
 Bumping :data:`CACHE_SCHEMA_VERSION` orphans all old entries at once.
+Reads distrust the disk anyway: an entry that fails validation — torn
+bytes, foreign schema stamp, missing measurements — is moved to a
+``quarantine/`` directory with a reason note and recomputed, never
+returned and never silently destroyed.
 
 A cache hit silently substitutes an old result for a re-run, so it is
 only sound while the engine stays bit-for-bit deterministic.  Each
@@ -29,6 +33,7 @@ import inspect
 import json
 import os
 import shutil
+import warnings
 from pathlib import Path
 from typing import Callable
 
@@ -123,6 +128,7 @@ class ResultCache:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     # ------------------------------------------------------------------
     # Raw key interface
@@ -133,22 +139,84 @@ class ResultCache:
     def get(self, key: str) -> dict | None:
         """The stored measurements for ``key``, or ``None`` on a miss.
 
-        Unreadable/corrupt entries count as misses and are removed.
+        Damaged entries — truncated or non-JSON bytes, a foreign schema
+        stamp, a missing/mistyped measurements object, a zero-byte file
+        (all of which a torn write, disk error or hand edit can leave
+        behind) — are **quarantined**, not trusted and not silently
+        deleted: the bytes move to :attr:`quarantine_dir` beside a
+        ``.reason.txt`` note for post-mortem, a ``RuntimeWarning`` is
+        emitted, and the read counts as a miss so the point is simply
+        recomputed.
         """
         path = self._path(key)
         try:
-            with path.open() as handle:
-                document = json.load(handle)
-            measurements = document["measurements"]
+            raw = path.read_text()
         except FileNotFoundError:
             self.misses += 1
             return None
-        except (OSError, ValueError, KeyError):
-            path.unlink(missing_ok=True)
+        except OSError:
             self.misses += 1
             return None
+        document: object = None
+        if not raw.strip():
+            damage: str | None = "zero-byte or blank entry"
+        else:
+            try:
+                document = json.loads(raw)
+                damage = None
+            except ValueError as exc:
+                damage = f"invalid JSON ({exc})"
+        if damage is None:
+            damage = self._entry_damage(document)
+        if damage is not None:
+            self._quarantine(path, damage)
+            self.misses += 1
+            return None
+        assert isinstance(document, dict)
+        measurements = document["measurements"]
+        assert isinstance(measurements, dict)
         self.hits += 1
         return measurements
+
+    @staticmethod
+    def _entry_damage(document: object) -> str | None:
+        """Why a parsed entry document cannot be trusted (``None`` = fine)."""
+        if not isinstance(document, dict):
+            return f"entry is a JSON {type(document).__name__}, not an object"
+        schema = document.get("schema")
+        if schema != CACHE_SCHEMA_VERSION:
+            return (f"schema stamp {schema!r} does not match "
+                    f"CACHE_SCHEMA_VERSION {CACHE_SCHEMA_VERSION}")
+        if not isinstance(document.get("measurements"), dict):
+            return "measurements missing or not an object"
+        return None
+
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where damaged entries are preserved for post-mortem."""
+        return self.root / "quarantine"
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a damaged entry aside with a reason note, best-effort.
+
+        Even when the cache tree turns out not to be writable the entry
+        must not poison the sweep, so the fallback is plain removal.
+        """
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            target = self.quarantine_dir / path.name
+            path.replace(target)
+            (self.quarantine_dir / f"{path.stem}.reason.txt").write_text(
+                reason + "\n")
+        except OSError:
+            path.unlink(missing_ok=True)
+        self.quarantined += 1
+        warnings.warn(
+            f"quarantined damaged cache entry {path.name} "
+            f"({reason}); the point will be recomputed",
+            RuntimeWarning,
+            stacklevel=4,
+        )
 
     def put(self, key: str, measurements: dict,
             config: ScenarioConfig | None = None) -> Path:
@@ -203,4 +271,5 @@ class ResultCache:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"ResultCache(root={str(self.root)!r}, entries={len(self)}, "
-                f"hits={self.hits}, misses={self.misses})")
+                f"hits={self.hits}, misses={self.misses}, "
+                f"quarantined={self.quarantined})")

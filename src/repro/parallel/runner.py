@@ -10,23 +10,56 @@ results in deterministic input order regardless of completion order.
 Combined with the content-addressed :class:`~repro.parallel.cache.ResultCache`
 the runner skips simulation entirely for points it has seen before, so a
 warm re-run of a benchmark sweep costs milliseconds.
+
+Two execution regimes share this front end:
+
+* The **plain** paths (``resilience=None``, the default) are the
+  original hot paths — a serial loop, or ``Pool.imap_unordered`` —
+  with no supervision overhead.  A worker crash or unhandled
+  exception fails the whole sweep.
+* The **supervised** paths (``resilience=`` a
+  :class:`~repro.resilience.policy.ResilienceConfig`) run each point in
+  its own short-lived process multiplexed over a bounded worker budget,
+  enforce per-point wall-clock timeouts, contain worker crashes, retry
+  failed points with deterministic backoff, checkpoint completed points
+  to a :class:`~repro.resilience.journal.SweepJournal`, and report
+  failures as structured :class:`~repro.resilience.report.PointFailure`
+  records instead of dying.
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
 import pickle
 import sys
 import warnings
 from dataclasses import dataclass
+from multiprocessing import connection
 from pathlib import Path
-from time import perf_counter
+from time import monotonic, perf_counter, sleep
 from typing import Callable, Iterable, Sequence
 
 from repro.engine.sanitize import SANITIZE_ENV, sanitize_enabled
-from repro.errors import ConfigurationError
-from repro.parallel.cache import ResultCache
+from repro.errors import ConfigurationError, SweepFailureError
+from repro.parallel.cache import ResultCache, cache_key, config_hash
+from repro.resilience.faults import (
+    FaultPlan,
+    active_plan,
+    apply_worker_faults,
+    corrupt_entry_file,
+)
+from repro.resilience.journal import JournalEntry, SweepJournal
+from repro.resilience.policy import ResilienceConfig, resolve_resilience
+from repro.resilience.report import (
+    OUTCOME_CRASH,
+    OUTCOME_ERROR,
+    OUTCOME_TIMEOUT,
+    AttemptRecord,
+    PointFailure,
+    ResilienceReport,
+)
 from repro.scenarios.config import ScenarioConfig
 from repro.scenarios.runner import ScenarioResult
 from repro.scenarios.runner import run as run_scenario
@@ -38,11 +71,13 @@ __all__ = ["ParallelSweepRunner", "PointProgress", "resolve_cache"]
 class PointProgress:
     """One progress notification from a sweep execution.
 
-    ``phase`` is ``"start"`` when a point begins simulating (emitted in
-    serial mode only — a spawn pool cannot report start times to the
-    parent) and ``"finish"`` when its measurements are available.
-    Cache hits finish immediately with ``cached=True`` and no
-    execution statistics.
+    ``phase`` is ``"start"`` when a point begins simulating (emitted by
+    the serial and supervised paths — a plain spawn pool cannot report
+    start times to the parent), ``"finish"`` when its measurements are
+    available, and — on supervised runs — ``"retry"`` when a failed
+    attempt is re-queued and ``"fail"`` when a point exhausts its retry
+    budget.  Cache and journal hits finish immediately with
+    ``cached=True`` and no execution statistics.
     """
 
     index: int
@@ -51,6 +86,7 @@ class PointProgress:
     worker: str = ""
     wall_seconds: float = 0.0
     events_processed: int = 0
+    attempt: int = 1
 
 
 def resolve_cache(cache) -> ResultCache | None:
@@ -82,7 +118,7 @@ def _check_spawnable_main() -> None:
         raise ConfigurationError(
             "parallel sweeps cannot be started from a worker process; "
             "guard the sweep call with `if __name__ == \"__main__\":` so "
-            "spawn children do not re-run it on import."
+            "spawn children do not re-run it on import, or use jobs=1."
         )
     main = sys.modules.get("__main__")
     if main is None or getattr(main, "__spec__", None) is not None:
@@ -97,7 +133,7 @@ def _check_spawnable_main() -> None:
 
 
 def _execute_point(task: tuple) -> tuple[int, dict, str, float, int]:
-    """Worker body: run one config and extract its measurements.
+    """Worker body for the plain pool path: run one config, extract.
 
     Module-level so it pickles by reference under the spawn start method.
     Alongside the measurements it reports the worker's process name, the
@@ -112,9 +148,262 @@ def _execute_point(task: tuple) -> tuple[int, dict, str, float, int]:
             wall_seconds, result.events_processed)
 
 
+def _send_quietly(conn, payload) -> bool:
+    """Send on a pipe that the supervisor may have already abandoned.
+
+    A worker whose parent timed it out (or died) has nobody listening;
+    its result is discarded either way, so a broken pipe here is not an
+    error worth a traceback in the child.
+    """
+    try:
+        conn.send(payload)
+        return True
+    except (OSError, ValueError):
+        return False
+
+
+def _supervised_point(conn, index: int, attempt: int, config: ScenarioConfig,
+                      extract, faults) -> None:
+    """Worker body for the supervised path: one process per attempt.
+
+    Applies any scheduled injected faults first (so a ``kill`` dies
+    before simulating, like a real early OOM), then runs and extracts.
+    The outcome travels back as a tagged tuple — ``("ok", measurements,
+    wall_seconds, events)`` or ``("error", detail)`` — and a process
+    that dies without sending anything is diagnosed as a crash by the
+    parent when the pipe EOFs.
+    """
+    try:
+        apply_worker_faults(faults, index, attempt)
+        begin = perf_counter()
+        result = run_scenario(config)
+        wall_seconds = perf_counter() - begin
+        payload = ("ok", extract(result), wall_seconds,
+                   result.events_processed)
+    except Exception as exc:
+        payload = ("error", f"{type(exc).__name__}: {exc}")
+    _send_quietly(conn, payload)
+    conn.close()
+
+
+def _stop_process(process) -> None:
+    """Terminate a worker, escalating to SIGKILL if it will not die."""
+    process.terminate()
+    process.join(5.0)
+    if process.is_alive():  # pragma: no cover - needs a SIGTERM-immune child
+        process.kill()
+        process.join()
+
+
+@dataclass
+class _Attempt:
+    """Bookkeeping for one in-flight supervised worker."""
+
+    index: int
+    attempt: int
+    process: multiprocessing.process.BaseProcess
+    deadline: float
+    """Monotonic instant the attempt times out (``math.inf`` = never)."""
+    begin: float
+
+
+class _Supervisor:
+    """Process-per-point executor with timeouts, crash containment and
+    retry scheduling (the supervised ``jobs > 1`` path).
+
+    Unlike ``Pool.imap_unordered`` — which loses the task and blocks
+    forever when a worker is SIGKILLed mid-point — every attempt here
+    owns a dedicated process and pipe, multiplexed through
+    :func:`multiprocessing.connection.wait`.  A dead worker surfaces as
+    pipe EOF, a hung worker as a missed monotonic deadline; both fail
+    only their own attempt.  Failed attempts re-enter the queue with a
+    ``not_before`` timestamp from the policy's deterministic backoff.
+
+    If the host cannot spawn processes at all (fd/PID exhaustion —
+    ``Process.start()`` raising ``OSError``), the attempt degrades to
+    in-process execution with a ``RuntimeWarning`` instead of killing
+    the sweep.
+    """
+
+    def __init__(self, *, context, jobs: int, policy: ResilienceConfig,
+                 fault_plan: FaultPlan, configs: Sequence[ScenarioConfig],
+                 extract, pending: Sequence[int], complete, attempt_failed,
+                 emit) -> None:
+        self._context = context
+        self._jobs = jobs
+        self._policy = policy
+        self._fault_plan = fault_plan
+        self._configs = configs
+        self._extract = extract
+        #: (index, attempt, not_before) — runnable once monotonic() passes.
+        self._queue: list[tuple[int, int, float]] = [
+            (index, 1, 0.0) for index in pending]
+        self._active: dict = {}
+        self._complete = complete
+        self._attempt_failed = attempt_failed
+        self._emit = emit
+
+    def run(self) -> None:
+        """Drive every queued point to completion or terminal failure."""
+        try:
+            while self._queue or self._active:
+                self._launch_ready()
+                self._wait_and_collect()
+        finally:
+            # Normal exit leaves nothing active; any exception —
+            # KeyboardInterrupt included — must not orphan workers.
+            self._shutdown()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _launch_ready(self) -> None:
+        now = monotonic()
+        for task in [t for t in self._queue if t[2] <= now]:
+            if len(self._active) >= self._jobs:
+                return
+            self._queue.remove(task)
+            index, attempt, _ = task
+            if not self._spawn(index, attempt):
+                self._inline_attempt(index, attempt)
+
+    def _spawn(self, index: int, attempt: int) -> bool:
+        recv_end, send_end = self._context.Pipe(duplex=False)
+        faults = self._fault_plan.worker_faults(index, attempt)
+        process = self._context.Process(
+            target=_supervised_point,
+            args=(send_end, index, attempt, self._configs[index],
+                  self._extract, faults),
+            name=f"repro-point{index}-a{attempt}",
+            daemon=True,
+        )
+        try:
+            process.start()
+        except OSError as exc:
+            recv_end.close()
+            send_end.close()
+            warnings.warn(
+                f"could not spawn a sweep worker ({exc}); running this "
+                "attempt in-process instead (no timeout enforcement)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return False
+        send_end.close()
+        if self._policy.timeout is not None:
+            deadline = monotonic() + self._policy.timeout
+        else:
+            deadline = math.inf
+        self._active[recv_end] = _Attempt(
+            index=index, attempt=attempt, process=process,
+            deadline=deadline, begin=perf_counter())
+        self._emit(PointProgress(index=index, phase="start", attempt=attempt,
+                                 worker=process.name))
+        return True
+
+    def _inline_attempt(self, index: int, attempt: int) -> None:
+        worker = multiprocessing.current_process().name
+        self._emit(PointProgress(index=index, phase="start", attempt=attempt,
+                                 worker=worker))
+        begin = perf_counter()
+        try:
+            apply_worker_faults(self._fault_plan.worker_faults(index, attempt),
+                                index, attempt)
+            result = run_scenario(self._configs[index])
+            measurements = self._extract(result)
+        except Exception as exc:
+            self._attempt_over(index, attempt, OUTCOME_ERROR,
+                               perf_counter() - begin,
+                               f"{type(exc).__name__}: {exc}", worker)
+            return
+        self._complete(index, measurements, worker, perf_counter() - begin,
+                       result.events_processed, attempts=attempt)
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+    def _wait_and_collect(self) -> None:
+        if not self._active:
+            # Everything runnable is backing off: sleep to the first retry.
+            if self._queue:
+                pause = min(task[2] for task in self._queue) - monotonic()
+                if pause > 0:
+                    sleep(pause)
+            return
+        ready = connection.wait(list(self._active), timeout=self._wait_budget())
+        for conn in ready:
+            self._collect(conn)
+        self._expire_deadlines()
+
+    def _wait_budget(self) -> float | None:
+        """Seconds to block in ``connection.wait`` before bookkeeping.
+
+        Bounded by the nearest attempt deadline and — when a worker slot
+        is free — the nearest backoff expiry, so timeouts fire promptly
+        and retries are not starved behind long-running points.
+        """
+        horizon = min(entry.deadline for entry in self._active.values())
+        if self._queue and len(self._active) < self._jobs:
+            horizon = min(horizon, min(task[2] for task in self._queue))
+        if math.isinf(horizon):
+            return None
+        return max(0.0, horizon - monotonic())
+
+    def _collect(self, conn) -> None:
+        entry = self._active.pop(conn)
+        wall_seconds = perf_counter() - entry.begin
+        try:
+            payload = conn.recv()
+        except (EOFError, OSError):
+            payload = None
+        conn.close()
+        entry.process.join()
+        if payload is not None and payload[0] == "ok":
+            _, measurements, worker_wall, events = payload
+            self._complete(entry.index, measurements, entry.process.name,
+                           worker_wall, events, attempts=entry.attempt)
+            return
+        if payload is None:
+            outcome = OUTCOME_CRASH
+            detail = (f"worker died with exit code {entry.process.exitcode} "
+                      "before reporting a result")
+        else:
+            outcome = OUTCOME_ERROR
+            detail = str(payload[1])
+        self._attempt_over(entry.index, entry.attempt, outcome, wall_seconds,
+                           detail, entry.process.name)
+
+    def _expire_deadlines(self) -> None:
+        now = monotonic()
+        expired = [conn for conn, entry in self._active.items()
+                   if entry.deadline <= now]
+        for conn in expired:
+            entry = self._active.pop(conn)
+            _stop_process(entry.process)
+            conn.close()
+            self._attempt_over(
+                entry.index, entry.attempt, OUTCOME_TIMEOUT,
+                perf_counter() - entry.begin,
+                f"exceeded the per-point timeout of {self._policy.timeout}s",
+                entry.process.name)
+
+    def _attempt_over(self, index: int, attempt: int, outcome: str,
+                      wall_seconds: float, detail: str, worker: str) -> None:
+        delay = self._attempt_failed(index, attempt, outcome, wall_seconds,
+                                     detail, worker)
+        if delay is not None:
+            self._queue.append((index, attempt + 1, monotonic() + delay))
+
+    def _shutdown(self) -> None:
+        for conn, entry in list(self._active.items()):
+            _stop_process(entry.process)
+            conn.close()
+        self._active.clear()
+
+
 class ParallelSweepRunner:
-    """Executes families of independent scenarios, optionally in parallel
-    and through the result cache.
+    """Executes families of independent scenarios, optionally in parallel,
+    through the result cache, and under fault-tolerant supervision.
 
     Parameters
     ----------
@@ -124,11 +413,21 @@ class ParallelSweepRunner:
     cache:
         Anything :func:`resolve_cache` accepts.
     chunksize:
-        Points handed to a worker per dispatch; defaults to roughly four
-        chunks per worker so stragglers stay balanced.
+        Points handed to a worker per dispatch on the plain pool path;
+        defaults to roughly four chunks per worker so stragglers stay
+        balanced.  The supervised path dispatches one point per process
+        and ignores it.
     start_method:
         The multiprocessing start method.  ``spawn`` (default) works on
         every platform and never inherits dirty parent state.
+    resilience:
+        Anything :func:`~repro.resilience.policy.resolve_resilience`
+        accepts: ``None``/``False`` (default) keeps the unsupervised hot
+        paths, ``True`` supervises with default policy, and a
+        :class:`~repro.resilience.policy.ResilienceConfig` sets timeout,
+        retry, journal and partial-result behaviour.  After a supervised
+        run, :attr:`last_report` holds the sweep's
+        :class:`~repro.resilience.report.ResilienceReport`.
     """
 
     def __init__(
@@ -137,6 +436,7 @@ class ParallelSweepRunner:
         cache=None,
         chunksize: int | None = None,
         start_method: str = "spawn",
+        resilience: ResilienceConfig | bool | None = None,
     ) -> None:
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
@@ -144,6 +444,8 @@ class ParallelSweepRunner:
         self.cache = resolve_cache(cache)
         self.chunksize = chunksize
         self.start_method = start_method
+        self.resilience = resolve_resilience(resilience)
+        self.last_report: ResilienceReport | None = None
         if self.cache is not None and sanitize_enabled():
             warnings.warn(
                 f"{SANITIZE_ENV}=1 with the result cache enabled: sanitized "
@@ -168,15 +470,25 @@ class ParallelSweepRunner:
         """Measurements for each config, in input order.
 
         ``on_point(index, measurements)`` fires as each point becomes
-        available — cache hits first, then simulations in completion
-        order — so long sweeps can report progress.  ``on_progress``
-        additionally receives :class:`PointProgress` start/finish
-        notifications carrying worker identity and timing.
+        available — journal restorations and cache hits first, then
+        simulations in completion order — so long sweeps can report
+        progress.  ``on_progress`` additionally receives
+        :class:`PointProgress` notifications carrying worker identity,
+        timing and attempt counts.
 
         ``manifest_dir`` writes one ``<run_id>.manifest.json`` per point
-        into that directory; cached and live points carry identical
-        identity fields (``run_id`` / ``config_hash`` / ``cache_key``)
-        and differ only in ``source`` and the execution statistics.
+        into that directory; all sources carry identical identity fields
+        (``run_id`` / ``config_hash`` / ``cache_key``) and differ in
+        ``source`` (``live``/``cache``/``journal``/``failed``), the
+        execution statistics, and — under supervision — ``attempts``
+        and ``failure``.
+
+        Under supervision, points that exhaust their retry budget leave
+        ``None`` in the result list; unless the policy sets
+        ``allow_partial`` the sweep then raises
+        :class:`~repro.errors.SweepFailureError` (which still carries the
+        partial results).  Either way :attr:`last_report` describes every
+        attempt.
         """
         for config in configs:
             if not isinstance(config, ScenarioConfig):
@@ -184,6 +496,30 @@ class ParallelSweepRunner:
 
         results: list[dict | None] = [None] * len(configs)
         cache = self.cache
+        policy = self.resilience
+        fault_plan = active_plan().resolve(len(configs))
+        report = ResilienceReport(points=len(configs)) if policy else None
+        self.last_report = report
+
+        journal: SweepJournal | None = None
+        owns_journal = False
+        journal_entries: dict[str, JournalEntry] = {}
+        keys: list[str] = []
+        run_ids: list[str] = []
+        hashes: list[str] = []
+        if cache is not None or policy is not None:
+            keys = [cache_key(config, extract) for config in configs]
+        if policy is not None:
+            hashes = [config_hash(config) for config in configs]
+            run_ids = [f"{digest[:12]}-s{config.seed}"
+                       for digest, config in zip(hashes, configs)]
+            if policy.journal is not None:
+                if isinstance(policy.journal, SweepJournal):
+                    journal = policy.journal
+                else:
+                    journal = SweepJournal(policy.journal)
+                    owns_journal = True
+                journal_entries = journal.load()
 
         def emit(progress: PointProgress) -> None:
             if on_progress is not None:
@@ -191,7 +527,9 @@ class ParallelSweepRunner:
 
         def write_point_manifest(index: int, *, source: str,
                                  events: int | None = None,
-                                 wall: float | None = None) -> None:
+                                 wall: float | None = None,
+                                 attempts: int = 1,
+                                 failure: PointFailure | None = None) -> None:
             if manifest_dir is None:
                 return
             # Lazy: obs sits above this layer (its manifest module keys
@@ -201,40 +539,101 @@ class ParallelSweepRunner:
             write_manifest(
                 build_manifest(configs[index], source=source,
                                events_processed=events, wall_seconds=wall,
-                               extract=extract),
+                               extract=extract, attempts=attempts,
+                               failure=failure),
                 manifest_dir,
             )
 
-        pending: list[int] = []
-        if cache is not None:
-            for index, config in enumerate(configs):
-                hit = cache.get_config(config, extract)
-                if hit is None:
-                    pending.append(index)
-                else:
-                    results[index] = hit
-                    if on_point is not None:
-                        on_point(index, hit)
-                    write_point_manifest(index, source="cache")
-                    emit(PointProgress(index=index, phase="finish",
-                                       cached=True, worker="cache"))
-        else:
-            pending = list(range(len(configs)))
-
         def complete(index: int, measurements: dict, worker: str,
-                     wall_seconds: float, events: int) -> None:
+                     wall_seconds: float, events: int,
+                     attempts: int = 1) -> None:
             results[index] = measurements
             if cache is not None:
-                cache.put_config(configs[index], measurements, extract)
+                entry_path = cache.put(keys[index], measurements,
+                                       config=configs[index])
+                if fault_plan and fault_plan.corrupts(index):
+                    corrupt_entry_file(entry_path)
+            if journal is not None:
+                journal.record(JournalEntry(
+                    key=keys[index], config_hash=hashes[index],
+                    run_id=run_ids[index], index=index, attempts=attempts,
+                    source="live", measurements=measurements))
+            if report is not None:
+                report.live += 1
+                if attempts > 1:
+                    report.attempts_by_index[index] = attempts
             if on_point is not None:
                 on_point(index, measurements)
             write_point_manifest(index, source="live", events=events,
-                                 wall=wall_seconds)
+                                 wall=wall_seconds, attempts=attempts)
             emit(PointProgress(index=index, phase="finish", cached=False,
                                worker=worker, wall_seconds=wall_seconds,
-                               events_processed=events))
+                               events_processed=events, attempt=attempts))
+
+        pending = list(range(len(configs)))
+
+        if journal_entries:
+            remaining = []
+            for index in pending:
+                entry = journal_entries.get(keys[index])
+                if entry is None:
+                    remaining.append(index)
+                    continue
+                results[index] = entry.measurements
+                if report is not None:
+                    report.journal_skips += 1
+                if on_point is not None:
+                    on_point(index, entry.measurements)
+                write_point_manifest(index, source="journal",
+                                     attempts=entry.attempts)
+                emit(PointProgress(index=index, phase="finish", cached=True,
+                                   worker="journal"))
+            pending = remaining
+
+        if cache is not None:
+            remaining = []
+            for index in pending:
+                hit = cache.get(keys[index])
+                if hit is None:
+                    remaining.append(index)
+                    continue
+                results[index] = hit
+                if report is not None:
+                    report.cache_hits += 1
+                if journal is not None:
+                    journal.record(JournalEntry(
+                        key=keys[index], config_hash=hashes[index],
+                        run_id=run_ids[index], index=index, attempts=1,
+                        source="cache", measurements=hit))
+                if on_point is not None:
+                    on_point(index, hit)
+                write_point_manifest(index, source="cache")
+                emit(PointProgress(index=index, phase="finish",
+                                   cached=True, worker="cache"))
+            pending = remaining
 
         jobs = min(self.jobs, len(pending))
+        try:
+            if policy is None:
+                self._run_plain(pending, configs, extract, jobs, complete, emit)
+            else:
+                self._run_supervised(pending, configs, extract, jobs, keys,
+                                     run_ids, hashes, policy, fault_plan,
+                                     report, complete, write_point_manifest,
+                                     emit)
+        finally:
+            if journal is not None and owns_journal:
+                journal.close()
+
+        if report is not None and report.failures and not policy.allow_partial:
+            raise SweepFailureError(report.failures, results)
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Plain (unsupervised) execution — the original hot paths
+    # ------------------------------------------------------------------
+    def _run_plain(self, pending, configs, extract, jobs, complete,
+                   emit) -> None:
         if jobs <= 1:
             worker = multiprocessing.current_process().name
             for index in pending:
@@ -244,24 +643,129 @@ class ParallelSweepRunner:
                 wall_seconds = perf_counter() - begin
                 complete(index, extract(result), worker, wall_seconds,
                          result.events_processed)
+            return
+        _check_spawnable_main()
+        try:
+            pickle.dumps(extract)
+        except Exception as exc:
+            raise ConfigurationError(
+                "extract must be a module-level (picklable) callable "
+                f"when jobs > 1: {exc}"
+            ) from exc
+        tasks = [(index, configs[index], extract) for index in pending]
+        chunksize = self.chunksize or max(1, len(tasks) // (jobs * 4))
+        context = multiprocessing.get_context(self.start_method)
+        pool = context.Pool(processes=jobs)
+        try:
+            for index, measurements, worker, wall_seconds, events in (
+                    pool.imap_unordered(_execute_point, tasks,
+                                        chunksize=chunksize)):
+                complete(index, measurements, worker, wall_seconds, events)
+        except BaseException:
+            # KeyboardInterrupt (and anything else) mid-iteration: kill
+            # the workers *now* and reap them before propagating, instead
+            # of leaking a pool that blocks interpreter exit.
+            pool.terminate()
+            pool.join()
+            raise
         else:
-            _check_spawnable_main()
-            try:
-                pickle.dumps(extract)
-            except Exception as exc:
-                raise ConfigurationError(
-                    "extract must be a module-level (picklable) callable "
-                    f"when jobs > 1: {exc}"
-                ) from exc
-            tasks = [(index, configs[index], extract) for index in pending]
-            chunksize = self.chunksize or max(1, len(tasks) // (jobs * 4))
-            context = multiprocessing.get_context(self.start_method)
-            with context.Pool(processes=jobs) as pool:
-                for index, measurements, worker, wall_seconds, events in (
-                        pool.imap_unordered(_execute_point, tasks,
-                                            chunksize=chunksize)):
-                    complete(index, measurements, worker, wall_seconds, events)
-        return results  # type: ignore[return-value]
+            pool.close()
+            pool.join()
+
+    # ------------------------------------------------------------------
+    # Supervised execution
+    # ------------------------------------------------------------------
+    def _run_supervised(self, pending, configs, extract, jobs, keys, run_ids,
+                        hashes, policy, fault_plan, report, complete,
+                        write_point_manifest, emit) -> None:
+        histories: dict[int, list[AttemptRecord]] = {}
+
+        def attempt_failed(index: int, attempt: int, outcome: str,
+                           wall_seconds: float, detail: str,
+                           worker: str) -> float | None:
+            """Record one failed attempt.
+
+            Returns the backoff delay when the point gets another try,
+            or ``None`` when the failure is terminal (the point is then
+            reported as a :class:`PointFailure` and left unmeasured).
+            """
+            histories.setdefault(index, []).append(AttemptRecord(
+                attempt=attempt, outcome=outcome,
+                wall_seconds=round(wall_seconds, 6), detail=detail))
+            report.count_attempt_outcome(outcome)
+            if attempt < policy.max_attempts:
+                report.retries += 1
+                emit(PointProgress(index=index, phase="retry",
+                                   attempt=attempt, worker=worker,
+                                   wall_seconds=wall_seconds))
+                return policy.backoff_delay(keys[index], attempt)
+            failure = PointFailure(
+                index=index, run_id=run_ids[index], config_hash=hashes[index],
+                scenario=configs[index].name, attempts=attempt, kind=outcome,
+                message=detail, history=tuple(histories[index]))
+            report.failures.append(failure)
+            report.attempts_by_index[index] = attempt
+            write_point_manifest(index, source="failed", attempts=attempt,
+                                 failure=failure)
+            emit(PointProgress(index=index, phase="fail", attempt=attempt,
+                               worker=worker, wall_seconds=wall_seconds))
+            return None
+
+        if jobs <= 1:
+            self._run_supervised_serial(pending, configs, extract, policy,
+                                        fault_plan, complete, attempt_failed,
+                                        emit)
+            return
+        _check_spawnable_main()
+        try:
+            pickle.dumps(extract)
+        except Exception as exc:
+            raise ConfigurationError(
+                "extract must be a module-level (picklable) callable "
+                f"when jobs > 1: {exc}"
+            ) from exc
+        supervisor = _Supervisor(
+            context=multiprocessing.get_context(self.start_method),
+            jobs=jobs, policy=policy, fault_plan=fault_plan, configs=configs,
+            extract=extract, pending=pending, complete=complete,
+            attempt_failed=attempt_failed, emit=emit)
+        supervisor.run()
+
+    def _run_supervised_serial(self, pending, configs, extract, policy,
+                               fault_plan, complete, attempt_failed,
+                               emit) -> None:
+        """Supervised ``jobs=1``: in-process attempts with retry/backoff.
+
+        Exceptions (injected or real) are contained per point, but
+        there is no process boundary, so wall-clock timeouts cannot be
+        enforced and a ``kill``/``hang`` fault is faithfully fatal —
+        use ``jobs >= 2`` for full containment.
+        """
+        worker = multiprocessing.current_process().name
+        for index in pending:
+            attempt = 1
+            while True:
+                emit(PointProgress(index=index, phase="start",
+                                   attempt=attempt, worker=worker))
+                begin = perf_counter()
+                try:
+                    apply_worker_faults(
+                        fault_plan.worker_faults(index, attempt),
+                        index, attempt)
+                    result = run_scenario(configs[index])
+                    measurements = extract(result)
+                except Exception as exc:
+                    delay = attempt_failed(
+                        index, attempt, OUTCOME_ERROR, perf_counter() - begin,
+                        f"{type(exc).__name__}: {exc}", worker)
+                    if delay is None:
+                        break
+                    sleep(delay)
+                    attempt += 1
+                    continue
+                complete(index, measurements, worker, perf_counter() - begin,
+                         result.events_processed, attempts=attempt)
+                break
 
     # ------------------------------------------------------------------
     # Sweep-shaped front end
@@ -280,7 +784,8 @@ class ParallelSweepRunner:
         Returns :class:`~repro.scenarios.sweeps.SweepPoint` objects in
         input order.  ``on_point`` receives each finished ``SweepPoint``;
         ``on_progress`` and ``manifest_dir`` behave as in
-        :meth:`run_configs`.
+        :meth:`run_configs`.  Under an ``allow_partial`` policy, failed
+        points come back with ``measurements=None``.
         """
         from repro.scenarios.sweeps import SweepPoint
 

@@ -1,0 +1,65 @@
+"""Fault-tolerant sweep execution: supervision policies, checkpoints, chaos.
+
+The paper's phase-diagram grids and buffer-sizing studies are hours-long
+multiprocess sweeps; this package is what lets one hung worker, one
+OOM-kill, or one torn cache file cost a retry instead of the whole run.
+
+Public surface:
+
+- :class:`~repro.resilience.policy.ResilienceConfig` — per-point
+  timeout, bounded retries, exponential backoff with deterministic
+  (seeded, never ``random``) jitter; passed as ``resilience=`` to
+  :func:`repro.scenarios.sweeps.sweep` or ``ParallelSweepRunner``.
+- :class:`~repro.resilience.journal.SweepJournal` — append-only,
+  fsync-per-entry JSONL checkpoint keyed by the content-addressed cache
+  key; powers ``repro sweep --resume``.
+- :class:`~repro.resilience.report.PointFailure` /
+  :class:`~repro.resilience.report.ResilienceReport` — structured
+  partial-failure reporting (``repro sweep --report``).
+- :mod:`repro.resilience.faults` — the ``REPRO_FAULTS`` deterministic
+  fault-injection harness that proves the recovery paths actually run.
+
+The executor that consumes these lives in
+:mod:`repro.parallel.runner`; this package stays below it in the layer
+diagram (pure policy + persistence, no multiprocessing).
+"""
+
+from repro.resilience.faults import (
+    FAULTS_ENV,
+    FaultClause,
+    FaultPlan,
+    active_plan,
+    apply_worker_faults,
+    corrupt_entry_file,
+    parse_faults,
+)
+from repro.resilience.journal import (
+    JOURNAL_SCHEMA_VERSION,
+    JournalEntry,
+    SweepJournal,
+)
+from repro.resilience.policy import (
+    ResilienceConfig,
+    deterministic_fraction,
+    resolve_resilience,
+)
+from repro.resilience.report import AttemptRecord, PointFailure, ResilienceReport
+
+__all__ = [
+    "FAULTS_ENV",
+    "JOURNAL_SCHEMA_VERSION",
+    "AttemptRecord",
+    "FaultClause",
+    "FaultPlan",
+    "JournalEntry",
+    "PointFailure",
+    "ResilienceConfig",
+    "ResilienceReport",
+    "SweepJournal",
+    "active_plan",
+    "apply_worker_faults",
+    "corrupt_entry_file",
+    "deterministic_fraction",
+    "parse_faults",
+    "resolve_resilience",
+]

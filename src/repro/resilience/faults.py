@@ -1,0 +1,204 @@
+"""Deterministic fault injection for sweep supervision tests and chaos CI.
+
+Recovery code that never runs is recovery code that does not work.  This
+module injects the failures the resilience layer claims to survive —
+worker death, hangs past the timeout, slow points, in-worker exceptions,
+and torn cache entries — at *specific, reproducible* places, driven by
+the ``REPRO_FAULTS`` environment variable::
+
+    REPRO_FAULTS="kill@2;corrupt@4;hang@7:600"    repro sweep conjecture ...
+
+Grammar (clauses separated by ``;``)::
+
+    clause := KIND '@' POINT [':' VALUE] ['*' COUNT]  |  'seed=' INT
+    KIND   := kill | hang | slow | raise | corrupt
+    POINT  := sweep point index  |  '?'  (seeded deterministic choice)
+    VALUE  := seconds (hang: default 3600, slow: default 1.0)
+    COUNT  := how many attempts the fault fires on (default 1)
+
+``kill`` makes the worker die with ``os._exit(137)`` (an OOM-kill
+stand-in), ``hang`` sleeps past any sane timeout, ``slow`` adds latency
+but succeeds, ``raise`` throws :class:`~repro.errors.FaultInjectionError`
+inside the worker, and ``corrupt`` truncates the point's freshly written
+cache entry (exercising quarantine on the next read).  With the default
+``COUNT`` of 1 a fault fires on the first attempt only, so a retry
+succeeds — the shape every recovery test wants.  ``'?'`` points are
+resolved by hashing the spec seed (``seed=N`` clause, default 0), never
+by ``random``: the whole schedule is a pure function of the spec string.
+
+Worker faults are applied by the *supervised* execution path (the plain
+fast path has no containment and would genuinely die); ``corrupt`` is
+applied in the parent wherever cache writes happen, so it works on
+every path.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import ConfigurationError, FaultInjectionError
+from repro.resilience.policy import deterministic_fraction
+
+__all__ = [
+    "FAULTS_ENV",
+    "KINDS",
+    "WORKER_KINDS",
+    "FaultClause",
+    "FaultPlan",
+    "active_plan",
+    "apply_worker_faults",
+    "corrupt_entry_file",
+    "parse_faults",
+]
+
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Fault kinds executed inside a worker attempt, in application order.
+WORKER_KINDS = ("kill", "hang", "slow", "raise")
+#: All fault kinds; ``corrupt`` is applied in the parent after a cache put.
+KINDS = WORKER_KINDS + ("corrupt",)
+
+_DEFAULT_VALUES = {"hang": 3600.0, "slow": 1.0}
+
+_CLAUSE_RE = re.compile(
+    r"^(?P<kind>[a-z]+)@(?P<point>\d+|\?)"
+    r"(?::(?P<value>\d+(?:\.\d+)?))?"
+    r"(?:\*(?P<count>\d+))?$"
+)
+_SEED_RE = re.compile(r"^seed=(?P<seed>-?\d+)$")
+
+
+@dataclass(frozen=True)
+class FaultClause:
+    """One injected fault: what, where, how hard, and how often."""
+
+    kind: str
+    point: int | None
+    """Target sweep point index; ``None`` while a ``'?'`` is unresolved."""
+    value: float = 0.0
+    """Seconds, for ``hang``/``slow``; unused otherwise."""
+    count: int = 1
+    """The fault fires on attempts ``1..count`` of its point."""
+
+    def matches(self, index: int, attempt: int) -> bool:
+        """True when this clause fires for ``(index, attempt)``."""
+        return self.point == index and 1 <= attempt <= self.count
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A parsed, optionally resolved fault schedule."""
+
+    clauses: tuple[FaultClause, ...] = ()
+    seed: int = 0
+
+    def __bool__(self) -> bool:
+        return bool(self.clauses)
+
+    def resolve(self, n_points: int) -> "FaultPlan":
+        """Pin every ``'?'`` clause to a concrete point index.
+
+        The choice hashes ``(seed, clause position)`` through
+        :func:`~repro.resilience.policy.deterministic_fraction`, so the
+        schedule is identical on every run of the same spec over the
+        same sweep size.
+        """
+        if n_points < 1:
+            return self
+        resolved = []
+        for position, clause in enumerate(self.clauses):
+            if clause.point is None:
+                fraction = deterministic_fraction(self.seed, position,
+                                                  "fault-point")
+                clause = replace(clause, point=int(fraction * n_points))
+            resolved.append(clause)
+        return FaultPlan(tuple(resolved), self.seed)
+
+    def worker_faults(self, index: int, attempt: int) -> tuple[FaultClause, ...]:
+        """The in-worker faults to apply on this (point, attempt)."""
+        return tuple(clause for clause in self.clauses
+                     if clause.kind in WORKER_KINDS
+                     and clause.matches(index, attempt))
+
+    def corrupts(self, index: int) -> bool:
+        """True when the cache entry written for ``index`` is torn."""
+        return any(clause.kind == "corrupt" and clause.matches(index, 1)
+                   for clause in self.clauses)
+
+
+def parse_faults(spec: str) -> FaultPlan:
+    """Parse a ``REPRO_FAULTS`` spec string into a :class:`FaultPlan`."""
+    clauses: list[FaultClause] = []
+    seed = 0
+    for raw in spec.split(";"):
+        text = raw.strip()
+        if not text:
+            continue
+        seed_match = _SEED_RE.match(text)
+        if seed_match:
+            seed = int(seed_match.group("seed"))
+            continue
+        match = _CLAUSE_RE.match(text)
+        if match is None:
+            raise ConfigurationError(
+                f"bad {FAULTS_ENV} clause {text!r}; expected "
+                "KIND@POINT[:SECONDS][*COUNT] with KIND in "
+                f"{'/'.join(KINDS)}, or seed=N")
+        kind = match.group("kind")
+        if kind not in KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {kind!r} in {FAULTS_ENV} clause "
+                f"{text!r} (known: {', '.join(KINDS)})")
+        point_text = match.group("point")
+        point = None if point_text == "?" else int(point_text)
+        value_text = match.group("value")
+        value = (float(value_text) if value_text is not None
+                 else _DEFAULT_VALUES.get(kind, 0.0))
+        count = int(match.group("count") or 1)
+        if count < 1:
+            raise ConfigurationError(
+                f"fault count must be >= 1 in {FAULTS_ENV} clause {text!r}")
+        clauses.append(FaultClause(kind=kind, point=point, value=value,
+                                   count=count))
+    return FaultPlan(tuple(clauses), seed)
+
+
+def active_plan() -> FaultPlan:
+    """The plan from ``$REPRO_FAULTS`` (an empty plan when unset).
+
+    Parsed on every call — it is read once per sweep, not per point,
+    and tests monkeypatch the environment freely.
+    """
+    spec = os.environ.get(FAULTS_ENV, "")
+    return parse_faults(spec) if spec.strip() else FaultPlan()
+
+
+def apply_worker_faults(faults: Iterable[FaultClause], index: int,
+                        attempt: int) -> None:
+    """Execute the in-worker faults scheduled for this attempt.
+
+    Called at the top of a supervised worker attempt, before the
+    simulation starts.  ``kill`` never returns; ``hang``/``slow`` sleep;
+    ``raise`` throws.  Runs in the worker process (or inline, on the
+    serial path — where ``kill`` and ``hang`` are faithfully fatal).
+    """
+    for clause in faults:
+        if clause.kind == "kill":
+            os._exit(137)
+        elif clause.kind in ("hang", "slow"):
+            time.sleep(clause.value)
+        elif clause.kind == "raise":
+            raise FaultInjectionError(
+                f"injected fault: raise at point {index} attempt {attempt}")
+
+
+def corrupt_entry_file(path: str | Path) -> None:
+    """Truncate a file to half its bytes — a simulated torn write."""
+    target = Path(path)
+    data = target.read_bytes()
+    target.write_bytes(data[: len(data) // 2])

@@ -28,6 +28,7 @@ from repro.scenarios.runner import ScenarioResult
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.parallel.runner import PointProgress
+    from repro.resilience.policy import ResilienceConfig
 
 __all__ = ["SweepPoint", "sweep", "utilization_sweep"]
 
@@ -50,6 +51,7 @@ def sweep(
     on_point: Callable[[SweepPoint], None] | None = None,
     on_progress: "Callable[[PointProgress], None] | None" = None,
     manifest: str | Path | None = None,
+    resilience: "ResilienceConfig | bool | None" = None,
 ) -> list[SweepPoint]:
     """Run ``make_config(v)`` for each value and extract measurements.
 
@@ -84,13 +86,21 @@ def sweep(
         document per sweep point, cache hits included; the manifest's
         ``config_hash``/``cache_key`` match the result cache's
         addressing exactly.
+    resilience:
+        ``True`` or a :class:`~repro.resilience.policy.ResilienceConfig`
+        runs the sweep under fault-tolerant supervision — per-point
+        timeouts, bounded retries with deterministic backoff, worker
+        crash containment, and optional checkpoint/resume through a
+        :class:`~repro.resilience.journal.SweepJournal`.  The default
+        ``None`` keeps the unsupervised hot path, where any point
+        failure fails the whole sweep.
     """
     from repro.parallel.runner import ParallelSweepRunner
 
     values = list(values)
     if not values:
         raise ConfigurationError("sweep needs at least one value")
-    runner = ParallelSweepRunner(jobs=jobs, cache=cache)
+    runner = ParallelSweepRunner(jobs=jobs, cache=cache, resilience=resilience)
     return runner.run(make_config, values, extract, on_point=on_point,
                       on_progress=on_progress, manifest_dir=manifest)
 
@@ -104,8 +114,10 @@ def utilization_sweep(
     on_point: Callable[[SweepPoint], None] | None = None,
     on_progress: "Callable[[PointProgress], None] | None" = None,
     manifest: str | Path | None = None,
+    resilience: "ResilienceConfig | bool | None" = None,
 ) -> list[SweepPoint]:
     """A sweep whose measurements are the per-direction utilizations."""
     return sweep(make_config, values, utilization_extract,
                  jobs=jobs, cache=cache, on_point=on_point,
-                 on_progress=on_progress, manifest=manifest)
+                 on_progress=on_progress, manifest=manifest,
+                 resilience=resilience)

@@ -1,0 +1,18 @@
+# repro-lint-module: repro.scenarios.demo
+"""Positive fixture: handlers that make errors vanish (RPR007)."""
+
+
+def load_measurement(path):
+    try:
+        return float(open(path).read())
+    except ValueError:
+        pass  # the point silently disappears from the sweep
+    return None
+
+
+def cleanup(handles):
+    for handle in handles:
+        try:
+            handle.close()
+        except:  # E722 is ignored for fixtures: the bare except IS the point
+            handle.closed = True

@@ -1,0 +1,28 @@
+# repro-lint-module: repro.scenarios.demo
+"""Negative fixture: handled, counted, and re-raised exceptions are clean."""
+
+
+def load_measurement(path, report):
+    try:
+        return float(open(path).read())
+    except ValueError:
+        report.damaged += 1
+        return None
+
+
+def scan(lines, skipped):
+    entries = []
+    for line in lines:
+        try:
+            entries.append(int(line))
+        except ValueError:
+            continue
+    return entries
+
+
+def shutdown_cleanly(pool):
+    try:
+        pool.drain()
+    except BaseException:
+        pool.terminate()
+        raise

@@ -23,6 +23,7 @@ CASES = [
     ("RPR004", "rpr004_obs_bad.py", 2, "rpr004_obs_good.py"),
     ("RPR005", "rpr005_bad.py", 2, "rpr005_good.py"),
     ("RPR006", "rpr006_bad.py", 2, "rpr006_good.py"),
+    ("RPR007", "rpr007_bad.py", 2, "rpr007_good.py"),
 ]
 
 
@@ -66,3 +67,19 @@ class TestScoping:
                 lint_source(source, module="repro.net.switch")] == ["RPR004"]
         assert [v.code for v in
                 lint_source(source, module="repro.obs.tracer")] == ["RPR004"]
+
+    def test_rpr007_scoped_to_repro_modules(self):
+        source = "try:\n    x()\nexcept ValueError:\n    pass\n"
+        assert lint_source(source, module="some.other.pkg") == []
+        assert [v.code for v in
+                lint_source(source, module="repro.resilience.demo")] == ["RPR007"]
+
+    def test_rpr007_allows_typed_handlers_with_real_bodies(self):
+        source = ("try:\n    x()\nexcept ValueError:\n    count += 1\n"
+                  "except BaseException:\n    cleanup()\n    raise\n")
+        assert lint_source(source, module="repro.parallel.demo") == []
+
+    def test_rpr007_flags_catch_all_without_reraise(self):
+        source = "try:\n    x()\nexcept BaseException:\n    cleanup()\n"
+        assert [v.code for v in
+                lint_source(source, module="repro.parallel.demo")] == ["RPR007"]

@@ -77,6 +77,33 @@ class TestBuildManifest:
         with pytest.raises(ValueError):
             build_manifest(small_config(), source="replay")
 
+    def test_journal_and_failed_are_valid_sources(self):
+        for source in ("journal", "failed"):
+            manifest = build_manifest(small_config(), source=source)
+            assert manifest.source == source
+
+    def test_attempts_and_failure_recorded(self):
+        from repro.resilience import AttemptRecord, PointFailure
+
+        config = small_config()
+        failure = PointFailure(
+            index=3, run_id=run_id_for(config),
+            config_hash=config_hash(config), scenario=config.name,
+            attempts=2, kind="timeout", message="exceeded 5.0s",
+            history=(AttemptRecord(attempt=1, outcome="timeout",
+                                   wall_seconds=5.0),))
+        manifest = build_manifest(config, source="failed", attempts=2,
+                                  failure=failure)
+        assert manifest.attempts == 2
+        assert manifest.failure is not None
+        assert manifest.failure["kind"] == "timeout"
+        assert manifest.failure["history"][0]["outcome"] == "timeout"
+
+    def test_attempts_default_and_validation(self):
+        assert build_manifest(small_config()).attempts == 1
+        with pytest.raises(ValueError):
+            build_manifest(small_config(), attempts=0)
+
     def test_run_manifest_knob(self):
         result = run(small_config(), manifest=True)
         assert result.manifest is not None

@@ -72,8 +72,10 @@ class TestResultCache:
         config = _config()
         path = cache.put_config(config, {"a": 1.0})
         path.write_text("{not json")
-        assert cache.get_config(config) is None
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert cache.get_config(config) is None
         assert not path.exists()
+        assert cache.quarantined == 1
 
     def test_len_and_clear(self, cache):
         cache.put_config(_config(), {"a": 1.0})

@@ -1,0 +1,111 @@
+"""Cache robustness: damaged entries are quarantined and recomputed.
+
+Every flavour of on-disk damage a torn write or bit rot can leave behind
+— truncated JSON, non-JSON garbage, a foreign schema stamp, a zero-byte
+file — must (a) never be returned as measurements, (b) be preserved in
+``quarantine/`` with a reason note rather than silently deleted, and
+(c) cost exactly one recomputation that is bit-identical to a cold run.
+"""
+
+import json
+
+import pytest
+
+from repro.parallel.cache import CACHE_SCHEMA_VERSION, ResultCache, cache_key
+from repro.parallel.runner import ParallelSweepRunner
+from repro.scenarios import paper
+from repro.scenarios.families import utilization_extract
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+def _config():
+    return paper.figure4(duration=50.0, warmup=10.0)
+
+
+def _seed_entry(cache, measurements=None):
+    """Store one good entry; returns (key, entry path)."""
+    key = cache_key(_config(), utilization_extract)
+    cache.put(key, measurements if measurements is not None else {"x": 1.0})
+    return key, cache._path(key)
+
+
+DAMAGES = {
+    "truncated-json": lambda path: path.write_bytes(
+        path.read_bytes()[: len(path.read_bytes()) // 2]),
+    "non-json-garbage": lambda path: path.write_text("not json at all \x00\xff"),
+    "wrong-schema": lambda path: path.write_text(json.dumps(
+        {"schema": CACHE_SCHEMA_VERSION + 999, "measurements": {"x": 1.0}})),
+    "zero-byte": lambda path: path.write_bytes(b""),
+    "json-but-not-object": lambda path: path.write_text("[1, 2, 3]"),
+    "measurements-not-object": lambda path: path.write_text(json.dumps(
+        {"schema": CACHE_SCHEMA_VERSION, "measurements": 7})),
+}
+
+
+class TestQuarantine:
+    @pytest.mark.parametrize("damage", sorted(DAMAGES))
+    def test_damaged_entry_is_quarantined_not_returned(self, cache, damage):
+        key, path = _seed_entry(cache)
+        DAMAGES[damage](path)
+        with pytest.warns(RuntimeWarning, match="quarantined damaged cache"):
+            assert cache.get(key) is None
+        assert cache.quarantined == 1
+        assert cache.misses == 1 and cache.hits == 0
+        # The damaged bytes are preserved, not destroyed.
+        assert not path.exists()
+        assert (cache.quarantine_dir / path.name).exists()
+        reason = (cache.quarantine_dir / f"{path.stem}.reason.txt").read_text()
+        assert reason.strip()
+
+    def test_recompute_after_quarantine_round_trips(self, cache):
+        key, path = _seed_entry(cache, {"u": 0.25})
+        path.write_bytes(b"")
+        with pytest.warns(RuntimeWarning):
+            assert cache.get(key) is None
+        # The slot is free again: a fresh put/get round-trips normally.
+        cache.put(key, {"u": 0.25})
+        assert cache.get(key) == {"u": 0.25}
+
+    def test_good_entries_are_untouched(self, cache):
+        key, _ = _seed_entry(cache, {"u": 0.5})
+        assert cache.get(key) == {"u": 0.5}
+        assert cache.quarantined == 0
+        assert not cache.quarantine_dir.exists()
+
+    def test_reason_file_names_the_damage(self, cache):
+        key, path = _seed_entry(cache)
+        DAMAGES["wrong-schema"](path)
+        with pytest.warns(RuntimeWarning):
+            cache.get(key)
+        reason = (cache.quarantine_dir / f"{path.stem}.reason.txt").read_text()
+        assert "schema" in reason
+
+
+class TestSweepRecomputesQuarantinedPoints:
+    """End to end: a corrupted entry yields a bit-identical recomputation."""
+
+    def test_sweep_recovers_bit_identical_results(self, tmp_path):
+        configs = [paper.figure4(duration=20.0, warmup=5.0).with_updates(seed=seed)
+                   for seed in (1, 2)]
+        cache_dir = tmp_path / "cache"
+
+        cold = ParallelSweepRunner(jobs=1, cache=cache_dir).run_configs(
+            configs, utilization_extract)
+
+        # Corrupt one entry on disk, then re-run against the same cache.
+        cache = ResultCache(cache_dir)
+        victim = cache._path(cache_key(configs[0], utilization_extract))
+        victim.write_text("{ torn")
+        runner = ParallelSweepRunner(jobs=1, cache=cache_dir)
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            warm = runner.run_configs(configs, utilization_extract)
+
+        assert warm == cold
+        assert runner.cache.quarantined == 1
+        # One recomputation, one hit: the undamaged point replayed.
+        assert runner.cache.hits == 1 and runner.cache.misses == 1
+        assert (runner.cache.quarantine_dir / victim.name).exists()

@@ -76,6 +76,32 @@ class TestParallelEquivalence:
             sweep(make_config, CASES[:2], families.utilization_extract,
                   jobs=2)
 
+    def test_spawn_errors_name_the_jobs1_workaround(self, monkeypatch):
+        """Both unspawnable-__main__ diagnostics must tell the user the
+        serial fallback exists."""
+        import sys
+        import types
+
+        from repro.parallel.runner import _check_spawnable_main
+
+        fake_main = types.ModuleType("__main__")
+        fake_main.__file__ = "<stdin>"
+        fake_main.__spec__ = None
+        monkeypatch.setitem(sys.modules, "__main__", fake_main)
+        with pytest.raises(ConfigurationError, match="jobs=1"):
+            _check_spawnable_main()
+
+        worker_main = types.ModuleType("__main__")
+        worker_main.__file__ = "whatever.py"
+        worker_main.__spec__ = None
+        monkeypatch.setitem(sys.modules, "__main__", worker_main)
+        monkeypatch.setattr(
+            "multiprocessing.current_process",
+            lambda: types.SimpleNamespace(name="SpawnPoolWorker-1",
+                                          daemon=True))
+        with pytest.raises(ConfigurationError, match="jobs=1"):
+            _check_spawnable_main()
+
 
 class TestCacheIntegration:
     def test_second_sweep_is_all_hits(self, tmp_path):

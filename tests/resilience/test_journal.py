@@ -1,0 +1,116 @@
+"""Checkpoint journal: durability, torn-tail tolerance, idempotent resume."""
+
+import json
+
+import pytest
+
+from repro.resilience import JOURNAL_SCHEMA_VERSION, JournalEntry, SweepJournal
+
+
+def entry(key="k1", index=0, **overrides):
+    fields = dict(key=key, config_hash="c" * 12, run_id=f"run-{index}",
+                  index=index, attempts=1, source="live",
+                  measurements={"util": 0.5})
+    fields.update(overrides)
+    return JournalEntry(**fields)
+
+
+class TestRoundTrip:
+    def test_record_then_load(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with SweepJournal(path) as journal:
+            journal.record(entry("a", 0))
+            journal.record(entry("b", 1, attempts=3, source="cache"))
+        loaded = SweepJournal(path).load()
+        assert set(loaded) == {"a", "b"}
+        assert loaded["b"].attempts == 3
+        assert loaded["b"].source == "cache"
+        assert loaded["a"].measurements == {"util": 0.5}
+
+    def test_lines_are_schema_stamped_compact_json(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with SweepJournal(path) as journal:
+            journal.record(entry())
+        (line,) = path.read_text().splitlines()
+        document = json.loads(line)
+        assert document["v"] == JOURNAL_SCHEMA_VERSION
+        assert ": " not in line  # compact separators
+
+    def test_parents_created_and_counter_kept(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "journal.jsonl"
+        journal = SweepJournal(path)
+        journal.record(entry())
+        journal.record(entry("k2", 1))
+        journal.close()
+        assert journal.recorded == 2
+        assert path.exists()
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert SweepJournal(tmp_path / "absent.jsonl").load() == {}
+
+
+class TestDamageTolerance:
+    def test_torn_tail_line_is_skipped(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with SweepJournal(path) as journal:
+            journal.record(entry("a", 0))
+            journal.record(entry("b", 1))
+        # Simulate a crash mid-append: the final line is half-written.
+        text = path.read_text()
+        path.write_text(text + '{"v": 1, "key": "c", "conf')
+        journal = SweepJournal(path)
+        assert set(journal.load()) == {"a", "b"}
+        assert journal.skipped_lines == 1
+
+    @pytest.mark.parametrize("line", [
+        "not json at all",
+        '{"v": 999, "key": "x"}',          # foreign schema version
+        '{"v": 1, "key": 7}',              # wrong field type
+        '{"v": 1, "key": "x"}',            # fields missing
+        '{"v": 1, "key": "x", "config_hash": "c", "run_id": "r", '
+        '"index": 0, "attempts": true, "source": "live", '
+        '"measurements": {}}',             # bool is not an int
+        '[1, 2, 3]',                       # not an object
+    ])
+    def test_damaged_lines_never_poison_the_load(self, tmp_path, line):
+        path = tmp_path / "journal.jsonl"
+        with SweepJournal(path) as journal:
+            journal.record(entry("good", 0))
+        path.write_text(path.read_text() + line + "\n")
+        journal = SweepJournal(path)
+        assert set(journal.load()) == {"good"}
+        assert journal.skipped_lines == 1
+
+    def test_blank_lines_ignored_without_counting(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with SweepJournal(path) as journal:
+            journal.record(entry())
+        path.write_text(path.read_text() + "\n\n")
+        journal = SweepJournal(path)
+        assert len(journal.load()) == 1
+        assert journal.skipped_lines == 0
+
+    def test_later_entries_win(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with SweepJournal(path) as journal:
+            journal.record(entry("k", 0, attempts=1))
+            journal.record(entry("k", 0, attempts=2))
+        assert SweepJournal(path).load()["k"].attempts == 2
+
+
+class TestEntryParsing:
+    def test_from_dict_inverts_to_dict(self):
+        original = entry("k", 4, attempts=2)
+        assert JournalEntry.from_dict(original.to_dict()) == original
+
+    def test_wrong_version_raises(self):
+        document = entry().to_dict()
+        document["v"] = JOURNAL_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError):
+            JournalEntry.from_dict(document)
+
+    def test_missing_measurements_raises(self):
+        document = entry().to_dict()
+        del document["measurements"]
+        with pytest.raises(ValueError):
+            JournalEntry.from_dict(document)

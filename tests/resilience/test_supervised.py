@@ -1,0 +1,190 @@
+"""Supervised sweep execution: containment, retries, resume, partial results.
+
+The injected-fault tests assert the headline property end to end: a
+sweep that suffers worker death, in-worker exceptions, or hangs past
+the timeout still produces measurements **bit-identical** to a
+fault-free run.  Spawned workers cost real wall time, so the grid is
+small and the faulted tests reuse one module-level baseline.
+"""
+
+import functools
+
+import pytest
+
+from repro.errors import SweepFailureError
+from repro.parallel import ParallelSweepRunner
+from repro.resilience import FAULTS_ENV, ResilienceConfig, SweepJournal
+from repro.scenarios import families
+
+CASES = families.CONJECTURE_CASES[:3]
+make_config = functools.partial(families.conjecture_config,
+                                duration=5.0, warmup=2.0)
+CONFIGS = [make_config(case) for case in CASES]
+extract = families.utilization_extract
+
+# Retry quickly in tests; the backoff schedule itself is covered in
+# test_policy.py.
+FAST_BACKOFF = dict(backoff_base=0.01, backoff_cap=0.02)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return ParallelSweepRunner(jobs=1).run_configs(CONFIGS, extract)
+
+
+@pytest.fixture(autouse=True)
+def clean_faults(monkeypatch):
+    monkeypatch.delenv(FAULTS_ENV, raising=False)
+
+
+class TestFaultFree:
+    def test_supervised_serial_matches_plain(self, baseline):
+        runner = ParallelSweepRunner(jobs=1, resilience=True)
+        assert runner.run_configs(CONFIGS, extract) == baseline
+        report = runner.last_report
+        assert report.ok
+        assert (report.points, report.live) == (len(CONFIGS), len(CONFIGS))
+        assert report.retries == 0
+        assert report.attempts_by_index == {}
+
+    def test_supervised_parallel_matches_plain(self, baseline):
+        runner = ParallelSweepRunner(
+            jobs=2, resilience=ResilienceConfig(timeout=120.0))
+        assert runner.run_configs(CONFIGS, extract) == baseline
+        assert runner.last_report.ok
+
+    def test_plain_runner_has_no_report(self, baseline):
+        runner = ParallelSweepRunner(jobs=1)
+        runner.run_configs(CONFIGS, extract)
+        assert runner.last_report is None
+
+
+class TestInjectedFaults:
+    def test_serial_retry_recovers_from_raise(self, baseline, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "raise@1")
+        runner = ParallelSweepRunner(
+            jobs=1, resilience=ResilienceConfig(retries=2, **FAST_BACKOFF))
+        assert runner.run_configs(CONFIGS, extract) == baseline
+        report = runner.last_report
+        assert (report.errors, report.retries) == (1, 1)
+        assert report.attempts_by_index == {1: 2}
+        assert report.ok
+
+    def test_parallel_survives_worker_kill(self, baseline, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "kill@1")
+        runner = ParallelSweepRunner(
+            jobs=2,
+            resilience=ResilienceConfig(timeout=120.0, retries=2,
+                                        **FAST_BACKOFF))
+        assert runner.run_configs(CONFIGS, extract) == baseline
+        report = runner.last_report
+        assert (report.crashes, report.retries) == (1, 1)
+        assert report.attempts_by_index == {1: 2}
+
+    def test_parallel_times_out_hung_worker(self, baseline, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "hang@1:600*9")
+        runner = ParallelSweepRunner(
+            jobs=2,
+            resilience=ResilienceConfig(timeout=2.0, retries=0))
+        with pytest.raises(SweepFailureError) as excinfo:
+            runner.run_configs(CONFIGS, extract)
+        (failure,) = excinfo.value.failures
+        assert (failure.index, failure.kind) == (1, "timeout")
+        assert failure.attempts == 1
+        # The sweep still carried the other points to completion.
+        results = excinfo.value.results
+        assert results[0] == baseline[0] and results[2] == baseline[2]
+        assert results[1] is None
+
+    def test_terminal_failure_raises_with_history(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "raise@0*9")
+        runner = ParallelSweepRunner(
+            jobs=1, resilience=ResilienceConfig(retries=1, **FAST_BACKOFF))
+        with pytest.raises(SweepFailureError, match="allow-partial"):
+            runner.run_configs(CONFIGS, extract)
+        (failure,) = runner.last_report.failures
+        assert failure.attempts == 2
+        assert [record.outcome for record in failure.history] == ["error",
+                                                                  "error"]
+        assert "FaultInjectionError" in failure.message
+
+    def test_allow_partial_returns_none_at_failed_index(self, baseline,
+                                                        monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "raise@2*9")
+        runner = ParallelSweepRunner(
+            jobs=1,
+            resilience=ResilienceConfig(retries=0, allow_partial=True,
+                                        **FAST_BACKOFF))
+        results = runner.run_configs(CONFIGS, extract)
+        assert results[2] is None
+        assert results[:2] == baseline[:2]
+        assert not runner.last_report.ok
+
+
+class TestJournalResume:
+    def test_resume_recomputes_nothing(self, baseline, tmp_path):
+        journal_path = tmp_path / "journal.jsonl"
+        first = ParallelSweepRunner(
+            jobs=1, resilience=ResilienceConfig(journal=journal_path))
+        assert first.run_configs(CONFIGS, extract) == baseline
+        assert first.last_report.live == len(CONFIGS)
+
+        resumed = ParallelSweepRunner(
+            jobs=1, resilience=ResilienceConfig(journal=journal_path))
+        assert resumed.run_configs(CONFIGS, extract) == baseline
+        report = resumed.last_report
+        assert (report.journal_skips, report.live) == (len(CONFIGS), 0)
+
+    def test_partial_journal_resumes_only_missing_points(self, baseline,
+                                                         tmp_path,
+                                                         monkeypatch):
+        journal_path = tmp_path / "journal.jsonl"
+        monkeypatch.setenv(FAULTS_ENV, "raise@1*9")
+        interrupted = ParallelSweepRunner(
+            jobs=1,
+            resilience=ResilienceConfig(retries=0, allow_partial=True,
+                                        journal=journal_path,
+                                        **FAST_BACKOFF))
+        interrupted.run_configs(CONFIGS, extract)
+
+        monkeypatch.delenv(FAULTS_ENV)
+        resumed = ParallelSweepRunner(
+            jobs=1, resilience=ResilienceConfig(journal=journal_path))
+        assert resumed.run_configs(CONFIGS, extract) == baseline
+        report = resumed.last_report
+        assert (report.journal_skips, report.live) == (2, 1)
+
+    def test_caller_owned_journal_left_open(self, baseline, tmp_path):
+        with SweepJournal(tmp_path / "journal.jsonl") as journal:
+            runner = ParallelSweepRunner(
+                jobs=1, resilience=ResilienceConfig(journal=journal))
+            runner.run_configs(CONFIGS, extract)
+            # Still usable: the runner must not have closed it.
+            assert journal.recorded == len(CONFIGS)
+            assert len(journal.load()) == len(CONFIGS)
+
+
+class TestProgress:
+    def test_phases_cover_start_retry_finish(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "raise@0")
+        events = []
+        runner = ParallelSweepRunner(
+            jobs=1, resilience=ResilienceConfig(retries=1, **FAST_BACKOFF))
+        runner.run_configs(CONFIGS, extract,
+                           on_progress=lambda p: events.append(
+                               (p.index, p.phase, p.attempt)))
+        assert (0, "retry", 1) in events
+        assert (0, "start", 2) in events
+        assert (0, "finish", 2) in events
+
+    def test_fail_phase_reported(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "raise@0*9")
+        events = []
+        runner = ParallelSweepRunner(
+            jobs=1,
+            resilience=ResilienceConfig(retries=0, allow_partial=True,
+                                        **FAST_BACKOFF))
+        runner.run_configs(CONFIGS, extract,
+                           on_progress=lambda p: events.append(
+                               (p.index, p.phase)))
+        assert (0, "fail") in events

@@ -88,3 +88,81 @@ class TestSweepCommand:
                      "--cache-dir", cache_dir]) == 0
         out = capsys.readouterr().out
         assert "jobs=2" in out
+
+
+class TestSweepExitCodes:
+    """Exit-code hygiene documented in ``repro sweep --help``.
+
+    The grid is monkeypatched down to three points, and faults are
+    injected in-process (jobs=1), so these run in seconds.
+    """
+
+    @pytest.fixture(autouse=True)
+    def small_grid(self, monkeypatch):
+        from repro.scenarios import families
+
+        monkeypatch.setattr(families, "CONJECTURE_CASES",
+                            families.CONJECTURE_CASES[:3])
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+
+    def test_partial_failure_exits_3(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_FAULTS", "raise@1*9")
+        code = main(["sweep", "conjecture", "--fast", "--no-cache",
+                     "--retries", "0"])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "point 1" in err
+        assert "1/3 points failed" in err
+
+    def test_allow_partial_exits_0(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_FAULTS", "raise@1*9")
+        assert main(["sweep", "conjecture", "--fast", "--no-cache",
+                     "--retries", "0", "--allow-partial"]) == 0
+        assert "failed" in capsys.readouterr().err
+
+    def test_total_failure_exits_4(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_FAULTS", "raise@0*9;raise@1*9;raise@2*9")
+        code = main(["sweep", "conjecture", "--fast", "--no-cache",
+                     "--retries", "0"])
+        assert code == 4
+        assert "every sweep point failed" in capsys.readouterr().err
+
+    def test_bad_fault_spec_exits_2(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_FAULTS", "explode@1")
+        assert main(["sweep", "conjecture", "--fast", "--no-cache"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_retry_recovers_and_exits_0(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_FAULTS", "raise@1")
+        assert main(["sweep", "conjecture", "--fast", "--no-cache",
+                     "--retries", "2"]) == 0
+        assert "1 retried attempts" in capsys.readouterr().out
+
+    def test_resume_report_and_export(self, tmp_path, monkeypatch, capsys):
+        journal = str(tmp_path / "journal.jsonl")
+        report = str(tmp_path / "report.json")
+        export_a = str(tmp_path / "a.json")
+        export_b = str(tmp_path / "b.json")
+
+        assert main(["sweep", "conjecture", "--fast", "--no-cache",
+                     "--resume", journal, "--export", export_a]) == 0
+        assert "journal: 0 restored" in capsys.readouterr().out
+
+        assert main(["sweep", "conjecture", "--fast", "--no-cache",
+                     "--resume", journal, "--export", export_b,
+                     "--report", report]) == 0
+        assert "journal: 3 restored" in capsys.readouterr().out
+
+        import pathlib
+        assert (pathlib.Path(export_a).read_text()
+                == pathlib.Path(export_b).read_text())
+        document = json.loads(pathlib.Path(report).read_text())
+        assert document["journal_skips"] == 3
+        assert document["live"] == 0
+
+    def test_help_documents_exit_codes(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--help"])
+        out = capsys.readouterr().out
+        assert "exit codes" in out
+        assert "--allow-partial" in out
