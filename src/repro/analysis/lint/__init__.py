@@ -9,7 +9,7 @@ RPR001    wall-clock time / unseeded randomness in simulation code
 RPR002    ``==``/``!=`` between float simulation timestamps
 RPR003    mutation of an Event's ordering fields after scheduling
 RPR004    unordered (set) iteration in engine/net/obs hot paths
-RPR005    unpicklable (lambda / nested) sweep callables
+RPR005    non-module-level sweep callables / algorithm factories
 RPR006    ``float('inf')`` sentinel timestamps entering the heap
 RPR900    unparseable source
 ========  ==============================================================

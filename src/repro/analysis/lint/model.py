@@ -35,7 +35,9 @@ __all__ = [
 
 #: Bump when rules are added/removed or detection logic changes.
 #: v2: RPR007 (swallowed exceptions) added with the resilience layer.
-LINT_RULESET_VERSION = 2
+#: v3: RPR005 extended to `register_algorithm` factories (lambdas, nested
+#:     functions and nested classes registered as congestion strategies).
+LINT_RULESET_VERSION = 3
 
 CheckFunction = Callable[["LintContext"], Iterator["Violation"]]
 

@@ -346,10 +346,15 @@ _PICKLED_POSITIONS = {
     "run_configs": (1,),        # extract (configs are data, not callables)
 }
 _PICKLED_KEYWORDS = {"make_config", "extract"}
+# Algorithm factories resolve by *name* in re-importing worker processes,
+# so they need the same module-level discipline as pickled callables.
+_REGISTRY_ENTRYPOINTS = {"register_algorithm"}
+_REGISTRY_POSITIONS = {"register_algorithm": (1,)}  # factory
+_REGISTRY_KEYWORDS = {"factory"}
 
 
-def _nested_function_names(tree: ast.Module) -> set[str]:
-    """Names of `def`s defined inside another function (not picklable)."""
+def _nested_definition_names(tree: ast.Module) -> set[str]:
+    """Names of `def`s/`class`es defined inside a function (not importable)."""
     nested: set[str] = set()
 
     def visit(node: ast.AST, inside_function: bool) -> None:
@@ -358,6 +363,10 @@ def _nested_function_names(tree: ast.Module) -> set[str]:
                 if inside_function:
                     nested.add(child.name)
                 visit(child, True)
+            elif isinstance(child, ast.ClassDef):
+                if inside_function:
+                    nested.add(child.name)
+                visit(child, inside_function)
             else:
                 visit(child, inside_function)
 
@@ -368,7 +377,7 @@ def _nested_function_names(tree: ast.Module) -> set[str]:
 @rule(
     "RPR005",
     "unpicklable-sweep-callable",
-    "Sweep `make_config`/`extract` callables must be module-level functions.",
+    "Sweep callables and algorithm factories must be module-level.",
     """\
 With `jobs > 1` the sweep runner pickles `make_config` results and the
 `extract` callable to spawn-started worker processes.  Lambdas and
@@ -378,35 +387,51 @@ opaque PicklingError — or worse, works in serial mode and fails only on
 the parallel path CI doesn't exercise.  Define sweep families as
 module-level functions (see `repro.scenarios.families`); the progress
 callback `on_point` runs in the parent and is exempt.  `functools.partial`
-over a module-level function is fine and is not flagged.""",
+over a module-level function is fine and is not flagged.
+
+The same discipline applies to `register_algorithm(name, factory)`:
+only the *name* crosses the process boundary, and workers re-import
+modules to rebuild the registry.  A lambda, nested function, or class
+defined inside a function registered as a factory exists only in the
+parent process — every worker resolving the name would fail (or
+silently diverge).  Register strategy classes defined at module
+scope.""",
 )
 def check_sweep_callables(ctx: LintContext) -> Iterator[Violation]:
-    nested = _nested_function_names(ctx.tree)
+    nested = _nested_definition_names(ctx.tree)
     for node in ast.walk(ctx.tree):
         if not isinstance(node, ast.Call):
             continue
         name = _terminal_name(node.func)
-        if name not in _SWEEP_ENTRYPOINTS:
+        if name in _SWEEP_ENTRYPOINTS:
+            positions = _PICKLED_POSITIONS[name]
+            keywords = _PICKLED_KEYWORDS
+            what = "spawn workers cannot import it"
+        elif name in _REGISTRY_ENTRYPOINTS:
+            positions = _REGISTRY_POSITIONS[name]
+            keywords = _REGISTRY_KEYWORDS
+            what = "worker processes re-importing the registry cannot see it"
+        else:
             continue
         candidates: list[ast.expr] = []
-        for position in _PICKLED_POSITIONS[name]:
+        for position in positions:
             if len(node.args) > position:
                 candidates.append(node.args[position])
         candidates.extend(
             keyword.value for keyword in node.keywords
-            if keyword.arg in _PICKLED_KEYWORDS
+            if keyword.arg in keywords
         )
         for argument in candidates:
             if isinstance(argument, ast.Lambda):
                 yield _violation(
                     ctx, argument, "RPR005",
-                    f"lambda passed to `{name}()`; lambdas never pickle — "
-                    "use a module-level function (repro.scenarios.families)")
+                    f"lambda passed to `{name}()`; lambdas never survive the "
+                    "process boundary — use a module-level definition")
             elif isinstance(argument, ast.Name) and argument.id in nested:
                 yield _violation(
                     ctx, argument, "RPR005",
-                    f"nested function `{argument.id}` passed to `{name}()`; "
-                    "spawn workers cannot import it — move it to module level")
+                    f"nested definition `{argument.id}` passed to `{name}()`; "
+                    f"{what} — move it to module level")
 
 
 # ----------------------------------------------------------------------

@@ -3,7 +3,9 @@
 ::
 
     repro list                      # registered experiments
+    repro algorithms                # registered congestion-control algorithms
     repro run fig4_5 [--fast]       # one experiment, print the report
+    repro run conjecture --algorithm aimd --param a=1 --param b=0.5
     repro report [--fast] [-o F]    # all experiments -> Markdown
     repro plot fig4 [--window A B]  # ASCII queue plots for a scenario
     repro figures [-o DIR]          # render every paper figure as text
@@ -14,6 +16,7 @@
           --resume sweep.journal    # supervised: contain crashes, resume
     repro trace fig4 --out t.json   # Perfetto-loadable execution trace
     repro profile fig4              # per-category wall-time attribution
+    repro parity --check            # figure set vs golden output hashes
     repro lint src/                 # determinism static analysis
     repro lint --explain RPR002     # why a rule exists, how to suppress
 
@@ -77,6 +80,41 @@ def _scenario_factories():
     }
 
 
+def _add_algorithm_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--algorithm", default=None, metavar="NAME",
+                        help="substitute this congestion-control algorithm "
+                             "onto every flow (see `repro algorithms`)")
+    parser.add_argument("--param", action="append", default=None,
+                        metavar="KEY=VALUE", dest="params",
+                        help="algorithm factory parameter (repeatable), "
+                             "e.g. --param a=1 --param b=0.5")
+
+
+def _parse_params(pairs: list[str] | None,
+                  algorithm: str | None) -> dict[str, object]:
+    """``--param`` KEY=VALUE strings as a factory keyword dict."""
+    from repro.errors import ConfigurationError
+
+    if pairs and algorithm is None:
+        raise ConfigurationError("--param requires --algorithm")
+    params: dict[str, object] = {}
+    for pair in pairs or ():
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise ConfigurationError(
+                f"--param wants KEY=VALUE, got {pair!r}")
+        value: object
+        try:
+            value = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                value = raw
+        params[key] = value
+    return params
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -90,10 +128,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list registered experiments")
 
+    sub.add_parser("algorithms",
+                   help="list registered congestion-control algorithms")
+
     run_p = sub.add_parser("run", help="run one experiment")
     run_p.add_argument("experiment", help="experiment id (see `repro list`)")
     run_p.add_argument("--fast", action="store_true",
                        help="shorter simulations (smoke mode)")
+    _add_algorithm_flags(run_p)
 
     rep_p = sub.add_parser("report", help="run all experiments, emit Markdown")
     rep_p.add_argument("--fast", action="store_true")
@@ -115,6 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
     cfg_p.add_argument("config", help="path to a scenario JSON document")
     cfg_p.add_argument("--save-traces", default=None, metavar="FILE",
                        help="also persist the run's traces as JSON")
+    _add_algorithm_flags(cfg_p)
 
     swp_p = sub.add_parser(
         "sweep",
@@ -156,6 +199,7 @@ def build_parser() -> argparse.ArgumentParser:
     swp_p.add_argument("--export", default=None, metavar="FILE",
                        help="write the sweep's values and measurements as "
                             "JSON (stable field order, for diffing runs)")
+    _add_algorithm_flags(swp_p)
 
     trc_p = sub.add_parser(
         "trace",
@@ -182,6 +226,22 @@ def build_parser() -> argparse.ArgumentParser:
              "attribution")
     prf_p.add_argument("scenario", choices=_PLOT_SCENARIOS)
 
+    par_p = sub.add_parser(
+        "parity",
+        help="golden-output parity: run the figure set and compare "
+             "dynamics fingerprints against committed golden hashes")
+    par_p.add_argument("--check", action="store_true",
+                       help="compare against the golden file (default)")
+    par_p.add_argument("--update", action="store_true",
+                       help="re-run every case and rewrite the golden file")
+    par_p.add_argument("--golden", default=None, metavar="FILE",
+                       help="golden-hash file (default: tests/golden/parity.json)")
+    par_p.add_argument("--case", action="append", default=None, metavar="NAME",
+                       dest="cases", help="restrict to one case (repeatable)")
+    par_p.add_argument("--diff-out", default=None, metavar="FILE",
+                       help="write the per-figure drift report as JSON "
+                            "(written on --check even when clean)")
+
     lint_p = sub.add_parser(
         "lint",
         help="determinism & simulation-correctness static analysis")
@@ -202,10 +262,25 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(exp_id: str, fast: bool) -> int:
+def _cmd_algorithms() -> int:
+    from repro.tcp import algorithm_names, create_control
+
+    for name in algorithm_names():
+        try:
+            control = create_control(name, {"window": 1} if name == "fixed" else {})
+            kind = type(control).__name__
+        except ReproError:  # pragma: no cover - factory needs params
+            kind = "?"
+        print(f"{name:12}  {kind}")
+    return 0
+
+
+def _cmd_run(exp_id: str, fast: bool, algorithm: str | None,
+             params: dict[str, object]) -> int:
     from repro.experiments.registry import run_experiment
 
-    report = run_experiment(exp_id, fast=fast)
+    report = run_experiment(exp_id, fast=fast, algorithm=algorithm,
+                            params=params or None)
     print(report.format())
     return 0 if report.passed else 1
 
@@ -302,6 +377,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             functools.partial(families.buffer_config,
                               base_duration=80.0, base_warmup=30.0)
             if args.fast else families.buffer_config)
+    params = _parse_params(args.params, args.algorithm)
+    if args.algorithm:
+        # Still a module-level function under partial application, so
+        # spawn workers can re-import it and the cache can fingerprint it.
+        make_config = functools.partial(
+            families.substituted_config, make_config=make_config,
+            algorithm=args.algorithm, params=tuple(sorted(params.items())))
 
     cache = None if args.no_cache else resolve_cache(args.cache_dir or True)
     # Always allow_partial at the library level: the CLI wants the
@@ -387,6 +469,48 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return EXIT_OK if args.allow_partial else EXIT_SWEEP_PARTIAL
 
 
+def _cmd_parity(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments import parity
+
+    if args.update and args.check:
+        print("error: --check and --update are mutually exclusive",
+              file=sys.stderr)
+        return EXIT_CONFIG_ERROR
+    golden_path = args.golden or parity.DEFAULT_GOLDEN_PATH
+    cases = parity.parity_cases(args.cases)
+
+    if args.update:
+        def on_captured(name: str, digest: str) -> None:
+            print(f"  {name}: {digest[:12]}")
+
+        document = parity.capture(cases, on_case=on_captured)
+        print(f"golden -> {parity.save_golden(document, golden_path)}")
+        return EXIT_OK
+
+    golden = parity.load_golden(golden_path)
+
+    def on_checked(name: str, ok: bool) -> None:
+        print(f"  {name}: {'ok' if ok else 'DRIFT'}")
+
+    diffs = parity.check(golden, cases, on_case=on_checked)
+    if args.diff_out:
+        report = [{"name": diff.name, "expected": diff.expected,
+                   "actual": diff.actual, "sections": diff.sections}
+                  for diff in diffs]
+        with open(args.diff_out, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"diff report -> {args.diff_out}")
+    if not diffs:
+        print(f"{len(cases)} scenario(s) bit-identical to golden")
+        return EXIT_OK
+    for diff in diffs:
+        print(f"error: {diff.describe()}", file=sys.stderr)
+    return EXIT_CHECK_FAILED
+
+
 def _cmd_lint(paths: list[str] | None, explain_code: str | None,
               list_rules: bool) -> int:
     from repro.analysis.lint import (
@@ -414,8 +538,11 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if args.command == "list":
             return _cmd_list()
+        if args.command == "algorithms":
+            return _cmd_algorithms()
         if args.command == "run":
-            return _cmd_run(args.experiment, args.fast)
+            return _cmd_run(args.experiment, args.fast, args.algorithm,
+                            _parse_params(args.params, args.algorithm))
         if args.command == "report":
             return _cmd_report(args.fast, args.output)
         if args.command == "plot":
@@ -435,12 +562,19 @@ def main(argv: list[str] | None = None) -> int:
                               args.spans, args.jsonl)
         if args.command == "profile":
             return _cmd_profile(args.scenario)
+        if args.command == "parity":
+            return _cmd_parity(args)
         if args.command == "lint":
             return _cmd_lint(args.paths, args.explain, args.list_rules)
         if args.command == "run-config":
-            from repro.scenarios import load_config, run
+            from repro.scenarios import load_config, run, substitute_algorithm
 
-            result = run(load_config(args.config))
+            config = load_config(args.config)
+            if args.algorithm:
+                config = substitute_algorithm(
+                    config, args.algorithm,
+                    _parse_params(args.params, args.algorithm))
+            result = run(config)
             print(result.summary())
             if args.save_traces:
                 from repro.io import save_result

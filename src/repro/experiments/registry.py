@@ -9,7 +9,7 @@ for the full durations and may occasionally differ in fast mode.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Mapping
 
 from repro.errors import ConfigurationError
 from repro.experiments import extensions, fixed_window, one_way, two_way
@@ -121,6 +121,11 @@ def _experiments() -> list[Experiment]:
             fast=lambda: extensions.four_switch_fifty(duration=250.0, warmup=100.0),
         ),
         Experiment(
+            "aimd_conjecture", "Conjecture grid under AIMD(1, 0.5) (Section 6)",
+            full=lambda: extensions.aimd_conjecture(),
+            fast=lambda: extensions.aimd_conjecture(duration=150.0, warmup=100.0),
+        ),
+        Experiment(
             "idle_scaling", "One-way idle time vs buffer size (Section 3.1)",
             full=lambda: one_way.idle_scaling(),
             fast=lambda: one_way.idle_scaling(duration=250.0, warmup=100.0),
@@ -141,14 +146,32 @@ def experiment_ids() -> list[str]:
     return list(REGISTRY)
 
 
-def run_experiment(exp_id: str, fast: bool = False) -> ExperimentReport:
-    """Run one experiment by id."""
+def run_experiment(
+    exp_id: str,
+    fast: bool = False,
+    algorithm: str | None = None,
+    params: Mapping[str, object] | None = None,
+) -> ExperimentReport:
+    """Run one experiment by id.
+
+    ``algorithm`` (a congestion-control registry name, with optional
+    factory ``params``) re-runs the experiment's scenarios under a
+    different window algorithm via
+    :func:`~repro.scenarios.runner.algorithm_override` — the expected
+    values still describe the original algorithm, so treat the verdicts
+    as a comparison, not a reproduction.
+    """
     if exp_id not in REGISTRY:
         raise ConfigurationError(
             f"unknown experiment {exp_id!r}; known: {', '.join(REGISTRY)}"
         )
     experiment = REGISTRY[exp_id]
-    return experiment.fast() if fast else experiment.full()
+    if algorithm is None:
+        return experiment.fast() if fast else experiment.full()
+    from repro.scenarios.runner import algorithm_override
+
+    with algorithm_override(algorithm, params):
+        return experiment.fast() if fast else experiment.full()
 
 
 def run_all(fast: bool = False) -> list[ExperimentReport]:

@@ -14,8 +14,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.net.packet import Packet
-from repro.tcp.fixed_window import FixedWindowSender
-from repro.tcp.sender import TahoeSender
+from repro.tcp.pacing import PacedWindowSender
+from repro.tcp.sender import Sender
 
 __all__ = ["AckArrivalLog", "AckArrival"]
 
@@ -31,7 +31,7 @@ class AckArrival:
 class AckArrivalLog:
     """Records the ACK arrival process of one sender."""
 
-    def __init__(self, sender: TahoeSender | FixedWindowSender) -> None:
+    def __init__(self, sender: Sender | PacedWindowSender) -> None:
         self.conn_id = sender.conn_id
         self.arrivals: list[AckArrival] = []
         sender.on_ack(self._on_ack)

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.metrics.timeseries import StepSeries
-from repro.tcp.sender import TahoeSender
+from repro.tcp.sender import Sender
 
 __all__ = ["CwndLog", "LossEvent"]
 
@@ -26,9 +26,9 @@ class LossEvent:
 
 
 class CwndLog:
-    """Traces the congestion state of one Tahoe sender."""
+    """Traces the congestion state of one adaptive sender."""
 
-    def __init__(self, sender: TahoeSender) -> None:
+    def __init__(self, sender: Sender) -> None:
         self.conn_id = sender.conn_id
         self.cwnd = StepSeries(name=f"conn{sender.conn_id}:cwnd",
                                initial_value=sender.options.initial_cwnd)

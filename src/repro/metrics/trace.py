@@ -48,14 +48,15 @@ class TraceSet:
     def watch_connection(self, conn: Connection) -> None:
         """Attach cwnd and ACK-arrival logs to ``conn``.
 
-        Any sender with a congestion window — one exposing the
-        ``on_cwnd_change`` observer hook, i.e. Tahoe and its Reno
-        subclass — gets a :class:`CwndLog`; fixed-window and paced
-        senders have no dynamic window to log.
+        Any sender whose congestion-control strategy is *adaptive* —
+        one with a dynamic window worth tracing (Tahoe, Reno, AIMD,
+        ...) — gets a :class:`CwndLog`; fixed-window and paced senders
+        have no dynamic window to log.
         """
         if conn.conn_id in self.acks:
             raise AnalysisError(f"connection {conn.conn_id} is already watched")
-        if hasattr(conn.sender, "on_cwnd_change"):
+        control = getattr(conn.sender, "control", None)
+        if control is not None and control.adaptive:
             self.cwnds[conn.conn_id] = CwndLog(conn.sender)
         self.acks[conn.conn_id] = AckArrivalLog(conn.sender)
 

@@ -37,7 +37,11 @@ __all__ = ["MANIFEST_SOURCES", "OBS_SCHEMA_VERSION", "RunManifest",
 #: Bump when the manifest or trace-record layout changes.
 #: v2: ``attempts`` / ``failure`` fields and the ``journal`` / ``failed``
 #: sources, added with the resilience layer.
-OBS_SCHEMA_VERSION = 2
+#: v3: the ``algorithms`` field recording each flow's congestion-control
+#: registry name, added with the pluggable-algorithm architecture (the
+#: config hash changed canonical form at the same time; see
+#: ``CACHE_SCHEMA_VERSION`` v2).
+OBS_SCHEMA_VERSION = 3
 
 #: Where a point's measurements came from.  ``live`` simulated now,
 #: ``cache`` replayed from the result cache, ``journal`` restored from a
@@ -74,6 +78,9 @@ class RunManifest:
     attempts: int = 1
     """How many execution attempts the point consumed (supervised sweeps
     retry failed points; an unsupervised run is always one attempt)."""
+    algorithms: tuple[str, ...] = ()
+    """The distinct congestion-control registry names the scenario's
+    flows use, sorted (``("fixed",)``, ``("reno", "tahoe")``, ...)."""
     failure: dict[str, object] | None = None
     """The serialized :class:`~repro.resilience.report.PointFailure` for
     ``source == "failed"`` points; ``None`` everywhere else."""
@@ -129,6 +136,7 @@ def build_manifest(
         peak_calendar=peak,
         event_categories=categories,
         attempts=attempts,
+        algorithms=config.algorithms,
         failure=failure.to_dict() if failure is not None else None,
     )
 

@@ -52,7 +52,10 @@ __all__ = [
 
 #: Bump when the meaning of cached measurements changes (engine semantics,
 #: serialization format, ...) to invalidate every existing entry.
-CACHE_SCHEMA_VERSION = 1
+#: v2: flows serialize an open ``algorithm`` name + ``params`` object
+#: (pluggable congestion control) instead of the closed ``kind`` enum,
+#: changing the canonical JSON every key is derived from.
+CACHE_SCHEMA_VERSION = 2
 
 
 def default_cache_dir() -> Path:

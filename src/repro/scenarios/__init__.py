@@ -2,8 +2,13 @@
 
 from repro.scenarios import families, paper
 from repro.scenarios.builder import BuiltScenario, build
-from repro.scenarios.config import FlowKind, FlowSpec, ScenarioConfig, TopologyKind
-from repro.scenarios.runner import ScenarioResult, run
+from repro.scenarios.config import (
+    FlowSpec,
+    ScenarioConfig,
+    TopologyKind,
+    substitute_algorithm,
+)
+from repro.scenarios.runner import ScenarioResult, algorithm_override, run
 from repro.scenarios.serialize import (
     config_from_dict,
     config_to_dict,
@@ -15,11 +20,12 @@ from repro.scenarios.sweeps import SweepPoint, sweep, utilization_sweep
 __all__ = [
     "ScenarioConfig",
     "FlowSpec",
-    "FlowKind",
     "TopologyKind",
+    "substitute_algorithm",
     "BuiltScenario",
     "build",
     "run",
+    "algorithm_override",
     "ScenarioResult",
     "paper",
     "families",

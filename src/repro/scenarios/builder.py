@@ -15,13 +15,8 @@ from repro.errors import ConfigurationError
 from repro.metrics.trace import TraceSet
 from repro.net.packet import reset_packet_uids
 from repro.net.topology import Network, build_chain, build_dumbbell
-from repro.scenarios.config import FlowKind, ScenarioConfig, TopologyKind
-from repro.tcp.connection import (
-    Connection,
-    make_fixed_window_connection,
-    make_reno_connection,
-    make_tahoe_connection,
-)
+from repro.scenarios.config import ScenarioConfig, TopologyKind
+from repro.tcp.connection import Connection, make_connection
 
 __all__ = ["BuiltScenario", "build"]
 
@@ -104,21 +99,11 @@ def build(config: ScenarioConfig) -> BuiltScenario:
             if flow.start_time is not None
             else rng.fork(index).start_jitter(config.start_jitter)
         )
-        if flow.kind is FlowKind.TAHOE:
-            conn = make_tahoe_connection(
-                sim, net, conn_id=index, src_host=flow.src, dst_host=flow.dst,
-                options=config.tcp, start_time=start,
-            )
-        elif flow.kind is FlowKind.RENO:
-            conn = make_reno_connection(
-                sim, net, conn_id=index, src_host=flow.src, dst_host=flow.dst,
-                options=config.tcp, start_time=start,
-            )
-        else:
-            conn = make_fixed_window_connection(
-                sim, net, conn_id=index, src_host=flow.src, dst_host=flow.dst,
-                window=flow.window or 1, options=config.tcp, start_time=start,
-            )
+        conn = make_connection(
+            sim, net, conn_id=index, src_host=flow.src, dst_host=flow.dst,
+            algorithm=flow.algorithm, params=flow.effective_params(),
+            options=config.tcp, start_time=start,
+        )
         traces.watch_connection(conn)
         connections.append(conn)
 

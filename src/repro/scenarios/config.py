@@ -6,14 +6,22 @@ and the measurement window.  Configs are plain data — building and
 running them is the job of :mod:`repro.scenarios.builder` and
 :mod:`repro.scenarios.runner` — so they can be swept, serialized and
 compared in benchmarks.
+
+Flows name their congestion-control algorithm by registry string
+(``algorithm="tahoe"``) plus a parameter mapping, so any strategy
+registered through :func:`repro.tcp.register_algorithm` — built-in or
+third-party — is reachable from plain config data without touching the
+builder.
 """
 
 from __future__ import annotations
 
 import enum
+from collections.abc import Mapping
 from dataclasses import dataclass, field, replace
 
 from repro.errors import ConfigurationError
+from repro.tcp.congestion.registry import create_control
 from repro.tcp.options import TcpOptions
 from repro.units import (
     ACCESS_BANDWIDTH,
@@ -23,15 +31,11 @@ from repro.units import (
     pipe_size,
 )
 
-__all__ = ["FlowKind", "FlowSpec", "TopologyKind", "ScenarioConfig"]
+__all__ = ["FlowSpec", "TopologyKind", "ScenarioConfig", "substitute_algorithm"]
 
-
-class FlowKind(enum.Enum):
-    """Sender type for a flow."""
-
-    TAHOE = "tahoe"
-    RENO = "reno"
-    FIXED = "fixed"
+#: Algorithm parameters as passed by callers: a mapping, or the
+#: normalized sorted tuple-of-pairs form the frozen dataclass stores.
+FlowParams = Mapping[str, object] | tuple[tuple[str, object], ...]
 
 
 class TopologyKind(enum.Enum):
@@ -45,24 +49,59 @@ class TopologyKind(enum.Enum):
 class FlowSpec:
     """One unidirectional connection.
 
-    ``start_time=None`` requests a seeded-random start in
+    ``algorithm`` is a congestion-control registry name (see
+    :func:`repro.tcp.register_algorithm`); ``params`` are keyword
+    arguments for its factory.  ``window`` is sugar for the common
+    ``window=`` parameter (fixed windows, AIMD caps) kept as a first-
+    class field so sweep code can read it back without digging through
+    ``params``.  ``start_time=None`` requests a seeded-random start in
     ``[0, config.start_jitter]`` — the paper's fixed-window runs start
     "at random times".
     """
 
     src: str
     dst: str
-    kind: FlowKind = FlowKind.TAHOE
-    window: int | None = None  # required for FIXED flows
+    algorithm: str = "tahoe"
+    params: FlowParams = ()
+    window: int | None = None  # required for window-keyed algorithms ("fixed")
     start_time: float | None = 0.0
 
     def __post_init__(self) -> None:
-        if self.kind is FlowKind.FIXED and (self.window is None or self.window < 1):
-            raise ConfigurationError("fixed-window flows need window >= 1")
         if self.src == self.dst:
             raise ConfigurationError("flow endpoints must differ")
         if self.start_time is not None and self.start_time < 0:
             raise ConfigurationError("start time cannot be negative")
+        normalized = self._normalize_params(self.params)
+        object.__setattr__(self, "params", normalized)
+        if self.window is not None and "window" in dict(normalized):
+            raise ConfigurationError(
+                "flow window given twice: as the window field and in params")
+        if self.algorithm == "fixed" and (self.window is None
+                                          and "window" not in dict(normalized)):
+            raise ConfigurationError("fixed-window flows need window >= 1")
+        if self.window is not None and self.window < 1:
+            raise ConfigurationError(
+                f"fixed-window flows need window >= 1, got {self.window}")
+        # Eagerly build (and discard) the strategy so a bad algorithm
+        # name or parameter set fails at config time, not mid-build.
+        create_control(self.algorithm, self.effective_params())
+
+    @staticmethod
+    def _normalize_params(params: FlowParams) -> tuple[tuple[str, object], ...]:
+        """Sorted tuple-of-pairs: hashable, order-independent, frozen."""
+        items = dict(params).items()
+        for key, _ in items:
+            if not isinstance(key, str):
+                raise ConfigurationError(
+                    f"algorithm parameter names must be strings, got {key!r}")
+        return tuple(sorted(items))
+
+    def effective_params(self) -> dict[str, object]:
+        """The full factory keyword set, with the ``window`` sugar folded in."""
+        merged = dict(self.params)
+        if self.window is not None:
+            merged["window"] = self.window
+        return merged
 
 
 @dataclass(frozen=True)
@@ -141,6 +180,40 @@ class ScenarioConfig:
         """Number of flows."""
         return len(self.flows)
 
+    @property
+    def algorithms(self) -> tuple[str, ...]:
+        """The distinct congestion-control algorithms in use, sorted."""
+        return tuple(sorted({flow.algorithm for flow in self.flows}))
+
     def with_updates(self, **changes) -> "ScenarioConfig":
         """A copy with the given fields replaced (sweep helper)."""
         return replace(self, **changes)
+
+
+def substitute_algorithm(
+    config: ScenarioConfig,
+    algorithm: str,
+    params: FlowParams | None = None,
+    name: str | None = None,
+) -> ScenarioConfig:
+    """``config`` with every flow switched to ``algorithm``.
+
+    A pure transform for counterfactual runs ("the same scenario under
+    AIMD"): per-flow ``window`` and ``start_time`` survive — so a
+    fixed-window grid keeps its W1/W2 as window caps — while the old
+    algorithm and its parameters are replaced wholesale.  The scenario
+    is renamed (``<name>+<algorithm>`` by default) so caches and
+    manifests cannot confuse the substituted run with the original.
+    """
+    flows = tuple(
+        FlowSpec(
+            src=flow.src,
+            dst=flow.dst,
+            algorithm=algorithm,
+            params=() if params is None else params,
+            window=flow.window,
+            start_time=flow.start_time,
+        )
+        for flow in config.flows
+    )
+    return replace(config, flows=flows, name=name or f"{config.name}+{algorithm}")

@@ -11,20 +11,28 @@ picklable too and is the supported way to fix durations or seeds.
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.scenarios import paper
-from repro.scenarios.config import ScenarioConfig
+from repro.scenarios.config import (
+    FlowParams,
+    ScenarioConfig,
+    substitute_algorithm,
+)
 from repro.scenarios.runner import ScenarioResult
 from repro.units import LARGE_PIPE_PROPAGATION, SMALL_PIPE_PROPAGATION
 
 __all__ = [
     "CONJECTURE_CASES",
     "BUFFER_SIZES",
+    "aimd_conjecture_config",
     "buffer_config",
     "buffer_duration",
     "conjecture_config",
     "fixed_window_config",
     "one_way_buffer_config",
     "identity_config",
+    "substituted_config",
     "utilization_extract",
     "timeouts_extract",
     "lockstep_extract",
@@ -115,6 +123,39 @@ def identity_config(config: ScenarioConfig) -> ScenarioConfig:
     """``make_config`` for sweeps whose values already *are* configs
     (ablation pairs and other heterogeneous families)."""
     return config
+
+
+def substituted_config(
+    value: object,
+    make_config: Callable[..., ScenarioConfig],
+    algorithm: str,
+    params: FlowParams = (),
+) -> ScenarioConfig:
+    """Any family's config with every flow switched to ``algorithm``.
+
+    Module-level (and so picklable/fingerprintable) wrapper: partial-
+    apply ``make_config``/``algorithm``/``params`` and hand the result
+    to a sweep as its config factory.  ``params`` should be the sorted
+    tuple-of-pairs form so equal parameter sets fingerprint equally.
+    """
+    return substitute_algorithm(make_config(value), algorithm, dict(params))
+
+
+def aimd_conjecture_config(case: tuple[int, int, float],
+                           duration: float = 300.0,
+                           warmup: float = 200.0,
+                           a: float = 1.0,
+                           b: float = 0.5) -> ScenarioConfig:
+    """A conjecture-grid case re-run under ``AIMD(a, b)``.
+
+    The fixed windows W1/W2 survive as per-flow AIMD caps, so with
+    infinite buffers (no losses) each connection converges to its cap
+    and the W1 vs W2 + 2P regime prediction stays comparable.
+    """
+    return substitute_algorithm(
+        conjecture_config(case, duration=duration, warmup=warmup),
+        "aimd", {"a": a, "b": b},
+    )
 
 
 # ----------------------------------------------------------------------

@@ -8,7 +8,7 @@ figures are (they plot windows hundreds of seconds into the runs).
 
 from __future__ import annotations
 
-from repro.scenarios.config import FlowKind, FlowSpec, ScenarioConfig, TopologyKind
+from repro.scenarios.config import FlowSpec, ScenarioConfig, TopologyKind
 from repro.tcp.options import TcpOptions
 from repro.units import LARGE_PIPE_PROPAGATION, SMALL_PIPE_PROPAGATION
 
@@ -41,7 +41,7 @@ def one_way(
 ) -> ScenarioConfig:
     """Section 3.1: N Tahoe connections, all sources on host1."""
     flows = tuple(
-        FlowSpec(src="host1", dst="host2", kind=FlowKind.TAHOE)
+        FlowSpec(src="host1", dst="host2", algorithm="tahoe")
         for _ in range(n_connections)
     )
     return ScenarioConfig(
@@ -184,9 +184,9 @@ def fixed_window_two_way(
     """Fixed windows in opposite directions over infinite buffers."""
     tcp = TcpOptions(ack_packet_bytes=ack_bytes)
     flows = (
-        FlowSpec(src="host1", dst="host2", kind=FlowKind.FIXED, window=w1,
+        FlowSpec(src="host1", dst="host2", algorithm="fixed", window=w1,
                  start_time=None),
-        FlowSpec(src="host2", dst="host1", kind=FlowKind.FIXED, window=w2,
+        FlowSpec(src="host2", dst="host1", algorithm="fixed", window=w2,
                  start_time=None),
     )
     return ScenarioConfig(
@@ -274,8 +274,8 @@ def reno_two_way(
     most natural test case.
     """
     flows = (
-        FlowSpec(src="host1", dst="host2", kind=FlowKind.RENO, start_time=None),
-        FlowSpec(src="host2", dst="host1", kind=FlowKind.RENO, start_time=None),
+        FlowSpec(src="host1", dst="host2", algorithm="reno", start_time=None),
+        FlowSpec(src="host2", dst="host1", algorithm="reno", start_time=None),
     )
     return ScenarioConfig(
         name=f"reno-two-way-tau{propagation:g}",

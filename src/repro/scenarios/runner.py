@@ -9,9 +9,10 @@ post-warmup window.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterator
 
 from repro.analysis.clustering import cluster_runs, clustering_stats
 from repro.analysis.compression import compression_stats
@@ -21,14 +22,47 @@ from repro.errors import AnalysisError
 from repro.metrics.trace import TraceSet
 from repro.net.topology import Network
 from repro.scenarios.builder import BuiltScenario, build
-from repro.scenarios.config import ScenarioConfig
+from repro.scenarios.config import (
+    FlowParams,
+    ScenarioConfig,
+    substitute_algorithm,
+)
 from repro.tcp.connection import Connection
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.manifest import RunManifest
     from repro.obs.tracer import Tracer
 
-__all__ = ["ScenarioResult", "run"]
+__all__ = ["ScenarioResult", "algorithm_override", "run"]
+
+#: Process-local stack of (algorithm, params) forced onto every
+#: :func:`run` — see :func:`algorithm_override`.
+_OVERRIDES: list[tuple[str, FlowParams | None]] = []
+
+
+@contextmanager
+def algorithm_override(algorithm: str,
+                       params: FlowParams | None = None) -> Iterator[None]:
+    """Force every :func:`run` in this ``with`` block onto ``algorithm``.
+
+    The counterfactual lever behind ``repro run EXP --algorithm``:
+    experiment code keeps building its usual configs, and each one is
+    passed through :func:`substitute_algorithm` at run time.  The
+    override is process-local state, so parallel sweep workers are not
+    affected — sweeps substitute their config factories instead.
+    """
+    _OVERRIDES.append((algorithm, params))
+    try:
+        yield
+    finally:
+        _OVERRIDES.pop()
+
+
+def _apply_override(config: ScenarioConfig) -> ScenarioConfig:
+    if not _OVERRIDES:
+        return config
+    algorithm, params = _OVERRIDES[-1]
+    return substitute_algorithm(config, algorithm, params)
 
 
 @dataclass
@@ -204,6 +238,7 @@ def run(
     :mod:`repro.parallel`, which imports this runner), so a top-level
     import would be circular.
     """
+    config = _apply_override(config)
     built: BuiltScenario = build(config)
     tracer = None
     if trace is not None and trace is not False:

@@ -7,6 +7,12 @@ Lets experiments be described in files and replayed exactly::
 Only simulation-relevant fields are serialized; everything absent from
 a document takes the :class:`~repro.scenarios.config.ScenarioConfig`
 default, so documents stay minimal and forward-compatible.
+
+Flows carry an open ``algorithm`` string (a congestion-control registry
+name) plus a ``params`` object.  Documents written before the pluggable
+architecture used a closed ``kind`` enum with the same three values
+("tahoe"/"reno"/"fixed"); ``kind`` is still accepted as an alias of
+``algorithm`` so old files keep loading.
 """
 
 from __future__ import annotations
@@ -16,7 +22,7 @@ from dataclasses import fields
 from pathlib import Path
 
 from repro.errors import ConfigurationError
-from repro.scenarios.config import FlowKind, FlowSpec, ScenarioConfig, TopologyKind
+from repro.scenarios.config import FlowSpec, ScenarioConfig, TopologyKind
 from repro.tcp.options import TcpOptions
 
 __all__ = ["config_to_dict", "config_from_dict", "save_config", "load_config"]
@@ -48,13 +54,26 @@ def config_to_dict(config: ScenarioConfig) -> dict:
             {
                 "src": flow.src,
                 "dst": flow.dst,
-                "kind": flow.kind.value,
+                "algorithm": flow.algorithm,
+                "params": dict(flow.params),
                 "window": flow.window,
                 "start_time": flow.start_time,
             }
             for flow in config.flows
         ],
     }
+
+
+def _flow_algorithm(raw: dict) -> str:
+    """The flow's algorithm name, honouring the legacy ``kind`` key."""
+    algorithm = raw.pop("algorithm", None)
+    kind = raw.pop("kind", None)
+    if algorithm is not None and kind is not None and algorithm != kind:
+        raise ConfigurationError(
+            f"flow names both algorithm={algorithm!r} and legacy "
+            f"kind={kind!r}; use algorithm alone")
+    resolved = algorithm if algorithm is not None else kind
+    return "tahoe" if resolved is None else str(resolved)
 
 
 def config_from_dict(document: dict) -> ScenarioConfig:
@@ -70,14 +89,16 @@ def config_from_dict(document: dict) -> ScenarioConfig:
     flow_specs = []
     for raw in data.pop("flows"):
         raw = dict(raw)
-        try:
-            kind = FlowKind(raw.pop("kind", "tahoe"))
-        except ValueError as exc:
-            raise ConfigurationError(f"unknown flow kind: {exc}") from exc
+        algorithm = _flow_algorithm(raw)
+        params = raw.pop("params", {})
+        if not isinstance(params, dict):
+            raise ConfigurationError(
+                f"flow params must be an object, got {type(params).__name__}")
         flow_specs.append(FlowSpec(
             src=raw.pop("src"),
             dst=raw.pop("dst"),
-            kind=kind,
+            algorithm=algorithm,
+            params=params,
             window=raw.pop("window", None),
             start_time=raw.pop("start_time", 0.0),
         ))

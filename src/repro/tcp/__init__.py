@@ -1,31 +1,72 @@
-"""Transport layer: Tahoe and Reno TCP, fixed-window and paced senders."""
+"""Transport layer: one sender core, pluggable congestion control.
 
+A unified :class:`~repro.tcp.sender.Sender` owns the transport
+mechanism; per-flow :mod:`~repro.tcp.congestion` strategies own the
+window policy, and the string-keyed registry
+(:func:`register_algorithm`) makes new algorithms a config value —
+``FlowSpec(algorithm="aimd", params={"a": 1, "b": 0.5})`` — instead of
+a fork of the sender.
+"""
+
+from repro.tcp.congestion import (
+    AimdControl,
+    CongestionControl,
+    FixedWindowControl,
+    RenoControl,
+    TahoeControl,
+    algorithm_names,
+    create_control,
+    is_registered,
+    register_algorithm,
+)
 from repro.tcp.connection import (
     Connection,
+    make_connection,
     make_fixed_window_connection,
     make_paced_connection,
     make_reno_connection,
     make_tahoe_connection,
 )
-from repro.tcp.reno import RenoSender
-from repro.tcp.pacing import PacedWindowSender
 from repro.tcp.fixed_window import FixedWindowSender
+from repro.tcp.observers import (
+    AckObserver,
+    CwndObserver,
+    LossObserver,
+    SendObserver,
+)
 from repro.tcp.options import TcpOptions
+from repro.tcp.pacing import PacedWindowSender
 from repro.tcp.receiver import TcpReceiver
+from repro.tcp.reno import RenoSender
 from repro.tcp.rto import RttEstimator
-from repro.tcp.sender import TahoeSender
+from repro.tcp.sender import Sender, TahoeSender
 
 __all__ = [
     "TcpOptions",
+    "Sender",
     "TahoeSender",
     "TcpReceiver",
     "FixedWindowSender",
     "RttEstimator",
     "PacedWindowSender",
     "Connection",
+    "make_connection",
     "make_tahoe_connection",
     "make_fixed_window_connection",
     "make_paced_connection",
     "RenoSender",
     "make_reno_connection",
+    "CongestionControl",
+    "TahoeControl",
+    "RenoControl",
+    "FixedWindowControl",
+    "AimdControl",
+    "register_algorithm",
+    "create_control",
+    "algorithm_names",
+    "is_registered",
+    "CwndObserver",
+    "LossObserver",
+    "SendObserver",
+    "AckObserver",
 ]

@@ -1,0 +1,76 @@
+"""Parametric AIMD(a, b) — the registry's proof of extensibility.
+
+The generic additive-increase / multiplicative-decrease family studied
+in the buffer-sizing literature (e.g. "Convergence and Optimal Buffer
+Sizing for Window Based AIMD Congestion Control"):
+
+- per ACK of new data: ``cwnd += a / floor(cwnd)`` (additive increase
+  of ``a`` packets per round trip);
+- on loss: ``cwnd = max(b * cwnd, 1)`` (multiplicative decrease);
+- no slow-start phase — the window climbs linearly from the start.
+
+``AIMD(1, 0.5)`` is TCP's congestion-avoidance core without Tahoe's
+slow start or the ``cwnd = 1`` collapse; substituting it for Tahoe in
+the two-way scenarios tests the paper's claim that its phenomena are
+properties of nonpaced windowed transport generally.
+
+An optional per-flow ``window`` cap bounds the climb — over infinite
+buffers a capped AIMD flow converges to its cap and holds it, which is
+how the zero-ACK conjecture grid runs a *second* algorithm against the
+``W1 = W2 + 2P`` phase boundary (see ``experiments/extensions.py``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.tcp.congestion.base import CongestionControl
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.tcp.sender import Sender
+
+__all__ = ["AimdControl"]
+
+
+class AimdControl(CongestionControl):
+    """Additive-increase ``a``, multiplicative-decrease ``b``."""
+
+    def __init__(self, a: float = 1.0, b: float = 0.5,
+                 window: int | None = None) -> None:
+        if a <= 0:
+            raise ConfigurationError(f"AIMD additive increase must be > 0, got {a}")
+        if not 0 < b < 1:
+            raise ConfigurationError(
+                f"AIMD multiplicative decrease must be in (0, 1), got {b}")
+        if window is not None and window < 1:
+            raise ConfigurationError(f"AIMD window cap must be >= 1, got {window}")
+        self.a = float(a)
+        self.b = float(b)
+        self.window = None if window is None else int(window)
+
+    def _cap(self, t: "Sender") -> float:
+        cap = float(t.options.maxwnd)
+        if self.window is not None:
+            cap = min(cap, float(self.window))
+        return cap
+
+    def usable_window(self, t: "Sender") -> int:
+        return max(1, int(min(t.cwnd, self._cap(t))))
+
+    def grow(self, t: "Sender") -> None:
+        t.cwnd = min(t.cwnd + self.a / float(int(t.cwnd)), self._cap(t))
+        t.notify_cwnd()
+
+    def dupack(self, t: "Sender") -> None:
+        # Loss detection is Tahoe's fast retransmit; only the window
+        # response below differs.
+        t.dupacks += 1
+        if t.dupacks == t.options.dupack_threshold:
+            t.fast_retransmits += 1
+            t.trigger_loss("dupack")
+
+    def on_loss(self, t: "Sender", trigger: str) -> None:
+        decreased = max(self.b * t.cwnd, 1.0)
+        t.ssthresh = max(decreased, t.options.min_ssthresh)
+        t.cwnd = decreased

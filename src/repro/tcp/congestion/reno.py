@@ -1,0 +1,101 @@
+"""TCP Reno fast recovery (the paper's reference [7]).
+
+Jacobson's 4.3-reno evolution (1990) changed exactly one thing that
+matters for these dynamics: after a fast retransmit the window is *not*
+collapsed to one.  Instead:
+
+- on the third duplicate ACK: ``ssthresh = max(min(cwnd/2, maxwnd), 2)``,
+  retransmit the missing segment, and set ``cwnd = ssthresh + 3``
+  (window inflation — the three dup ACKs prove three packets left);
+- each further duplicate ACK inflates ``cwnd`` by one and may release
+  new data (the dup ACK proves another departure);
+- the next ACK for new data *deflates* ``cwnd`` back to ``ssthresh``
+  and resumes congestion avoidance.
+
+Timeouts behave exactly as in Tahoe (go-back-N, ``cwnd = 1``).
+
+This follows classic 4.3-reno, where *any* ACK advancing ``snd_una``
+ends recovery (the partial-ACK refinement came later with NewReno);
+with the paper's single-drop epochs this is the common path.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.tcp.congestion.tahoe import TahoeControl
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.tcp.sender import Sender
+
+__all__ = ["RenoControl"]
+
+
+class RenoControl(TahoeControl):
+    """Tahoe with fast recovery grafted on (per-flow recovery state)."""
+
+    def __init__(self) -> None:
+        self.in_recovery = False
+        self.fast_recoveries = 0
+
+    # ------------------------------------------------------------------
+    # Duplicate ACKs: enter/ride fast recovery
+    # ------------------------------------------------------------------
+    def dupack(self, t: "Sender") -> None:
+        t.dupacks += 1
+        threshold = t.options.dupack_threshold
+        if self.in_recovery:
+            # Each extra dup ACK signals one more departure: inflate and
+            # possibly release new data.
+            t.cwnd = min(t.cwnd + 1.0, float(t.options.maxwnd))
+            t.notify_cwnd()
+            t.fill_window()
+            return
+        if t.dupacks == threshold:
+            t.fast_retransmits += 1
+            self.fast_recoveries += 1
+            self.in_recovery = True
+            t.emit_loss_event("dupack")
+            t.ssthresh = max(
+                min(t.cwnd / 2.0, float(t.options.maxwnd)),
+                t.options.min_ssthresh,
+            )
+            t.clear_rtt_sample()  # Karn's rule
+            t.restart_rexmt()
+            # Retransmit the missing segment, then inflate.
+            t.retransmit_head()
+            t.cwnd = min(t.ssthresh + threshold, float(t.options.maxwnd))
+            t.notify_cwnd()
+            t.fill_window()
+
+    # ------------------------------------------------------------------
+    # New ACKs: deflate on recovery exit
+    # ------------------------------------------------------------------
+    def ack_advanced(self, t: "Sender", ack: int) -> bool:
+        if not self.in_recovery:
+            return False
+        # Classic Reno: any ACK of new data ends recovery and deflates
+        # the window to ssthresh; congestion avoidance resumes with the
+        # following ACKs.
+        self.in_recovery = False
+        t.cwnd = t.ssthresh
+        t.notify_cwnd()
+        t.snd_una = ack
+        if t.snd_nxt < ack:
+            t.snd_nxt = ack
+        t.dupacks = 0
+        t.clear_rtt_sample()
+        if t.packets_out == 0:
+            t.cancel_rexmt()
+        else:
+            t.restart_rexmt()
+        t.fill_window()
+        return True
+
+    # ------------------------------------------------------------------
+    # Timeouts fall back to Tahoe behavior
+    # ------------------------------------------------------------------
+    def on_loss(self, t: "Sender", trigger: str) -> None:
+        if trigger == "timeout":
+            self.in_recovery = False
+        super().on_loss(t, trigger)

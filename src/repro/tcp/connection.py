@@ -5,25 +5,35 @@ one receiver on its destination host, registers both with the host
 demultiplexers, and schedules the sender's start time.  Connections
 pre-exist (the paper removes set-up/close), so "start" just means the
 first window transmission.
+
+:func:`make_connection` is the algorithm-agnostic factory: it resolves
+a registry name (or takes a ready strategy instance) and wires a
+unified :class:`~repro.tcp.sender.Sender` around it.  The named
+factories below it are conveniences for the built-in algorithms.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Mapping
 
 from repro.engine.simulator import Simulator
 from repro.errors import ConfigurationError
 from repro.net.packet import PacketKind
 from repro.net.topology import Network
+from repro.tcp.congestion.base import CongestionControl
+from repro.tcp.congestion.fixed import FixedWindowControl
+from repro.tcp.congestion.registry import create_control
 from repro.tcp.fixed_window import FixedWindowSender
 from repro.tcp.options import TcpOptions
 from repro.tcp.pacing import PacedWindowSender
 from repro.tcp.receiver import TcpReceiver
 from repro.tcp.reno import RenoSender
-from repro.tcp.sender import TahoeSender
+from repro.tcp.sender import Sender, TahoeSender
 
 __all__ = [
     "Connection",
+    "make_connection",
     "make_tahoe_connection",
     "make_reno_connection",
     "make_fixed_window_connection",
@@ -35,15 +45,16 @@ __all__ = [
 class Connection:
     """One unidirectional transport connection, fully wired.
 
-    ``sender`` is a :class:`TahoeSender`, :class:`RenoSender`,
-    :class:`FixedWindowSender` or :class:`PacedWindowSender`;
-    ``receiver`` is always a :class:`TcpReceiver`.
+    ``sender`` is a unified :class:`~repro.tcp.sender.Sender` (whatever
+    its congestion-control strategy) or a
+    :class:`~repro.tcp.pacing.PacedWindowSender`; ``receiver`` is
+    always a :class:`TcpReceiver`.
     """
 
     conn_id: int
     src_host: str
     dst_host: str
-    sender: TahoeSender | RenoSender | FixedWindowSender | PacedWindowSender
+    sender: Sender | PacedWindowSender
     receiver: TcpReceiver
     start_time: float = 0.0
     options: TcpOptions = field(default_factory=TcpOptions)
@@ -51,7 +62,8 @@ class Connection:
     @property
     def is_fixed_window(self) -> bool:
         """True for fixed-window (non-adaptive) connections."""
-        return isinstance(self.sender, FixedWindowSender)
+        control = getattr(self.sender, "control", None)
+        return isinstance(control, FixedWindowControl)
 
     @property
     def is_paced(self) -> bool:
@@ -75,6 +87,60 @@ def _wire(
     return conn
 
 
+def _finish(
+    sim: Simulator,
+    net: Network,
+    conn_id: int,
+    src_host: str,
+    dst_host: str,
+    sender: Sender | PacedWindowSender,
+    opts: TcpOptions,
+    start_time: float,
+) -> Connection:
+    receiver = TcpReceiver(sim, net.host(dst_host), conn_id, src_host, opts)
+    conn = Connection(
+        conn_id=conn_id,
+        src_host=src_host,
+        dst_host=dst_host,
+        sender=sender,
+        receiver=receiver,
+        start_time=start_time,
+        options=opts,
+    )
+    return _wire(sim, net, conn)
+
+
+def make_connection(
+    sim: Simulator,
+    net: Network,
+    conn_id: int,
+    src_host: str,
+    dst_host: str,
+    algorithm: str | CongestionControl = "tahoe",
+    params: Mapping[str, object] | None = None,
+    options: TcpOptions | None = None,
+    start_time: float = 0.0,
+) -> Connection:
+    """Create, register and schedule a connection of any algorithm.
+
+    ``algorithm`` is a registry name (``params`` go to its factory) or
+    an already-built :class:`CongestionControl` instance (``params``
+    must then be empty).
+    """
+    opts = options or TcpOptions()
+    if isinstance(algorithm, CongestionControl):
+        if params:
+            raise ConfigurationError(
+                "params belong to the registry factory; pass a configured "
+                "CongestionControl instance OR a name with params, not both")
+        control = algorithm
+    else:
+        control = create_control(algorithm, params)
+    sender = Sender(sim, net.host(src_host), conn_id, dst_host,
+                    options=opts, control=control)
+    return _finish(sim, net, conn_id, src_host, dst_host, sender, opts, start_time)
+
+
 def make_tahoe_connection(
     sim: Simulator,
     net: Network,
@@ -87,17 +153,7 @@ def make_tahoe_connection(
     """Create, register and schedule a Tahoe TCP connection."""
     opts = options or TcpOptions()
     sender = TahoeSender(sim, net.host(src_host), conn_id, dst_host, opts)
-    receiver = TcpReceiver(sim, net.host(dst_host), conn_id, src_host, opts)
-    conn = Connection(
-        conn_id=conn_id,
-        src_host=src_host,
-        dst_host=dst_host,
-        sender=sender,
-        receiver=receiver,
-        start_time=start_time,
-        options=opts,
-    )
-    return _wire(sim, net, conn)
+    return _finish(sim, net, conn_id, src_host, dst_host, sender, opts, start_time)
 
 
 def make_reno_connection(
@@ -112,17 +168,7 @@ def make_reno_connection(
     """Create, register and schedule a Reno (fast-recovery) connection."""
     opts = options or TcpOptions()
     sender = RenoSender(sim, net.host(src_host), conn_id, dst_host, opts)
-    receiver = TcpReceiver(sim, net.host(dst_host), conn_id, src_host, opts)
-    conn = Connection(
-        conn_id=conn_id,
-        src_host=src_host,
-        dst_host=dst_host,
-        sender=sender,
-        receiver=receiver,
-        start_time=start_time,
-        options=opts,
-    )
-    return _wire(sim, net, conn)
+    return _finish(sim, net, conn_id, src_host, dst_host, sender, opts, start_time)
 
 
 def make_paced_connection(
@@ -145,17 +191,7 @@ def make_paced_connection(
     opts = options or TcpOptions()
     sender = PacedWindowSender(sim, net.host(src_host), conn_id, dst_host,
                                window, pace_interval, opts)
-    receiver = TcpReceiver(sim, net.host(dst_host), conn_id, src_host, opts)
-    conn = Connection(
-        conn_id=conn_id,
-        src_host=src_host,
-        dst_host=dst_host,
-        sender=sender,
-        receiver=receiver,
-        start_time=start_time,
-        options=opts,
-    )
-    return _wire(sim, net, conn)
+    return _finish(sim, net, conn_id, src_host, dst_host, sender, opts, start_time)
 
 
 def make_fixed_window_connection(
@@ -171,14 +207,4 @@ def make_fixed_window_connection(
     """Create, register and schedule a fixed-window connection."""
     opts = options or TcpOptions()
     sender = FixedWindowSender(sim, net.host(src_host), conn_id, dst_host, window, opts)
-    receiver = TcpReceiver(sim, net.host(dst_host), conn_id, src_host, opts)
-    conn = Connection(
-        conn_id=conn_id,
-        src_host=src_host,
-        dst_host=dst_host,
-        sender=sender,
-        receiver=receiver,
-        start_time=start_time,
-        options=opts,
-    )
-    return _wire(sim, net, conn)
+    return _finish(sim, net, conn_id, src_host, dst_host, sender, opts, start_time)

@@ -1,35 +1,32 @@
 """Fixed-window sliding flow control (no congestion adaptation).
 
-Sections 4.2-4.3.3 of the paper disentangle ACK-compression and the
-synchronization modes from the Tahoe algorithm by running connections
-whose window ``wnd`` is *held constant*, over switches with infinite
-buffers.  :class:`FixedWindowSender` is that sender: it keeps exactly
-``window`` packets outstanding, transmitting a new packet immediately on
-each ACK (nonpaced), and never adjusts anything.
-
-There is deliberately no retransmission machinery: these experiments use
-infinite buffers and error-free links, so nothing is ever lost.  If a
-packet *is* dropped (a misconfigured scenario), the connection stalls; a
-``stalled`` flag surfaces this rather than hiding it.
+The policy lives in
+:class:`~repro.tcp.congestion.fixed.FixedWindowControl`; this module
+keeps the named sender class for the paper's Sections 4.2-4.3.3
+experiments, which hold the window constant over infinite buffers to
+show ACK-compression and the synchronization modes are not Tahoe
+artifacts.  The strategy's ``reliable = False`` switches off all
+retransmission machinery: nothing is ever lost in these scenarios, and
+if a packet *is* dropped (a misconfigured scenario) the connection
+stalls — the :attr:`FixedWindowSender.stalled` flag surfaces this
+rather than hiding it.
 """
 
 from __future__ import annotations
 
-from typing import Callable
-
 from repro.engine.simulator import Simulator
-from repro.errors import ProtocolError
 from repro.net.host import Host
-from repro.net.packet import Packet, PacketKind
+from repro.tcp.congestion.fixed import FixedWindowControl
 from repro.tcp.options import TcpOptions
+from repro.tcp.sender import Sender
 
 __all__ = ["FixedWindowSender"]
 
-SendObserver = Callable[[float, Packet], None]
 
-
-class FixedWindowSender:
+class FixedWindowSender(Sender):
     """A window-``W`` sliding sender with an infinite backlog."""
+
+    control: FixedWindowControl
 
     def __init__(
         self,
@@ -40,33 +37,13 @@ class FixedWindowSender:
         window: int,
         options: TcpOptions | None = None,
     ) -> None:
-        if window < 1:
-            raise ProtocolError(f"fixed window must be >= 1, got {window}")
-        self._sim = sim
-        self._host = host
-        self.conn_id = conn_id
-        self.destination = destination
-        self.window = window
-        self.options = options or TcpOptions()
-
-        self.snd_una = 0
-        self.snd_nxt = 0
-        self.packets_sent = 0
-        self.acks_received = 0
-        self._started = False
-        self._send_observers: list[SendObserver] = []
-        self._ack_observers: list[SendObserver] = []
-
-    # ------------------------------------------------------------------
-    @property
-    def packets_out(self) -> int:
-        """Packets currently outstanding (always <= window)."""
-        return self.snd_nxt - self.snd_una
+        super().__init__(sim, host, conn_id, destination,
+                         options=options, control=FixedWindowControl(window))
 
     @property
-    def started(self) -> bool:
-        """True once :meth:`start` has run."""
-        return self._started
+    def window(self) -> int:
+        """The constant window."""
+        return self.control.window
 
     @property
     def stalled(self) -> bool:
@@ -77,52 +54,6 @@ class FixedWindowSender:
         state, so pair this with ACK counters when debugging.
         """
         return self.packets_out >= self.window
-
-    def on_send(self, observer: SendObserver) -> None:
-        """Register ``observer(time, packet)`` per transmitted packet."""
-        self._send_observers.append(observer)
-
-    def on_ack(self, observer: SendObserver) -> None:
-        """Register ``observer(time, packet)`` per arriving ACK."""
-        self._ack_observers.append(observer)
-
-    # ------------------------------------------------------------------
-    def start(self) -> None:
-        """Emit the initial window back-to-back."""
-        if self._started:
-            raise ProtocolError(f"conn {self.conn_id}: started twice")
-        self._started = True
-        self._fill_window()
-
-    def deliver(self, packet: Packet) -> None:
-        """Process an arriving ACK (PacketSink interface)."""
-        if not packet.is_ack:
-            raise ProtocolError(f"conn {self.conn_id}: sender got non-ACK {packet!r}")
-        self.acks_received += 1
-        for observer in self._ack_observers:
-            observer(self._sim.now, packet)
-        if packet.ack > self.snd_nxt:
-            raise ProtocolError(
-                f"conn {self.conn_id}: ACK {packet.ack} beyond snd_nxt {self.snd_nxt}"
-            )
-        if packet.ack > self.snd_una:
-            self.snd_una = packet.ack
-            self._fill_window()
-
-    def _fill_window(self) -> None:
-        while self.packets_out < self.window:
-            packet = Packet(
-                conn_id=self.conn_id,
-                kind=PacketKind.DATA,
-                seq=self.snd_nxt,
-                size=self.options.data_packet_bytes,
-                created_at=self._sim.now,
-            )
-            self.snd_nxt += 1
-            self.packets_sent += 1
-            for observer in self._send_observers:
-                observer(self._sim.now, packet)
-            self._host.send(packet, self.destination)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

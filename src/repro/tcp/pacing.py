@@ -16,18 +16,15 @@ how bunched its ACK arrivals are.  Everything else matches
 
 from __future__ import annotations
 
-from typing import Callable
-
 from repro.engine.event import Event
 from repro.engine.simulator import Simulator
 from repro.errors import ProtocolError
 from repro.net.host import Host
 from repro.net.packet import Packet, PacketKind
+from repro.tcp.observers import AckObserver, SendObserver
 from repro.tcp.options import TcpOptions
 
 __all__ = ["PacedWindowSender"]
-
-SendObserver = Callable[[float, Packet], None]
 
 
 class PacedWindowSender:
@@ -71,7 +68,7 @@ class PacedWindowSender:
         self._earliest_next_send = 0.0
         self._pump_event: Event | None = None
         self._send_observers: list[SendObserver] = []
-        self._ack_observers: list[SendObserver] = []
+        self._ack_observers: list[AckObserver] = []
 
     # ------------------------------------------------------------------
     @property
@@ -88,7 +85,7 @@ class PacedWindowSender:
         """Register ``observer(time, packet)`` per transmitted packet."""
         self._send_observers.append(observer)
 
-    def on_ack(self, observer: SendObserver) -> None:
+    def on_ack(self, observer: AckObserver) -> None:
         """Register ``observer(time, packet)`` per arriving ACK."""
         self._ack_observers.append(observer)
 

@@ -1,107 +1,51 @@
-"""TCP Reno: Tahoe plus fast recovery (the paper's reference [7]).
+"""TCP Reno: the unified sender core + fast-recovery policy.
 
-Jacobson's 4.3-reno evolution (1990) changed exactly one thing that
-matters for these dynamics: after a fast retransmit the window is *not*
-collapsed to one.  Instead:
-
-- on the third duplicate ACK: ``ssthresh = max(min(cwnd/2, maxwnd), 2)``,
-  retransmit the missing segment, and set ``cwnd = ssthresh + 3``
-  (window inflation — the three dup ACKs prove three packets left);
-- each further duplicate ACK inflates ``cwnd`` by one and may release
-  new data (the dup ACK proves another departure);
-- the next ACK for new data *deflates* ``cwnd`` back to ``ssthresh``
-  and resumes congestion avoidance.
-
-Timeouts behave exactly as in Tahoe (go-back-N, ``cwnd = 1``).
-
-This class follows classic 4.3-reno, where *any* ACK advancing
-``snd_una`` ends recovery (the partial-ACK refinement came later with
-NewReno); with the paper's single-drop epochs this is the common path.
-Provided as an extension so the paper's "how algorithm-specific are
-these phenomena?" question can be answered empirically: Reno keeps
-clustering and nonpaced transmission, so ACK-compression and the
-synchronization modes persist — see ``bench_reno.py``.
+The algorithm itself lives in
+:class:`~repro.tcp.congestion.reno.RenoControl`; this module keeps the
+named sender class (and its recovery introspection) for code and tests
+that address "the Reno sender" directly.  Provided as an extension so
+the paper's "how algorithm-specific are these phenomena?" question can
+be answered empirically: Reno keeps clustering and nonpaced
+transmission, so ACK-compression and the synchronization modes persist
+— see ``bench_reno.py``.
 """
 
 from __future__ import annotations
 
-from repro.tcp.sender import TahoeSender
+from repro.engine.simulator import Simulator
+from repro.net.host import Host
+from repro.tcp.congestion.reno import RenoControl
+from repro.tcp.options import TcpOptions
+from repro.tcp.sender import Sender
 
 __all__ = ["RenoSender"]
 
 
-class RenoSender(TahoeSender):
-    """A Tahoe sender with Reno fast recovery grafted on."""
+class RenoSender(Sender):
+    """A sender running Reno fast recovery."""
 
-    def __init__(self, *args, **kwargs) -> None:
-        super().__init__(*args, **kwargs)
-        self.in_recovery = False
-        self.fast_recoveries = 0
+    control: RenoControl
 
-    # ------------------------------------------------------------------
-    # Duplicate ACKs: enter/ride fast recovery
-    # ------------------------------------------------------------------
-    def _on_duplicate_ack(self) -> None:
-        self.dupacks += 1
-        threshold = self.options.dupack_threshold
-        if self.in_recovery:
-            # Each extra dup ACK signals one more departure: inflate and
-            # possibly release new data.
-            self.cwnd = min(self.cwnd + 1.0, float(self.options.maxwnd))
-            self._notify_cwnd()
-            self._fill_window()
-            return
-        if self.dupacks == threshold:
-            self.fast_retransmits += 1
-            self.fast_recoveries += 1
-            self.in_recovery = True
-            now = self._sim.now
-            self.loss_events += 1
-            for observer in self._loss_observers:
-                observer(now, "dupack", self.snd_una)
-            self.ssthresh = max(
-                min(self.cwnd / 2.0, float(self.options.maxwnd)),
-                self.options.min_ssthresh,
-            )
-            self._timed_seq = None  # Karn's rule
-            self._rexmt.start_seconds(self.rtt.rto())
-            # Retransmit the missing segment, then inflate.
-            self._transmit(self.snd_una)
-            self.cwnd = min(self.ssthresh + threshold, float(self.options.maxwnd))
-            self._notify_cwnd()
-            self._fill_window()
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        conn_id: int,
+        destination: str,
+        options: TcpOptions | None = None,
+    ) -> None:
+        super().__init__(sim, host, conn_id, destination,
+                         options=options, control=RenoControl())
 
-    # ------------------------------------------------------------------
-    # New ACKs: deflate on recovery exit
-    # ------------------------------------------------------------------
-    def _on_new_ack(self, ack: int) -> None:
-        if self.in_recovery:
-            # Classic Reno: any ACK of new data ends recovery and
-            # deflates the window to ssthresh; congestion avoidance
-            # resumes with the following ACKs.
-            self.in_recovery = False
-            self.cwnd = self.ssthresh
-            self._notify_cwnd()
-            self.snd_una = ack
-            if self.snd_nxt < ack:
-                self.snd_nxt = ack
-            self.dupacks = 0
-            self._timed_seq = None
-            if self.packets_out == 0:
-                self._rexmt.cancel()
-            else:
-                self._rexmt.start_seconds(self.rtt.rto())
-            self._fill_window()
-            return
-        super()._on_new_ack(ack)
+    @property
+    def in_recovery(self) -> bool:
+        """True while the flow is riding fast recovery."""
+        return self.control.in_recovery
 
-    # ------------------------------------------------------------------
-    # Timeouts fall back to Tahoe behavior
-    # ------------------------------------------------------------------
-    def _on_loss(self, trigger: str) -> None:
-        if trigger == "timeout":
-            self.in_recovery = False
-        super()._on_loss(trigger)
+    @property
+    def fast_recoveries(self) -> int:
+        """How many times fast recovery was entered."""
+        return self.control.fast_recoveries
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = " RECOVERY" if self.in_recovery else ""

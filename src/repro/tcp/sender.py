@@ -1,47 +1,51 @@
-"""The BSD 4.3-Tahoe TCP sender.
+"""The unified transport sender core.
 
-This implements exactly the congestion-control algorithm of Section 2.1
-of the paper:
+One :class:`Sender` owns every *mechanism* a windowed transport
+endpoint needs — sequence state, the retransmit queue implied by
+go-back-N, the coarse retransmission timer, RTT estimation (Karn's
+rule included), nonpaced window filling, and observer fan-out — while
+all *policy* (how the window evolves) lives in a
+:class:`~repro.tcp.congestion.base.CongestionControl` strategy chosen
+per flow.  ``Sender(..., control=TahoeControl())`` is the paper's
+Section 2.1 sender; swapping the strategy swaps the algorithm without
+touching a line of this file.
 
-- ``wnd = floor(min(cwnd, maxwnd))`` outstanding packets allowed;
-- on each ACK of new data: ``cwnd += 1`` below ``ssthresh`` (slow
-  start), else ``cwnd += 1/floor(cwnd)`` (the paper's *modified*
-  congestion avoidance, so ``floor(cwnd)`` rises by one per epoch);
-- on loss detection: ``ssthresh = max(min(cwnd/2, maxwnd), 2)``,
-  ``cwnd = 1``, go-back to the lowest unacknowledged packet;
-- loss detected by ``dupack_threshold`` duplicate ACKs (Tahoe fast
-  retransmit) or by the coarse-grained retransmission timer;
-- nonpaced: every transmission happens immediately upon ACK receipt —
-  the property that produces packet clustering and, with two-way
-  traffic, ACK-compression.
+Transmission is nonpaced: every send happens immediately upon ACK
+receipt — the property that produces packet clustering and, with
+two-way traffic, ACK-compression.  The sender has an infinite backlog
+(the paper's sources "have an infinite amount of data to send");
+sequence numbers count maximum-size packets, not bytes, matching the
+paper's units.
 
-The sender has an infinite backlog (the paper's sources "have an
-infinite amount of data to send"); sequence numbers count maximum-size
-packets, not bytes, matching the paper's units.
+Strategies whose ``reliable`` flag is off (fixed-window flows over
+lossless scenarios) run with the reliability machinery disabled: the
+timer is never armed, ACKs are never timed, duplicate ACKs are ignored
+— bit-identical to a sender that never had the machinery at all.
 """
 
 from __future__ import annotations
-
-from typing import Callable
 
 from repro.engine.simulator import Simulator
 from repro.engine.timer import CoarseTimer
 from repro.errors import ProtocolError
 from repro.net.host import Host
 from repro.net.packet import Packet, PacketKind
+from repro.tcp.congestion.base import CongestionControl
+from repro.tcp.congestion.tahoe import TahoeControl
+from repro.tcp.observers import (
+    AckObserver,
+    CwndObserver,
+    LossObserver,
+    SendObserver,
+)
 from repro.tcp.options import TcpOptions
 from repro.tcp.rto import RttEstimator
 
-__all__ = ["TahoeSender"]
-
-CwndObserver = Callable[[float, float, float], None]
-LossObserver = Callable[[float, str, int], None]
-SendObserver = Callable[[float, Packet], None]
-AckObserver = Callable[[float, Packet], None]
+__all__ = ["Sender", "TahoeSender"]
 
 
-class TahoeSender:
-    """Sending endpoint of one Tahoe TCP connection."""
+class Sender:
+    """Sending endpoint of one transport connection (mechanism only)."""
 
     def __init__(
         self,
@@ -50,14 +54,16 @@ class TahoeSender:
         conn_id: int,
         destination: str,
         options: TcpOptions | None = None,
+        control: CongestionControl | None = None,
     ) -> None:
         self._sim = sim
         self._host = host
         self.conn_id = conn_id
         self.destination = destination
         self.options = options or TcpOptions()
+        self.control = control if control is not None else TahoeControl()
 
-        # --- congestion state -----------------------------------------
+        # --- congestion state (policy writes, mechanism reads) ---------
         self.cwnd: float = self.options.initial_cwnd
         self.ssthresh: float = self.options.effective_initial_ssthresh
 
@@ -75,6 +81,8 @@ class TahoeSender:
         )
         self._timed_seq: int | None = None
         self._timed_at = 0.0
+        # Constructing a CoarseTimer schedules nothing, so non-reliable
+        # strategies carry an inert timer rather than a None check.
         self._rexmt = CoarseTimer(
             sim, self._on_timeout, period=self.options.timer_tick,
             label=f"conn{conn_id}:rexmt",
@@ -95,13 +103,15 @@ class TahoeSender:
         self._send_observers: list[SendObserver] = []
         self._ack_observers: list[AckObserver] = []
 
+        self.control.attach(self)
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
     def wnd(self) -> int:
-        """The usable window: ``floor(min(cwnd, maxwnd))``, at least 1."""
-        return max(1, int(min(self.cwnd, float(self.options.maxwnd))))
+        """The usable window as the strategy computes it, at least 1."""
+        return self.control.usable_window(self)
 
     @property
     def packets_out(self) -> int:
@@ -142,10 +152,49 @@ class TahoeSender:
         """
         self._ack_observers.append(observer)
 
-    def _notify_cwnd(self) -> None:
+    # ------------------------------------------------------------------
+    # Strategy toolkit — the sanctioned calls a CongestionControl makes
+    # back into its transport (see docs/algorithms.md).
+    # ------------------------------------------------------------------
+    def notify_cwnd(self) -> None:
+        """Fan the current (cwnd, ssthresh) out to the cwnd observers."""
         now = self._sim.now
         for observer in self._cwnd_observers:
             observer(now, self.cwnd, self.ssthresh)
+
+    def emit_loss_event(self, trigger: str) -> None:
+        """Count a loss detection and notify the loss observers."""
+        now = self._sim.now
+        self.loss_events += 1
+        for observer in self._loss_observers:
+            observer(now, trigger, self.snd_una)
+
+    def clear_rtt_sample(self) -> None:
+        """Abandon the in-flight RTT measurement (Karn's rule)."""
+        self._timed_seq = None
+
+    def restart_rexmt(self) -> None:
+        """(Re)arm the retransmission timer at the current RTO."""
+        self._rexmt.start_seconds(self.rtt.rto())
+
+    def cancel_rexmt(self) -> None:
+        """Disarm the retransmission timer."""
+        self._rexmt.cancel()
+
+    def retransmit_head(self) -> None:
+        """Resend the lowest unacknowledged segment."""
+        self._transmit(self.snd_una)
+
+    def fill_window(self) -> None:
+        """Send as many packets as the window permits, back to back.
+
+        This is the nonpaced behavior: a window increase triggered by an
+        ACK immediately releases two packets (the slot the ACK freed plus
+        the increment), with no artificial spacing.
+        """
+        while self.packets_out < self.wnd:
+            self._transmit(self.snd_nxt)
+            self.snd_nxt += 1
 
     # ------------------------------------------------------------------
     # Control
@@ -155,8 +204,9 @@ class TahoeSender:
         if self._started:
             raise ProtocolError(f"conn {self.conn_id}: started twice")
         self._started = True
-        self._notify_cwnd()
-        self._fill_window()
+        if self.control.adaptive:
+            self.notify_cwnd()
+        self.fill_window()
 
     # ------------------------------------------------------------------
     # Receiving ACKs
@@ -176,102 +226,73 @@ class TahoeSender:
             )
         if ack > self.snd_una:
             self._on_new_ack(ack)
-        elif ack == self.snd_una and self.packets_out > 0:
-            self._on_duplicate_ack()
+        elif self.control.reliable and ack == self.snd_una and self.packets_out > 0:
+            self.control.dupack(self)
         # ACKs below snd_una are stale remnants of go-back-N; ignored.
 
     def _on_new_ack(self, ack: int) -> None:
+        if self.control.ack_advanced(self, ack):
+            return  # the strategy replaced the whole path (Reno exit)
         self.snd_una = ack
         # After a go-back-N reset, a cumulative ACK can cover data the
         # receiver had cached out of order; transmission resumes past it.
         if self.snd_nxt < ack:
             self.snd_nxt = ack
-        self.dupacks = 0
-        # RTT sample (Karn: the timed sequence is cleared on any loss).
-        if self._timed_seq is not None and ack > self._timed_seq:
-            self.rtt.sample(self._sim.now - self._timed_at)
-            self._timed_seq = None
-        self._grow_window()
-        if self.packets_out == 0:
-            self._rexmt.cancel()
-        else:
-            self._rexmt.start_seconds(self.rtt.rto())
-        self._fill_window()
-
-    def _on_duplicate_ack(self) -> None:
-        self.dupacks += 1
-        # Trigger only on the exact threshold crossing, as BSD does: the
-        # counter keeps growing past it, so the tail of duplicate ACKs
-        # generated by packets already in flight cannot re-trigger a
-        # second collapse before new data is acknowledged.
-        if self.dupacks == self.options.dupack_threshold:
-            self.fast_retransmits += 1
-            self._on_loss("dupack")
-
-    def _grow_window(self) -> None:
-        if self.cwnd < self.ssthresh:
-            self.cwnd += 1.0  # slow start / congestion recovery
-        elif self.options.modified_avoidance:
-            self.cwnd += 1.0 / float(int(self.cwnd))  # paper's modified rule
-        else:
-            self.cwnd += 1.0 / self.cwnd  # original BSD 4.3-Tahoe rule
-        self.cwnd = min(self.cwnd, float(self.options.maxwnd))
-        self._notify_cwnd()
+        if self.control.reliable:
+            self.dupacks = 0
+            # RTT sample (Karn: the timed sequence is cleared on any loss).
+            if self._timed_seq is not None and ack > self._timed_seq:
+                self.rtt.sample(self._sim.now - self._timed_at)
+                self._timed_seq = None
+            self.control.grow(self)
+            if self.packets_out == 0:
+                self._rexmt.cancel()
+            else:
+                self._rexmt.start_seconds(self.rtt.rto())
+        self.fill_window()
 
     # ------------------------------------------------------------------
     # Loss handling
     # ------------------------------------------------------------------
-    def _on_loss(self, trigger: str) -> None:
-        now = self._sim.now
-        self.loss_events += 1
-        for observer in self._loss_observers:
-            observer(now, trigger, self.snd_una)
-        # Section 2.1: ssthresh = MAX[MIN(cwnd/2, maxwnd), 2]; cwnd = 1.
-        self.ssthresh = max(
-            min(self.cwnd / 2.0, float(self.options.maxwnd)),
-            self.options.min_ssthresh,
-        )
-        self.cwnd = 1.0
-        self._notify_cwnd()
+    def trigger_loss(self, trigger: str) -> None:
+        """The transport's loss reaction around the strategy's window cut.
+
+        Sequence: loss observers fire, the strategy updates
+        cwnd/ssthresh, the cwnd observers see the collapse, Karn's rule
+        clears the RTT sample, then recovery transmits — go-back-N on
+        timeout, head retransmit on duplicate ACKs.
+        """
+        self.emit_loss_event(trigger)
+        self.control.on_loss(self, trigger)
+        self.notify_cwnd()
         self._timed_seq = None  # Karn's rule
         if trigger == "timeout":
             # BSD timeout recovery is go-back-N: everything past snd_una
             # is treated as unsent and slow start re-sends it in order.
             self.dupacks = 0
             self.snd_nxt = self.snd_una
-            self._rexmt.start_seconds(self.rtt.rto())
-            self._fill_window()
+            self.restart_rexmt()
+            self.fill_window()
         else:
             # Fast retransmit resends ONLY the missing segment and keeps
             # snd_nxt where it was (BSD saves and restores it), so data
             # the receiver already cached is never sent again.  Re-sending
             # it would draw duplicate ACKs for packets that were never
             # lost and lock the sender into spurious-retransmit cycles.
-            self._rexmt.start_seconds(self.rtt.rto())
-            self._transmit(self.snd_una)
-            self._fill_window()
+            self.restart_rexmt()
+            self.retransmit_head()
+            self.fill_window()
 
     def _on_timeout(self) -> None:
         if self.packets_out == 0:
             return  # stale timer; nothing outstanding
         self.timeouts += 1
         self.rtt.on_timeout()
-        self._on_loss("timeout")
+        self.trigger_loss("timeout")
 
     # ------------------------------------------------------------------
     # Transmission
     # ------------------------------------------------------------------
-    def _fill_window(self) -> None:
-        """Send as many packets as the window permits, back to back.
-
-        This is the nonpaced behavior: a window increase triggered by an
-        ACK immediately releases two packets (the slot the ACK freed plus
-        the increment), with no artificial spacing.
-        """
-        while self.packets_out < self.wnd:
-            self._transmit(self.snd_nxt)
-            self.snd_nxt += 1
-
     def _transmit(self, seq: int) -> None:
         now = self._sim.now
         is_retransmit = seq < self._high_seq
@@ -287,11 +308,11 @@ class TahoeSender:
             self.retransmits += 1
         else:
             self._high_seq = seq + 1
-            if self._timed_seq is None:
+            if self.control.reliable and self._timed_seq is None:
                 self._timed_seq = seq
                 self._timed_at = now
         self.packets_sent += 1
-        if not self._rexmt.armed:
+        if self.control.reliable and not self._rexmt.armed:
             self._rexmt.start_seconds(self.rtt.rto())
         for observer in self._send_observers:
             observer(now, packet)
@@ -299,6 +320,27 @@ class TahoeSender:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"TahoeSender(conn={self.conn_id}, cwnd={self.cwnd:.2f}, "
+            f"{type(self).__name__}(conn={self.conn_id}, "
+            f"algo={type(self.control).__name__}, cwnd={self.cwnd:.2f}, "
             f"ssthresh={self.ssthresh:.1f}, una={self.snd_una}, nxt={self.snd_nxt})"
         )
+
+
+class TahoeSender(Sender):
+    """The BSD 4.3-Tahoe sender: the unified core + Tahoe policy.
+
+    Kept as a named class so the paper-facing code reads as the paper
+    does ("the Tahoe sender"); it adds nothing beyond the strategy
+    choice.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        conn_id: int,
+        destination: str,
+        options: TcpOptions | None = None,
+    ) -> None:
+        super().__init__(sim, host, conn_id, destination,
+                         options=options, control=TahoeControl())

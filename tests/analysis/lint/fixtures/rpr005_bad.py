@@ -7,3 +7,11 @@ def run_family(sweep, build, values):
         return {"u": result.utilization}
 
     return sweep(lambda v: build(v), values, local_extract)
+
+
+def install(register_algorithm, base):
+    class LocalControl(base):
+        pass
+
+    register_algorithm("local", LocalControl)
+    register_algorithm("inline", factory=lambda: base())

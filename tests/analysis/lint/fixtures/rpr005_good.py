@@ -11,8 +11,17 @@ def extract(result):
     return {"u": result.utilization}
 
 
+class ModuleControl:
+    pass
+
+
 def run_family(sweep, values):
     # partial over a module-level function is fine; on_point stays in the
     # parent process so a lambda there is exempt.
     return sweep(functools.partial(make_config, duration=50.0), values,
                  extract, on_point=lambda point: print(point))
+
+
+def install(register_algorithm):
+    # A module-level class resolves by name in any re-importing worker.
+    register_algorithm("module", ModuleControl)

@@ -10,7 +10,8 @@ EXPECTED_IDS = [
     "fig2", "fig2_small_pipe", "fig3", "fig3_buf60", "fig4_5", "fig6_7",
     "fig8", "fig9", "ack_compression", "conjecture", "buffer_sweep",
     "delayed_ack", "four_switch", "clustering", "effective_pipe", "pacing",
-    "unequal_rtt", "four_switch_fifty", "idle_scaling", "capacity",
+    "unequal_rtt", "four_switch_fifty", "aimd_conjecture", "idle_scaling",
+    "capacity",
 ]
 
 

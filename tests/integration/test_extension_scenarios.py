@@ -56,7 +56,8 @@ class TestFourSwitchScenario:
 class TestRenoScenario:
     def test_fast_recovery_dominates_timeouts(self):
         result = run(paper.reno_two_way(duration=250.0, warmup=100.0))
-        recoveries = sum(c.sender.fast_recoveries for c in result.connections)
+        recoveries = sum(c.sender.control.fast_recoveries
+                         for c in result.connections)
         timeouts = sum(c.sender.timeouts for c in result.connections)
         assert recoveries > timeouts
 

@@ -92,4 +92,4 @@ class TestZeroAckConjecture:
         result = run(config)
         assert len(result.traces.drops) == 0
         for conn in result.connections:
-            assert conn.sender.packets_out == conn.sender.window
+            assert conn.sender.packets_out == conn.sender.control.window

@@ -1,9 +1,10 @@
 """Cwnd logging must cover every windowed sender, Reno included.
 
-``TraceSet.watch_connection`` duck-types on the ``on_cwnd_change``
-observer hook rather than checking ``isinstance(sender, TahoeSender)``,
-so Reno (and any future windowed algorithm) gets a cwnd trace while
-fixed-window and paced senders — which have no dynamic window — do not.
+``TraceSet.watch_connection`` keys off the congestion-control
+strategy's ``adaptive`` flag rather than checking
+``isinstance(sender, TahoeSender)``, so Reno (and any future windowed
+algorithm) gets a cwnd trace while fixed-window and paced senders —
+which have no dynamic window — do not.
 """
 
 from types import SimpleNamespace
@@ -12,7 +13,7 @@ import pytest
 
 from repro.engine import Simulator
 from repro.metrics.trace import TraceSet
-from repro.scenarios import FlowKind, FlowSpec, ScenarioConfig, run
+from repro.scenarios import FlowSpec, ScenarioConfig, run
 from repro.tcp import RenoSender, TcpOptions
 from tests.tcp.conftest import FakeHost, make_ack
 
@@ -21,8 +22,8 @@ def reno_config(**kwargs):
     defaults = dict(
         name="reno-cwnd",
         flows=(
-            FlowSpec(src="host1", dst="host2", kind=FlowKind.RENO),
-            FlowSpec(src="host2", dst="host1", kind=FlowKind.RENO),
+            FlowSpec(src="host1", dst="host2", algorithm="reno"),
+            FlowSpec(src="host2", dst="host1", algorithm="reno"),
         ),
         duration=40.0,
         warmup=10.0,
@@ -44,7 +45,7 @@ class TestScenarioLevel:
     def test_fixed_window_flows_have_no_cwnd_log(self):
         config = ScenarioConfig(
             name="fixed-no-cwnd",
-            flows=(FlowSpec(src="host1", dst="host2", kind=FlowKind.FIXED,
+            flows=(FlowSpec(src="host1", dst="host2", algorithm="fixed",
                             window=8),),
             duration=10.0,
             warmup=2.0,

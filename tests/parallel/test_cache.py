@@ -94,7 +94,7 @@ class TestResultCache:
 
     def test_schema_version_partitions_entries(self, cache, monkeypatch):
         cache.put_config(_config(), {"a": 1.0})
-        monkeypatch.setattr("repro.parallel.cache.CACHE_SCHEMA_VERSION", 2)
+        monkeypatch.setattr("repro.parallel.cache.CACHE_SCHEMA_VERSION", 99)
         fresh = ResultCache(cache.root)
         assert fresh.get_config(_config()) is None
 

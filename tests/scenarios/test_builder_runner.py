@@ -3,15 +3,16 @@
 import pytest
 
 from repro.scenarios import (
-    FlowKind,
     FlowSpec,
     ScenarioConfig,
     TopologyKind,
+    algorithm_override,
     build,
     paper,
     run,
 )
-from repro.tcp import FixedWindowSender, TahoeSender
+from repro.scenarios.families import substituted_config
+from repro.tcp import AimdControl, FixedWindowControl, TahoeControl
 
 
 def _small_two_way(**kwargs):
@@ -40,14 +41,28 @@ class TestBuild:
         assert [c.conn_id for c in built.connections] == [1, 2]
         assert built.connections[0].src_host == "host1"
 
-    def test_flow_kinds_respected(self):
+    def test_flow_algorithms_respected(self):
         config = _small_two_way(flows=(
-            FlowSpec(src="host1", dst="host2", kind=FlowKind.TAHOE),
-            FlowSpec(src="host2", dst="host1", kind=FlowKind.FIXED, window=4),
+            FlowSpec(src="host1", dst="host2", algorithm="tahoe"),
+            FlowSpec(src="host2", dst="host1", algorithm="fixed", window=4),
         ), buffer_packets=None)
         built = build(config)
-        assert isinstance(built.connections[0].sender, TahoeSender)
-        assert isinstance(built.connections[1].sender, FixedWindowSender)
+        assert type(built.connections[0].sender.control) is TahoeControl
+        control = built.connections[1].sender.control
+        assert isinstance(control, FixedWindowControl)
+        assert control.window == 4
+        assert built.connections[1].is_fixed_window
+
+    def test_algorithm_params_reach_the_strategy(self):
+        config = _small_two_way(flows=(
+            FlowSpec(src="host1", dst="host2", algorithm="aimd",
+                     params={"a": 2.0, "b": 0.25}, window=12),
+            FlowSpec(src="host2", dst="host1"),
+        ))
+        built = build(config)
+        control = built.connections[0].sender.control
+        assert isinstance(control, AimdControl)
+        assert (control.a, control.b, control.window) == (2.0, 0.25, 12)
 
     def test_jittered_starts_deterministic_per_seed(self):
         config = _small_two_way(flows=(
@@ -124,6 +139,41 @@ class TestRun:
         b = run(_small_two_way())
         assert a.events_processed == b.events_processed
         assert a.utilizations() == b.utilizations()
+
+
+class TestAlgorithmOverride:
+    def test_override_swaps_every_flow(self):
+        with algorithm_override("aimd", {"a": 1.0, "b": 0.5}):
+            result = run(_small_two_way())
+        for conn in result.connections:
+            assert isinstance(conn.sender.control, AimdControl)
+        assert result.config.algorithms == ("aimd",)
+        assert result.config.name.endswith("+aimd")
+
+    def test_override_is_scoped(self):
+        with algorithm_override("aimd"):
+            pass
+        result = run(_small_two_way())
+        assert result.config.algorithms == ("tahoe",)
+
+    def test_overridden_run_differs_from_baseline(self):
+        baseline = run(_small_two_way(duration=80.0))
+        with algorithm_override("aimd", {"a": 1.0, "b": 0.5}):
+            substituted = run(_small_two_way(duration=80.0))
+        # AIMD skips slow start, so the event sequence must diverge.
+        assert substituted.events_processed != baseline.events_processed
+
+    def test_substituted_config_family(self):
+        def make(value):
+            return _small_two_way(duration=float(value))
+
+        config = substituted_config(
+            60, make_config=make, algorithm="aimd",
+            params=(("a", 2.0), ("b", 0.25)))
+        assert config.duration == 60.0
+        assert config.algorithms == ("aimd",)
+        assert all(flow.params == (("a", 2.0), ("b", 0.25))
+                   for flow in config.flows)
 
 
 class TestPaperFactories:

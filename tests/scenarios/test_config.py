@@ -3,7 +3,12 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.scenarios import FlowKind, FlowSpec, ScenarioConfig, TopologyKind
+from repro.scenarios import (
+    FlowSpec,
+    ScenarioConfig,
+    TopologyKind,
+    substitute_algorithm,
+)
 from repro.tcp import TcpOptions
 
 
@@ -21,14 +26,42 @@ def _config(**kwargs):
 
 class TestFlowSpec:
     def test_tahoe_default(self):
-        assert _flow().kind is FlowKind.TAHOE
+        assert _flow().algorithm == "tahoe"
+        assert _flow().params == ()
 
     def test_fixed_needs_window(self):
         with pytest.raises(ConfigurationError):
-            _flow(kind=FlowKind.FIXED)
+            _flow(algorithm="fixed")
         with pytest.raises(ConfigurationError):
-            _flow(kind=FlowKind.FIXED, window=0)
-        assert _flow(kind=FlowKind.FIXED, window=5).window == 5
+            _flow(algorithm="fixed", window=0)
+        assert _flow(algorithm="fixed", window=5).window == 5
+
+    def test_unknown_algorithm_lists_registered(self):
+        with pytest.raises(ConfigurationError, match="tahoe"):
+            _flow(algorithm="vegas")
+
+    def test_unknown_param_rejected_at_config_time(self):
+        with pytest.raises(ConfigurationError):
+            _flow(algorithm="tahoe", params={"bogus": 1})
+
+    def test_bad_param_value_rejected_at_config_time(self):
+        with pytest.raises(ConfigurationError):
+            _flow(algorithm="aimd", params={"a": 1.0, "b": 2.0})
+
+    def test_params_normalize_to_sorted_pairs(self):
+        flow = _flow(algorithm="aimd", params={"b": 0.5, "a": 1.0})
+        assert flow.params == (("a", 1.0), ("b", 0.5))
+        assert flow == _flow(algorithm="aimd", params={"a": 1.0, "b": 0.5})
+        assert hash(flow) == hash(_flow(algorithm="aimd",
+                                        params=(("a", 1.0), ("b", 0.5))))
+
+    def test_window_sugar_folds_into_params(self):
+        flow = _flow(algorithm="aimd", params={"a": 1.0, "b": 0.5}, window=12)
+        assert flow.effective_params() == {"a": 1.0, "b": 0.5, "window": 12}
+
+    def test_window_given_twice_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _flow(algorithm="fixed", params={"window": 5}, window=5)
 
     def test_same_endpoints_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -40,6 +73,32 @@ class TestFlowSpec:
 
     def test_none_start_means_jittered(self):
         assert _flow(start_time=None).start_time is None
+
+
+class TestSubstituteAlgorithm:
+    def test_replaces_every_flow_and_renames(self):
+        config = _config(flows=(_flow(), _flow(src="host2", dst="host1")))
+        swapped = substitute_algorithm(config, "aimd", {"a": 1.0, "b": 0.5})
+        assert swapped.name == "test+aimd"
+        assert swapped.algorithms == ("aimd",)
+        assert all(f.params == (("a", 1.0), ("b", 0.5)) for f in swapped.flows)
+
+    def test_keeps_window_and_start_time(self):
+        config = _config(flows=(
+            _flow(algorithm="fixed", window=30, start_time=None),))
+        swapped = substitute_algorithm(config, "aimd")
+        assert swapped.flows[0].window == 30
+        assert swapped.flows[0].start_time is None
+
+    def test_original_untouched(self):
+        config = _config()
+        substitute_algorithm(config, "reno")
+        assert config.flows[0].algorithm == "tahoe"
+
+    def test_algorithms_property(self):
+        config = _config(flows=(
+            _flow(), _flow(src="host2", dst="host1", algorithm="reno")))
+        assert config.algorithms == ("reno", "tahoe")
 
 
 class TestScenarioValidation:

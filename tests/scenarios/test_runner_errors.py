@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import AnalysisError
-from repro.scenarios import FlowKind, FlowSpec, ScenarioConfig, run
+from repro.scenarios import FlowSpec, ScenarioConfig, run
 from repro.scenarios import paper
 
 
@@ -25,8 +25,8 @@ class TestRunnerEdgeCases:
         config = ScenarioConfig(
             name="fixed",
             flows=(
-                FlowSpec(src="host1", dst="host2", kind=FlowKind.FIXED, window=5),
-                FlowSpec(src="host2", dst="host1", kind=FlowKind.FIXED, window=5),
+                FlowSpec(src="host1", dst="host2", algorithm="fixed", window=5),
+                FlowSpec(src="host2", dst="host1", algorithm="fixed", window=5),
             ),
             buffer_packets=None,
             duration=40.0, warmup=10.0,

@@ -6,7 +6,8 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.scenarios import (
-    FlowKind,
+    FlowSpec,
+    ScenarioConfig,
     config_from_dict,
     config_to_dict,
     load_config,
@@ -71,9 +72,21 @@ class TestValidation:
         with pytest.raises(ConfigurationError):
             config_from_dict(document)
 
-    def test_unknown_kind_rejected(self):
+    def test_unknown_algorithm_rejected_with_registered_names(self):
         document = config_to_dict(paper.figure4())
-        document["flows"][0]["kind"] = "vegas"
+        document["flows"][0]["algorithm"] = "vegas"
+        with pytest.raises(ConfigurationError, match="tahoe"):
+            config_from_dict(document)
+
+    def test_conflicting_kind_and_algorithm_rejected(self):
+        document = config_to_dict(paper.figure4())
+        document["flows"][0]["kind"] = "vegas"  # algorithm says "tahoe"
+        with pytest.raises(ConfigurationError, match="kind"):
+            config_from_dict(document)
+
+    def test_params_must_be_object(self):
+        document = config_to_dict(paper.figure4())
+        document["flows"][0]["params"] = [1, 2]
         with pytest.raises(ConfigurationError):
             config_from_dict(document)
 
@@ -84,6 +97,78 @@ class TestValidation:
             config_from_dict(document)
 
 
+class TestAlgorithmRoundTrip:
+    def _aimd_config(self):
+        return ScenarioConfig(
+            name="aimd-two-way",
+            flows=(
+                FlowSpec(src="host1", dst="host2", algorithm="aimd",
+                         params={"a": 1.0, "b": 0.5}, window=30),
+                FlowSpec(src="host2", dst="host1", algorithm="aimd",
+                         params={"b": 0.25, "a": 2.0}),
+            ),
+        )
+
+    def test_aimd_params_survive_round_trip(self):
+        config = self._aimd_config()
+        restored = config_from_dict(config_to_dict(config))
+        assert restored == config
+        assert restored.flows[0].effective_params() == {
+            "a": 1.0, "b": 0.5, "window": 30}
+
+    def test_aimd_params_survive_canonical_json(self):
+        from repro.parallel.cache import canonical_config_json, config_hash
+
+        config = self._aimd_config()
+        blob = canonical_config_json(config)
+        assert '"algorithm":"aimd"' in blob
+        restored = config_from_dict(json.loads(blob))
+        assert restored == config
+        assert config_hash(restored) == config_hash(config)
+
+    def test_param_order_does_not_change_the_hash(self):
+        from repro.parallel.cache import config_hash
+
+        ab = ScenarioConfig(name="x", flows=(
+            FlowSpec(src="host1", dst="host2", algorithm="aimd",
+                     params={"a": 1.0, "b": 0.5}),))
+        ba = ScenarioConfig(name="x", flows=(
+            FlowSpec(src="host1", dst="host2", algorithm="aimd",
+                     params={"b": 0.5, "a": 1.0}),))
+        assert config_hash(ab) == config_hash(ba)
+
+
+class TestLegacyKindDocuments:
+    """Documents written before the pluggable-algorithm architecture."""
+
+    @pytest.mark.parametrize("kind,window", [
+        ("tahoe", None), ("reno", None), ("fixed", 25),
+    ])
+    def test_old_kind_values_still_deserialize(self, kind, window):
+        flow = {"src": "host1", "dst": "host2", "kind": kind}
+        if window is not None:
+            flow["window"] = window
+        config = config_from_dict({"name": "legacy", "flows": [flow]})
+        assert config.flows[0].algorithm == kind
+        assert config.flows[0].window == window
+
+    def test_kind_equal_to_algorithm_tolerated(self):
+        config = config_from_dict({"name": "legacy", "flows": [
+            {"src": "host1", "dst": "host2",
+             "kind": "reno", "algorithm": "reno"}]})
+        assert config.flows[0].algorithm == "reno"
+
+    def test_rewritten_legacy_document_round_trips(self):
+        legacy = {"name": "legacy", "flows": [
+            {"src": "host1", "dst": "host2", "kind": "fixed",
+             "window": 30, "start_time": None}]}
+        config = config_from_dict(legacy)
+        modern = config_to_dict(config)
+        assert "kind" not in modern["flows"][0]
+        assert modern["flows"][0]["algorithm"] == "fixed"
+        assert config_from_dict(modern) == config
+
+
 class TestMinimalDocuments:
     def test_defaults_fill_in(self):
         config = config_from_dict({
@@ -91,7 +176,7 @@ class TestMinimalDocuments:
             "flows": [{"src": "host1", "dst": "host2"}],
         })
         assert config.buffer_packets == 20
-        assert config.flows[0].kind is FlowKind.TAHOE
+        assert config.flows[0].algorithm == "tahoe"
         assert config.tcp == TcpOptions()
 
     def test_minimal_document_runs(self):
