@@ -14,206 +14,210 @@ the perf trajectory stays visible PR over PR:
   one-connection dumbbell;
 - ``sweep_cold_s`` / ``sweep_warm_s`` / ``cache_speedup`` — a four-point
   fixed-window sweep, cold vs through a warm result cache;
+- ``baseline_event_regression_pct`` / ``baseline_cancel_regression_pct``
+  — the shipped kernel's throughput regression relative to the frozen
+  kernel committed in ``baseline_kernel.py``, measured as interleaved
+  paired runs in one process.  This is the *relative* perf gate
+  (``--max-regression``): it compares two kernels on the same machine
+  in the same minute, so it holds on any host, unlike the absolute
+  numbers above.  See ``docs/performance.md``.
 - ``tracing_disabled_overhead_pct`` / ``tracing_enabled_overhead_pct`` —
-  cost of the :mod:`repro.obs` engine hook, priced against a reference
-  dispatch loop with no tracer check at all.  CI guards the disabled
-  path with ``--max-tracing-overhead 2``: detached tracing must stay
-  within 2% of the hook-free baseline.
+  cost of the :mod:`repro.obs` engine hook.  The disabled number is the
+  same comparison as the event regression (the frozen kernel has no
+  hooks at all), guarded by ``--max-tracing-overhead``; the enabled
+  number prices actually turning tracing on.
 - ``resilience_disabled_overhead_pct`` — cost of routing a sweep
-  through ``ParallelSweepRunner`` with resilience left off, priced
-  against a bare run-and-extract loop over the same configs.  CI
-  guards it with ``--max-resilience-overhead 2``: the fault-tolerance
-  machinery must stay out of the fault-free hot path.
+  through ``ParallelSweepRunner`` with resilience left off, guarded by
+  ``--max-resilience-overhead``.
+
+All paired estimates use :func:`paired_overhead_pct`: alternating-order
+back-to-back pairs, the first pairs discarded as warmup, median of the
+remaining per-pair ratios.  (An earlier min-of-pass-medians estimator
+could return confidently negative overheads on a noisy machine —
+``tracing_disabled_overhead_pct: -9.02`` in the bench history is that
+artifact.)
 """
 
 from __future__ import annotations
 
 import argparse
 import functools
+import gc
 import json
 import platform
+import subprocess
 import sys
 import tempfile
 import time
 from datetime import datetime, timezone
 from pathlib import Path
+from statistics import median
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from baseline_kernel import BaselineSimulator  # noqa: E402
 from repro.engine import Simulator  # noqa: E402
 from repro.net import build_dumbbell  # noqa: E402
 from repro.parallel import ResultCache  # noqa: E402
 from repro.scenarios import families, sweep  # noqa: E402
 from repro.tcp import make_tahoe_connection  # noqa: E402
 
-
-def bench_event_throughput(n: int = 200_000) -> float:
-    """Chained tick events per second."""
-    sim = Simulator()
-    remaining = [n]
-
-    def tick():
-        remaining[0] -= 1
-        if remaining[0] > 0:
-            sim.schedule(0.001, tick)
-
-    sim.schedule(0.001, tick)
-    started = time.perf_counter()
-    sim.run()
-    return n / (time.perf_counter() - started)
+#: Iteration counts, recorded into each bench entry so the numbers are
+#: comparable across PRs even if the defaults move.
+EVENT_N = 200_000
+CANCEL_N = 100_000
+DUMBBELL_DURATION_S = 60.0
+PAIRED_N = 20_000
+PAIRED_REPS = 16
+PAIRED_WARMUP = 3
 
 
-def bench_cancel_churn(n: int = 100_000) -> float:
-    """Schedule+cancel pairs per second (the refreshed-timer pattern)."""
-    sim = Simulator()
-    stale = None
-    started = time.perf_counter()
-    for _ in range(n):
-        if stale is not None:
-            stale.cancel()
-        stale = sim.schedule(1_000.0, lambda: None)
-    sim.run()
-    return n / (time.perf_counter() - started)
+def _git_commit() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "-C", str(REPO_ROOT), "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except OSError:
+        return "unknown"
+    return out.stdout.strip() or "unknown"
 
 
-def bench_dumbbell(duration: float = 60.0) -> float:
-    """Delivered data packets per wall second, one Tahoe connection."""
-    sim = Simulator()
-    net = build_dumbbell(sim, bottleneck_propagation=0.01)
-    conn = make_tahoe_connection(sim, net, 1, "host1", "host2")
-    started = time.perf_counter()
-    sim.run(until=duration)
-    return conn.receiver.rcv_nxt / (time.perf_counter() - started)
+def _gc_paused(body) -> float:
+    """Run ``body`` with the collector paused; return elapsed seconds.
 
-
-class _ReferenceSimulator(Simulator):
-    """The dispatch loop with no tracer check at all.
-
-    A faithful copy of :meth:`Simulator.run` minus the per-event
-    ``self._tracer`` branch; exists only so the harness can price the
-    disabled-tracer fast path against a true hook-free baseline.
+    Every timed region here allocates heavily (one Event per simulated
+    event), and unpredictable collection pauses otherwise swamp the
+    per-event costs being compared.
     """
-
-    def run(self, until=None, max_events=None):  # noqa: D102
-        import heapq
-
-        self._running = True
-        self._stop_requested = False
-        heap = self._heap
-        pop = heapq.heappop
-        try:
-            while heap:
-                if self._stop_requested:
-                    break
-                if max_events is not None and self._events_processed >= max_events:
-                    break
-                entry = heap[0]
-                if until is not None and entry[0] > until:
-                    break
-                pop(heap)
-                event = entry[3]
-                if event.cancelled:
-                    self._cancelled_pending -= 1
-                    continue
-                if self._strict:
-                    self._sanitize_pop(entry, event)
-                self._now = entry[0]
-                event._fired = True
-                event.callback()
-                self._events_processed += 1
-        finally:
-            self._running = False
-        if until is not None and self._now < until and not self._stop_requested:
-            self._now = until
-
-
-def _tick_throughput(sim, n: int) -> float:
-    """Events per second of a chained-tick workload on ``sim``.
-
-    Runs with the garbage collector paused: the workload allocates one
-    Event per tick, and unpredictable collection pauses otherwise swamp
-    the per-event costs this harness is trying to compare.
-    """
-    import gc
-
-    remaining = [n]
-
-    def tick():
-        remaining[0] -= 1
-        if remaining[0] > 0:
-            sim.schedule(0.001, tick)
-
-    sim.schedule(0.001, tick)
     gc.collect()
     was_enabled = gc.isenabled()
     gc.disable()
     try:
         started = time.perf_counter()
-        sim.run()
-        elapsed = time.perf_counter() - started
+        body()
+        return time.perf_counter() - started
     finally:
         if was_enabled:
             gc.enable()
-    return n / elapsed
 
 
-def bench_tracing_overhead(n: int = 20_000, reps: int = 25,
-                           passes: int = 3) -> tuple[float, float]:
-    """(disabled_pct, enabled_pct) overhead of the engine tracer hook.
+# ----------------------------------------------------------------------
+# Workloads (shared between the absolute and the paired benches)
+# ----------------------------------------------------------------------
+def _tick_rate(sim, n: int) -> float:
+    """Events per second of a chained-tick workload on ``sim``."""
+    remaining = [n]
 
-    Compares three kernels on the same workload: the hook-free
-    reference loop, the shipped loop with no tracer attached, and the
-    shipped loop with an aggregates-only :class:`~repro.obs.Tracer`.
+    def tick():
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            sim.schedule(0.001, tick)
 
-    Shared machines drift (frequency scaling, noisy neighbours), so an
-    absolute best-of-N is unstable.  Instead: each rep runs the kernels
-    back-to-back over a short slice -- alternating order to cancel
-    linear drift -- and a pass reduces its per-rep rate ratios to a
-    median.  Contention only ever slows a kernel down, so (timeit-style)
-    the minimum across ``passes`` independent medians is the best
-    estimate of the uncontended overhead.  The disabled number is what
-    the CI guard watches; the enabled number documents what turning
-    tracing on costs.
+    sim.schedule(0.001, tick)
+    return n / _gc_paused(sim.run)
+
+
+def _cancel_rate(sim, n: int) -> float:
+    """Schedule+cancel pairs per second (the refreshed-timer pattern)."""
+
+    def churn():
+        stale = None
+        for _ in range(n):
+            if stale is not None:
+                stale.cancel()
+            stale = sim.schedule(1_000.0, lambda: None)
+        sim.run()
+
+    return n / _gc_paused(churn)
+
+
+def bench_event_throughput(n: int = EVENT_N) -> float:
+    """Chained tick events per second (absolute, shipped kernel)."""
+    return _tick_rate(Simulator(), n)
+
+
+def bench_cancel_churn(n: int = CANCEL_N) -> float:
+    """Schedule+cancel pairs per second (absolute, shipped kernel)."""
+    return _cancel_rate(Simulator(), n)
+
+
+def bench_dumbbell(duration: float = DUMBBELL_DURATION_S) -> float:
+    """Delivered data packets per wall second, one Tahoe connection."""
+    sim = Simulator()
+    net = build_dumbbell(sim, bottleneck_propagation=0.01)
+    conn = make_tahoe_connection(sim, net, 1, "host1", "host2")
+    elapsed = _gc_paused(lambda: sim.run(until=duration))
+    return conn.receiver.rcv_nxt / elapsed
+
+
+# ----------------------------------------------------------------------
+# The paired estimator
+# ----------------------------------------------------------------------
+def paired_overhead_pct(base_rate, other_rate, *, reps: int = PAIRED_REPS,
+                        warmup: int = PAIRED_WARMUP) -> float:
+    """Percent overhead of ``other`` relative to ``base``.
+
+    Both arguments are zero-arg callables returning a *rate* (higher is
+    better).  Each rep runs the two back to back — alternating which
+    goes first, so linear machine drift cancels — and contributes one
+    ``base/other`` ratio.  The first ``warmup`` pairs are discarded
+    (they pay allocator and cache warmup), and the estimate is the
+    **median** of the remaining ratios: robust to contention spikes in
+    either direction, unlike a min- or max-based reduction, which on a
+    noisy machine manufactures confidently wrong (even negative)
+    overheads out of one lucky pair.
     """
-    from statistics import median
+    if reps <= warmup:
+        raise ValueError(f"need reps > warmup, got {reps} <= {warmup}")
+    ratios: list[float] = []
+    for rep in range(reps):
+        if rep % 2:
+            other = other_rate()
+            base = base_rate()
+        else:
+            base = base_rate()
+            other = other_rate()
+        ratios.append(base / other)
+    return (median(ratios[warmup:]) - 1.0) * 100
 
+
+def bench_baseline_regression(n: int = PAIRED_N) -> tuple[float, float]:
+    """(event_pct, cancel_pct) regression vs the committed frozen kernel.
+
+    Positive = the shipped kernel is slower than the baseline snapshot.
+    Runs the shipped simulator in its default configuration minus
+    tracing/strict (the fast path the baseline freezes); the compiled
+    core participates exactly when ``REPRO_COMPILED`` turns it on for
+    default-constructed simulators, so the gate watches whichever path
+    ships.
+    """
+    event_pct = paired_overhead_pct(
+        lambda: _tick_rate(BaselineSimulator(), n),
+        lambda: _tick_rate(Simulator(strict=False), n),
+    )
+    cancel_pct = paired_overhead_pct(
+        lambda: _cancel_rate(BaselineSimulator(), n),
+        lambda: _cancel_rate(Simulator(strict=False), n),
+    )
+    return event_pct, cancel_pct
+
+
+def bench_tracing_enabled_overhead(n: int = PAIRED_N) -> float:
+    """Percent cost of an attached aggregates-only tracer vs untraced."""
     from repro.obs import Tracer
 
-    def kernels():
-        traced = Simulator()
-        traced.set_tracer(Tracer(record_spans=False, record_hops=False))
-        return _ReferenceSimulator(), Simulator(), traced
+    def traced_rate() -> float:
+        sim = Simulator(strict=False)
+        sim.set_tracer(Tracer(record_spans=False, record_hops=False))
+        return _tick_rate(sim, n)
 
-    # Warm-up: first runs pay import/allocation costs.
-    for sim in kernels():
-        _tick_throughput(sim, n)
-
-    disabled_medians: list[float] = []
-    enabled_medians: list[float] = []
-    for _ in range(passes):
-        disabled_ratios: list[float] = []
-        enabled_ratios: list[float] = []
-        for rep in range(reps):
-            reference, disabled, enabled = kernels()
-            if rep % 2:
-                enabled_rate = _tick_throughput(enabled, n)
-                disabled_rate = _tick_throughput(disabled, n)
-                reference_rate = _tick_throughput(reference, n)
-            else:
-                reference_rate = _tick_throughput(reference, n)
-                disabled_rate = _tick_throughput(disabled, n)
-                enabled_rate = _tick_throughput(enabled, n)
-            disabled_ratios.append(reference_rate / disabled_rate)
-            enabled_ratios.append(reference_rate / enabled_rate)
-        disabled_medians.append(median(disabled_ratios))
-        enabled_medians.append(median(enabled_ratios))
-    return ((min(disabled_medians) - 1.0) * 100,
-            (min(enabled_medians) - 1.0) * 100)
+    return paired_overhead_pct(
+        lambda: _tick_rate(Simulator(strict=False), n), traced_rate)
 
 
-def bench_resilience_overhead(points: int = 4, reps: int = 9,
-                              passes: int = 4) -> float:
+def bench_resilience_overhead(points: int = 4) -> float:
     """Overhead pct of the resilience-disabled sweep path vs a bare loop.
 
     The resilience layer threads timeout/retry/journal decisions through
@@ -221,13 +225,10 @@ def bench_resilience_overhead(points: int = 4, reps: int = 9,
     (the default) every one of those branches must collapse to a cheap
     ``is None`` check.  This prices the serial runner — no cache, no
     journal, no policy — against a bare ``run_scenario`` + extract loop
-    over identical configs, using the same alternating / per-pass
-    median / min-of-passes estimator as :func:`bench_tracing_overhead`.
-    The workload is deliberately short-duration so per-point runner
-    bookkeeping is not drowned out by simulation time.
+    over identical configs.  The workload is deliberately
+    short-duration so per-point runner bookkeeping is not drowned out
+    by simulation time.
     """
-    from statistics import median
-
     from repro.parallel import ParallelSweepRunner
     from repro.scenarios.runner import run as run_scenario
 
@@ -237,50 +238,18 @@ def bench_resilience_overhead(points: int = 4, reps: int = 9,
     configs = [make_config(case) for case in cases]
     extract = families.utilization_extract
 
-    def _timed(body) -> float:
-        # Collection pauses are of the same order as the per-point costs
-        # being compared, so they are kept out of the timed region (the
-        # same treatment _tick_throughput gives the tracing kernels).
-        import gc
-
-        gc.collect()
-        was_enabled = gc.isenabled()
-        gc.disable()
-        try:
-            started = time.perf_counter()
-            body()
-            return time.perf_counter() - started
-        finally:
-            if was_enabled:
-                gc.enable()
-
-    def bare_seconds() -> float:
+    def bare_rate() -> float:
         def body():
             for config in configs:
                 extract(run_scenario(config))
-        return _timed(body)
+        return 1.0 / _gc_paused(body)
 
-    def runner_seconds() -> float:
+    def runner_rate() -> float:
         runner = ParallelSweepRunner(jobs=1)
-        return _timed(lambda: runner.run_configs(configs, extract))
+        return 1.0 / _gc_paused(lambda: runner.run_configs(configs, extract))
 
-    # Warm-up: first runs pay import and allocation costs.
-    bare_seconds()
-    runner_seconds()
-
-    medians: list[float] = []
-    for _ in range(passes):
-        ratios: list[float] = []
-        for rep in range(reps):
-            if rep % 2:
-                through = runner_seconds()
-                bare = bare_seconds()
-            else:
-                bare = bare_seconds()
-                through = runner_seconds()
-            ratios.append(through / bare)
-        medians.append(median(ratios))
-    return (min(medians) - 1.0) * 100
+    return paired_overhead_pct(bare_rate, runner_rate,
+                               reps=10, warmup=2)
 
 
 def bench_sweep_cache() -> tuple[float, float]:
@@ -300,20 +269,37 @@ def bench_sweep_cache() -> tuple[float, float]:
 
 
 def collect() -> dict:
+    from repro.engine import compiled as compiled_core
+
     cold, warm = bench_sweep_cache()
-    tracing_disabled, tracing_enabled = bench_tracing_overhead()
+    event_regression, cancel_regression = bench_baseline_regression()
     return {
         "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "git_commit": _git_commit(),
+        "compiled_core": compiled_core.available(),
+        "bench_iterations": {
+            "event_n": EVENT_N,
+            "cancel_n": CANCEL_N,
+            "dumbbell_duration_s": DUMBBELL_DURATION_S,
+            "paired_n": PAIRED_N,
+            "paired_reps": PAIRED_REPS,
+            "paired_warmup": PAIRED_WARMUP,
+        },
         "event_throughput_eps": round(bench_event_throughput()),
         "cancel_churn_eps": round(bench_cancel_churn()),
         "dumbbell_packets_per_s": round(bench_dumbbell()),
         "sweep_cold_s": round(cold, 3),
         "sweep_warm_s": round(warm, 4),
         "cache_speedup": round(cold / warm, 1),
-        "tracing_disabled_overhead_pct": round(tracing_disabled, 2),
-        "tracing_enabled_overhead_pct": round(tracing_enabled, 2),
+        "baseline_event_regression_pct": round(event_regression, 2),
+        "baseline_cancel_regression_pct": round(cancel_regression, 2),
+        # The frozen kernel has no tracer hook at all, so "regression vs
+        # baseline" and "cost of the disabled tracer path" are the same
+        # comparison; the historical key is kept for trajectory reads.
+        "tracing_disabled_overhead_pct": round(event_regression, 2),
+        "tracing_enabled_overhead_pct": round(bench_tracing_enabled_overhead(), 2),
         "resilience_disabled_overhead_pct": round(bench_resilience_overhead(), 2),
     }
 
@@ -322,11 +308,16 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_engine.json"),
                         help="JSON array file to append to")
+    parser.add_argument("--max-regression", type=float, default=None,
+                        metavar="PCT",
+                        help="fail (exit 1) when the shipped kernel is more "
+                             "than PCT%% slower than the committed baseline "
+                             "kernel on either paired workload")
     parser.add_argument("--max-tracing-overhead", type=float, default=None,
                         metavar="PCT",
                         help="fail (exit 1) when the disabled-tracer fast "
                              "path costs more than PCT%% vs the hook-free "
-                             "reference loop")
+                             "baseline kernel")
     parser.add_argument("--max-resilience-overhead", type=float, default=None,
                         metavar="PCT",
                         help="fail (exit 1) when the resilience-disabled "
@@ -351,24 +342,39 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{key}: {value}")
     print(f"appended to {target} ({len(history)} records)")
 
+    failed = False
+    if args.max_regression is not None:
+        for key in ("baseline_event_regression_pct",
+                    "baseline_cancel_regression_pct"):
+            regression = record[key]
+            if regression > args.max_regression:
+                print(f"FAIL: {key} {regression:.2f}% exceeds the "
+                      f"{args.max_regression:.2f}% budget")
+                failed = True
+            else:
+                print(f"regression guard OK: {key} {regression:.2f}% <= "
+                      f"{args.max_regression:.2f}%")
+
     if args.max_tracing_overhead is not None:
         overhead = record["tracing_disabled_overhead_pct"]
         if overhead > args.max_tracing_overhead:
             print(f"FAIL: disabled-tracer overhead {overhead:.2f}% exceeds "
                   f"the {args.max_tracing_overhead:.2f}% budget")
-            return 1
-        print(f"tracing-overhead guard OK: {overhead:.2f}% <= "
-              f"{args.max_tracing_overhead:.2f}%")
+            failed = True
+        else:
+            print(f"tracing-overhead guard OK: {overhead:.2f}% <= "
+                  f"{args.max_tracing_overhead:.2f}%")
 
     if args.max_resilience_overhead is not None:
         overhead = record["resilience_disabled_overhead_pct"]
         if overhead > args.max_resilience_overhead:
             print(f"FAIL: resilience-disabled sweep overhead {overhead:.2f}% "
                   f"exceeds the {args.max_resilience_overhead:.2f}% budget")
-            return 1
-        print(f"resilience-overhead guard OK: {overhead:.2f}% <= "
-              f"{args.max_resilience_overhead:.2f}%")
-    return 0
+            failed = True
+        else:
+            print(f"resilience-overhead guard OK: {overhead:.2f}% <= "
+                  f"{args.max_resilience_overhead:.2f}%")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

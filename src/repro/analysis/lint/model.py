@@ -37,7 +37,7 @@ __all__ = [
 #: v2: RPR007 (swallowed exceptions) added with the resilience layer.
 #: v3: RPR005 extended to `register_algorithm` factories (lambdas, nested
 #:     functions and nested classes registered as congestion strategies).
-LINT_RULESET_VERSION = 3
+LINT_RULESET_VERSION = 4
 
 CheckFunction = Callable[["LintContext"], Iterator["Violation"]]
 

@@ -538,3 +538,66 @@ def check_swallowed_exceptions(ctx: LintContext) -> Iterator[Violation]:
                 ctx, node, "RPR007",
                 f"`{shown}` swallows everything, KeyboardInterrupt included; "
                 "name the exception types or end the handler with `raise`")
+
+
+# ----------------------------------------------------------------------
+# RPR008 — constant-hook probes inside dispatch loops
+# ----------------------------------------------------------------------
+_HOT_PATH_MODULE_PREFIXES = ("repro.engine", "repro.net", "repro.tcp")
+_CONSTANT_HOOK_ATTRS = {"_tracer", "_strict", "strict"}
+
+
+@rule(
+    "RPR008",
+    "hook-probe-in-dispatch-loop",
+    "No per-iteration `self._tracer`/`self._strict`/observer-list lookups "
+    "inside engine/net/tcp loop bodies; bind them before the loop.",
+    """\
+The engine's fast-path contract is *bind once, branch never* (see
+docs/performance.md): hooks that are constant for the duration of a
+dispatch loop — the tracer, the sanitizer flag, observer lists (all
+fixed outside the loop; registration happens at build time and the
+tracer is sampled per run()) — are resolved to locals or bound fan-outs
+BEFORE the loop, so the per-event cost of a disabled hook is zero.  An
+`if self._strict:` or `for observer in self._x_observers:` inside a
+loop body re-probes per iteration, and those attribute loads are
+exactly the death-by-a-thousand-cuts tax that once cost this engine 3x
+(BENCH_engine.json, entries 1-2).  Hoist the read (`strict =
+self._strict` before the loop) or call the bound `_x_fan` target
+instead of iterating the registration list.  Scoped to the hot packages
+(repro.engine, repro.net, repro.tcp); static analysis cannot prove a
+given loop is hot, so cold-loop false positives are suppressed with
+`# repro: noqa[RPR008] -- why`.""",
+)
+def check_hook_probe_in_dispatch_loop(ctx: LintContext) -> Iterator[Violation]:
+    if not ctx.module.startswith(_HOT_PATH_MODULE_PREFIXES):
+        return
+    seen: set[tuple[int, int]] = set()
+    for loop in ast.walk(ctx.tree):
+        if isinstance(loop, ast.While):
+            region: list[ast.AST] = [loop.test, *loop.body, *loop.orelse]
+        elif isinstance(loop, (ast.For, ast.AsyncFor)):
+            # The iterable counts: `for observer in self._x_observers:`
+            # is itself the per-event probe the fan-out targets replace.
+            region = [loop.iter, *loop.body, *loop.orelse]
+        else:
+            continue
+        for part in region:
+            for node in ast.walk(part):
+                if not (isinstance(node, ast.Attribute)
+                        and isinstance(node.ctx, ast.Load)
+                        and isinstance(node.value, ast.Name)
+                        and node.value.id == "self"):
+                    continue
+                if not (node.attr in _CONSTANT_HOOK_ATTRS
+                        or node.attr.endswith("_observers")):
+                    continue
+                key = (node.lineno, node.col_offset)
+                if key in seen:  # nested loops walk the same statements
+                    continue
+                seen.add(key)
+                yield _violation(
+                    ctx, node, "RPR008",
+                    f"`self.{node.attr}` probed per loop iteration; it is "
+                    "constant for the loop's duration — bind it to a local "
+                    "(or call the bound fan-out) before the loop")

@@ -1,0 +1,467 @@
+/* The opt-in compiled engine core.
+ *
+ * Provides C implementations of the two hottest pieces of the
+ * discrete-event kernel:
+ *
+ *   - ``Event``: a struct-backed twin of ``repro.engine.event.Event``
+ *     (same constructor signature, ordering, and lifecycle methods);
+ *   - ``drain(sim, until, budget)``: the bare dispatch loop — the
+ *     monomorphic fast path ``Simulator.run()`` binds when the run has
+ *     no sanitizer and no tracer.
+ *
+ * The loop is a faithful transliteration of ``Simulator._drain_fast``:
+ * same check order (stop, budget, horizon, pop, cancelled), same
+ * counter bookkeeping, same in-place-compaction tolerance.  A run
+ * through this loop is bit-identical to the pure-Python path — the
+ * parity harness (`repro parity --check` under ``REPRO_COMPILED=1``)
+ * is the enforcement mechanism.
+ *
+ * Built on demand by ``python -m repro.engine.compiled build`` (plain
+ * ``cc``, no third-party toolchain); never required.  See
+ * ``docs/performance.md``.
+ */
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <structmember.h>
+
+typedef struct {
+    PyObject_HEAD
+    double time;
+    long priority;
+    long long sequence;
+    PyObject *callback;
+    PyObject *label;
+    PyObject *owner;
+    char cancelled;
+    char fired;
+} CEvent;
+
+static PyTypeObject CEventType;
+
+static int
+CEvent_init(CEvent *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"time", "priority", "sequence", "callback",
+                             "label", "owner", NULL};
+    PyObject *callback = NULL, *label = NULL, *owner = NULL;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "dlLO|OO", kwlist,
+                                     &self->time, &self->priority,
+                                     &self->sequence, &callback,
+                                     &label, &owner))
+        return -1;
+    Py_INCREF(callback);
+    Py_XSETREF(self->callback, callback);
+    if (label == NULL) {
+        label = PyUnicode_FromString("");
+        if (label == NULL)
+            return -1;
+    }
+    else {
+        Py_INCREF(label);
+    }
+    Py_XSETREF(self->label, label);
+    if (owner == NULL)
+        owner = Py_None;
+    Py_INCREF(owner);
+    Py_XSETREF(self->owner, owner);
+    self->cancelled = 0;
+    self->fired = 0;
+    return 0;
+}
+
+static int
+CEvent_traverse(CEvent *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->callback);
+    Py_VISIT(self->label);
+    Py_VISIT(self->owner);
+    return 0;
+}
+
+static int
+CEvent_clear(CEvent *self)
+{
+    Py_CLEAR(self->callback);
+    Py_CLEAR(self->label);
+    Py_CLEAR(self->owner);
+    return 0;
+}
+
+static void
+CEvent_dealloc(CEvent *self)
+{
+    PyObject_GC_UnTrack(self);
+    CEvent_clear(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyObject *
+CEvent_cancel(CEvent *self, PyObject *Py_UNUSED(ignored))
+{
+    if (self->cancelled)
+        Py_RETURN_NONE;
+    self->cancelled = 1;
+    if (self->owner != NULL && self->owner != Py_None && !self->fired) {
+        PyObject *result =
+            PyObject_CallMethod(self->owner, "_event_cancelled", NULL);
+        if (result == NULL)
+            return NULL;
+        Py_DECREF(result);
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+CEvent_mark_fired(CEvent *self, PyObject *Py_UNUSED(ignored))
+{
+    self->fired = 1;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+CEvent_get_pending(CEvent *self, void *Py_UNUSED(closure))
+{
+    return PyBool_FromLong(!self->cancelled && !self->fired);
+}
+
+static PyObject *
+CEvent_get_cancelled(CEvent *self, void *Py_UNUSED(closure))
+{
+    return PyBool_FromLong(self->cancelled);
+}
+
+static int
+CEvent_set_cancelled(CEvent *self, PyObject *value, void *Py_UNUSED(closure))
+{
+    int truth = PyObject_IsTrue(value);
+    if (truth < 0)
+        return -1;
+    self->cancelled = (char)truth;
+    return 0;
+}
+
+static PyObject *
+CEvent_get_fired(CEvent *self, void *Py_UNUSED(closure))
+{
+    return PyBool_FromLong(self->fired);
+}
+
+static int
+CEvent_set_fired(CEvent *self, PyObject *value, void *Py_UNUSED(closure))
+{
+    int truth = PyObject_IsTrue(value);
+    if (truth < 0)
+        return -1;
+    self->fired = (char)truth;
+    return 0;
+}
+
+static PyObject *
+CEvent_richcompare(PyObject *a, PyObject *b, int op)
+{
+    if (!PyObject_TypeCheck(a, &CEventType)
+            || !PyObject_TypeCheck(b, &CEventType))
+        Py_RETURN_NOTIMPLEMENTED;
+    CEvent *x = (CEvent *)a, *y = (CEvent *)b;
+    int cmp;
+    if (x->time < y->time) cmp = -1;
+    else if (x->time > y->time) cmp = 1;
+    else if (x->priority < y->priority) cmp = -1;
+    else if (x->priority > y->priority) cmp = 1;
+    else if (x->sequence < y->sequence) cmp = -1;
+    else if (x->sequence > y->sequence) cmp = 1;
+    else cmp = 0;
+    int result;
+    switch (op) {
+        case Py_LT: result = cmp < 0; break;
+        case Py_LE: result = cmp <= 0; break;
+        case Py_EQ: result = cmp == 0; break;
+        case Py_NE: result = cmp != 0; break;
+        case Py_GT: result = cmp > 0; break;
+        case Py_GE: result = cmp >= 0; break;
+        default: Py_RETURN_NOTIMPLEMENTED;
+    }
+    return PyBool_FromLong(result);
+}
+
+static PyObject *
+CEvent_repr(CEvent *self)
+{
+    char *formatted = PyOS_double_to_string(self->time, 'f', 6, 0, NULL);
+    if (formatted == NULL)
+        return NULL;
+    PyObject *result = PyUnicode_FromFormat(
+        "Event(t=%s, seq=%lld, %R, %s)", formatted, self->sequence,
+        self->label ? self->label : Py_None,
+        self->cancelled ? "cancelled" : "pending");
+    PyMem_Free(formatted);
+    return result;
+}
+
+static PyMemberDef CEvent_members[] = {
+    {"time", T_DOUBLE, offsetof(CEvent, time), 0, "scheduled virtual time"},
+    {"priority", T_LONG, offsetof(CEvent, priority), 0, "tie-break class"},
+    {"sequence", T_LONGLONG, offsetof(CEvent, sequence), 0, "schedule order"},
+    {"callback", T_OBJECT_EX, offsetof(CEvent, callback), 0, "the callback"},
+    {"label", T_OBJECT_EX, offsetof(CEvent, label), 0, "diagnostic label"},
+    {"_owner", T_OBJECT, offsetof(CEvent, owner), 0, "owning simulator"},
+    {NULL}
+};
+
+static PyGetSetDef CEvent_getset[] = {
+    {"pending", (getter)CEvent_get_pending, NULL,
+     "neither fired nor cancelled", NULL},
+    {"cancelled", (getter)CEvent_get_cancelled, (setter)CEvent_set_cancelled,
+     "skip flag checked at pop time", NULL},
+    {"_fired", (getter)CEvent_get_fired, (setter)CEvent_set_fired,
+     "set when the callback has run", NULL},
+    {NULL}
+};
+
+static PyMethodDef CEvent_methods[] = {
+    {"cancel", (PyCFunction)CEvent_cancel, METH_NOARGS,
+     "Mark the event so it is skipped when popped from the calendar."},
+    {"_mark_fired", (PyCFunction)CEvent_mark_fired, METH_NOARGS,
+     "Mark the event as having fired."},
+    {NULL}
+};
+
+static PyTypeObject CEventType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.engine._ccore.Event",
+    .tp_basicsize = sizeof(CEvent),
+    .tp_dealloc = (destructor)CEvent_dealloc,
+    .tp_repr = (reprfunc)CEvent_repr,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "C twin of repro.engine.event.Event",
+    .tp_traverse = (traverseproc)CEvent_traverse,
+    .tp_clear = (inquiry)CEvent_clear,
+    .tp_richcompare = CEvent_richcompare,
+    .tp_methods = CEvent_methods,
+    .tp_members = CEvent_members,
+    .tp_getset = CEvent_getset,
+    .tp_init = (initproc)CEvent_init,
+    .tp_new = PyType_GenericNew,
+};
+
+/* ------------------------------------------------------------------ */
+/* drain: the bare dispatch loop                                       */
+/* ------------------------------------------------------------------ */
+
+static PyObject *str_stop_requested, *str_now, *str_events_processed,
+    *str_cancelled_pending, *str_heap, *str_cancelled, *str_fired,
+    *str_callback;
+static PyObject *heappop = NULL;
+
+static int
+add_counter(PyObject *sim, PyObject *name, long long delta)
+{
+    if (delta == 0)
+        return 0;
+    PyObject *old = PyObject_GetAttr(sim, name);
+    if (old == NULL)
+        return -1;
+    long long value = PyLong_AsLongLong(old);
+    Py_DECREF(old);
+    if (value == -1 && PyErr_Occurred())
+        return -1;
+    PyObject *updated = PyLong_FromLongLong(value + delta);
+    if (updated == NULL)
+        return -1;
+    int status = PyObject_SetAttr(sim, name, updated);
+    Py_DECREF(updated);
+    return status;
+}
+
+static PyObject *
+drain(PyObject *Py_UNUSED(module), PyObject *args)
+{
+    PyObject *sim, *until_obj, *budget_obj;
+    if (!PyArg_ParseTuple(args, "OOO", &sim, &until_obj, &budget_obj))
+        return NULL;
+    double until = Py_HUGE_VAL;
+    if (until_obj != Py_None) {
+        until = PyFloat_AsDouble(until_obj);
+        if (until == -1.0 && PyErr_Occurred())
+            return NULL;
+    }
+    long long budget = -1;  /* -1: unbounded */
+    if (budget_obj != Py_None) {
+        budget = PyLong_AsLongLong(budget_obj);
+        if (budget == -1 && PyErr_Occurred())
+            return NULL;
+        if (budget < 0)
+            budget = 0;
+    }
+    PyObject *heap = PyObject_GetAttr(sim, str_heap);
+    if (heap == NULL)
+        return NULL;
+    if (!PyList_Check(heap)) {
+        Py_DECREF(heap);
+        PyErr_SetString(PyExc_TypeError, "sim._heap must be a list");
+        return NULL;
+    }
+
+    long long processed = 0;
+    long long cancelled_delta = 0;
+    int failed = 0;
+
+    while (PyList_GET_SIZE(heap) > 0) {
+        PyObject *stop = PyObject_GetAttr(sim, str_stop_requested);
+        if (stop == NULL) { failed = 1; break; }
+        int stopping = PyObject_IsTrue(stop);
+        Py_DECREF(stop);
+        if (stopping < 0) { failed = 1; break; }
+        if (stopping || budget == 0)
+            break;
+        PyObject *head = PyList_GET_ITEM(heap, 0);  /* borrowed */
+        if (!PyTuple_CheckExact(head) || PyTuple_GET_SIZE(head) != 4) {
+            PyErr_SetString(PyExc_TypeError,
+                            "calendar entries must be 4-tuples");
+            failed = 1;
+            break;
+        }
+        double t = PyFloat_AsDouble(PyTuple_GET_ITEM(head, 0));
+        if (t == -1.0 && PyErr_Occurred()) { failed = 1; break; }
+        if (t > until)
+            break;
+        PyObject *entry = PyObject_CallOneArg(heappop, heap);  /* new ref */
+        if (entry == NULL) { failed = 1; break; }
+        PyObject *event = PyTuple_GET_ITEM(entry, 3);  /* borrowed */
+        if (PyObject_TypeCheck(event, &CEventType)) {
+            CEvent *ev = (CEvent *)event;
+            if (ev->cancelled) {
+                cancelled_delta -= 1;
+                Py_DECREF(entry);
+                continue;
+            }
+            PyObject *now = PyFloat_FromDouble(t);
+            if (now == NULL || PyObject_SetAttr(sim, str_now, now) < 0) {
+                Py_XDECREF(now);
+                Py_DECREF(entry);
+                failed = 1;
+                break;
+            }
+            Py_DECREF(now);
+            ev->fired = 1;
+            PyObject *result = PyObject_CallNoArgs(ev->callback);
+            if (result == NULL) { Py_DECREF(entry); failed = 1; break; }
+            Py_DECREF(result);
+        }
+        else {
+            /* Foreign event object (pure-Python Event pushed before the
+             * compiled core was enabled): go through attribute access. */
+            PyObject *flag = PyObject_GetAttr(event, str_cancelled);
+            if (flag == NULL) { Py_DECREF(entry); failed = 1; break; }
+            int is_cancelled = PyObject_IsTrue(flag);
+            Py_DECREF(flag);
+            if (is_cancelled < 0) { Py_DECREF(entry); failed = 1; break; }
+            if (is_cancelled) {
+                cancelled_delta -= 1;
+                Py_DECREF(entry);
+                continue;
+            }
+            PyObject *now = PyFloat_FromDouble(t);
+            if (now == NULL || PyObject_SetAttr(sim, str_now, now) < 0) {
+                Py_XDECREF(now);
+                Py_DECREF(entry);
+                failed = 1;
+                break;
+            }
+            Py_DECREF(now);
+            if (PyObject_SetAttr(event, str_fired, Py_True) < 0) {
+                Py_DECREF(entry);
+                failed = 1;
+                break;
+            }
+            PyObject *callback = PyObject_GetAttr(event, str_callback);
+            if (callback == NULL) { Py_DECREF(entry); failed = 1; break; }
+            PyObject *result = PyObject_CallNoArgs(callback);
+            Py_DECREF(callback);
+            if (result == NULL) { Py_DECREF(entry); failed = 1; break; }
+            Py_DECREF(result);
+        }
+        Py_DECREF(entry);
+        processed += 1;
+        if (budget > 0)
+            budget -= 1;
+    }
+    Py_DECREF(heap);
+
+    /* Counters must be written back even when a callback raised. */
+    PyObject *exc_type = NULL, *exc_value = NULL, *exc_tb = NULL;
+    if (failed)
+        PyErr_Fetch(&exc_type, &exc_value, &exc_tb);
+    if (add_counter(sim, str_events_processed, processed) < 0
+            || add_counter(sim, str_cancelled_pending, cancelled_delta) < 0) {
+        if (failed) {
+            /* The callback's exception outranks bookkeeping failures. */
+            PyErr_Clear();
+        }
+        else {
+            return NULL;
+        }
+    }
+    if (failed) {
+        PyErr_Restore(exc_type, exc_value, exc_tb);
+        return NULL;
+    }
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef module_methods[] = {
+    {"drain", drain, METH_VARARGS,
+     "drain(sim, until, budget) -- run the bare dispatch loop.\n\n"
+     "until is an absolute horizon (None: run to exhaustion); budget is\n"
+     "the number of events still allowed to execute (None: unbounded)."},
+    {NULL}
+};
+
+static struct PyModuleDef ccoremodule = {
+    PyModuleDef_HEAD_INIT,
+    "repro.engine._ccore",
+    "Compiled engine core: C Event type + bare dispatch loop.",
+    -1,
+    module_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__ccore(void)
+{
+    PyObject *module = PyModule_Create(&ccoremodule);
+    if (module == NULL)
+        return NULL;
+    if (PyType_Ready(&CEventType) < 0)
+        return NULL;
+    Py_INCREF(&CEventType);
+    if (PyModule_AddObject(module, "Event", (PyObject *)&CEventType) < 0) {
+        Py_DECREF(&CEventType);
+        return NULL;
+    }
+    str_stop_requested = PyUnicode_InternFromString("_stop_requested");
+    str_now = PyUnicode_InternFromString("_now");
+    str_events_processed = PyUnicode_InternFromString("_events_processed");
+    str_cancelled_pending = PyUnicode_InternFromString("_cancelled_pending");
+    str_heap = PyUnicode_InternFromString("_heap");
+    str_cancelled = PyUnicode_InternFromString("cancelled");
+    str_fired = PyUnicode_InternFromString("_fired");
+    str_callback = PyUnicode_InternFromString("callback");
+    if (str_stop_requested == NULL || str_now == NULL
+            || str_events_processed == NULL || str_cancelled_pending == NULL
+            || str_heap == NULL || str_cancelled == NULL || str_fired == NULL
+            || str_callback == NULL)
+        return NULL;
+    PyObject *heapq_module = PyImport_ImportModule("_heapq");
+    if (heapq_module == NULL) {
+        /* Pure-Python heapq fallback platforms. */
+        PyErr_Clear();
+        heapq_module = PyImport_ImportModule("heapq");
+        if (heapq_module == NULL)
+            return NULL;
+    }
+    heappop = PyObject_GetAttrString(heapq_module, "heappop");
+    Py_DECREF(heapq_module);
+    if (heappop == NULL)
+        return NULL;
+    return module;
+}

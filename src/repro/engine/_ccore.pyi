@@ -1,0 +1,12 @@
+"""Type surface of the compiled engine core.
+
+The C ``Event`` is declared as a subclass of the pure-Python one purely
+for typing: the two are duck-type twins (same constructor, members, and
+ordering), not actually related at runtime.
+"""
+
+from repro.engine.event import Event as _PyEvent
+
+class Event(_PyEvent): ...
+
+def drain(sim: object, until: float | None, budget: int | None) -> None: ...

@@ -1,0 +1,157 @@
+"""Build and load the opt-in compiled engine core.
+
+The engine ships a C twin of its two hottest pieces — the
+:class:`~repro.engine.event.Event` struct and the bare dispatch loop —
+in ``_ccore.c``.  It is **opt-in** and never required:
+
+- ``python -m repro.engine.compiled build`` compiles it with the system
+  C compiler (``$CC`` or ``cc``) against the running interpreter's
+  headers.  No third-party toolchain, no new dependencies.
+- Setting ``REPRO_COMPILED=1`` makes every default-constructed
+  :class:`~repro.engine.simulator.Simulator` use the compiled core when
+  the extension is importable, and silently fall back to pure Python
+  when it is not (so the flag is safe to export globally).  Passing
+  ``Simulator(compiled=True)`` instead *requires* the core and raises
+  when it is missing.
+- The compiled path is bit-identical to the pure-Python path; the
+  parity harness run under ``REPRO_COMPILED=1`` is the proof (see
+  ``docs/performance.md``).
+
+The extension is built next to this module by default; set
+``REPRO_CCORE_DIR`` to build/load it from a writable directory when the
+source tree is read-only.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import subprocess
+import sys
+import sysconfig
+from pathlib import Path
+from types import ModuleType
+
+__all__ = [
+    "CCORE_ENV",
+    "CCORE_DIR_ENV",
+    "available",
+    "build",
+    "compiled_requested",
+    "load",
+    "output_path",
+    "source_path",
+]
+
+#: Environment variable that opts simulators into the compiled core.
+CCORE_ENV = "REPRO_COMPILED"
+#: Environment variable overriding where the extension is built/loaded.
+CCORE_DIR_ENV = "REPRO_CCORE_DIR"
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+_cached_module: ModuleType | None = None
+_load_attempted = False
+
+
+def compiled_requested() -> bool:
+    """True when ``REPRO_COMPILED`` asks for the compiled core."""
+    return os.environ.get(CCORE_ENV, "").strip().lower() in _TRUTHY
+
+
+def source_path() -> Path:
+    """Path of the C source shipped with the package."""
+    return Path(__file__).with_name("_ccore.c")
+
+
+def output_path() -> Path:
+    """Where the built extension lives (or would live)."""
+    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    override = os.environ.get(CCORE_DIR_ENV)
+    directory = Path(override) if override else Path(__file__).parent
+    return directory / f"_ccore{suffix}"
+
+
+def build(verbose: bool = False) -> Path:
+    """Compile ``_ccore.c`` into an importable extension module.
+
+    Uses ``$CC`` (default ``cc``) with the running interpreter's include
+    directory.  Raises :class:`RuntimeError` with the compiler's stderr
+    on failure.  Returns the path of the built extension.
+    """
+    src = source_path()
+    if not src.exists():
+        raise RuntimeError(f"compiled-core source missing: {src}")
+    out = output_path()
+    out.parent.mkdir(parents=True, exist_ok=True)
+    include = sysconfig.get_path("include")
+    compiler = os.environ.get("CC") or "cc"
+    command = [compiler, "-O2", "-fPIC", "-shared", f"-I{include}",
+               str(src), "-o", str(out)]
+    if sys.platform == "darwin":
+        command[4:4] = ["-undefined", "dynamic_lookup"]
+    if verbose:
+        print(" ".join(command))
+    result = subprocess.run(command, capture_output=True, text=True)
+    if result.returncode != 0:
+        raise RuntimeError(
+            f"compiled-core build failed ({compiler} exited "
+            f"{result.returncode}):\n{result.stderr.strip()}"
+        )
+    global _cached_module, _load_attempted
+    _cached_module = None
+    _load_attempted = False
+    return out
+
+
+def load() -> ModuleType | None:
+    """Import the built extension, or return ``None`` if unavailable.
+
+    The result is cached (including the negative result); call
+    :func:`build` to invalidate after recompiling.
+    """
+    global _cached_module, _load_attempted
+    if _load_attempted:
+        return _cached_module
+    _load_attempted = True
+    path = output_path()
+    if not path.exists():
+        return None
+    spec = importlib.util.spec_from_file_location("repro.engine._ccore", path)
+    if spec is None or spec.loader is None:
+        return None
+    module = importlib.util.module_from_spec(spec)
+    try:
+        spec.loader.exec_module(module)
+    except ImportError:
+        # A stale binary for another interpreter/ABI; treat as absent.
+        return None
+    _cached_module = module
+    return module
+
+
+def available() -> bool:
+    """True when the compiled core can be imported right now."""
+    return load() is not None
+
+
+def _main(argv: list[str]) -> int:
+    if len(argv) != 1 or argv[0] not in {"build", "status"}:
+        print("usage: python -m repro.engine.compiled {build|status}",
+              file=sys.stderr)
+        return 2
+    if argv[0] == "build":
+        out = build(verbose=True)
+        print(f"built {out}")
+        return 0
+    path = output_path()
+    print(f"source:    {source_path()}")
+    print(f"extension: {path} ({'present' if path.exists() else 'absent'})")
+    print(f"loadable:  {available()}")
+    print(f"requested: {compiled_requested()} ({CCORE_ENV}="
+          f"{os.environ.get(CCORE_ENV, '')!r})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - thin CLI
+    raise SystemExit(_main(sys.argv[1:]))

@@ -4,12 +4,19 @@ An :class:`Event` is a callback scheduled at a simulated time.  Events are
 totally ordered by ``(time, priority, sequence)`` so that simulations are
 deterministic: two events at the same timestamp always fire in the order
 they were scheduled (unless a priority says otherwise).
+
+:class:`Event` is a handwritten ``__slots__`` class rather than a
+dataclass: simulations allocate millions of these, and the constructor
+is on the scheduling hot path.  Folding the owning simulator into
+``__init__`` (instead of a post-construction attribute write) and
+skipping dataclass machinery keeps per-event cost minimal.  When the
+opt-in compiled core is active the engine substitutes a bit-compatible
+C implementation of this class (see :mod:`repro.engine.compiled`).
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
 if TYPE_CHECKING:
@@ -30,26 +37,55 @@ class EventPriority(enum.IntEnum):
     LATE = 2
 
 
-@dataclass(order=True, slots=True)
 class Event:
     """A single scheduled callback.
 
     Instances are created by :meth:`repro.engine.simulator.Simulator.schedule`
-    and should not be constructed directly.  The comparison order is the
-    execution order.  ``__slots__`` keeps the per-event footprint small —
-    simulations allocate millions of these.
+    and should not be constructed directly.  The comparison order —
+    ``(time, priority, sequence)`` — is the execution order.
     """
 
-    time: float
-    priority: int
-    sequence: int
-    callback: Callable[[], None] = field(compare=False)
-    label: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
-    _fired: bool = field(compare=False, default=False, init=False, repr=False)
-    _owner: "Simulator | None" = field(compare=False, default=None, init=False,
-                                       repr=False)
+    __slots__ = ("time", "priority", "sequence", "callback", "label",
+                 "cancelled", "_fired", "_owner")
 
+    def __init__(self, time: float, priority: int, sequence: int,
+                 callback: Callable[[], None], label: str = "",
+                 owner: "Simulator | None" = None) -> None:
+        self.time = time
+        self.priority = priority
+        self.sequence = sequence
+        self.callback = callback
+        self.label = label
+        self.cancelled = False
+        self._fired = False
+        self._owner = owner
+
+    # ------------------------------------------------------------------
+    # Ordering: (time, priority, sequence), matching the heap tuples.
+    # ------------------------------------------------------------------
+    def _key(self) -> tuple[float, int, int]:
+        return (self.time, self.priority, self.sequence)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __lt__(self, other: "Event") -> bool:
+        return self._key() < other._key()
+
+    def __le__(self, other: "Event") -> bool:
+        return self._key() <= other._key()
+
+    def __gt__(self, other: "Event") -> bool:
+        return self._key() > other._key()
+
+    def __ge__(self, other: "Event") -> bool:
+        return self._key() >= other._key()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
     def cancel(self) -> None:
         """Mark the event so it is skipped when popped from the calendar.
 

@@ -1,0 +1,54 @@
+"""Bind-once observer fan-out.
+
+Every hot object in the tree (senders, queues, ports, links, hosts,
+receivers) exposes ``on_*`` registration hooks, but in a typical run
+most hooks have **zero** observers — and per-event ``for observer in
+self._x_observers:`` loops still pay an attribute load and an iterator
+per event.  :func:`bind_fanout` collapses an observer list into a
+single dispatch target *at registration time*:
+
+- no observers → ``None`` (the caller's per-event cost is one ``is not
+  None`` test on a slot it already holds);
+- one observer → the observer itself, called directly (the common
+  instrumented case: one metrics monitor per hook);
+- many → a closure over a frozen tuple.
+
+The calling convention at every fan-out site is::
+
+    fan = self._send_fan
+    if fan is not None:
+        fan(now, packet)
+
+Registration rebinds the fan, so attach order and fire order still
+match list order.  Detachment is not supported anywhere in the tree
+(observers live as long as their subject); if it ever is, rebinding on
+removal keeps the contract.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence, TypeVar, cast
+
+__all__ = ["bind_fanout"]
+
+_F = TypeVar("_F", bound=Callable[..., None])
+
+
+def bind_fanout(observers: Sequence[_F]) -> _F | None:
+    """Collapse ``observers`` into one callable, or ``None`` when empty.
+
+    The returned callable has the same signature as the observers; the
+    snapshot is taken now, so callers must rebind after mutating the
+    list.
+    """
+    if not observers:
+        return None
+    if len(observers) == 1:
+        return observers[0]
+    bound = tuple(observers)
+
+    def fan(*args: Any) -> None:
+        for observer in bound:
+            observer(*args)
+
+    return cast(_F, fan)

@@ -7,16 +7,29 @@ endpoints, monitors) interact with the world only by scheduling events, so
 a run is a pure function of its inputs: repeated runs produce identical
 traces, which the reproduction experiments rely on.
 
-Two hot-path details matter for throughput:
+Hot-path design — *bind once, branch never*:
 
 - Heap entries are ``(time, priority, sequence, event)`` tuples, so heap
-  sifting compares plain tuples at C speed instead of invoking the
-  dataclass ``__lt__`` of :class:`Event`.
+  sifting compares plain tuples at C speed instead of invoking
+  ``Event.__lt__``.
+- :meth:`run` samples the sanitizer flag, the tracer, and the compiled
+  core **once** and dispatches to one of a small set of specialized
+  drain loops.  The bare loop (:meth:`_drain_fast`) contains no strict
+  checks, no tracer probes, and no observer code — hooks cost nothing
+  when disabled.  All loops execute events in exactly the same order
+  with exactly the same state transitions; the variants only *add*
+  checks or wall-clock sampling around the callback, never change what
+  runs.  The fast-path parity test and ``repro parity --check`` enforce
+  this bit-for-bit.
 - Cancelled events stay in the calendar (cancellation is O(1)) but are
   counted, and when they exceed :attr:`COMPACT_CANCELLED_FRACTION` of a
   sufficiently large calendar the heap is compacted in one pass.  Without
   this, refreshed retransmit timers leave a trail of dead entries that
   inflate every subsequent push/pop.
+- With ``REPRO_COMPILED=1`` (or ``Simulator(compiled=True)``) and the
+  extension built, event construction and the bare drain loop run in C
+  (see :mod:`repro.engine.compiled`).  Strict or traced runs always use
+  the Python loops, so the sanitizer and tracer see everything.
 
 Example
 -------
@@ -35,6 +48,7 @@ import math
 from time import perf_counter_ns
 from typing import Callable, Protocol
 
+from repro.engine import compiled as _compiled
 from repro.engine.event import Event, EventPriority
 from repro.engine.sanitize import SanitizerError, sanitize_enabled
 from repro.errors import SimulationError
@@ -42,6 +56,14 @@ from repro.errors import SimulationError
 __all__ = ["DispatchTracer", "Simulator"]
 
 _NORMAL = int(EventPriority.NORMAL)
+_NORMAL_MEMBER = EventPriority.NORMAL
+_INF = math.inf
+_isfinite = math.isfinite
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+_EventFactory = Callable[[float, int, int, Callable[[], None], str, "Simulator"], Event]
+_CcoreDrain = Callable[["Simulator", float | None, int | None], None]
 
 
 class DispatchTracer(Protocol):
@@ -68,6 +90,13 @@ class Simulator:
         Enable the runtime invariant sanitizer for this simulator
         (see :mod:`repro.engine.sanitize`).  ``None`` (default) defers
         to the ``REPRO_SANITIZE`` environment variable.
+    compiled:
+        Use the compiled engine core for event construction and the
+        bare dispatch loop.  ``None`` (default) defers to the
+        ``REPRO_COMPILED`` environment variable and silently falls back
+        to pure Python when the extension is not built; ``True``
+        requires the extension and raises
+        :class:`~repro.errors.SimulationError` when it is missing.
     """
 
     #: Calendar size below which compaction is never attempted.
@@ -76,7 +105,8 @@ class Simulator:
     COMPACT_CANCELLED_FRACTION = 0.5
 
     def __init__(self, start_time: float = 0.0, *,
-                 strict: bool | None = None) -> None:
+                 strict: bool | None = None,
+                 compiled: bool | None = None) -> None:
         self._now = float(start_time)
         self._heap: list[tuple[float, int, int, Event]] = []
         self._sequence = 0
@@ -86,6 +116,21 @@ class Simulator:
         self._cancelled_pending = 0
         self._strict = sanitize_enabled() if strict is None else bool(strict)
         self._tracer: DispatchTracer | None = None
+        # Bind-once: resolve the event factory and the optional C drain
+        # loop here so schedule() and run() never re-probe availability.
+        self._event_factory: _EventFactory = Event
+        self._ccore_drain: _CcoreDrain | None = None
+        if compiled is None:
+            compiled = _compiled.compiled_requested() and _compiled.available()
+        if compiled:
+            module = _compiled.load()
+            if module is None:
+                raise SimulationError(
+                    "compiled engine core requested but not built; run "
+                    "`python -m repro.engine.compiled build` first"
+                )
+            self._event_factory = module.Event
+            self._ccore_drain = module.drain
 
     # ------------------------------------------------------------------
     # Clock
@@ -101,6 +146,11 @@ class Simulator:
         return self._strict
 
     @property
+    def compiled(self) -> bool:
+        """True when this simulator dispatches through the C core."""
+        return self._ccore_drain is not None
+
+    @property
     def tracer(self) -> DispatchTracer | None:
         """The attached dispatch tracer, if any."""
         return self._tracer
@@ -109,7 +159,7 @@ class Simulator:
         """Attach (or with ``None`` detach) a dispatch tracer.
 
         The tracer is sampled once when :meth:`run` starts — the
-        untraced dispatch loop contains no tracer code at all (the
+        untraced dispatch loops contain no tracer code at all (the
         zero-cost fast path the perf harness guards), so attaching or
         detaching from inside a callback takes effect on the next
         :meth:`run`/:meth:`step` call.  Tracing is observation-only;
@@ -160,17 +210,16 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         time = self._now + delay
-        if self._strict and not math.isfinite(time):
+        if self._strict and not _isfinite(time):
             raise SanitizerError(
                 f"non-finite timestamp t={time} entering the calendar "
                 f"(delay={delay}); model 'never' by not scheduling"
             )
         sequence = self._sequence
         self._sequence = sequence + 1
-        prio = _NORMAL if priority is EventPriority.NORMAL else int(priority)
-        event = Event(time, prio, sequence, callback, label)
-        event._owner = self
-        heapq.heappush(self._heap, (time, prio, sequence, event))
+        prio = _NORMAL if priority is _NORMAL_MEMBER else int(priority)
+        event = self._event_factory(time, prio, sequence, callback, label, self)
+        _heappush(self._heap, (time, prio, sequence, event))
         return event
 
     def schedule_at(
@@ -187,7 +236,7 @@ class Simulator:
                 f"cannot schedule at t={time} which is before now={self._now}"
             )
         time = float(time)
-        if self._strict and not math.isfinite(time):
+        if self._strict and not _isfinite(time):
             raise SanitizerError(
                 f"non-finite timestamp t={time} entering the calendar; "
                 "model 'never' by not scheduling"
@@ -195,9 +244,8 @@ class Simulator:
         sequence = self._sequence
         self._sequence = sequence + 1
         prio = int(priority)
-        event = Event(time, prio, sequence, callback, label)
-        event._owner = self
-        heapq.heappush(self._heap, (time, prio, sequence, event))
+        event = self._event_factory(time, prio, sequence, callback, label, self)
+        _heappush(self._heap, (time, prio, sequence, event))
         return event
 
     # ------------------------------------------------------------------
@@ -207,76 +255,197 @@ class Simulator:
         """Run until the calendar drains, ``until`` is reached, or
         ``max_events`` events have executed.
 
+        ``max_events`` bounds the *cumulative* :attr:`events_processed`
+        count, matching historical behavior: a second
+        ``run(max_events=5)`` after five events have already executed
+        does nothing.
+
         When ``until`` is given, the clock is advanced to exactly ``until``
         on return even if the calendar drained earlier, so utilization
         accounting over ``[0, until]`` is well defined.
+
+        Bind-once dispatch: the strict flag, the tracer, and the
+        compiled core are sampled here, once, to select one specialized
+        drain loop.  The loops differ only in the checks/instrumentation
+        *around* each callback — dispatch order and state transitions
+        are identical across all of them.
         """
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         self._stop_requested = False
-        heap = self._heap
-        pop = heapq.heappop
-        # The tracer is sampled once per run() so the untraced loop
-        # carries no tracer code at all; the two loops are otherwise
-        # identical (dispatch order and state transitions match exactly —
-        # the traced variant only adds wall-clock sampling around the
-        # callback, which never feeds back into simulation state).
         tracer = self._tracer
         try:
+            if self._strict:
+                if tracer is None:
+                    self._drain_strict(until, max_events)
+                else:
+                    self._drain_strict_traced(until, max_events, tracer)
+            elif tracer is not None:
+                self._drain_traced(until, max_events, tracer)
+            elif self._ccore_drain is not None:
+                budget = (None if max_events is None
+                          else max(max_events - self._events_processed, 0))
+                self._ccore_drain(self, until, budget)
+            else:
+                self._drain_fast(until, max_events)
+        finally:
+            self._running = False
+        if until is not None and self._now < until and not self._stop_requested:
+            self._now = until
+
+    # Each drain loop keeps `events_processed` in a local and writes it
+    # back in `finally` so counters survive a raising callback.  Nothing
+    # in the tree reads `events_processed` mid-run (callbacks included),
+    # so the deferred write-back is unobservable.  Cancelled pops never
+    # consume `max_events` budget (they are skips, not executions).
+
+    def _drain_fast(self, until: float | None, max_events: int | None) -> None:
+        """The bare loop: no sanitizer, no tracer — nothing but dispatch."""
+        heap = self._heap
+        pop = _heappop
+        until_t = _INF if until is None else until
+        processed = self._events_processed
+        budget = -1 if max_events is None else max(max_events - processed, 0)
+        try:
             while heap:
-                if self._stop_requested:
-                    break
-                if max_events is not None and self._events_processed >= max_events:
+                if self._stop_requested or budget == 0:
                     break
                 entry = heap[0]
-                if until is not None and entry[0] > until:
+                if entry[0] > until_t:
                     break
                 pop(heap)
                 event = entry[3]
                 if event.cancelled:
                     self._cancelled_pending -= 1
                     continue
-                if self._strict:
-                    self._sanitize_pop(entry, event)
                 self._now = entry[0]
                 event._fired = True
-                if tracer is None:
-                    event.callback()
-                else:
-                    # +1: the popped entry itself still counts toward the
-                    # calendar depth the handler ran at.
-                    depth = len(heap) + 1
-                    begin = perf_counter_ns()
-                    event.callback()
-                    tracer.dispatch(entry[0], perf_counter_ns() - begin,
-                                    event.label, depth, entry[2])
-                self._events_processed += 1
+                event.callback()
+                processed += 1
+                budget -= 1
         finally:
-            self._running = False
-        if until is not None and self._now < until and not self._stop_requested:
-            self._now = until
+            self._events_processed = processed
+
+    def _drain_traced(self, until: float | None, max_events: int | None,
+                      tracer: DispatchTracer) -> None:
+        """The bare loop plus wall-clock sampling around each callback."""
+        heap = self._heap
+        pop = _heappop
+        until_t = _INF if until is None else until
+        processed = self._events_processed
+        budget = -1 if max_events is None else max(max_events - processed, 0)
+        dispatch = tracer.dispatch
+        try:
+            while heap:
+                if self._stop_requested or budget == 0:
+                    break
+                entry = heap[0]
+                if entry[0] > until_t:
+                    break
+                pop(heap)
+                event = entry[3]
+                if event.cancelled:
+                    self._cancelled_pending -= 1
+                    continue
+                self._now = entry[0]
+                event._fired = True
+                # +1: the popped entry itself still counts toward the
+                # calendar depth the handler ran at.
+                depth = len(heap) + 1
+                begin = perf_counter_ns()
+                event.callback()
+                dispatch(entry[0], perf_counter_ns() - begin,
+                         event.label, depth, entry[2])
+                processed += 1
+                budget -= 1
+        finally:
+            self._events_processed = processed
+
+    def _drain_strict(self, until: float | None, max_events: int | None) -> None:
+        """The bare loop plus per-pop sanitizer invariants."""
+        heap = self._heap
+        pop = _heappop
+        until_t = _INF if until is None else until
+        processed = self._events_processed
+        budget = -1 if max_events is None else max(max_events - processed, 0)
+        try:
+            while heap:
+                if self._stop_requested or budget == 0:
+                    break
+                entry = heap[0]
+                if entry[0] > until_t:
+                    break
+                pop(heap)
+                event = entry[3]
+                if event.cancelled:
+                    self._cancelled_pending -= 1
+                    continue
+                self._sanitize_pop(entry, event)
+                self._now = entry[0]
+                event._fired = True
+                event.callback()
+                processed += 1
+                budget -= 1
+        finally:
+            self._events_processed = processed
+
+    def _drain_strict_traced(self, until: float | None, max_events: int | None,
+                             tracer: DispatchTracer) -> None:
+        """Sanitizer invariants plus tracer sampling — the slowest loop."""
+        heap = self._heap
+        pop = _heappop
+        until_t = _INF if until is None else until
+        processed = self._events_processed
+        budget = -1 if max_events is None else max(max_events - processed, 0)
+        dispatch = tracer.dispatch
+        try:
+            while heap:
+                if self._stop_requested or budget == 0:
+                    break
+                entry = heap[0]
+                if entry[0] > until_t:
+                    break
+                pop(heap)
+                event = entry[3]
+                if event.cancelled:
+                    self._cancelled_pending -= 1
+                    continue
+                self._sanitize_pop(entry, event)
+                self._now = entry[0]
+                event._fired = True
+                depth = len(heap) + 1
+                begin = perf_counter_ns()
+                event.callback()
+                dispatch(entry[0], perf_counter_ns() - begin,
+                         event.label, depth, entry[2])
+                processed += 1
+                budget -= 1
+        finally:
+            self._events_processed = processed
 
     def step(self) -> bool:
         """Execute exactly one (non-cancelled) event.
 
         Returns ``True`` if an event ran, ``False`` if the calendar is empty.
         """
-        while self._heap:
-            entry = heapq.heappop(self._heap)
+        heap = self._heap
+        strict = self._strict
+        tracer = self._tracer
+        while heap:
+            entry = _heappop(heap)
             event = entry[3]
             if event.cancelled:
                 self._cancelled_pending -= 1
                 continue
-            if self._strict:
+            if strict:
                 self._sanitize_pop(entry, event)
             self._now = entry[0]
             event._fired = True
-            tracer = self._tracer
             if tracer is None:
                 event.callback()
             else:
-                depth = len(self._heap) + 1
+                depth = len(heap) + 1
                 begin = perf_counter_ns()
                 event.callback()
                 tracer.dispatch(entry[0], perf_counter_ns() - begin,
@@ -293,7 +462,7 @@ class Simulator:
         """Time of the next pending event, or ``None`` if none remain."""
         heap = self._heap
         while heap and heap[0][3].cancelled:
-            heapq.heappop(heap)
+            _heappop(heap)
             self._cancelled_pending -= 1
         return heap[0][0] if heap else None
 
@@ -342,8 +511,8 @@ class Simulator:
             return 0
         heap = self._heap
         before = len(heap)
-        # In place: run() holds a local alias to the heap list across
-        # callbacks, and a callback may trigger this compaction.
+        # In place: the drain loops hold a local alias to the heap list
+        # across callbacks, and a callback may trigger this compaction.
         heap[:] = [entry for entry in heap if not entry[3].cancelled]
         heapq.heapify(heap)
         self._cancelled_pending = 0

@@ -108,11 +108,21 @@ class CoarseTimer:
         """Arm the timer to fire on the ``ticks``-th tick boundary from now."""
         if ticks < 1:
             raise ValueError(f"tick count must be >= 1, got {ticks}")
-        self.cancel()
         now = self._sim.now
         # Index of the next tick boundary strictly after `now`.
         next_boundary = int(now / self._period) + 1
         fire_at = (next_boundary + ticks - 1) * self._period
+        # Re-arms are batched per tick boundary: a Tahoe sender restarts
+        # its retransmit timer on every ACK, but within one tick period
+        # every restart quantizes to the same boundary.  Keeping the
+        # already-armed event avoids a cancel + reschedule per ACK (the
+        # dominant source of cancelled-entry churn in the calendar).
+        # Both sides of the comparison come from the identical expression
+        # over the same period, so float equality is exact here.
+        event = self._event
+        if event is not None and event.pending and event.time == fire_at:  # repro: noqa[RPR002] -- same quantized boundary computed by the same expression; bit-equality is intended
+            return
+        self.cancel()
         self._event = self._sim.schedule_at(
             fire_at, self._fire, priority=EventPriority.EARLY, label=self._label
         )

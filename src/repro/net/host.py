@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Callable, Protocol
 
+from repro.engine.fanout import bind_fanout
 from repro.engine.simulator import Simulator
 from repro.errors import ConfigurationError
 from repro.net.node import Node
@@ -46,6 +47,9 @@ class Host(Node):
         self._received = 0
         self._sent = 0
         self._send_observers: list[Callable[[float, Packet], None]] = []
+        self._send_fan: Callable[[float, Packet], None] | None = None
+        # Constant per host; built per delivered packet before.
+        self._proc_label = f"{name}:proc"
 
     # ------------------------------------------------------------------
     # Endpoint registry
@@ -73,6 +77,7 @@ class Host(Node):
     def on_send(self, observer: Callable[[float, Packet], None]) -> None:
         """Register ``observer(time, packet)`` for every injected packet."""
         self._send_observers.append(observer)
+        self._send_fan = bind_fanout(self._send_observers)
 
     # ------------------------------------------------------------------
     # Data path
@@ -83,7 +88,7 @@ class Host(Node):
             self.sim.schedule(
                 self.processing_delay,
                 lambda: self._deliver_local(packet),
-                label=f"{self.name}:proc",
+                label=self._proc_label,
             )
         else:
             self._deliver_local(packet)
@@ -107,6 +112,7 @@ class Host(Node):
         packet.src = self.name
         packet.dst = destination
         self._sent += 1
-        for observer in self._send_observers:
-            observer(self.sim.now, packet)
+        fan = self._send_fan
+        if fan is not None:
+            fan(self.sim.now, packet)
         return self.forward(packet)

@@ -26,11 +26,11 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.engine.fanout import bind_fanout
 from repro.engine.simulator import Simulator
 from repro.net.link import Link
 from repro.net.packet import Packet
 from repro.net.queues import DropTailQueue
-from repro.units import transmission_time
 
 __all__ = ["OutputPort"]
 
@@ -66,6 +66,11 @@ class OutputPort:
         self._busy_time = 0.0
         self._departure_observers: list[DepartureObserver] = []
         self._busy_observers: list[BusyObserver] = []
+        self._departure_fan: DepartureObserver | None = None
+        self._busy_fan: BusyObserver | None = None
+        # The txdone label never changes; building the f-string per
+        # packet showed up in the dumbbell profile.
+        self._txdone_label = f"{name}:txdone"
 
     # ------------------------------------------------------------------
     # Introspection
@@ -87,9 +92,12 @@ class OutputPort:
 
     def tx_time(self, packet: Packet) -> float:
         """Serialization time for ``packet`` on this port."""
-        if packet.size <= 0:
+        size = packet.size
+        if size <= 0:
             return 0.0
-        return transmission_time(packet.size, self.bandwidth)
+        # Inlined transmission_time(size, self.bandwidth); the operation
+        # order (size * 8.0, then divide) must stay bit-identical to it.
+        return size * 8.0 / self.bandwidth
 
     # ------------------------------------------------------------------
     # Observers
@@ -97,10 +105,12 @@ class OutputPort:
     def on_departure(self, observer: DepartureObserver) -> None:
         """Register ``observer(time, packet)`` at each transmission start."""
         self._departure_observers.append(observer)
+        self._departure_fan = bind_fanout(self._departure_observers)
 
     def on_transmission(self, observer: BusyObserver) -> None:
         """Register ``observer(start, duration, packet)`` per transmission."""
         self._busy_observers.append(observer)
+        self._busy_fan = bind_fanout(self._busy_observers)
 
     # ------------------------------------------------------------------
     # Data path
@@ -122,12 +132,14 @@ class OutputPort:
         now = self._sim.now
         self._busy = True
         duration = self.tx_time(packet)
-        for observer in self._departure_observers:
-            observer(now, packet)
-        for observer in self._busy_observers:
-            observer(now, duration, packet)
+        fan = self._departure_fan
+        if fan is not None:
+            fan(now, packet)
+        busy_fan = self._busy_fan
+        if busy_fan is not None:
+            busy_fan(now, duration, packet)
         self._sim.schedule(
-            duration, lambda: self._finish_transmission(packet, duration), label=f"{self.name}:txdone"
+            duration, lambda: self._finish_transmission(packet, duration), label=self._txdone_label
         )
 
     def _finish_transmission(self, packet: Packet, duration: float) -> None:

@@ -15,6 +15,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable
 
+from repro.engine.fanout import bind_fanout
 from repro.engine.sanitize import SanitizerError, sanitize_enabled
 from repro.net.packet import Packet
 
@@ -60,6 +61,12 @@ class DropTailQueue:
         self._drop_observers: list[DropObserver] = []
         self._enqueue_observers: list[EnqueueObserver] = []
         self._dequeue_observers: list[DequeueObserver] = []
+        # Bound fan-out targets (None while a hook has no observers);
+        # rebuilt on registration — see repro.engine.fanout.
+        self._length_fan: LengthObserver | None = None
+        self._drop_fan: DropObserver | None = None
+        self._enqueue_fan: EnqueueObserver | None = None
+        self._dequeue_fan: DequeueObserver | None = None
         # Sanitizer bookkeeping: arrival order stamps, keyed by packet
         # identity.  Entries are overwritten on (re)admission and popped
         # on departure, so id() reuse after eviction cannot alias.
@@ -117,18 +124,22 @@ class DropTailQueue:
     def on_length_change(self, observer: LengthObserver) -> None:
         """Register ``observer(time, new_length)`` for every length change."""
         self._length_observers.append(observer)
+        self._length_fan = bind_fanout(self._length_observers)
 
     def on_drop(self, observer: DropObserver) -> None:
         """Register ``observer(time, packet)`` for every drop-tail discard."""
         self._drop_observers.append(observer)
+        self._drop_fan = bind_fanout(self._drop_observers)
 
     def on_enqueue(self, observer: EnqueueObserver) -> None:
         """Register ``observer(time, packet)`` for every accepted arrival."""
         self._enqueue_observers.append(observer)
+        self._enqueue_fan = bind_fanout(self._enqueue_observers)
 
     def on_dequeue(self, observer: DequeueObserver) -> None:
         """Register ``observer(time, packet)`` for every departure."""
         self._dequeue_observers.append(observer)
+        self._dequeue_fan = bind_fanout(self._dequeue_observers)
 
     # ------------------------------------------------------------------
     # Operations
@@ -140,8 +151,9 @@ class DropTailQueue:
         """
         if self.is_full:
             self._drops += 1
-            for observer in self._drop_observers:
-                observer(now, packet)
+            fan = self._drop_fan
+            if fan is not None:
+                fan(now, packet)
             return False
         self._admit(now, packet)
         return True
@@ -158,10 +170,12 @@ class DropTailQueue:
             self._stamps[id(packet)] = self._arrival_counter
         self._packets.append(packet)
         self._enqueues += 1
-        for observer in self._enqueue_observers:
-            observer(now, packet)
-        for observer in self._length_observers:
-            observer(now, len(self._packets))
+        fan = self._enqueue_fan
+        if fan is not None:
+            fan(now, packet)
+        length_fan = self._length_fan
+        if length_fan is not None:
+            length_fan(now, len(self._packets))
         if self.strict:
             self._check_conservation()
 
@@ -178,8 +192,9 @@ class DropTailQueue:
         self._drops += 1
         if self.strict:
             self._stamps.pop(id(victim), None)
-        for observer in self._drop_observers:
-            observer(now, victim)
+        fan = self._drop_fan
+        if fan is not None:
+            fan(now, victim)
         return victim
 
     def take(self, now: float) -> Packet | None:
@@ -191,10 +206,12 @@ class DropTailQueue:
         if self.strict:
             self._check_fifo(packet)
             self._check_conservation()
-        for observer in self._dequeue_observers:
-            observer(now, packet)
-        for observer in self._length_observers:
-            observer(now, len(self._packets))
+        fan = self._dequeue_fan
+        if fan is not None:
+            fan(now, packet)
+        length_fan = self._length_fan
+        if length_fan is not None:
+            length_fan(now, len(self._packets))
         return packet
 
     # ------------------------------------------------------------------

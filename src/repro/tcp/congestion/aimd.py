@@ -36,6 +36,8 @@ __all__ = ["AimdControl"]
 class AimdControl(CongestionControl):
     """Additive-increase ``a``, multiplicative-decrease ``b``."""
 
+    __slots__ = ("a", "b", "window")
+
     def __init__(self, a: float = 1.0, b: float = 0.5,
                  window: int | None = None) -> None:
         if a <= 0:

@@ -39,7 +39,14 @@ class CongestionControl:
     Subclasses override the hooks below; the defaults describe a
     reliable adaptive algorithm that does nothing to its window (useful
     only as documentation — concrete strategies live next door).
+
+    Strategies are slotted: the hooks run per ACK, and ``__slots__``
+    keeps per-flow policy state compact and its attribute access cheap.
+    Subclasses must declare their own ``__slots__`` (empty if stateless)
+    or they silently regain a ``__dict__``.
     """
+
+    __slots__ = ()
 
     #: Whether the transport runs its reliability machinery for this
     #: strategy: retransmission timer, RTT sampling, duplicate-ACK

@@ -30,6 +30,8 @@ __all__ = ["FixedWindowControl"]
 class FixedWindowControl(CongestionControl):
     """A constant window-``W`` policy with no loss reaction."""
 
+    __slots__ = ("window",)
+
     reliable = False
     adaptive = False
 

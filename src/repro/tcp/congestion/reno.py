@@ -34,6 +34,8 @@ __all__ = ["RenoControl"]
 class RenoControl(TahoeControl):
     """Tahoe with fast recovery grafted on (per-flow recovery state)."""
 
+    __slots__ = ("in_recovery", "fast_recoveries")
+
     def __init__(self) -> None:
         self.in_recovery = False
         self.fast_recoveries = 0

@@ -17,6 +17,7 @@ how bunched its ACK arrivals are.  Everything else matches
 from __future__ import annotations
 
 from repro.engine.event import Event
+from repro.engine.fanout import bind_fanout
 from repro.engine.simulator import Simulator
 from repro.errors import ProtocolError
 from repro.net.host import Host
@@ -69,6 +70,8 @@ class PacedWindowSender:
         self._pump_event: Event | None = None
         self._send_observers: list[SendObserver] = []
         self._ack_observers: list[AckObserver] = []
+        self._send_fan: SendObserver | None = None
+        self._ack_fan: AckObserver | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -84,10 +87,12 @@ class PacedWindowSender:
     def on_send(self, observer: SendObserver) -> None:
         """Register ``observer(time, packet)`` per transmitted packet."""
         self._send_observers.append(observer)
+        self._send_fan = bind_fanout(self._send_observers)
 
     def on_ack(self, observer: AckObserver) -> None:
         """Register ``observer(time, packet)`` per arriving ACK."""
         self._ack_observers.append(observer)
+        self._ack_fan = bind_fanout(self._ack_observers)
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -103,8 +108,9 @@ class PacedWindowSender:
         if not packet.is_ack:
             raise ProtocolError(f"conn {self.conn_id}: sender got non-ACK {packet!r}")
         self.acks_received += 1
-        for observer in self._ack_observers:
-            observer(self._sim.now, packet)
+        fan = self._ack_fan
+        if fan is not None:
+            fan(self._sim.now, packet)
         if packet.ack > self.snd_nxt:
             raise ProtocolError(
                 f"conn {self.conn_id}: ACK {packet.ack} beyond snd_nxt {self.snd_nxt}"
@@ -149,8 +155,9 @@ class PacedWindowSender:
         self.snd_nxt += 1
         self.packets_sent += 1
         self._earliest_next_send = now + self.pace_interval
-        for observer in self._send_observers:
-            observer(now, packet)
+        fan = self._send_fan
+        if fan is not None:
+            fan(now, packet)
         self._host.send(packet, self.destination)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.engine.fanout import bind_fanout
 from repro.engine.simulator import Simulator
 from repro.engine.timer import OneShotTimer
 from repro.errors import ProtocolError
@@ -61,6 +62,7 @@ class TcpReceiver:
         self.delayed_ack_fires = 0
 
         self._receive_observers: list[ReceiveObserver] = []
+        self._receive_fan: ReceiveObserver | None = None
 
     # ------------------------------------------------------------------
     # Observers / introspection
@@ -68,6 +70,7 @@ class TcpReceiver:
     def on_receive(self, observer: ReceiveObserver) -> None:
         """Register ``observer(time, packet)`` for every data arrival."""
         self._receive_observers.append(observer)
+        self._receive_fan = bind_fanout(self._receive_observers)
 
     @property
     def reassembly_queue(self) -> list[int]:
@@ -81,10 +84,10 @@ class TcpReceiver:
         """Process an arriving DATA packet (PacketSink interface)."""
         if not packet.is_data:
             raise ProtocolError(f"conn {self.conn_id}: receiver got non-data {packet!r}")
-        now = self._sim.now
         self.packets_received += 1
-        for observer in self._receive_observers:
-            observer(now, packet)
+        fan = self._receive_fan
+        if fan is not None:
+            fan(self._sim.now, packet)
 
         seq = packet.seq
         if seq == self.rcv_nxt:

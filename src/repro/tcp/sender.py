@@ -25,6 +25,7 @@ timer is never armed, ACKs are never timed, duplicate ACKs are ignored
 
 from __future__ import annotations
 
+from repro.engine.fanout import bind_fanout
 from repro.engine.simulator import Simulator
 from repro.engine.timer import CoarseTimer
 from repro.errors import ProtocolError
@@ -98,12 +99,30 @@ class Sender:
         self._started = False
 
         # --- observers ---------------------------------------------------
+        # The lists keep registration order; the fans are the bound
+        # dispatch targets the data path actually calls (None when a
+        # hook has no observers — see repro.engine.fanout).
         self._cwnd_observers: list[CwndObserver] = []
         self._loss_observers: list[LossObserver] = []
         self._send_observers: list[SendObserver] = []
         self._ack_observers: list[AckObserver] = []
+        self._cwnd_fan: CwndObserver | None = None
+        self._loss_fan: LossObserver | None = None
+        self._send_fan: SendObserver | None = None
+        self._ack_fan: AckObserver | None = None
 
         self.control.attach(self)
+        # Bind-once strategy dispatch: `control` is fixed for the life of
+        # the sender, so the per-ACK calls go through bound methods cached
+        # here instead of two attribute loads per call.  The `reliable`
+        # flag is likewise constant (a ClassVar of the strategy).
+        control = self.control
+        self._cc_grow = control.grow
+        self._cc_dupack = control.dupack
+        self._cc_ack_advanced = control.ack_advanced
+        self._cc_on_loss = control.on_loss
+        self._cc_usable_window = control.usable_window
+        self._reliable = control.reliable
 
     # ------------------------------------------------------------------
     # Introspection
@@ -134,15 +153,18 @@ class Sender:
     def on_cwnd_change(self, observer: CwndObserver) -> None:
         """Register ``observer(time, cwnd, ssthresh)`` per adjustment."""
         self._cwnd_observers.append(observer)
+        self._cwnd_fan = bind_fanout(self._cwnd_observers)
 
     def on_loss_detected(self, observer: LossObserver) -> None:
         """Register ``observer(time, trigger, seq)``; trigger is
         ``"dupack"`` or ``"timeout"``."""
         self._loss_observers.append(observer)
+        self._loss_fan = bind_fanout(self._loss_observers)
 
     def on_send(self, observer: SendObserver) -> None:
         """Register ``observer(time, packet)`` per transmitted packet."""
         self._send_observers.append(observer)
+        self._send_fan = bind_fanout(self._send_observers)
 
     def on_ack(self, observer: AckObserver) -> None:
         """Register ``observer(time, packet)`` per arriving ACK.
@@ -151,6 +173,7 @@ class Sender:
         spacing of ACKs at the source.
         """
         self._ack_observers.append(observer)
+        self._ack_fan = bind_fanout(self._ack_observers)
 
     # ------------------------------------------------------------------
     # Strategy toolkit — the sanctioned calls a CongestionControl makes
@@ -158,16 +181,16 @@ class Sender:
     # ------------------------------------------------------------------
     def notify_cwnd(self) -> None:
         """Fan the current (cwnd, ssthresh) out to the cwnd observers."""
-        now = self._sim.now
-        for observer in self._cwnd_observers:
-            observer(now, self.cwnd, self.ssthresh)
+        fan = self._cwnd_fan
+        if fan is not None:
+            fan(self._sim.now, self.cwnd, self.ssthresh)
 
     def emit_loss_event(self, trigger: str) -> None:
         """Count a loss detection and notify the loss observers."""
-        now = self._sim.now
         self.loss_events += 1
-        for observer in self._loss_observers:
-            observer(now, trigger, self.snd_una)
+        fan = self._loss_fan
+        if fan is not None:
+            fan(self._sim.now, trigger, self.snd_una)
 
     def clear_rtt_sample(self) -> None:
         """Abandon the in-flight RTT measurement (Karn's rule)."""
@@ -192,9 +215,16 @@ class Sender:
         ACK immediately releases two packets (the slot the ACK freed plus
         the increment), with no artificial spacing.
         """
-        while self.packets_out < self.wnd:
-            self._transmit(self.snd_nxt)
-            self.snd_nxt += 1
+        # ACKs only arrive via scheduled events, so snd_una and the
+        # usable window are loop invariants here; snd_nxt is still
+        # written back every iteration so send observers see live state.
+        wnd = self._cc_usable_window(self)
+        una = self.snd_una
+        nxt = self.snd_nxt
+        while nxt - una < wnd:
+            self._transmit(nxt)
+            nxt += 1
+            self.snd_nxt = nxt
 
     # ------------------------------------------------------------------
     # Control
@@ -216,9 +246,9 @@ class Sender:
         if not packet.is_ack:
             raise ProtocolError(f"conn {self.conn_id}: sender got non-ACK {packet!r}")
         self.acks_received += 1
-        now = self._sim.now
-        for observer in self._ack_observers:
-            observer(now, packet)
+        fan = self._ack_fan
+        if fan is not None:
+            fan(self._sim.now, packet)
         ack = packet.ack
         if ack > self._high_seq:
             raise ProtocolError(
@@ -226,25 +256,25 @@ class Sender:
             )
         if ack > self.snd_una:
             self._on_new_ack(ack)
-        elif self.control.reliable and ack == self.snd_una and self.packets_out > 0:
-            self.control.dupack(self)
+        elif self._reliable and ack == self.snd_una and self.snd_nxt > self.snd_una:
+            self._cc_dupack(self)
         # ACKs below snd_una are stale remnants of go-back-N; ignored.
 
     def _on_new_ack(self, ack: int) -> None:
-        if self.control.ack_advanced(self, ack):
+        if self._cc_ack_advanced(self, ack):
             return  # the strategy replaced the whole path (Reno exit)
         self.snd_una = ack
         # After a go-back-N reset, a cumulative ACK can cover data the
         # receiver had cached out of order; transmission resumes past it.
         if self.snd_nxt < ack:
             self.snd_nxt = ack
-        if self.control.reliable:
+        if self._reliable:
             self.dupacks = 0
             # RTT sample (Karn: the timed sequence is cleared on any loss).
             if self._timed_seq is not None and ack > self._timed_seq:
                 self.rtt.sample(self._sim.now - self._timed_at)
                 self._timed_seq = None
-            self.control.grow(self)
+            self._cc_grow(self)
             if self.packets_out == 0:
                 self._rexmt.cancel()
             else:
@@ -263,7 +293,7 @@ class Sender:
         timeout, head retransmit on duplicate ACKs.
         """
         self.emit_loss_event(trigger)
-        self.control.on_loss(self, trigger)
+        self._cc_on_loss(self, trigger)
         self.notify_cwnd()
         self._timed_seq = None  # Karn's rule
         if trigger == "timeout":
@@ -308,14 +338,15 @@ class Sender:
             self.retransmits += 1
         else:
             self._high_seq = seq + 1
-            if self.control.reliable and self._timed_seq is None:
+            if self._reliable and self._timed_seq is None:
                 self._timed_seq = seq
                 self._timed_at = now
         self.packets_sent += 1
-        if self.control.reliable and not self._rexmt.armed:
+        if self._reliable and not self._rexmt.armed:
             self._rexmt.start_seconds(self.rtt.rto())
-        for observer in self._send_observers:
-            observer(now, packet)
+        fan = self._send_fan
+        if fan is not None:
+            fan(now, packet)
         self._host.send(packet, self.destination)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -1,0 +1,20 @@
+# repro-lint-module: repro.engine.demo
+"""RPR008 negative: hooks bound once before the loop, fan-out pre-bound."""
+
+
+class Kernel:
+    def run(self, heap):
+        strict = self._strict
+        tracer = self._tracer
+        while heap:
+            entry = heap.pop()
+            if strict:
+                self._sanitize(entry)
+            if tracer is not None:
+                tracer.dispatch(entry)
+
+    def emit(self, packets, now):
+        fan = self._send_fan
+        if fan is not None:
+            for packet in packets:
+                fan(now, packet)

@@ -24,6 +24,7 @@ CASES = [
     ("RPR005", "rpr005_bad.py", 4, "rpr005_good.py"),
     ("RPR006", "rpr006_bad.py", 2, "rpr006_good.py"),
     ("RPR007", "rpr007_bad.py", 2, "rpr007_good.py"),
+    ("RPR008", "rpr008_bad.py", 3, "rpr008_good.py"),
 ]
 
 
@@ -83,3 +84,36 @@ class TestScoping:
         source = "try:\n    x()\nexcept BaseException:\n    cleanup()\n"
         assert [v.code for v in
                 lint_source(source, module="repro.parallel.demo")] == ["RPR007"]
+
+    def test_rpr008_scoped_to_hot_packages(self):
+        source = ("class K:\n"
+                  "    def run(self, heap):\n"
+                  "        while heap:\n"
+                  "            if self._strict:\n"
+                  "                heap.pop()\n")
+        assert lint_source(source, module="repro.metrics.demo") == []
+        assert [v.code for v in
+                lint_source(source, module="repro.engine.demo")] == ["RPR008"]
+
+    def test_rpr008_ignores_reads_outside_loops(self):
+        source = ("class K:\n"
+                  "    def once(self):\n"
+                  "        if self._strict:\n"
+                  "            self.check()\n")
+        assert lint_source(source, module="repro.engine.demo") == []
+
+    def test_rpr008_flags_observer_list_iteration(self):
+        source = ("class K:\n"
+                  "    def emit(self, now, packet):\n"
+                  "        for observer in self._ack_observers:\n"
+                  "            observer(now, packet)\n")
+        assert [v.code for v in
+                lint_source(source, module="repro.tcp.demo")] == ["RPR008"]
+
+    def test_rpr008_ignores_stores_and_other_attrs(self):
+        source = ("class K:\n"
+                  "    def run(self, items):\n"
+                  "        for item in items:\n"
+                  "            self._count += 1\n"
+                  "            self.handle(item)\n")
+        assert lint_source(source, module="repro.net.demo") == []

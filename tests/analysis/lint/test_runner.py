@@ -58,7 +58,8 @@ class TestRegistry:
     def test_all_rules_registered(self):
         codes = [rule.code for rule in iter_rules()]
         assert codes == ["RPR000", "RPR001", "RPR002", "RPR003",
-                         "RPR004", "RPR005", "RPR006", "RPR007", "RPR900"]
+                         "RPR004", "RPR005", "RPR006", "RPR007",
+                         "RPR008", "RPR900"]
 
     def test_explain_mentions_suppression_syntax(self):
         text = get_rule("RPR002").explain()

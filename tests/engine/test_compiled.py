@@ -1,0 +1,122 @@
+"""Tests for the opt-in compiled engine core (``repro.engine.compiled``).
+
+The build itself needs a working C compiler; tests that exercise the
+built extension skip (rather than fail) when ``cc`` is unavailable, so
+the suite stays green on minimal machines.  Everything else — env
+resolution, path overrides, the required-but-missing error — runs
+everywhere.
+"""
+
+import pytest
+
+from repro.engine import compiled
+from repro.engine.event import Event
+from repro.engine.simulator import Simulator
+from repro.errors import SimulationError
+
+
+def _built_module():
+    module = compiled.load()
+    if module is None:
+        try:
+            compiled.build()
+        except RuntimeError as exc:
+            pytest.skip(f"compiled core unavailable: {exc}")
+        module = compiled.load()
+    assert module is not None
+    return module
+
+
+class TestResolution:
+    def test_compiled_requested_reads_truthy_env(self, monkeypatch):
+        for value in ("1", "true", "YES", " on "):
+            monkeypatch.setenv(compiled.CCORE_ENV, value)
+            assert compiled.compiled_requested()
+        for value in ("", "0", "off", "no"):
+            monkeypatch.setenv(compiled.CCORE_ENV, value)
+            assert not compiled.compiled_requested()
+        monkeypatch.delenv(compiled.CCORE_ENV)
+        assert not compiled.compiled_requested()
+
+    def test_output_path_respects_dir_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(compiled.CCORE_DIR_ENV, str(tmp_path))
+        assert compiled.output_path().parent == tmp_path
+        monkeypatch.delenv(compiled.CCORE_DIR_ENV)
+        assert compiled.output_path().parent == compiled.source_path().parent
+
+    def test_simulator_requires_core_when_compiled_true(self, monkeypatch):
+        monkeypatch.setattr(compiled, "load", lambda: None)
+        with pytest.raises(SimulationError, match="not built"):
+            Simulator(compiled=True)
+
+    def test_env_request_falls_back_silently(self, monkeypatch):
+        monkeypatch.setenv(compiled.CCORE_ENV, "1")
+        monkeypatch.setattr(compiled, "available", lambda: False)
+        sim = Simulator()
+        assert sim.compiled is False
+        sim.schedule(1.0, sim.stop)
+        sim.run()
+        assert sim.now == 1.0
+
+    def test_default_simulator_stays_pure(self, monkeypatch):
+        monkeypatch.delenv(compiled.CCORE_ENV, raising=False)
+        sim = Simulator()
+        assert sim.compiled is False
+        assert type(sim.schedule(0.0, lambda: None)) is Event
+
+
+class TestBuiltCore:
+    def test_simulator_reports_compiled(self):
+        _built_module()
+        assert Simulator(compiled=True).compiled is True
+
+    def test_compiled_event_factory_used(self):
+        module = _built_module()
+        sim = Simulator(compiled=True)
+        event = sim.schedule(0.5, lambda: None, label="probe")
+        assert type(event) is module.Event
+
+    def test_drain_matches_pure_python(self):
+        _built_module()
+
+        def drive(sim):
+            fired = []
+            sim.schedule(0.3, lambda: fired.append("c"))
+            sim.schedule(0.1, lambda: fired.append("a"))
+            doomed = sim.schedule(0.2, lambda: fired.append("dead"))
+            sim.schedule(0.15, doomed.cancel)
+            sim.schedule(0.4, lambda: fired.append("d"))
+            sim.run(until=1.0)
+            return fired, sim.now, sim.events_processed
+
+        pure = drive(Simulator(compiled=False))
+        fast = drive(Simulator(compiled=True))
+        assert fast == pure
+        assert fast[0] == ["a", "c", "d"]
+
+    def test_budget_is_cumulative_across_runs(self):
+        _built_module()
+        sim = Simulator(compiled=True)
+        for index in range(10):
+            sim.schedule(float(index), lambda: None)
+        sim.run(max_events=4)
+        assert sim.events_processed == 4
+        sim.run(max_events=4)
+        assert sim.events_processed == 4
+        sim.run(max_events=7)
+        assert sim.events_processed == 7
+
+    def test_stop_from_callback(self):
+        _built_module()
+        sim = Simulator(compiled=True)
+        sim.schedule(1.0, sim.stop)
+        sim.schedule(2.0, lambda: pytest.fail("ran past stop()"))
+        sim.run()
+        assert sim.now == 1.0
+        assert sim.events_processed == 1
+
+    def test_compiled_event_repr_matches_pure(self):
+        module = _built_module()
+        pure = Event(1.25, 1, 7, lambda: None, label="tick")
+        fast = module.Event(1.25, 1, 7, lambda: None, label="tick")
+        assert repr(fast) == repr(pure)

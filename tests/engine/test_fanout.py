@@ -1,0 +1,56 @@
+"""Unit tests for the bound observer fan-out (``repro.engine.fanout``).
+
+The fan-out contract is the heart of the bind-once fast path: callers
+hold ``None`` when nobody listens (one pointer test per emission, no
+call), the observer itself when exactly one listens (no indirection),
+and a closure over a tuple snapshot otherwise.
+"""
+
+from repro.engine.fanout import bind_fanout
+
+
+def test_empty_list_binds_to_none():
+    assert bind_fanout([]) is None
+
+
+def test_single_observer_is_bound_directly():
+    calls = []
+
+    def observer(now, value):
+        calls.append((now, value))
+
+    fan = bind_fanout([observer])
+    assert fan is observer
+    fan(1.0, "x")
+    assert calls == [(1.0, "x")]
+
+
+def test_multiple_observers_called_in_registration_order():
+    order = []
+    observers = [lambda *a: order.append(("first", a)),
+                 lambda *a: order.append(("second", a)),
+                 lambda *a: order.append(("third", a))]
+    fan = bind_fanout(observers)
+    assert fan is not None
+    fan(2.5, 7)
+    assert order == [("first", (2.5, 7)),
+                     ("second", (2.5, 7)),
+                     ("third", (2.5, 7))]
+
+
+def test_fanout_snapshots_the_observer_list():
+    # Mutating the source list after binding must not change the fan;
+    # registration sites rebind explicitly on every attach.
+    seen = []
+    observers = [lambda *a: seen.append("a"), lambda *a: seen.append("b")]
+    fan = bind_fanout(observers)
+    observers.append(lambda *a: seen.append("late"))
+    fan()
+    assert seen == ["a", "b"]
+
+
+def test_fanout_forwards_arbitrary_arity():
+    seen = []
+    fan = bind_fanout([lambda *a: seen.append(a), lambda *a: seen.append(a)])
+    fan(0.0, "pkt", 3, None)
+    assert seen == [(0.0, "pkt", 3, None), (0.0, "pkt", 3, None)]

@@ -1,0 +1,61 @@
+"""Fast-path vs slow-path parity: every dispatch loop, same dynamics.
+
+The bind-once rebuild gave the simulator five dispatch loops (bare,
+traced, strict, strict+traced, compiled C).  The contract is that they
+differ only in *observation* — the simulated dynamics must be
+bit-identical.  These tests pin that down with the PR 5 parity
+fingerprints: one paper scenario run bare, then re-run with every hook
+loaded (strict sanitizing + tracer + the observers the tracer attaches)
+and, when a C compiler is available, on the compiled core.
+"""
+
+import pytest
+
+from repro.engine import compiled
+from repro.engine.sanitize import SANITIZE_ENV
+from repro.experiments import parity
+from repro.scenarios import paper, run
+
+
+def _config():
+    # Short figure-2 run: two-way Tahoe traffic exercises timers, loss
+    # epochs, fast retransmit, and ack-compression — the full hook
+    # surface — without steady-state run times.
+    return paper.figure2(duration=60.0, warmup=20.0)
+
+
+@pytest.fixture(scope="module")
+def bare_hash():
+    """Fingerprint of the bare fast path: no strict, no tracer."""
+    return parity.fingerprint_hash(run(_config()))
+
+
+def test_strict_traced_observed_run_is_bit_identical(bare_hash, monkeypatch):
+    # strict=True routes through _drain_strict_traced; trace=True makes
+    # the tracer attach port/link/connection observers, so the bound
+    # fan-outs are live rather than None sentinels.
+    monkeypatch.setenv(SANITIZE_ENV, "1")
+    loaded = run(_config(), trace=True)
+    assert loaded.tracer is not None
+    assert parity.fingerprint_hash(loaded) == bare_hash
+
+
+def test_traced_only_run_is_bit_identical(bare_hash, monkeypatch):
+    monkeypatch.delenv(SANITIZE_ENV, raising=False)
+    assert parity.fingerprint_hash(run(_config(), trace=True)) == bare_hash
+
+
+def test_strict_only_run_is_bit_identical(bare_hash, monkeypatch):
+    monkeypatch.setenv(SANITIZE_ENV, "1")
+    assert parity.fingerprint_hash(run(_config())) == bare_hash
+
+
+def test_compiled_core_run_is_bit_identical(bare_hash, monkeypatch):
+    if compiled.load() is None:
+        try:
+            compiled.build()
+        except RuntimeError as exc:
+            pytest.skip(f"compiled core unavailable: {exc}")
+    monkeypatch.setenv(compiled.CCORE_ENV, "1")
+    result = run(_config())
+    assert parity.fingerprint_hash(result) == bare_hash
