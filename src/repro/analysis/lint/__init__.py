@@ -11,14 +11,22 @@ RPR003    mutation of an Event's ordering fields after scheduling
 RPR004    unordered (set) iteration in engine/net/obs hot paths
 RPR005    non-module-level sweep callables / algorithm factories
 RPR006    ``float('inf')`` sentinel timestamps entering the heap
-RPR900    unparseable source
+RPR007    swallowed exceptions in supervision/cache/journal paths
+RPR008    constant dispatch hooks probed inside hot loop bodies
+RPR009    nondeterminism taint reaching a determinism sink (--project)
+RPR010    cross-module unpicklable sweep callable (--project)
+RPR011    registry contract violation (--project)
+RPR900    unparseable source (syntax error or not UTF-8)
 ========  ==============================================================
 
 Use ``repro lint [paths]`` from the CLI, ``repro lint --explain CODE``
 for the rationale behind a rule, and suppress single lines with
-``# repro: noqa[CODE] -- justification``.  The dynamic twins of these
-checks are the runtime sanitizer invariants enabled by
-``Simulator(strict=True)`` or ``REPRO_SANITIZE=1``.
+``# repro: noqa[CODE] -- justification``.  RPR009–RPR011 are
+interprocedural and only fire in ``repro lint --project`` mode, which
+parses the whole tree once into an import graph + call graph + taint
+summaries (with an incremental per-module cache keyed by content hash).
+The dynamic twins of these checks are the runtime sanitizer invariants
+enabled by ``Simulator(strict=True)`` or ``REPRO_SANITIZE=1``.
 """
 
 from repro.analysis.lint.model import (
@@ -39,7 +47,17 @@ from repro.analysis.lint.runner import (
     lint_paths,
     lint_source,
 )
-from repro.analysis.lint import rules as _rules  # registers RPR001..RPR006
+from repro.analysis.lint import rules as _rules  # registers RPR001..RPR008
+from repro.analysis.lint import taint as _taint  # registers RPR009/RPR010
+from repro.analysis.lint import contracts as _contracts  # registers RPR011
+from repro.analysis.lint.export import render_json, render_sarif, render_text
+from repro.analysis.lint.project import (
+    ProjectModel,
+    apply_baseline,
+    build_project,
+    lint_project,
+    load_baseline,
+)
 
 __all__ = [
     "LINT_RULESET_VERSION",
@@ -48,6 +66,7 @@ __all__ = [
     "Violation",
     "Suppression",
     "LintContext",
+    "ProjectModel",
     "explain",
     "get_rule",
     "iter_rules",
@@ -55,8 +74,15 @@ __all__ = [
     "lint_source",
     "lint_file",
     "lint_paths",
+    "lint_project",
+    "build_project",
     "iter_python_files",
     "format_violations",
+    "render_text",
+    "render_json",
+    "render_sarif",
+    "load_baseline",
+    "apply_baseline",
 ]
 
-del _rules
+del _rules, _taint, _contracts

@@ -1,0 +1,197 @@
+"""RPR011: registered congestion-control strategies honor the protocol.
+
+`register_algorithm` accepts any callable factory, so a strategy class
+that drifts from the :class:`~repro.tcp.congestion.base.CongestionControl`
+protocol — a missing method, an incompatible arity, a forgotten
+``__slots__``, a write into the Sender's private bookkeeping — fails at
+runtime, in whichever sweep worker first instantiates it.  This checker
+resolves each registration's factory through the project's import graph
+to its class definition, walks the base-class chain, and verifies the
+contract statically at the definition site.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.analysis.lint.model import Violation, register_descriptive
+
+if TYPE_CHECKING:  # pragma: no cover
+    from typing import Callable
+
+    from repro.analysis.lint.graphs import ClassFacts, ModuleFacts, RegisterSite
+    from repro.analysis.lint.project import ProjectModel
+
+    _Emit = Callable[[str, int, int, str], None]
+
+__all__ = ["check_contracts"]
+
+register_descriptive(
+    "RPR011",
+    "registry-contract-violation",
+    "Every `register_algorithm` factory class must satisfy the "
+    "CongestionControl protocol: required methods with compatible arity, "
+    "`__slots__` declared, no writes to the transport's private state.",
+    """\
+The algorithm registry is an open extension point: `register_algorithm`
+takes any zero-argument-compatible factory, and nothing checks the
+strategy it builds until a Sender calls into it mid-simulation — at
+which point a missing `on_loss`, a method with the wrong arity, or an
+`AttributeError` from a `__slots__`-less subclass killing the bind-once
+dispatch invariant surfaces as a crashed sweep worker.  Worse, a
+strategy that writes the transport's private fields (`t._next_seq = 0`)
+silently corrupts go-back-N state that only the parity harness would
+catch.  In `repro lint --project` mode this rule resolves each
+registered factory to its class, follows the base chain across modules,
+and reports at the definition site: (a) classes that neither inherit
+from `CongestionControl` nor define all six protocol methods
+(`attach`, `usable_window`, `ack_advanced`, `grow`, `dupack`,
+`on_loss`); (b) protocol methods whose signature cannot accept the
+protocol's call shape; (c) strategy classes without `__slots__` (the
+engine's perf invariant — instances are created per flow per sweep
+point); (d) assignments to underscore-prefixed attributes of the
+transport parameter.  Factories that are functions or that resolve
+outside the project are skipped — the registry's runtime validation
+remains the backstop for those.""",
+)
+
+#: The protocol's call shapes: method name -> positional arity including
+#: ``self`` (mirrors repro.tcp.congestion.base.CongestionControl).
+_PROTOCOL_ARITY = {
+    "attach": 2,
+    "usable_window": 2,
+    "ack_advanced": 3,
+    "grow": 2,
+    "dupack": 2,
+    "on_loss": 3,
+}
+
+_BASE_PROTOCOL = "repro.tcp.congestion.base.CongestionControl"
+_MAX_CHAIN = 20
+
+
+def _resolve_class(
+    project: "ProjectModel", dotted: str
+) -> tuple["ModuleFacts", "ClassFacts"] | None:
+    resolved = project.resolve_symbol(dotted)
+    if resolved is None:
+        return None
+    owner, symbol = resolved
+    if symbol.kind != "class":
+        return None
+    facts = owner.classes.get(symbol.name)
+    if facts is None:
+        return None
+    return owner, facts
+
+
+def _class_chain(
+    project: "ProjectModel", start: tuple["ModuleFacts", "ClassFacts"]
+) -> tuple[list[tuple["ModuleFacts", "ClassFacts"]], bool]:
+    """BFS over base classes: (project-resolvable ancestors, reached protocol)."""
+    chain: list[tuple["ModuleFacts", "ClassFacts"]] = []
+    reached = False
+    seen: set[str] = set()
+    frontier = [start]
+    while frontier and len(chain) < _MAX_CHAIN:
+        owner, facts = frontier.pop(0)
+        key = f"{owner.module}.{facts.name}"
+        if key in seen:
+            continue
+        seen.add(key)
+        if project.canonical(key) == _BASE_PROTOCOL or key == _BASE_PROTOCOL:
+            reached = True
+            continue
+        chain.append((owner, facts))
+        for base in facts.bases:
+            canonical = project.canonical(base) or base
+            if canonical == _BASE_PROTOCOL or canonical.endswith("Protocol"):
+                reached = True
+                continue
+            resolved = _resolve_class(project, base)
+            if resolved is not None:
+                frontier.append(resolved)
+    return chain, reached
+
+
+def _arity_compatible(positional: int, defaults: int, has_vararg: bool,
+                      expected: int) -> bool:
+    minimum = positional - defaults
+    if minimum > expected:
+        return False
+    return positional >= expected or has_vararg
+
+
+def check_contracts(project: "ProjectModel") -> list[Violation]:
+    """RPR011 over every ``register_algorithm`` site in the project."""
+    violations: list[Violation] = []
+    reported: set[tuple[str, int, int, str]] = set()
+
+    def emit(path: str, line: int, col: int, message: str) -> None:
+        key = (path, line, col, message)
+        if key in reported:
+            return
+        reported.add(key)
+        violations.append(Violation(path=path, line=line, col=col,
+                                    code="RPR011", message=message))
+
+    for module in project.modules.values():
+        for site in module.register_sites:
+            _check_site(project, module, site, emit)
+    return violations
+
+
+def _check_site(
+    project: "ProjectModel",
+    module: "ModuleFacts",
+    site: "RegisterSite",
+    emit: "_Emit",
+) -> None:
+    start = _resolve_class(project, site.factory_target)
+    if start is None:
+        return  # function factory or external class: runtime backstop
+    chain, reached = _class_chain(project, start)
+    if not chain:
+        return
+    registered = f"'{site.algorithm}'" if site.algorithm else "an algorithm"
+    where = f"{module.path}:{site.line}"
+    leaf_owner, leaf = chain[0]
+
+    if not reached:
+        missing = sorted(
+            name for name in _PROTOCOL_ARITY
+            if not any(name in facts.methods for _owner, facts in chain))
+        if missing:
+            emit(leaf_owner.path, leaf.line, leaf.col,
+                 f"`{leaf.name}` is registered as {registered} ({where}) but "
+                 f"neither inherits from CongestionControl nor defines "
+                 f"protocol method(s) {', '.join(f'`{m}`' for m in missing)}")
+
+    slots_missing = [(owner, facts) for owner, facts in chain
+                     if not facts.has_slots]
+    for owner, facts in slots_missing:
+        emit(owner.path, facts.line, facts.col,
+             f"strategy class `{facts.name}` (registered as {registered} at "
+             f"{where}) does not declare `__slots__`; every class on a "
+             "registered strategy's MRO must, or instances grow a __dict__ "
+             "and the engine's bind-once dispatch invariant is lost")
+
+    for owner, facts in chain:
+        for name, expected in _PROTOCOL_ARITY.items():
+            sig = facts.methods.get(name)
+            if sig is None or sig.is_static or sig.is_classmethod:
+                continue
+            if not _arity_compatible(sig.positional, sig.defaults,
+                                     sig.has_vararg, expected):
+                emit(owner.path, sig.line, 0,
+                     f"`{facts.name}.{name}` (registered as {registered} at "
+                     f"{where}) takes {sig.positional} positional "
+                     f"parameter(s) but the CongestionControl protocol calls "
+                     f"it with {expected}")
+        for write in facts.private_writes:
+            emit(owner.path, write.line, write.col,
+                 f"`{facts.name}.{write.method}` (registered as {registered} "
+                 f"at {where}) writes the transport's private state "
+                 f"`{write.attr}`; strategies must keep their own state in "
+                 "`__slots__` and drive the transport through its public "
+                 "surface only")

@@ -1,0 +1,934 @@
+"""Per-module facts: symbol tables, summaries, import & call graph edges.
+
+The whole-program layer never holds more than one AST at a time.  Each
+file is parsed once and distilled into a :class:`ModuleFacts` record —
+resolved imports, the module-level symbol table, per-function taint
+summaries (:mod:`repro.analysis.lint.taint`), class shapes for the
+registry contract checker (:mod:`repro.analysis.lint.contracts`), and
+the sweep/registry call sites the pickleability rule needs.  Facts are
+plain JSON-serializable data, which is what makes the incremental
+analysis cache possible: a module whose content hash is unchanged is
+restored from the cache without re-parsing, and the interprocedural
+phase runs over facts alone.
+
+Everything here is deliberately *approximate* in the same spirit as the
+per-file rules: attribute calls resolve only through unambiguous paths
+(``self.method`` inside a class, ``imported_module.function``), nested
+function bodies are not descended into, and branches are processed in
+textual order.  The blind spots are documented in the RPR009/RPR010
+rationales.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.lint.rules import (
+    _PICKLED_KEYWORDS,
+    _PICKLED_POSITIONS,
+    _REGISTRY_KEYWORDS,
+    _REGISTRY_POSITIONS,
+    _terminal_name,
+)
+from repro.analysis.lint.taint import Atom, Taint, TaintScope, match_sink, merge
+
+__all__ = [
+    "FACTS_SCHEMA_VERSION",
+    "Symbol",
+    "MethodSig",
+    "PrivateWrite",
+    "ClassFacts",
+    "SinkCallFact",
+    "CallArgFact",
+    "FunctionFacts",
+    "SweepSite",
+    "RegisterSite",
+    "ModuleFacts",
+    "collect_module_facts",
+    "import_edges",
+    "call_edges",
+]
+
+#: Bump when the fact layout changes; cache entries from another
+#: generation are discarded (they could not be deserialized anyway).
+FACTS_SCHEMA_VERSION = 1
+
+_DISPLAY_LIMIT = 48
+
+
+def _display(node: ast.expr) -> str:
+    text = ast.unparse(node)
+    return text if len(text) <= _DISPLAY_LIMIT else text[: _DISPLAY_LIMIT - 3] + "..."
+
+
+def _taint_to_list(taint: Taint) -> list[list[object]]:
+    return [[kind, payload, line] for kind, payload, line in taint]
+
+
+def _taint_from_list(raw: object) -> Taint:
+    atoms: list[Atom] = []
+    if isinstance(raw, list):
+        for item in raw:
+            if isinstance(item, list) and len(item) == 3:
+                atoms.append((str(item[0]), str(item[1]), int(str(item[2]))))
+    return tuple(atoms)
+
+
+# ----------------------------------------------------------------------
+# Fact records
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Symbol:
+    """One module-level name: what kind of thing it is bound to."""
+
+    name: str
+    kind: str
+    """``function`` | ``class`` | ``lambda`` | ``assignment`` | ``import``."""
+    line: int
+    target: str = ""
+    """For ``import`` symbols: the dotted origin the name re-exports."""
+
+    def to_dict(self) -> dict[str, object]:
+        return {"name": self.name, "kind": self.kind, "line": self.line,
+                "target": self.target}
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, object]) -> "Symbol":
+        return cls(name=str(raw["name"]), kind=str(raw["kind"]),
+                   line=int(str(raw["line"])), target=str(raw.get("target", "")))
+
+
+@dataclass(frozen=True)
+class MethodSig:
+    """Callable shape of one method, for arity compatibility checks."""
+
+    name: str
+    line: int
+    positional: int
+    """Positional parameter count, ``self`` included for instance methods."""
+    defaults: int
+    has_vararg: bool
+    is_static: bool
+    is_classmethod: bool
+
+    def to_dict(self) -> dict[str, object]:
+        return {"name": self.name, "line": self.line,
+                "positional": self.positional, "defaults": self.defaults,
+                "has_vararg": self.has_vararg, "is_static": self.is_static,
+                "is_classmethod": self.is_classmethod}
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, object]) -> "MethodSig":
+        return cls(name=str(raw["name"]), line=int(str(raw["line"])),
+                   positional=int(str(raw["positional"])),
+                   defaults=int(str(raw["defaults"])),
+                   has_vararg=bool(raw["has_vararg"]),
+                   is_static=bool(raw["is_static"]),
+                   is_classmethod=bool(raw["is_classmethod"]))
+
+
+@dataclass(frozen=True)
+class PrivateWrite:
+    """An assignment to a private attribute of the transport parameter."""
+
+    method: str
+    attr: str
+    line: int
+    col: int
+
+    def to_dict(self) -> dict[str, object]:
+        return {"method": self.method, "attr": self.attr,
+                "line": self.line, "col": self.col}
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, object]) -> "PrivateWrite":
+        return cls(method=str(raw["method"]), attr=str(raw["attr"]),
+                   line=int(str(raw["line"])), col=int(str(raw["col"])))
+
+
+@dataclass(frozen=True)
+class ClassFacts:
+    """Shape of one module-level class, for the contract checker."""
+
+    name: str
+    line: int
+    col: int
+    bases: tuple[str, ...]
+    """Base expressions resolved to dotted names where possible."""
+    has_slots: bool
+    methods: dict[str, MethodSig]
+    private_writes: tuple[PrivateWrite, ...]
+
+    def to_dict(self) -> dict[str, object]:
+        return {"name": self.name, "line": self.line, "col": self.col,
+                "bases": list(self.bases), "has_slots": self.has_slots,
+                "methods": {k: v.to_dict() for k, v in self.methods.items()},
+                "private_writes": [w.to_dict() for w in self.private_writes]}
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, object]) -> "ClassFacts":
+        methods_raw = raw.get("methods")
+        methods: dict[str, MethodSig] = {}
+        if isinstance(methods_raw, dict):
+            for key, value in methods_raw.items():
+                if isinstance(value, dict):
+                    methods[str(key)] = MethodSig.from_dict(value)
+        writes_raw = raw.get("private_writes")
+        writes: list[PrivateWrite] = []
+        if isinstance(writes_raw, list):
+            for item in writes_raw:
+                if isinstance(item, dict):
+                    writes.append(PrivateWrite.from_dict(item))
+        bases_raw = raw.get("bases")
+        bases = tuple(str(b) for b in bases_raw) if isinstance(bases_raw, list) else ()
+        return cls(name=str(raw["name"]), line=int(str(raw["line"])),
+                   col=int(str(raw["col"])), bases=bases,
+                   has_slots=bool(raw["has_slots"]), methods=methods,
+                   private_writes=tuple(writes))
+
+
+@dataclass(frozen=True)
+class SinkCallFact:
+    """A determinism-sink call whose argument carries potential taint."""
+
+    label: str
+    line: int
+    col: int
+    arg_display: str
+    taint: Taint
+
+    def to_dict(self) -> dict[str, object]:
+        return {"label": self.label, "line": self.line, "col": self.col,
+                "arg_display": self.arg_display,
+                "taint": _taint_to_list(self.taint)}
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, object]) -> "SinkCallFact":
+        return cls(label=str(raw["label"]), line=int(str(raw["line"])),
+                   col=int(str(raw["col"])),
+                   arg_display=str(raw["arg_display"]),
+                   taint=_taint_from_list(raw.get("taint")))
+
+
+@dataclass(frozen=True)
+class CallArgFact:
+    """A potentially-tainted argument handed to a resolvable callee."""
+
+    target: str
+    bound: bool
+    """True for ``receiver.method(...)`` calls — the receiver consumed
+    the callee's first parameter slot."""
+    position: int
+    """Call-site positional index, ``-1`` for keyword arguments."""
+    keyword: str
+    line: int
+    col: int
+    taint: Taint
+
+    def to_dict(self) -> dict[str, object]:
+        return {"target": self.target, "bound": self.bound,
+                "position": self.position, "keyword": self.keyword,
+                "line": self.line, "col": self.col,
+                "taint": _taint_to_list(self.taint)}
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, object]) -> "CallArgFact":
+        return cls(target=str(raw["target"]), bound=bool(raw["bound"]),
+                   position=int(str(raw["position"])),
+                   keyword=str(raw["keyword"]), line=int(str(raw["line"])),
+                   col=int(str(raw["col"])),
+                   taint=_taint_from_list(raw.get("taint")))
+
+
+@dataclass(frozen=True)
+class FunctionFacts:
+    """Interprocedural summary of one function, method, or module body."""
+
+    qualname: str
+    """Dotted within the module: ``helper``, ``Class.method``, ``<module>``."""
+    params: tuple[str, ...]
+    is_method: bool
+    line: int
+    returns_taint: Taint
+    returns_closure: str
+    """Non-empty when the return value cannot cross a process boundary:
+    a human description (``a lambda``, ``nested definition \\`f\\```)."""
+    sink_calls: tuple[SinkCallFact, ...]
+    call_args: tuple[CallArgFact, ...]
+    calls: tuple[str, ...]
+    """Resolved call targets, for the project call graph."""
+
+    def to_dict(self) -> dict[str, object]:
+        return {"qualname": self.qualname, "params": list(self.params),
+                "is_method": self.is_method, "line": self.line,
+                "returns_taint": _taint_to_list(self.returns_taint),
+                "returns_closure": self.returns_closure,
+                "sink_calls": [s.to_dict() for s in self.sink_calls],
+                "call_args": [a.to_dict() for a in self.call_args],
+                "calls": list(self.calls)}
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, object]) -> "FunctionFacts":
+        params_raw = raw.get("params")
+        sinks_raw = raw.get("sink_calls")
+        args_raw = raw.get("call_args")
+        calls_raw = raw.get("calls")
+        return cls(
+            qualname=str(raw["qualname"]),
+            params=tuple(str(p) for p in params_raw) if isinstance(params_raw, list) else (),
+            is_method=bool(raw["is_method"]),
+            line=int(str(raw["line"])),
+            returns_taint=_taint_from_list(raw.get("returns_taint")),
+            returns_closure=str(raw.get("returns_closure", "")),
+            sink_calls=tuple(SinkCallFact.from_dict(s) for s in sinks_raw
+                             if isinstance(s, dict)) if isinstance(sinks_raw, list) else (),
+            call_args=tuple(CallArgFact.from_dict(a) for a in args_raw
+                            if isinstance(a, dict)) if isinstance(args_raw, list) else (),
+            calls=tuple(str(c) for c in calls_raw) if isinstance(calls_raw, list) else (),
+        )
+
+
+@dataclass(frozen=True)
+class SweepSite:
+    """A callable argument at a sweep/registry entry point (RPR010)."""
+
+    entry: str
+    slot: str
+    kind: str
+    """``name`` (a resolvable dotted name) or ``call`` (a factory call)."""
+    target: str
+    display: str
+    line: int
+    col: int
+
+    def to_dict(self) -> dict[str, object]:
+        return {"entry": self.entry, "slot": self.slot, "kind": self.kind,
+                "target": self.target, "display": self.display,
+                "line": self.line, "col": self.col}
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, object]) -> "SweepSite":
+        return cls(entry=str(raw["entry"]), slot=str(raw["slot"]),
+                   kind=str(raw["kind"]), target=str(raw["target"]),
+                   display=str(raw["display"]), line=int(str(raw["line"])),
+                   col=int(str(raw["col"])))
+
+
+@dataclass(frozen=True)
+class RegisterSite:
+    """One ``register_algorithm(name, factory)`` call (RPR011)."""
+
+    algorithm: str
+    """The literal algorithm name when given as a string constant."""
+    factory_target: str
+    line: int
+    col: int
+
+    def to_dict(self) -> dict[str, object]:
+        return {"algorithm": self.algorithm,
+                "factory_target": self.factory_target,
+                "line": self.line, "col": self.col}
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, object]) -> "RegisterSite":
+        return cls(algorithm=str(raw["algorithm"]),
+                   factory_target=str(raw["factory_target"]),
+                   line=int(str(raw["line"])), col=int(str(raw["col"])))
+
+
+@dataclass
+class ModuleFacts:
+    """Everything the interprocedural phase knows about one file."""
+
+    module: str
+    path: str
+    imports: dict[str, str] = field(default_factory=dict)
+    symbols: dict[str, Symbol] = field(default_factory=dict)
+    functions: dict[str, FunctionFacts] = field(default_factory=dict)
+    classes: dict[str, ClassFacts] = field(default_factory=dict)
+    global_taint: dict[str, Taint] = field(default_factory=dict)
+    sweep_sites: tuple[SweepSite, ...] = ()
+    register_sites: tuple[RegisterSite, ...] = ()
+    suppressed: dict[int, tuple[str, ...]] = field(default_factory=dict)
+    """Validly suppressed rule codes by physical line (for project rules)."""
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "module": self.module, "path": self.path,
+            "imports": dict(self.imports),
+            "symbols": {k: v.to_dict() for k, v in self.symbols.items()},
+            "functions": {k: v.to_dict() for k, v in self.functions.items()},
+            "classes": {k: v.to_dict() for k, v in self.classes.items()},
+            "global_taint": {k: _taint_to_list(v)
+                             for k, v in self.global_taint.items()},
+            "sweep_sites": [s.to_dict() for s in self.sweep_sites],
+            "register_sites": [s.to_dict() for s in self.register_sites],
+            "suppressed": {str(k): list(v) for k, v in self.suppressed.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, object]) -> "ModuleFacts":
+        def subdicts(key: str) -> Iterator[tuple[str, dict[str, object]]]:
+            value = raw.get(key)
+            if isinstance(value, dict):
+                for name, item in value.items():
+                    if isinstance(item, dict):
+                        yield str(name), item
+
+        def sublist(key: str) -> Iterator[dict[str, object]]:
+            value = raw.get(key)
+            if isinstance(value, list):
+                for item in value:
+                    if isinstance(item, dict):
+                        yield item
+
+        imports_raw = raw.get("imports")
+        imports = ({str(k): str(v) for k, v in imports_raw.items()}
+                   if isinstance(imports_raw, dict) else {})
+        taint_raw = raw.get("global_taint")
+        global_taint = ({str(k): _taint_from_list(v)
+                         for k, v in taint_raw.items()}
+                        if isinstance(taint_raw, dict) else {})
+        suppressed_raw = raw.get("suppressed")
+        suppressed: dict[int, tuple[str, ...]] = {}
+        if isinstance(suppressed_raw, dict):
+            for key, value in suppressed_raw.items():
+                if isinstance(value, list):
+                    suppressed[int(str(key))] = tuple(str(c) for c in value)
+        return cls(
+            module=str(raw["module"]), path=str(raw["path"]),
+            imports=imports,
+            symbols={k: Symbol.from_dict(v) for k, v in subdicts("symbols")},
+            functions={k: FunctionFacts.from_dict(v)
+                       for k, v in subdicts("functions")},
+            classes={k: ClassFacts.from_dict(v) for k, v in subdicts("classes")},
+            global_taint=global_taint,
+            sweep_sites=tuple(SweepSite.from_dict(s) for s in sublist("sweep_sites")),
+            register_sites=tuple(RegisterSite.from_dict(s)
+                                 for s in sublist("register_sites")),
+            suppressed=suppressed,
+        )
+
+
+# ----------------------------------------------------------------------
+# Extraction
+# ----------------------------------------------------------------------
+def _collect_imports(tree: ast.Module, module: str, is_package: bool) -> dict[str, str]:
+    """Alias -> dotted origin, with relative imports resolved."""
+    package = module if is_package else module.rpartition(".")[0]
+    imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                if name.asname:
+                    imports[name.asname] = name.name
+                else:
+                    imports[name.name.split(".")[0]] = name.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                parts = package.split(".") if package else []
+                if node.level - 1:
+                    parts = parts[: -(node.level - 1)] if node.level - 1 <= len(parts) else []
+                base = ".".join(parts + ([node.module] if node.module else []))
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                alias = name.asname or name.name
+                imports[alias] = f"{base}.{name.name}" if base else name.name
+    return imports
+
+
+def _collect_symbols(tree: ast.Module, imports: dict[str, str]) -> dict[str, Symbol]:
+    symbols: dict[str, Symbol] = {}
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            symbols[node.name] = Symbol(node.name, "function", node.lineno)
+        elif isinstance(node, ast.ClassDef):
+            symbols[node.name] = Symbol(node.name, "class", node.lineno)
+        elif isinstance(node, ast.Assign):
+            kind = "lambda" if isinstance(node.value, ast.Lambda) else "assignment"
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    symbols[target.id] = Symbol(target.id, kind, node.lineno)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            kind = "lambda" if isinstance(node.value, ast.Lambda) else "assignment"
+            symbols[node.target.id] = Symbol(node.target.id, kind, node.lineno)
+    for alias, origin in imports.items():
+        if alias not in symbols:
+            symbols[alias] = Symbol(alias, "import", 0, target=origin)
+    return symbols
+
+
+def _dotted(node: ast.expr) -> str:
+    """The dotted text of a pure Name/Attribute chain, else ``""``."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return ""
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def _resolve_dotted(text: str, imports: dict[str, str], module: str,
+                    local_names: frozenset[str]) -> str:
+    """Map a dotted reference through the import aliases."""
+    if not text:
+        return ""
+    head, _, rest = text.partition(".")
+    if head in imports:
+        origin = imports[head]
+        return f"{origin}.{rest}" if rest else origin
+    if head in local_names:
+        return f"{module}.{text}"
+    return ""
+
+
+class _CallableAnalyzer:
+    """Single-pass statement walker producing one :class:`FunctionFacts`."""
+
+    def __init__(
+        self,
+        module: str,
+        path: str,
+        qualname: str,
+        params: tuple[str, ...],
+        is_method: bool,
+        line: int,
+        imports: dict[str, str],
+        local_names: frozenset[str],
+        current_class: str,
+    ) -> None:
+        self.module = module
+        self.path = path
+        self.qualname = qualname
+        self.imports = imports
+        self.local_names = local_names
+        self.current_class = current_class
+        self.scope = TaintScope(module, imports, local_names,
+                                self._resolve_call, params, is_method)
+        self.params = params
+        self.is_method = is_method
+        self.line = line
+        self.nested_functions: set[str] = set()
+        self.nested_classes: set[str] = set()
+        self.returns_taint: Taint = ()
+        self.returns_closure = ""
+        self.sink_calls: list[SinkCallFact] = []
+        self.call_args: list[CallArgFact] = []
+        self.calls: set[str] = set()
+        self.sweep_sites: list[SweepSite] = []
+        self.register_sites: list[RegisterSite] = []
+
+    # -- resolution ----------------------------------------------------
+    def _resolve_call(self, func: ast.expr) -> tuple[str, bool]:
+        if isinstance(func, ast.Name):
+            return _resolve_dotted(func.id, self.imports, self.module,
+                                   self.local_names), False
+        if isinstance(func, ast.Attribute):
+            if (isinstance(func.value, ast.Name) and func.value.id == "self"
+                    and self.current_class):
+                return f"{self.module}.{self.current_class}.{func.attr}", True
+            dotted = _dotted(func)
+            if dotted:
+                resolved = _resolve_dotted(dotted, self.imports, self.module,
+                                           self.local_names)
+                if resolved:
+                    return resolved, False
+        return "", False
+
+    # -- statement traversal -------------------------------------------
+    def run(self, body: list[ast.stmt]) -> FunctionFacts:
+        self._collect_nested(body)
+        self._visit_block(body)
+        return FunctionFacts(
+            qualname=self.qualname, params=self.params,
+            is_method=self.is_method, line=self.line,
+            returns_taint=self.returns_taint,
+            returns_closure=self.returns_closure,
+            sink_calls=tuple(self.sink_calls),
+            call_args=tuple(self.call_args),
+            calls=tuple(sorted(self.calls)),
+        )
+
+    def _collect_nested(self, body: list[ast.stmt]) -> None:
+        for statement in body:
+            for node in ast.walk(statement):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if node.lineno != self.line:
+                        self.nested_functions.add(node.name)
+                elif isinstance(node, ast.ClassDef):
+                    self.nested_classes.add(node.name)
+
+    def _visit_block(self, body: list[ast.stmt]) -> None:
+        for statement in body:
+            self._visit(statement)
+
+    def _visit(self, statement: ast.stmt) -> None:
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+            return  # nested definitions are summarized separately
+        if isinstance(statement, ast.Assign):
+            self._scan(statement.value)
+            taint = self.scope.expr_taint(statement.value)
+            for target in statement.targets:
+                self.scope.assign(target, taint)
+            return
+        if isinstance(statement, ast.AnnAssign):
+            if statement.value is not None:
+                self._scan(statement.value)
+                self.scope.assign(statement.target,
+                                  self.scope.expr_taint(statement.value))
+            return
+        if isinstance(statement, ast.AugAssign):
+            self._scan(statement.value)
+            if isinstance(statement.target, ast.Name):
+                self.scope.env[statement.target.id] = merge(
+                    self.scope.name_taint(statement.target),
+                    self.scope.expr_taint(statement.value))
+            return
+        if isinstance(statement, ast.Return):
+            if statement.value is not None:
+                self._scan(statement.value)
+                self.returns_taint = self._merge_returns(statement.value)
+                self._note_closure_return(statement.value)
+            return
+        if isinstance(statement, ast.Expr):
+            self._scan(statement.value)
+            return
+        if isinstance(statement, ast.If):
+            self._scan(statement.test)
+            self._visit_block(statement.body)
+            self._visit_block(statement.orelse)
+            return
+        if isinstance(statement, ast.While):
+            self._scan(statement.test)
+            self._visit_block(statement.body)
+            self._visit_block(statement.orelse)
+            return
+        if isinstance(statement, (ast.For, ast.AsyncFor)):
+            self._scan(statement.iter)
+            self.scope.assign(statement.target,
+                              self.scope.expr_taint(statement.iter))
+            self._visit_block(statement.body)
+            self._visit_block(statement.orelse)
+            return
+        if isinstance(statement, (ast.With, ast.AsyncWith)):
+            for item in statement.items:
+                self._scan(item.context_expr)
+                if item.optional_vars is not None:
+                    self.scope.assign(item.optional_vars,
+                                      self.scope.expr_taint(item.context_expr))
+            self._visit_block(statement.body)
+            return
+        if isinstance(statement, ast.Try):
+            self._visit_block(statement.body)
+            for handler in statement.handlers:
+                self._visit_block(handler.body)
+            self._visit_block(statement.orelse)
+            self._visit_block(statement.finalbody)
+            return
+        if isinstance(statement, ast.Raise):
+            if statement.exc is not None:
+                self._scan(statement.exc)
+            return
+        if isinstance(statement, ast.Assert):
+            self._scan(statement.test)
+            if statement.msg is not None:
+                self._scan(statement.msg)
+            return
+        if isinstance(statement, ast.Match):
+            self._scan(statement.subject)
+            for case in statement.cases:
+                self._visit_block(case.body)
+            return
+        # Pass, Break, Continue, Import, Global, Nonlocal, Delete: no flow.
+
+    def _merge_returns(self, value: ast.expr) -> Taint:
+        return merge(self.returns_taint, self.scope.expr_taint(value))
+
+    def _note_closure_return(self, value: ast.expr) -> None:
+        if self.returns_closure:
+            return
+        if isinstance(value, ast.Lambda):
+            self.returns_closure = "a lambda"
+        elif isinstance(value, ast.Name):
+            if value.id in self.nested_functions:
+                self.returns_closure = f"the nested function `{value.id}`"
+            elif value.id in self.nested_classes:
+                self.returns_closure = f"the locally-defined class `{value.id}`"
+        elif (isinstance(value, ast.Call) and isinstance(value.func, ast.Name)
+              and value.func.id in self.nested_classes):
+            self.returns_closure = (
+                f"an instance of the locally-defined class `{value.func.id}`")
+
+    # -- expression scanning -------------------------------------------
+    def _scan(self, expr: ast.expr) -> None:
+        """Record sink/call/entry-point facts for every call in ``expr``."""
+        stack: list[ast.AST] = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Lambda):
+                continue  # not executed here
+            if isinstance(node, ast.Call):
+                self._record_call(node)
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _record_call(self, node: ast.Call) -> None:
+        sink = match_sink(node)
+        if sink is not None:
+            spec, slots = sink
+            for _position, _keyword, arg in slots:
+                taint = self.scope.expr_taint(arg)
+                if taint:
+                    self.sink_calls.append(SinkCallFact(
+                        label=spec.label, line=node.lineno,
+                        col=node.col_offset, arg_display=_display(arg),
+                        taint=taint))
+        target, bound = self._resolve_call(node.func)
+        if target:
+            self.calls.add(target)
+            for index, arg in enumerate(node.args):
+                if isinstance(arg, ast.Starred):
+                    continue
+                taint = self.scope.expr_taint(arg)
+                if taint:
+                    self.call_args.append(CallArgFact(
+                        target=target, bound=bound, position=index,
+                        keyword="", line=arg.lineno, col=arg.col_offset,
+                        taint=taint))
+            for keyword in node.keywords:
+                if keyword.arg is None:
+                    continue
+                taint = self.scope.expr_taint(keyword.value)
+                if taint:
+                    self.call_args.append(CallArgFact(
+                        target=target, bound=bound, position=-1,
+                        keyword=keyword.arg, line=keyword.value.lineno,
+                        col=keyword.value.col_offset, taint=taint))
+        self._record_entry_point(node)
+
+    def _record_entry_point(self, node: ast.Call) -> None:
+        name = _terminal_name(node.func)
+        if name is None:
+            return
+        if name in _PICKLED_POSITIONS:
+            positions = _PICKLED_POSITIONS[name]
+            keywords = _PICKLED_KEYWORDS
+        elif name in _REGISTRY_POSITIONS:
+            positions = _REGISTRY_POSITIONS[name]
+            keywords = _REGISTRY_KEYWORDS
+        else:
+            return
+        slot_args: list[tuple[str, ast.expr]] = []
+        for position in positions:
+            if len(node.args) > position:
+                slot_args.append((f"arg{position}", node.args[position]))
+        for keyword in node.keywords:
+            if keyword.arg is not None and keyword.arg in keywords:
+                slot_args.append((keyword.arg, keyword.value))
+        for slot, arg in slot_args:
+            site = self._sweep_site(name, slot, arg)
+            if site is not None:
+                self.sweep_sites.append(site)
+        if name == "register_algorithm":
+            algorithm = ""
+            if node.args and isinstance(node.args[0], ast.Constant) \
+                    and isinstance(node.args[0].value, str):
+                algorithm = node.args[0].value
+            factory: ast.expr | None = None
+            if len(node.args) > 1:
+                factory = node.args[1]
+            for keyword in node.keywords:
+                if keyword.arg == "factory":
+                    factory = keyword.value
+            if factory is not None:
+                target = self._entry_target(factory)
+                if target is not None and target[0] == "name":
+                    self.register_sites.append(RegisterSite(
+                        algorithm=algorithm, factory_target=target[1],
+                        line=node.lineno, col=node.col_offset))
+
+    def _entry_target(self, arg: ast.expr) -> tuple[str, str] | None:
+        """Classify an entry-point argument as ``(kind, dotted target)``."""
+        if isinstance(arg, ast.Lambda):
+            return None  # RPR005's turf
+        if isinstance(arg, ast.Name):
+            taint = self.scope.env.get(arg.id)
+            if taint:
+                for kind, payload, _line in taint:
+                    if kind == "call":
+                        return "call", payload
+                    if kind == "global":
+                        return "name", payload
+                return None
+            resolved = _resolve_dotted(arg.id, self.imports, self.module,
+                                       self.local_names)
+            return ("name", resolved) if resolved else None
+        if isinstance(arg, ast.Call):
+            target, _bound = self._resolve_call(arg.func)
+            return ("call", target) if target else None
+        if isinstance(arg, ast.Attribute):
+            resolved = _resolve_dotted(_dotted(arg), self.imports, self.module,
+                                       self.local_names)
+            return ("name", resolved) if resolved else None
+        return None
+
+    def _sweep_site(self, entry: str, slot: str, arg: ast.expr) -> SweepSite | None:
+        target = self._entry_target(arg)
+        if target is None:
+            return None
+        kind, dotted = target
+        return SweepSite(entry=entry, slot=slot, kind=kind, target=dotted,
+                         display=_display(arg), line=arg.lineno,
+                         col=arg.col_offset)
+
+
+def _method_sig(node: ast.FunctionDef | ast.AsyncFunctionDef) -> MethodSig:
+    decorators = {_terminal_name(d) for d in node.decorator_list}
+    return MethodSig(
+        name=node.name, line=node.lineno,
+        positional=len(node.args.posonlyargs) + len(node.args.args),
+        defaults=len(node.args.defaults),
+        has_vararg=node.args.vararg is not None,
+        is_static="staticmethod" in decorators,
+        is_classmethod="classmethod" in decorators,
+    )
+
+
+def _private_writes(node: ast.FunctionDef | ast.AsyncFunctionDef) -> tuple[PrivateWrite, ...]:
+    """Stores to private attributes of the transport parameter (arg #2)."""
+    positional = node.args.posonlyargs + node.args.args
+    if len(positional) < 2:
+        return ()
+    transport = positional[1].arg
+    writes: list[PrivateWrite] = []
+    for inner in ast.walk(node):
+        targets: list[ast.expr] = []
+        if isinstance(inner, ast.Assign):
+            targets = list(inner.targets)
+        elif isinstance(inner, (ast.AugAssign, ast.AnnAssign)):
+            targets = [inner.target]
+        for target in targets:
+            if (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == transport
+                    and target.attr.startswith("_")):
+                writes.append(PrivateWrite(
+                    method=node.name, attr=target.attr,
+                    line=target.lineno, col=target.col_offset))
+    return tuple(writes)
+
+
+def _class_facts(node: ast.ClassDef, imports: dict[str, str], module: str,
+                 local_names: frozenset[str]) -> ClassFacts:
+    bases = tuple(
+        _resolve_dotted(_dotted(base), imports, module, local_names)
+        or _dotted(base)
+        for base in node.bases
+    )
+    has_slots = False
+    methods: dict[str, MethodSig] = {}
+    writes: list[PrivateWrite] = []
+    for statement in node.body:
+        if isinstance(statement, ast.Assign):
+            if any(isinstance(t, ast.Name) and t.id == "__slots__"
+                   for t in statement.targets):
+                has_slots = True
+        elif (isinstance(statement, ast.AnnAssign)
+              and isinstance(statement.target, ast.Name)
+              and statement.target.id == "__slots__"):
+            has_slots = True
+        elif isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            methods[statement.name] = _method_sig(statement)
+            writes.extend(_private_writes(statement))
+    return ClassFacts(name=node.name, line=node.lineno, col=node.col_offset,
+                      bases=bases, has_slots=has_slots, methods=methods,
+                      private_writes=tuple(writes))
+
+
+def collect_module_facts(
+    path: str,
+    module: str,
+    tree: ast.Module,
+    *,
+    is_package: bool = False,
+    suppressed: dict[int, tuple[str, ...]] | None = None,
+) -> ModuleFacts:
+    """Distill one parsed file into its interprocedural fact record."""
+    imports = _collect_imports(tree, module, is_package)
+    symbols = _collect_symbols(tree, imports)
+    local_names = frozenset(
+        name for name, symbol in symbols.items() if symbol.kind != "import")
+    facts = ModuleFacts(module=module, path=path, imports=imports,
+                        symbols=symbols,
+                        suppressed=dict(suppressed or {}))
+
+    def analyze(qualname: str, params: tuple[str, ...], is_method: bool,
+                line: int, body: list[ast.stmt], current_class: str) -> None:
+        analyzer = _CallableAnalyzer(module, path, qualname, params, is_method,
+                                     line, imports, local_names, current_class)
+        summary = analyzer.run(body)
+        facts.functions[qualname] = summary
+        facts.sweep_sites = facts.sweep_sites + tuple(analyzer.sweep_sites)
+        facts.register_sites = (facts.register_sites
+                                + tuple(analyzer.register_sites))
+        if qualname == "<module>":
+            facts.global_taint = {
+                name: taint for name, taint in analyzer.scope.env.items()
+                if taint
+            }
+
+    analyze("<module>", (), False, 1, tree.body, "")
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            params = tuple(a.arg for a in node.args.posonlyargs + node.args.args)
+            analyze(node.name, params, False, node.lineno, node.body, "")
+        elif isinstance(node, ast.ClassDef):
+            facts.classes[node.name] = _class_facts(node, imports, module,
+                                                    local_names)
+            for statement in node.body:
+                if not isinstance(statement, (ast.FunctionDef,
+                                              ast.AsyncFunctionDef)):
+                    continue
+                decorators = {_terminal_name(d)
+                              for d in statement.decorator_list}
+                params = tuple(a.arg for a in statement.args.posonlyargs
+                               + statement.args.args)
+                analyze(f"{node.name}.{statement.name}", params,
+                        "staticmethod" not in decorators,
+                        statement.lineno, statement.body, node.name)
+    return facts
+
+
+# ----------------------------------------------------------------------
+# Graph views
+# ----------------------------------------------------------------------
+def import_edges(modules: dict[str, ModuleFacts]) -> dict[str, tuple[str, ...]]:
+    """Module -> imported project modules (the import graph)."""
+    edges: dict[str, tuple[str, ...]] = {}
+    for name, facts in modules.items():
+        found: set[str] = set()
+        for origin in facts.imports.values():
+            parts = origin.split(".")
+            for end in range(len(parts), 0, -1):
+                prefix = ".".join(parts[:end])
+                if prefix in modules and prefix != name:
+                    found.add(prefix)
+                    break
+        edges[name] = tuple(sorted(found))
+    return edges
+
+
+def call_edges(modules: dict[str, ModuleFacts]) -> dict[str, tuple[str, ...]]:
+    """Function qualname -> resolved call targets (the call graph)."""
+    edges: dict[str, tuple[str, ...]] = {}
+    for name, facts in modules.items():
+        for qualname, function in facts.functions.items():
+            edges[f"{name}.{qualname}"] = function.calls
+    return edges

@@ -37,7 +37,12 @@ __all__ = [
 #: v2: RPR007 (swallowed exceptions) added with the resilience layer.
 #: v3: RPR005 extended to `register_algorithm` factories (lambdas, nested
 #:     functions and nested classes registered as congestion strategies).
-LINT_RULESET_VERSION = 4
+#: v4: RPR008 (constant dispatch hooks probed inside hot loop bodies).
+#: v5: whole-program layer (`repro lint --project`): RPR009 nondeterminism
+#:     taint reaching determinism sinks, RPR010 cross-module unpicklable
+#:     sweep callables, RPR011 registry contract violations; RPR900 now
+#:     also covers undecodable (non-UTF-8) files.
+LINT_RULESET_VERSION = 5
 
 CheckFunction = Callable[["LintContext"], Iterator["Violation"]]
 

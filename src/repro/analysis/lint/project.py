@@ -1,0 +1,384 @@
+"""Whole-program lint driver: project model, resolution, incremental cache.
+
+``repro lint --project`` builds a :class:`ProjectModel` — every file
+parsed once, distilled to :class:`~repro.analysis.lint.graphs.ModuleFacts`
+— and runs the interprocedural rules over it:
+
+- RPR009 (:func:`~repro.analysis.lint.taint.check_taint`): nondeterminism
+  sources reaching determinism sinks across call edges;
+- RPR010 (:func:`~repro.analysis.lint.taint.check_pickleability`):
+  sweep/registry callables that cannot cross the spawn boundary;
+- RPR011 (:func:`~repro.analysis.lint.contracts.check_contracts`):
+  registered strategies violating the CongestionControl protocol.
+
+The per-file rules run on the same parse, so ``--project`` is a strict
+superset of the plain mode over the same paths.
+
+**Incremental cache.**  Facts and post-suppression per-file violations
+are cached per file, keyed by the SHA-256 of the file's bytes plus the
+ruleset and fact-schema generations.  A warm run re-parses nothing —
+only files whose content hash changed — and re-runs just the
+fact-based interprocedural phase, which is what keeps whole-tree lint
+inside the CI job budget.  The cache is a plain JSON document written
+atomically; a cache from another generation (or a damaged one) is
+discarded wholesale, never trusted partially.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.lint.contracts import check_contracts
+from repro.analysis.lint.graphs import (
+    FACTS_SCHEMA_VERSION,
+    FunctionFacts,
+    ModuleFacts,
+    Symbol,
+    collect_module_facts,
+)
+from repro.analysis.lint.model import LINT_RULESET_VERSION, Violation
+from repro.analysis.lint.noqa import parse_suppressions, valid_suppressions
+from repro.analysis.lint.runner import (
+    LintContext,
+    iter_python_files,
+    resolve_module,
+    run_rules,
+)
+from repro.analysis.lint.taint import check_pickleability, check_taint
+from repro.errors import LintError
+
+__all__ = [
+    "ProjectModel",
+    "build_project",
+    "project_rule_violations",
+    "lint_project",
+    "load_baseline",
+    "apply_baseline",
+]
+
+_CACHE_SCHEMA = 1
+_MAX_RESOLVE_DEPTH = 16
+
+
+class ProjectModel:
+    """All module facts plus dotted-name resolution across re-exports."""
+
+    def __init__(self, modules: dict[str, ModuleFacts]) -> None:
+        self.modules = modules
+        self._canonical_cache: dict[str, str | None] = {}
+
+    def _split(self, dotted: str) -> tuple[ModuleFacts, tuple[str, ...]] | None:
+        """Longest known module prefix of ``dotted`` plus the remainder."""
+        parts = dotted.split(".")
+        for end in range(len(parts), 0, -1):
+            facts = self.modules.get(".".join(parts[:end]))
+            if facts is not None:
+                return facts, tuple(parts[end:])
+        return None
+
+    def resolve_symbol(
+        self, dotted: str, _depth: int = 0
+    ) -> tuple[ModuleFacts, Symbol] | None:
+        """The defining module and :class:`~.graphs.Symbol` of a name.
+
+        Follows ``from``-import re-export chains (``repro.tcp.Sender`` →
+        ``repro.tcp.sender.Sender``) with a cycle guard.
+        """
+        if _depth > _MAX_RESOLVE_DEPTH:
+            return None
+        split = self._split(dotted)
+        if split is None:
+            return None
+        facts, rest = split
+        if not rest:
+            return None
+        symbol = facts.symbols.get(rest[0])
+        if symbol is None:
+            return None
+        if symbol.kind == "import" and symbol.target:
+            return self.resolve_symbol(
+                ".".join((symbol.target, *rest[1:])), _depth + 1)
+        if len(rest) == 1:
+            return facts, symbol
+        return None
+
+    def canonical(self, dotted: str, _depth: int = 0) -> str | None:
+        """The defining-module qualname a dotted reference resolves to."""
+        if _depth == 0 and dotted in self._canonical_cache:
+            return self._canonical_cache[dotted]
+        result = self._canonical_uncached(dotted, _depth)
+        if _depth == 0:
+            self._canonical_cache[dotted] = result
+        return result
+
+    def _canonical_uncached(self, dotted: str, _depth: int) -> str | None:
+        if _depth > _MAX_RESOLVE_DEPTH:
+            return None
+        split = self._split(dotted)
+        if split is None:
+            return None
+        facts, rest = split
+        if not rest:
+            return facts.module
+        symbol = facts.symbols.get(rest[0])
+        if symbol is None:
+            return None
+        if symbol.kind == "import" and symbol.target:
+            return self.canonical(
+                ".".join((symbol.target, *rest[1:])), _depth + 1)
+        return ".".join((facts.module, *rest))
+
+    def resolve_function(
+        self, dotted: str, _depth: int = 0
+    ) -> tuple[str, FunctionFacts] | None:
+        """``(canonical qualname, FunctionFacts)`` for a callable reference."""
+        if _depth > _MAX_RESOLVE_DEPTH:
+            return None
+        split = self._split(dotted)
+        if split is None:
+            return None
+        facts, rest = split
+        if not rest:
+            return None
+        qual = ".".join(rest)
+        summary = facts.functions.get(qual)
+        if summary is not None:
+            return f"{facts.module}.{qual}", summary
+        symbol = facts.symbols.get(rest[0])
+        if symbol is not None and symbol.kind == "import" and symbol.target:
+            return self.resolve_function(
+                ".".join((symbol.target, *rest[1:])), _depth + 1)
+        return None
+
+
+# ----------------------------------------------------------------------
+# Incremental cache
+# ----------------------------------------------------------------------
+def _load_cache(cache_path: Path | None) -> dict[str, dict[str, object]]:
+    if cache_path is None:
+        return {}
+    try:
+        raw = json.loads(cache_path.read_text())
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(raw, dict):
+        return {}
+    if raw.get("schema") != _CACHE_SCHEMA:
+        return {}
+    if raw.get("ruleset") != LINT_RULESET_VERSION:
+        return {}
+    if raw.get("facts_schema") != FACTS_SCHEMA_VERSION:
+        return {}
+    files = raw.get("files")
+    if not isinstance(files, dict):
+        return {}
+    entries: dict[str, dict[str, object]] = {}
+    for key, value in files.items():
+        if isinstance(value, dict):
+            entries[str(key)] = value
+    return entries
+
+
+def _write_cache(cache_path: Path,
+                 entries: dict[str, dict[str, object]]) -> None:
+    document = {
+        "schema": _CACHE_SCHEMA,
+        "ruleset": LINT_RULESET_VERSION,
+        "facts_schema": FACTS_SCHEMA_VERSION,
+        "files": entries,
+    }
+    cache_path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = cache_path.with_suffix(cache_path.suffix + ".tmp")
+    tmp.write_text(json.dumps(document, sort_keys=True))
+    os.replace(tmp, cache_path)
+
+
+def _violation_to_dict(violation: Violation) -> dict[str, object]:
+    return {"path": violation.path, "line": violation.line,
+            "col": violation.col, "code": violation.code,
+            "message": violation.message}
+
+
+def _violation_from_dict(raw: object) -> Violation | None:
+    if not isinstance(raw, dict):
+        return None
+    try:
+        return Violation(path=str(raw["path"]), line=int(str(raw["line"])),
+                         col=int(str(raw["col"])), code=str(raw["code"]),
+                         message=str(raw["message"]))
+    except (KeyError, ValueError):
+        return None
+
+
+# ----------------------------------------------------------------------
+# Building the model
+# ----------------------------------------------------------------------
+def _analyze_file(path: Path, source: str) -> tuple[ModuleFacts | None,
+                                                    list[Violation]]:
+    """Parse one file: (facts or None on syntax error, per-file violations)."""
+    display = str(path)
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as exc:
+        return None, [Violation(
+            path=display, line=exc.lineno or 1, col=exc.offset or 0,
+            code="RPR900", message=f"syntax error: {exc.msg}",
+        )]
+    module = resolve_module(display, source)
+    context = LintContext(path=display, source=source, tree=tree,
+                          module=module)
+    raw = run_rules(context)
+    valid_by_line, hygiene = valid_suppressions(
+        display, parse_suppressions(source))
+    kept = [violation for violation in raw
+            if violation.code not in valid_by_line.get(violation.line, set())]
+    violations = sorted(kept + hygiene,
+                        key=lambda violation: violation.sort_key)
+    suppressed = {line: tuple(sorted(codes))
+                  for line, codes in valid_by_line.items()}
+    facts = collect_module_facts(
+        display,
+        module or f"file:{display}",
+        tree,
+        is_package=path.stem == "__init__",
+        suppressed=suppressed,
+    )
+    return facts, violations
+
+
+def build_project(
+    paths: Iterable[str | Path],
+    *,
+    cache_path: str | Path | None = None,
+) -> tuple[ProjectModel, list[Violation]]:
+    """Parse/restore every file under ``paths`` into a project model.
+
+    Returns the model plus all per-file violations (suppressions already
+    applied).  When ``cache_path`` is given, unchanged files are restored
+    from the incremental cache and the cache is rewritten afterwards.
+    """
+    cache_file = Path(cache_path) if cache_path is not None else None
+    cached = _load_cache(cache_file)
+    new_entries: dict[str, dict[str, object]] = {}
+    modules: dict[str, ModuleFacts] = {}
+    per_file: list[Violation] = []
+
+    for path in iter_python_files(paths):
+        display = str(path)
+        try:
+            data = path.read_bytes()
+        except OSError as exc:
+            raise LintError(f"cannot read {path}: {exc}") from exc
+        digest = hashlib.sha256(data).hexdigest()
+        entry = cached.get(display)
+        facts: ModuleFacts | None = None
+        violations: list[Violation]
+        if entry is not None and entry.get("hash") == digest:
+            raw_facts = entry.get("facts")
+            facts = (ModuleFacts.from_dict(raw_facts)
+                     if isinstance(raw_facts, dict) else None)
+            raw_violations = entry.get("violations")
+            violations = []
+            if isinstance(raw_violations, list):
+                for item in raw_violations:
+                    restored = _violation_from_dict(item)
+                    if restored is not None:
+                        violations.append(restored)
+        else:
+            try:
+                source = data.decode("utf-8")
+            except UnicodeDecodeError as exc:
+                facts = None
+                violations = [Violation(
+                    path=display, line=1, col=0, code="RPR900",
+                    message=(f"not valid UTF-8: {exc.reason} at byte "
+                             f"{exc.start} — re-encode the file or remove "
+                             "it from the lint set"),
+                )]
+            else:
+                facts, violations = _analyze_file(path, source)
+        new_entries[display] = {
+            "hash": digest,
+            "facts": facts.to_dict() if facts is not None else None,
+            "violations": [_violation_to_dict(v) for v in violations],
+        }
+        per_file.extend(violations)
+        if facts is not None:
+            modules[facts.module] = facts
+
+    if cache_file is not None:
+        _write_cache(cache_file, new_entries)
+    return ProjectModel(modules), per_file
+
+
+def project_rule_violations(project: ProjectModel) -> list[Violation]:
+    """Run the interprocedural rules; honor per-line suppressions."""
+    suppressed_by_path = {facts.path: facts.suppressed
+                          for facts in project.modules.values()}
+    found = (check_taint(project) + check_pickleability(project)
+             + check_contracts(project))
+    kept = [
+        violation for violation in found
+        if violation.code not in suppressed_by_path
+        .get(violation.path, {}).get(violation.line, ())
+    ]
+    return sorted(kept, key=lambda violation: violation.sort_key)
+
+
+def lint_project(
+    paths: Iterable[str | Path],
+    *,
+    cache_path: str | Path | None = None,
+) -> list[Violation]:
+    """Whole-program lint: per-file rules plus RPR009/RPR010/RPR011."""
+    project, per_file = build_project(paths, cache_path=cache_path)
+    violations = per_file + project_rule_violations(project)
+    return sorted(violations, key=lambda violation: violation.sort_key)
+
+
+# ----------------------------------------------------------------------
+# Curated baselines (CI linting of tests/ and benchmarks/)
+# ----------------------------------------------------------------------
+def load_baseline(path: str | Path) -> list[tuple[str, str]]:
+    """Load a baseline file: a JSON list of ``{"path": ..., "code": ...}``.
+
+    Paths match as suffixes (``tests/analysis/lint/fixtures/...``), so
+    the baseline is independent of the checkout directory.
+    """
+    target = Path(path)
+    try:
+        raw = json.loads(target.read_text())
+    except OSError as exc:
+        raise LintError(f"cannot read baseline {target}: {exc}") from exc
+    except ValueError as exc:
+        raise LintError(f"baseline {target} is not valid JSON: {exc}") from exc
+    if not isinstance(raw, list):
+        raise LintError(f"baseline {target} must be a JSON list")
+    entries: list[tuple[str, str]] = []
+    for item in raw:
+        if (not isinstance(item, dict) or "path" not in item
+                or "code" not in item):
+            raise LintError(
+                f"baseline {target}: each entry needs 'path' and 'code'")
+        entries.append((str(item["path"]), str(item["code"]).upper()))
+    return entries
+
+
+def apply_baseline(
+    violations: list[Violation],
+    baseline: list[tuple[str, str]],
+) -> list[Violation]:
+    """Drop violations covered by the baseline (suffix path + code match)."""
+    def covered(violation: Violation) -> bool:
+        normalized = violation.path.replace(os.sep, "/")
+        for suffix, code in baseline:
+            if code == violation.code and normalized.endswith(suffix):
+                return True
+        return False
+
+    return [violation for violation in violations if not covered(violation)]

@@ -29,6 +29,7 @@ from repro.errors import LintError
 
 __all__ = [
     "LintContext",
+    "run_rules",
     "lint_source",
     "lint_file",
     "lint_paths",
@@ -39,16 +40,21 @@ __all__ = [
 register_descriptive(
     "RPR900",
     "unparseable-source",
-    "The file could not be parsed as Python.",
+    "The file could not be parsed as Python (syntax error or not UTF-8).",
     """\
-The linter works on the AST; a file with a syntax error cannot be
+The linter works on the AST; a file with a syntax error — or one that
+is not valid UTF-8 and so cannot even be read as text — cannot be
 checked at all, so it is reported as a violation rather than silently
-skipped (a syntactically broken module in `src/` is never acceptable).
-Fix the syntax error; RPR900 cannot be suppressed.""",
+skipped (a broken module in `src/` is never acceptable) or raised as a
+crash out of `lint_paths`.  Fix the syntax error or re-encode the file;
+RPR900 cannot be suppressed.""",
 )
 
 _MODULE_DIRECTIVE = re.compile(r"#\s*repro-lint-module:\s*([\w.]+)")
-_SKIP_DIR_NAMES = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+_SKIP_DIR_NAMES = {
+    "__pycache__", ".git", ".hypothesis", ".pytest_cache",
+    ".ruff_cache", "build", "dist",
+}
 
 
 @dataclass(frozen=True)
@@ -81,6 +87,22 @@ def resolve_module(path: str | Path, source: str) -> str:
     return ".".join(dotted)
 
 
+def run_rules(context: LintContext) -> list[Violation]:
+    """Run every registered per-file rule; suppressions NOT yet applied.
+
+    The whole-program layer reuses this so each file is parsed exactly
+    once: it builds the :class:`LintContext` itself, runs the per-file
+    rules here, then applies suppressions with the same map its own
+    project rules are filtered through.
+    """
+    violations: list[Violation] = []
+    for code in sorted(RULES):
+        check = RULES[code].check
+        if check is not None:
+            violations.extend(check(context))
+    return violations
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
@@ -101,11 +123,7 @@ def lint_source(
         tree=tree,
         module=resolve_module(display, source) if module is None else module,
     )
-    violations: list[Violation] = []
-    for code in sorted(RULES):
-        check = RULES[code].check
-        if check is not None:
-            violations.extend(check(context))
+    violations = run_rules(context)
     violations = apply_suppressions(display, violations, parse_suppressions(source))
     return sorted(violations, key=lambda violation: violation.sort_key)
 
@@ -115,6 +133,12 @@ def lint_file(path: str | Path, module: str | None = None) -> list[Violation]:
     target = Path(path)
     try:
         source = target.read_text()
+    except UnicodeDecodeError as exc:
+        return [Violation(
+            path=str(target), line=1, col=0, code="RPR900",
+            message=(f"not valid UTF-8: {exc.reason} at byte {exc.start} — "
+                     "re-encode the file or remove it from the lint set"),
+        )]
     except OSError as exc:
         raise LintError(f"cannot read {target}: {exc}") from exc
     return lint_source(source, path=str(target), module=module)

@@ -1,0 +1,623 @@
+"""Nondeterminism taint: sources, sinks, and interprocedural flows.
+
+The per-file rules (RPR001 etc.) see one AST at a time, so a wall-clock
+read that travels through a helper — ``deadline()`` in one module,
+``sim.schedule_at(deadline(), ...)`` in another — is invisible to them.
+This module defines the *taint domain* the whole-program layer
+(:mod:`repro.analysis.lint.project`) propagates across module
+boundaries:
+
+**Sources** are expressions whose value depends on when/where the
+process runs: wall-clock reads (``time.time``, ``perf_counter``,
+``datetime.now``), unseeded ``random`` draws, entropy back doors
+(``os.urandom``, ``uuid.uuid4``), object identity (``id()``, ``hash()``
+— PYTHONHASHSEED and allocation addresses), and hash-ordered set
+draws (``set.pop()``, ``next(iter(a_set))``).
+
+**Sinks** are the places where a nondeterministic value corrupts the
+reproduction contract instead of merely being displayed: event
+timestamps entering ``Simulator.schedule``/``schedule_at``, result-cache
+keys (``cache_key``/``config_hash``/``canonical_config_json``),
+checkpoint-journal entries (``JournalEntry`` identity fields), and
+run-manifest identity fields (``build_manifest``/``RunManifest``).
+Display-only fields (``wall_seconds``, ``events_processed``) are
+deliberately *not* sinks — wall time around a sweep is sanctioned
+reporting, which is why RPR001 never flagged ``perf_counter``.
+
+The analysis is a summary-based fixpoint over the project call graph:
+
+- a *taint* is a small set of atoms — direct sources, calls whose
+  return value the expression depends on, module globals it reads, and
+  enclosing-function parameters it depends on;
+- per-function summaries record what the return value carries, which
+  parameters reach a sink, and which tainted arguments are passed on;
+- :func:`check_taint` resolves the atoms project-wide and reports
+  RPR009 with the full source → helper → sink path in the message.
+
+:func:`check_pickleability` (RPR010) rides the same machinery for a
+different kind of poison: callables that cannot cross the sweep's
+process boundary — module-level lambdas, and factory calls that return
+closures — resolved through imports, which RPR005's single-file check
+cannot see.
+
+Like every rule here the analysis is approximate: attribute stores are
+not field-sensitive (``self.t0 = time.time()`` read back later is a
+known blind spot — the runtime sanitizer's monotone clock catches what
+slips through), and containers merge their elements' taint.  False
+positives are suppressed per line with ``# repro: noqa[RPR009] -- why``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.analysis.lint.model import Violation, register_descriptive
+from repro.analysis.lint.rules import _is_set_expression, _terminal_name
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.lint.graphs import CallArgFact, FunctionFacts, SinkCallFact
+    from repro.analysis.lint.project import ProjectModel
+
+__all__ = [
+    "Atom",
+    "Taint",
+    "SinkSpec",
+    "SINKS",
+    "TaintScope",
+    "match_sink",
+    "check_taint",
+    "check_pickleability",
+]
+
+#: (kind, payload, line).  Kinds: ``source`` (payload: human description
+#: of the nondeterminism source), ``call`` (payload: dotted target whose
+#: return value flows here), ``global`` (payload: dotted module-level
+#: name read), ``param`` (payload: enclosing-function parameter name).
+Atom = tuple[str, str, int]
+Taint = tuple[Atom, ...]
+
+#: Atoms kept per taint; beyond this the set is truncated (deterministic
+#: order, worst offenders first is not knowable — first-seen wins).
+_MAX_ATOMS = 8
+
+register_descriptive(
+    "RPR009",
+    "tainted-determinism-sink",
+    "No nondeterministic value (wall clock, unseeded randomness, object "
+    "identity, set order) may reach a determinism sink — event timestamps, "
+    "cache keys, journal entries, manifest identity fields.",
+    """\
+A run is a pure function of its ScenarioConfig; the result cache, the
+resume journal and the parity harness all bank on it.  RPR001 rejects
+wall-clock reads *inside* simulation modules, but a value can be read
+legitimately in one place (`perf_counter` around a sweep, for display)
+and then leak — through an assignment, a return value, a helper
+parameter — into a place where it silently changes simulation behavior
+or result identity: a `Simulator.schedule` timestamp, a
+`cache_key`/`config_hash` input, a `JournalEntry` identity field, a
+manifest identity field.  This rule is the whole-program complement:
+it propagates nondeterminism sources (`time.time`/`perf_counter`,
+unseeded `random` draws, `os.urandom`/`uuid.uuid4`, `id()`/`hash()`,
+`set.pop()`/`next(iter(a_set))`) through assignments, returns and call
+edges across modules, and reports the full source -> helper -> sink
+path.  Only available in `repro lint --project` mode (it needs the
+import and call graphs).  The analysis is not field-sensitive through
+object attributes; the runtime sanitizer's monotone-clock and
+finite-timestamp checks are the dynamic backstop.""",
+)
+
+register_descriptive(
+    "RPR010",
+    "cross-module-unpicklable-sweep-callable",
+    "Sweep callables and algorithm factories must survive the process "
+    "boundary — no module-level lambdas or closure-factory results, even "
+    "when imported from another module.",
+    """\
+RPR005 flags lambdas and nested definitions passed *literally* at a
+sweep or `register_algorithm` call site — all a single-file check can
+see.  But the poison travels: `from helpers import extract` where
+`helpers.py` says `extract = lambda r: ...` pickles by the qualname
+`<lambda>` and dies in every spawn worker, and `sweep(cfg, vals,
+make_extract())` is just as dead when `make_extract` (defined two
+modules away) returns a nested function — the closure exists only in
+the parent process.  In `repro lint --project` mode this rule resolves
+the callable through the project's import graph and flags: (a) names
+that resolve to a module-level lambda assignment in any module, and
+(b) factory-call arguments whose factory (transitively) returns a
+lambda, nested function, or locally-defined class.  Fix by defining
+the callable with `def` at module scope, or by returning
+`functools.partial` over a module-level function instead of a
+closure.""",
+)
+
+
+# ----------------------------------------------------------------------
+# Sources
+# ----------------------------------------------------------------------
+_SOURCE_CALLS = {
+    "time.time": "wall-clock read `time.time()`",
+    "time.time_ns": "wall-clock read `time.time_ns()`",
+    "time.monotonic": "wall-clock read `time.monotonic()`",
+    "time.monotonic_ns": "wall-clock read `time.monotonic_ns()`",
+    "time.perf_counter": "wall-clock read `time.perf_counter()`",
+    "time.perf_counter_ns": "wall-clock read `time.perf_counter_ns()`",
+    "os.urandom": "entropy source `os.urandom()`",
+    "uuid.uuid1": "entropy source `uuid.uuid1()`",
+    "uuid.uuid4": "entropy source `uuid.uuid4()`",
+}
+_IDENTITY_BUILTINS = {
+    "id": "object identity `id()` (allocation address)",
+    "hash": "`hash()` (PYTHONHASHSEED-dependent for strings)",
+}
+_DATETIME_ATTRS = {"now", "utcnow", "today"}
+_ALLOWED_RANDOM_ATTRS = {"Random"}
+
+
+def match_source(func: ast.expr, imports: dict[str, str]) -> str | None:
+    """The source description when ``func`` is a nondeterminism source."""
+    if isinstance(func, ast.Name):
+        origin = imports.get(func.id, func.id)
+        if origin in _SOURCE_CALLS:
+            return _SOURCE_CALLS[origin]
+        if func.id in _IDENTITY_BUILTINS and func.id not in imports:
+            return _IDENTITY_BUILTINS[func.id]
+        if origin.startswith("random.") and origin.split(".", 1)[1] not in _ALLOWED_RANDOM_ATTRS:
+            return f"unseeded randomness `{func.id}()` (from `random`)"
+        return None
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        base = imports.get(func.value.id, func.value.id)
+        full = f"{base}.{func.attr}"
+        if full in _SOURCE_CALLS:
+            return _SOURCE_CALLS[full]
+        if base == "random" and func.attr not in _ALLOWED_RANDOM_ATTRS:
+            return f"unseeded randomness `random.{func.attr}()`"
+    if (isinstance(func, ast.Attribute)
+            and func.attr in _DATETIME_ATTRS
+            and _terminal_name(func.value) in {"datetime", "date"}):
+        return f"wall-clock read `{ast.unparse(func)}()`"
+    return None
+
+
+def _set_order_source(node: ast.Call) -> str | None:
+    """Hash-ordered element draws: ``a_set.pop()`` / ``next(iter(a_set))``."""
+    func = node.func
+    if (isinstance(func, ast.Attribute) and func.attr == "pop"
+            and not node.args and _is_set_expression(func.value)):
+        return "hash-ordered `set.pop()`"
+    if (isinstance(func, ast.Name) and func.id == "next" and node.args):
+        inner = node.args[0]
+        if (isinstance(inner, ast.Call) and isinstance(inner.func, ast.Name)
+                and inner.func.id == "iter" and inner.args
+                and _is_set_expression(inner.args[0])):
+            return "hash-ordered `next(iter(<set>))`"
+    return None
+
+
+# ----------------------------------------------------------------------
+# Sinks
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SinkSpec:
+    """Which argument slots of a called name are determinism sinks."""
+
+    label: str
+    positions: tuple[int, ...] | None
+    """Call-site positional indices that are sinks; ``None`` = all."""
+    keywords: frozenset[str] | None
+    """Keyword names that are sinks; ``None`` = all."""
+
+
+_CACHE_KEY = "a result-cache key"
+_JOURNAL = "a checkpoint-journal entry"
+_MANIFEST = "a run-manifest identity field"
+
+SINKS: dict[str, SinkSpec] = {
+    "schedule": SinkSpec("an event timestamp entering `Simulator.schedule`",
+                         (0,), frozenset({"delay"})),
+    "schedule_at": SinkSpec("an event timestamp entering `Simulator.schedule_at`",
+                            (0,), frozenset({"time"})),
+    "cache_key": SinkSpec(_CACHE_KEY, None, None),
+    "config_hash": SinkSpec(_CACHE_KEY, None, None),
+    "canonical_config_json": SinkSpec(_CACHE_KEY, None, None),
+    "put_config": SinkSpec(_CACHE_KEY, None, None),
+    "get_config": SinkSpec(_CACHE_KEY, None, None),
+    "run_id_for": SinkSpec(_MANIFEST, None, None),
+    "JournalEntry": SinkSpec(
+        _JOURNAL, (0, 1, 2),
+        frozenset({"key", "config_hash", "run_id", "measurements"})),
+    "build_manifest": SinkSpec(_MANIFEST, (0,), frozenset({"config", "extract"})),
+    "RunManifest": SinkSpec(
+        _MANIFEST, (0, 1, 2, 3, 4),
+        frozenset({"run_id", "scenario", "config_hash", "cache_key",
+                   "seed", "algorithms"})),
+}
+
+
+def match_sink(node: ast.Call) -> tuple[SinkSpec, list[tuple[int, str, ast.expr]]] | None:
+    """The sink slots of a call: ``(spec, [(position, keyword, arg)])``.
+
+    ``position`` is ``-1`` for keyword arguments; ``keyword`` is ``""``
+    for positional ones.  Returns ``None`` when the called name is not a
+    sink.
+    """
+    name = _terminal_name(node.func)
+    if name is None or name not in SINKS:
+        return None
+    spec = SINKS[name]
+    slots: list[tuple[int, str, ast.expr]] = []
+    for index, arg in enumerate(node.args):
+        if isinstance(arg, ast.Starred):
+            continue
+        if spec.positions is None or index in spec.positions:
+            slots.append((index, "", arg))
+    for keyword in node.keywords:
+        if keyword.arg is None:
+            continue
+        if spec.keywords is None or keyword.arg in spec.keywords:
+            slots.append((-1, keyword.arg, keyword.value))
+    return spec, slots
+
+
+# ----------------------------------------------------------------------
+# Expression-level taint evaluation (intraprocedural)
+# ----------------------------------------------------------------------
+def merge(*taints: Taint) -> Taint:
+    """Union of taints, deduplicated, capped, deterministic order."""
+    seen: dict[tuple[str, str], Atom] = {}
+    for taint in taints:
+        for atom in taint:
+            seen.setdefault((atom[0], atom[1]), atom)
+    atoms = list(seen.values())
+    return tuple(atoms[:_MAX_ATOMS])
+
+
+class TaintScope:
+    """Taint environment for one function (or module) body.
+
+    Statements are processed in textual order: an assignment overwrites
+    the target's taint, branches are not joined (the approximation is
+    documented in the rule rationale).  ``resolver`` maps a call's
+    ``func`` expression to ``(dotted_target, is_bound_method_call)`` —
+    empty target when unresolvable.
+    """
+
+    def __init__(
+        self,
+        module: str,
+        imports: dict[str, str],
+        module_symbols: Iterable[str],
+        resolver: Callable[[ast.expr], tuple[str, bool]],
+        params: tuple[str, ...],
+        is_method: bool,
+    ) -> None:
+        self.module = module
+        self.imports = imports
+        self.module_symbols = frozenset(module_symbols)
+        self.resolver = resolver
+        self.params = frozenset(params)
+        self.is_method = is_method
+        self.receiver = params[0] if is_method and params else ""
+        self.env: dict[str, Taint] = {}
+
+    def assign(self, target: ast.expr, taint: Taint) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = taint
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self.assign(element, taint)
+        elif isinstance(target, ast.Starred):
+            self.assign(target.value, taint)
+
+    def name_taint(self, node: ast.Name) -> Taint:
+        if node.id in self.env:
+            return self.env[node.id]
+        if node.id in self.params:
+            if node.id == self.receiver or node.id == "cls":
+                return ()  # not field-sensitive through the receiver
+            return ((("param", node.id, node.lineno)),)
+        if node.id in self.imports:
+            return ((("global", self.imports[node.id], node.lineno)),)
+        if node.id in self.module_symbols:
+            return ((("global", f"{self.module}.{node.id}", node.lineno)),)
+        return ()
+
+    def expr_taint(self, node: ast.expr | None) -> Taint:
+        if node is None or isinstance(node, (ast.Constant, ast.Lambda)):
+            return ()
+        if isinstance(node, ast.Name):
+            return self.name_taint(node)
+        if isinstance(node, ast.Call):
+            return self.call_taint(node)
+        if isinstance(node, ast.Attribute):
+            return self.expr_taint(node.value)
+        if isinstance(node, ast.BinOp):
+            return merge(self.expr_taint(node.left), self.expr_taint(node.right))
+        if isinstance(node, ast.UnaryOp):
+            return self.expr_taint(node.operand)
+        if isinstance(node, ast.BoolOp):
+            return merge(*(self.expr_taint(value) for value in node.values))
+        if isinstance(node, ast.Compare):
+            return merge(self.expr_taint(node.left),
+                         *(self.expr_taint(comp) for comp in node.comparators))
+        if isinstance(node, ast.IfExp):
+            return merge(self.expr_taint(node.body), self.expr_taint(node.orelse))
+        if isinstance(node, ast.Subscript):
+            return merge(self.expr_taint(node.value), self.expr_taint(node.slice))
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return merge(*(self.expr_taint(element) for element in node.elts))
+        if isinstance(node, ast.Dict):
+            keys = tuple(self.expr_taint(key) for key in node.keys if key is not None)
+            return merge(*keys, *(self.expr_taint(value) for value in node.values))
+        if isinstance(node, ast.JoinedStr):
+            return merge(*(self.expr_taint(value) for value in node.values))
+        if isinstance(node, ast.FormattedValue):
+            return self.expr_taint(node.value)
+        if isinstance(node, ast.Starred):
+            return self.expr_taint(node.value)
+        if isinstance(node, ast.NamedExpr):
+            taint = self.expr_taint(node.value)
+            self.assign(node.target, taint)
+            return taint
+        if isinstance(node, ast.Await):
+            return self.expr_taint(node.value)
+        return ()
+
+    def call_taint(self, node: ast.Call) -> Taint:
+        atoms: list[Taint] = []
+        source = match_source(node.func, self.imports) or _set_order_source(node)
+        if source is not None:
+            atoms.append((("source", source, node.lineno),))
+        else:
+            target, _bound = self.resolver(node.func)
+            if target:
+                atoms.append((("call", target, node.lineno),))
+        atoms.extend(self.expr_taint(arg) for arg in node.args)
+        atoms.extend(self.expr_taint(keyword.value) for keyword in node.keywords)
+        return merge(*atoms)
+
+
+# ----------------------------------------------------------------------
+# Project-wide propagation (RPR009)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _Witness:
+    """A resolved nondeterminism source plus the helpers it flowed through."""
+
+    source: str
+    where: str
+    chain: tuple[str, ...]
+
+    def describe(self) -> str:
+        text = f"{self.source} ({self.where})"
+        if self.chain:
+            text += " via " + " -> ".join(f"`{hop}()`" for hop in self.chain)
+        return text
+
+
+class _TaintSolver:
+    """Fixpoint over function-return and module-global taint summaries."""
+
+    def __init__(self, project: "ProjectModel") -> None:
+        self.project = project
+        self.returns: dict[str, _Witness] = {}
+        self.globals: dict[str, _Witness] = {}
+        self._solve()
+
+    def _solve(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for module in self.project.modules.values():
+                for facts in module.functions.values():
+                    qual = f"{module.module}.{facts.qualname}"
+                    if qual in self.returns:
+                        continue
+                    witness = self.witness(facts.returns_taint, for_params=False)
+                    if witness is not None:
+                        self.returns[qual] = witness
+                        changed = True
+                for name, taint in module.global_taint.items():
+                    dotted = f"{module.module}.{name}"
+                    if dotted in self.globals:
+                        continue
+                    witness = self.witness(taint, for_params=False)
+                    if witness is not None:
+                        self.globals[dotted] = witness
+                        changed = True
+
+    def witness(self, taint: Taint, *, for_params: bool) -> _Witness | None:
+        """Resolve a taint to a source witness, or ``None`` if clean.
+
+        ``param`` atoms never resolve here — they are handled by the
+        caller-side summaries (``for_params`` is accepted for clarity at
+        call sites only).
+        """
+        del for_params
+        for kind, payload, line in taint:
+            if kind == "source":
+                return _Witness(payload, f"line {line}", ())
+            if kind == "call":
+                canonical = self.project.canonical(payload)
+                if canonical is not None and canonical in self.returns:
+                    inner = self.returns[canonical]
+                    return _Witness(inner.source, inner.where,
+                                    (canonical, *inner.chain))
+            if kind == "global":
+                canonical = self.project.canonical(payload)
+                if canonical is None:
+                    canonical = payload
+                if canonical in self.globals:
+                    inner = self.globals[canonical]
+                    return _Witness(inner.source, inner.where,
+                                    (canonical, *inner.chain))
+        return None
+
+
+def _callee_param_name(project: "ProjectModel", callee: "FunctionFacts",
+                       arg: "CallArgFact") -> str | None:
+    """The parameter of ``callee`` that a call-site argument binds to."""
+    if arg.keyword:
+        return arg.keyword if arg.keyword in callee.params else None
+    index = arg.position
+    if arg.bound and callee.is_method:
+        index += 1  # the receiver consumed the first parameter slot
+    if 0 <= index < len(callee.params):
+        return callee.params[index]
+    return None
+
+
+def check_taint(project: "ProjectModel") -> list[Violation]:
+    """RPR009: nondeterministic values reaching determinism sinks."""
+    solver = _TaintSolver(project)
+    violations: list[Violation] = []
+
+    # Parameter -> sink summaries (fixpoint over call edges).
+    param_sinks: dict[tuple[str, str], tuple[str, str, tuple[str, ...]]] = {}
+    for module in project.modules.values():
+        for facts in module.functions.values():
+            qual = f"{module.module}.{facts.qualname}"
+            for sink in facts.sink_calls:
+                for kind, payload, _line in sink.taint:
+                    if kind == "param":
+                        param_sinks.setdefault(
+                            (qual, payload),
+                            (sink.label, f"{module.path}:{sink.line}", ()))
+    changed = True
+    while changed:
+        changed = False
+        for module in project.modules.values():
+            for facts in module.functions.values():
+                qual = f"{module.module}.{facts.qualname}"
+                for arg in facts.call_args:
+                    resolved = project.resolve_function(arg.target)
+                    if resolved is None:
+                        continue
+                    callee_qual, callee = resolved
+                    param = _callee_param_name(project, callee, arg)
+                    if param is None or (callee_qual, param) not in param_sinks:
+                        continue
+                    label, where, chain = param_sinks[(callee_qual, param)]
+                    for kind, payload, _line in arg.taint:
+                        if kind != "param":
+                            continue
+                        key = (qual, payload)
+                        if key not in param_sinks:
+                            param_sinks[key] = (label, where,
+                                                (callee_qual, *chain))
+                            changed = True
+
+    for module in project.modules.values():
+        for facts in module.functions.values():
+            # Direct (and return-value / global) taint at a sink call.
+            for sink in facts.sink_calls:
+                witness = solver.witness(sink.taint, for_params=False)
+                if witness is None:
+                    continue
+                violations.append(Violation(
+                    path=module.path, line=sink.line, col=sink.col,
+                    code="RPR009",
+                    message=(f"{sink.label} is tainted: {witness.describe()} "
+                             f"reaches `{sink.arg_display}`"),
+                ))
+            # Tainted argument handed to a helper whose parameter reaches
+            # a sink somewhere else in the project.
+            for arg in facts.call_args:
+                resolved = project.resolve_function(arg.target)
+                if resolved is None:
+                    continue
+                callee_qual, callee = resolved
+                param = _callee_param_name(project, callee, arg)
+                if param is None or (callee_qual, param) not in param_sinks:
+                    continue
+                witness = solver.witness(arg.taint, for_params=False)
+                if witness is None:
+                    continue
+                label, where, chain = param_sinks[(callee_qual, param)]
+                path_text = " -> ".join(
+                    f"`{hop}`" for hop in (callee_qual, *chain))
+                violations.append(Violation(
+                    path=module.path, line=arg.line, col=arg.col,
+                    code="RPR009",
+                    message=(f"{witness.describe()} flows through parameter "
+                             f"`{param}` of {path_text} into {label} "
+                             f"({where})"),
+                ))
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Cross-module pickleability (RPR010)
+# ----------------------------------------------------------------------
+def _closure_makers(project: "ProjectModel") -> dict[str, tuple[str, tuple[str, ...]]]:
+    """qualname -> (reason, factory chain) for closure-returning factories."""
+    makers: dict[str, tuple[str, tuple[str, ...]]] = {}
+    changed = True
+    while changed:
+        changed = False
+        for module in project.modules.values():
+            for facts in module.functions.values():
+                qual = f"{module.module}.{facts.qualname}"
+                if qual in makers:
+                    continue
+                if facts.returns_closure:
+                    makers[qual] = (facts.returns_closure, ())
+                    changed = True
+                    continue
+                for kind, payload, _line in facts.returns_taint:
+                    if kind != "call":
+                        continue
+                    canonical = project.canonical(payload)
+                    if canonical is not None and canonical in makers:
+                        reason, chain = makers[canonical]
+                        makers[qual] = (reason, (canonical, *chain))
+                        changed = True
+                        break
+    return makers
+
+
+def check_pickleability(project: "ProjectModel") -> list[Violation]:
+    """RPR010: sweep/registry callables that cannot cross process boundaries."""
+    makers = _closure_makers(project)
+    violations: list[Violation] = []
+    for module in project.modules.values():
+        for site in module.sweep_sites:
+            if not site.target:
+                continue
+            if site.kind == "name":
+                resolved = project.resolve_symbol(site.target)
+                if resolved is None:
+                    continue
+                owner, symbol = resolved
+                if symbol.kind != "lambda":
+                    continue
+                crossing = ("" if owner.module == module.module else
+                            f" in `{owner.module}`")
+                violations.append(Violation(
+                    path=module.path, line=site.line, col=site.col,
+                    code="RPR010",
+                    message=(f"`{site.display}` passed to `{site.entry}()` "
+                             f"resolves to a module-level lambda"
+                             f"{crossing} ({owner.path}:{symbol.line}); "
+                             "lambdas pickle by the qualname `<lambda>` and "
+                             "no worker can rebuild them — define it with "
+                             "`def` at module scope"),
+                ))
+            elif site.kind == "call":
+                canonical = project.canonical(site.target)
+                if canonical is None or canonical not in makers:
+                    continue
+                reason, chain = makers[canonical]
+                hops = " -> ".join(f"`{hop}()`" for hop in (canonical, *chain))
+                violations.append(Violation(
+                    path=module.path, line=site.line, col=site.col,
+                    code="RPR010",
+                    message=(f"`{site.display}` passed to `{site.entry}()` is "
+                             f"built by {hops}, which returns {reason}; the "
+                             "result exists only in this process and cannot "
+                             "cross the sweep's spawn boundary — return a "
+                             "module-level function (or functools.partial "
+                             "over one) instead"),
+                ))
+    return violations

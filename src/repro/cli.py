@@ -251,6 +251,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the rationale for one rule code and exit")
     lint_p.add_argument("--list", action="store_true", dest="list_rules",
                         help="list all registered rule codes and exit")
+    lint_p.add_argument("--project", action="store_true",
+                        help="whole-program mode: build the import/call "
+                             "graphs and run the interprocedural rules "
+                             "(RPR009-RPR011) on top of the per-file set")
+    lint_p.add_argument("--format", default="text", dest="fmt",
+                        choices=["text", "json", "sarif"],
+                        help="report format (default: text)")
+    lint_p.add_argument("--output", default=None, metavar="FILE",
+                        help="write the report to FILE (text summary still "
+                             "goes to stdout)")
+    lint_p.add_argument("--baseline", default=None, metavar="FILE",
+                        help="JSON list of {path,code} entries to ignore "
+                             "(curated known-violations, e.g. rule fixtures)")
+    lint_p.add_argument("--cache-file", default=None, metavar="FILE",
+                        help="incremental analysis cache for --project mode "
+                             "(default: .repro-lint-cache.json)")
+    lint_p.add_argument("--no-cache", action="store_true",
+                        help="disable the --project incremental cache")
     return parser
 
 
@@ -511,24 +529,49 @@ def _cmd_parity(args: argparse.Namespace) -> int:
     return EXIT_CHECK_FAILED
 
 
-def _cmd_lint(paths: list[str] | None, explain_code: str | None,
-              list_rules: bool) -> int:
+def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.lint import (
+        apply_baseline,
         explain,
         format_violations,
         iter_rules,
         lint_paths,
+        lint_project,
+        load_baseline,
+        render_json,
+        render_sarif,
     )
 
-    if explain_code is not None:
-        print(explain(explain_code))
+    if args.explain is not None:
+        print(explain(args.explain))
         return 0
-    if list_rules:
+    if args.list_rules:
         for rule in iter_rules():
             print(f"{rule.code}  {rule.name:32}  {rule.summary}")
         return 0
-    violations = lint_paths(paths or ["src"])
-    print(format_violations(violations))
+    paths = args.paths or ["src"]
+    if args.project:
+        cache_path = None
+        if not args.no_cache:
+            cache_path = args.cache_file or ".repro-lint-cache.json"
+        violations = lint_project(paths, cache_path=cache_path)
+    else:
+        violations = lint_paths(paths)
+    if args.baseline:
+        violations = apply_baseline(violations, load_baseline(args.baseline))
+    if args.fmt == "json":
+        payload = render_json(violations)
+    elif args.fmt == "sarif":
+        payload = render_sarif(violations)
+    else:
+        payload = format_violations(violations) + "\n"
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(payload)
+        print(format_violations(violations))
+        print(f"report -> {args.output}")
+    else:
+        print(payload, end="")
     return 1 if violations else 0
 
 
@@ -565,7 +608,7 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "parity":
             return _cmd_parity(args)
         if args.command == "lint":
-            return _cmd_lint(args.paths, args.explain, args.list_rules)
+            return _cmd_lint(args)
         if args.command == "run-config":
             from repro.scenarios import load_config, run, substitute_algorithm
 

@@ -1,0 +1,23 @@
+# repro-lint-module: repro.fx9bad.driver
+"""Positive RPR009 fixture, sink side: tainted timestamps cross modules.
+
+Two flow shapes the whole-program analysis must catch:
+- a helper's *return value* (tainted transitively through `jittered`
+  -> `stamp` -> `perf_counter`) used directly as a schedule timestamp;
+- a tainted value handed to a clean-looking local helper whose
+  *parameter* reaches the sink.
+"""
+
+from repro.fx9bad.timing import jittered, stamp
+
+
+def arm(sim: object) -> None:
+    sim.schedule_at(jittered(1.0), "timeout")  # RPR009: return-chain taint
+
+
+def defer(sim: object, when: float) -> None:
+    sim.schedule(when, "tick")
+
+
+def kick(sim: object) -> None:
+    defer(sim, stamp())  # RPR009: parameter-flow taint

@@ -1,0 +1,18 @@
+# repro-lint-module: repro.fx9bad.timing
+"""Positive RPR009 fixture, source side: wall-clock helpers.
+
+`perf_counter` is sanctioned for *display* (RPR001 never flags it),
+which is exactly why the leak below is invisible to per-file rules:
+the read is legitimate here and poisonous only at the sink two hops
+away in `driver.py`.
+"""
+
+import time
+
+
+def stamp() -> float:
+    return time.perf_counter()
+
+
+def jittered(base: float) -> float:
+    return base + stamp()

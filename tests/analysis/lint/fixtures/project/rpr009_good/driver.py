@@ -1,0 +1,23 @@
+# repro-lint-module: repro.fx9good.driver
+"""Negative RPR009 fixture, sink side: clean cross-module timestamps.
+
+Mirrors the positive fixture's call shapes — helper return values and
+parameter flows into `schedule`/`schedule_at` — but all inputs are
+deterministic, and the sanctioned wall-clock read goes to display,
+not to a sink.
+"""
+
+from repro.fx9good.timing import jittered, stamp, wall_report
+
+
+def arm(sim: object) -> None:
+    sim.schedule_at(jittered(1.0, 3), "timeout")
+
+
+def defer(sim: object, when: float) -> None:
+    sim.schedule(when, "tick")
+
+
+def kick(sim: object) -> None:
+    defer(sim, stamp(0.25))
+    print(f"elapsed: {wall_report():.3f}s")

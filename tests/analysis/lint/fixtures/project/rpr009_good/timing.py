@@ -1,0 +1,25 @@
+# repro-lint-module: repro.fx9good.timing
+"""Negative RPR009 fixture, helper side: deterministic time arithmetic.
+
+Same module shape as the positive fixture, but every value is derived
+from parameters and constants — nothing for the taint analysis to
+seed on.  `perf_counter` appears only in a display path that never
+reaches a sink.
+"""
+
+import time
+
+EPOCH = 0.125
+
+
+def stamp(offset: float) -> float:
+    return EPOCH + offset
+
+
+def jittered(base: float, step: int) -> float:
+    return base + stamp(step * 0.5)
+
+
+def wall_report() -> float:
+    # Display-only: the caller prints this; it never enters a sink.
+    return time.perf_counter()

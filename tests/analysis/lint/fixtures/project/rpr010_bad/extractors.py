@@ -1,0 +1,18 @@
+# repro-lint-module: repro.fx10bad.extractors
+"""Positive RPR010 fixture, definition side: unpicklable callables.
+
+Neither shape is visible to the per-file RPR005 check from the call
+site's file: the lambda is a module-level *assignment* (picklable-
+looking name, `<lambda>` qualname), and `make_probe` returns a closure
+that exists only in the parent process.
+"""
+
+
+goodput = lambda result: result.throughput  # noqa: E731
+
+
+def make_probe():
+    def probe(result):
+        return {"delay": result.rtt}
+
+    return probe

@@ -1,0 +1,14 @@
+# repro-lint-module: repro.fx10bad.sweeping
+"""Positive RPR010 fixture, call side: the poison crosses the import.
+
+`goodput` and `make_probe()` both look innocuous here — resolving them
+to a lambda assignment and a closure factory requires the project's
+import graph, which is exactly what `repro lint --project` adds.
+"""
+
+from repro.fx10bad.extractors import goodput, make_probe
+
+
+def run_family(sweep, config, values):
+    sweep(config, values, goodput)  # RPR010: imported module-level lambda
+    return sweep(config, values, make_probe())  # RPR010: closure factory

@@ -1,0 +1,21 @@
+# repro-lint-module: repro.fx10good.extractors
+"""Negative RPR010 fixture, definition side: spawn-safe callables.
+
+Module-level `def` pickles by qualname; `functools.partial` over a
+module-level function reconstructs in any worker.  Same call shapes as
+the positive fixture, zero violations.
+"""
+
+import functools
+
+
+def goodput(result):
+    return result.throughput
+
+
+def probe(result, field):
+    return {field: result.rtt}
+
+
+def make_probe():
+    return functools.partial(probe, field="delay")

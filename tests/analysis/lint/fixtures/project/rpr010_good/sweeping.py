@@ -1,0 +1,9 @@
+# repro-lint-module: repro.fx10good.sweeping
+"""Negative RPR010 fixture, call side: imported callables that pickle."""
+
+from repro.fx10good.extractors import goodput, make_probe
+
+
+def run_family(sweep, config, values):
+    sweep(config, values, goodput)
+    return sweep(config, values, make_probe())

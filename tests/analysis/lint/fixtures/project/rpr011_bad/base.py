@@ -1,0 +1,12 @@
+# repro-lint-module: repro.tcp.congestion.base
+"""Stand-in CongestionControl so the RPR011 fixtures resolve standalone.
+
+The contract checker anchors on the canonical qualname
+`repro.tcp.congestion.base.CongestionControl`; this file claims that
+module identity with a directive so the fixture package can be linted
+without the real tree on the path.
+"""
+
+
+class CongestionControl:
+    __slots__ = ()

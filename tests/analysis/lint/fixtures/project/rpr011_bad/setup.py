@@ -1,0 +1,14 @@
+# repro-lint-module: repro.fx11bad.setup
+"""Positive RPR011 fixture, registration side.
+
+The violations are reported at the class/method definition sites in
+`strategies.py`, naming this file's registration as the reason the
+contract applies.
+"""
+
+from repro.fx11bad.strategies import QuackControl, SloppyControl
+
+
+def install(register_algorithm):
+    register_algorithm("sloppy", SloppyControl)
+    register_algorithm("quack", factory=QuackControl)

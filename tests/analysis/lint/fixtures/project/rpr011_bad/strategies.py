@@ -1,0 +1,40 @@
+# repro-lint-module: repro.fx11bad.strategies
+"""Positive RPR011 fixture: strategies that break the registry contract.
+
+`SloppyControl` forgets `__slots__`, declares `attach` with the wrong
+arity, and writes the transport's private go-back-N state.
+`QuackControl` neither inherits from CongestionControl nor defines the
+full protocol surface.
+"""
+
+from repro.tcp.congestion.base import CongestionControl
+
+
+class SloppyControl(CongestionControl):
+    def attach(self):  # RPR011: protocol calls attach(self, t)
+        self.window = 1
+
+    def usable_window(self, t):
+        return self.window
+
+    def ack_advanced(self, t, ack):
+        t._next_seq = ack  # RPR011: private transport state
+
+    def grow(self, t):
+        self.window += 1
+
+    def dupack(self, t):
+        return None
+
+    def on_loss(self, t, trigger):
+        self.window = 1
+
+
+class QuackControl:
+    __slots__ = ("window",)
+
+    def attach(self, t):
+        self.window = 1
+
+    def grow(self, t):
+        self.window += 1

@@ -1,0 +1,6 @@
+# repro-lint-module: repro.tcp.congestion.base
+"""Stand-in CongestionControl for the negative RPR011 fixture package."""
+
+
+class CongestionControl:
+    __slots__ = ()

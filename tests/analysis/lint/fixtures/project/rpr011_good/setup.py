@@ -1,0 +1,17 @@
+# repro-lint-module: repro.fx11good.setup
+"""Negative RPR011 fixture, registration side: a subclass two modules
+deep still resolves through the chain and passes every check."""
+
+from repro.fx11good.strategies import SteadyControl
+
+
+class BoostControl(SteadyControl):
+    __slots__ = ()
+
+    def grow(self, t, factor=2):
+        self.window += factor
+
+
+def install(register_algorithm):
+    register_algorithm("steady", SteadyControl)
+    register_algorithm("boost", BoostControl)

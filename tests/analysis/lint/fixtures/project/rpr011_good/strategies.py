@@ -1,0 +1,32 @@
+# repro-lint-module: repro.fx11good.strategies
+"""Negative RPR011 fixture: a conforming strategy hierarchy.
+
+`SteadyControl` satisfies the full protocol; `BoostControl` inherits
+across a module-internal base chain, keeps `__slots__` on every class,
+extends arity only with defaulted parameters, and touches the
+transport through public attributes only.
+"""
+
+from repro.tcp.congestion.base import CongestionControl
+
+
+class SteadyControl(CongestionControl):
+    __slots__ = ("window",)
+
+    def attach(self, t):
+        self.window = 1
+
+    def usable_window(self, t):
+        return self.window
+
+    def ack_advanced(self, t, ack):
+        self.window += 1
+
+    def grow(self, t):
+        self.window += 1
+
+    def dupack(self, t):
+        return None
+
+    def on_loss(self, t, trigger):
+        self.window = 1

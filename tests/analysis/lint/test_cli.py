@@ -1,10 +1,12 @@
-"""The `repro lint` subcommand: exit codes, --explain, --list."""
+"""The `repro lint` subcommand: exit codes, --explain, --list, --project."""
 
+import json
 import pathlib
 
 from repro.cli import main
 
 FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+REPO_SRC = pathlib.Path(__file__).parents[3] / "src"
 
 
 def test_clean_file_exits_zero(capsys):
@@ -35,10 +37,73 @@ def test_list_shows_every_code(capsys):
     assert main(["lint", "--list"]) == 0
     out = capsys.readouterr().out
     for code in ("RPR000", "RPR001", "RPR002", "RPR003",
-                 "RPR004", "RPR005", "RPR006", "RPR900"):
+                 "RPR004", "RPR005", "RPR006", "RPR007",
+                 "RPR008", "RPR009", "RPR010", "RPR011", "RPR900"):
         assert code in out
+
+
+def test_list_output_is_stable(capsys):
+    assert main(["lint", "--list"]) == 0
+    first = capsys.readouterr().out
+    assert main(["lint", "--list"]) == 0
+    assert capsys.readouterr().out == first
+    codes = [line.split()[0] for line in first.strip().splitlines()]
+    assert codes == sorted(codes)
+
+
+def test_explain_works_for_every_registered_code(capsys):
+    """A rule added without --explain documentation fails here."""
+    from repro.analysis.lint import iter_rules
+
+    for rule in iter_rules():
+        assert main(["lint", "--explain", rule.code]) == 0
+        out = capsys.readouterr().out
+        assert rule.code in out
+        assert len(out.strip().splitlines()) >= 4, rule.code
 
 
 def test_missing_path_exits_two(capsys):
     assert main(["lint", "/no/such/dir"]) == 2
     assert "error:" in capsys.readouterr().err
+
+
+def test_project_mode_on_real_tree_is_clean(capsys):
+    """`repro lint --project src` stays at zero violations by construction."""
+    assert main(["lint", "--project", "--no-cache", str(REPO_SRC)]) == 0
+    assert "no violations found" in capsys.readouterr().out
+
+
+def test_project_mode_flags_cross_module_fixture(capsys):
+    bad = FIXTURES / "project" / "rpr009_bad"
+    assert main(["lint", "--project", "--no-cache", str(bad)]) == 1
+    assert "RPR009" in capsys.readouterr().out
+
+
+def test_format_json_report(capsys):
+    bad = FIXTURES / "project" / "rpr010_bad"
+    assert main(["lint", "--project", "--no-cache",
+                 "--format", "json", str(bad)]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["schema"] == "repro-lint-report/1"
+    assert {v["code"] for v in document["violations"]} == {"RPR010"}
+
+
+def test_format_sarif_to_output_file(tmp_path, capsys):
+    bad = FIXTURES / "project" / "rpr011_bad"
+    out_file = tmp_path / "report.sarif"
+    assert main(["lint", "--project", "--no-cache", "--format", "sarif",
+                 "--output", str(out_file), str(bad)]) == 1
+    captured = capsys.readouterr().out
+    assert "violations found" in captured  # text summary still on stdout
+    document = json.loads(out_file.read_text())
+    assert document["version"] == "2.1.0"
+    assert {r["ruleId"] for r in document["runs"][0]["results"]} == {"RPR011"}
+
+
+def test_baseline_suppresses_known_violations(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps(
+        [{"path": "fixtures/rpr001_bad.py", "code": "RPR001"}]))
+    assert main(["lint", str(FIXTURES / "rpr001_bad.py"),
+                 "--baseline", str(baseline)]) == 0
+    assert "no violations found" in capsys.readouterr().out

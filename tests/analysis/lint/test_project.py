@@ -1,0 +1,343 @@
+"""Whole-program analysis: model building, resolution, RPR009-011, cache."""
+
+import json
+import time
+
+import pytest
+
+from repro.analysis.lint import lint_project
+from repro.analysis.lint.graphs import (
+    ModuleFacts,
+    call_edges,
+    import_edges,
+)
+from repro.analysis.lint.project import (
+    apply_baseline,
+    build_project,
+    load_baseline,
+    project_rule_violations,
+)
+from repro.errors import LintError
+
+from .test_cli import FIXTURES, REPO_SRC
+
+PROJECT_FIXTURES = FIXTURES / "project"
+
+
+def codes(violations):
+    return [violation.code for violation in violations]
+
+
+def write_package(tmp_path, files):
+    for name, source in files.items():
+        (tmp_path / name).write_text(source)
+    return tmp_path
+
+
+# ----------------------------------------------------------------------
+# Model building and resolution
+# ----------------------------------------------------------------------
+class TestProjectModel:
+    def test_resolves_reexport_chain(self, tmp_path):
+        write_package(tmp_path, {
+            "impl.py": ("# repro-lint-module: repro.fxm.impl\n"
+                        "def worker(x):\n    return x\n"),
+            "api.py": ("# repro-lint-module: repro.fxm.api\n"
+                       "from repro.fxm.impl import worker\n"),
+            "user.py": ("# repro-lint-module: repro.fxm.user\n"
+                        "from repro.fxm.api import worker\n"
+                        "def use():\n    return worker(1)\n"),
+        })
+        project, per_file = build_project([tmp_path])
+        assert per_file == []
+        resolved = project.resolve_function("repro.fxm.api.worker")
+        assert resolved is not None
+        qual, facts = resolved
+        assert qual == "repro.fxm.impl.worker"
+        assert facts.params == ("x",)
+        assert project.canonical("repro.fxm.api.worker") == \
+            "repro.fxm.impl.worker"
+
+    def test_relative_imports_resolve(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        write_package(pkg, {
+            "__init__.py": ("# repro-lint-module: repro.fxr\n"
+                            "from .inner import helper\n"),
+            "inner.py": ("# repro-lint-module: repro.fxr.inner\n"
+                         "def helper():\n    return 0\n"),
+        })
+        project, _ = build_project([tmp_path])
+        assert project.canonical("repro.fxr.helper") == \
+            "repro.fxr.inner.helper"
+
+    def test_import_and_call_edges(self, tmp_path):
+        write_package(tmp_path, {
+            "a.py": ("# repro-lint-module: repro.fxg.a\n"
+                     "def leaf():\n    return 1\n"),
+            "b.py": ("# repro-lint-module: repro.fxg.b\n"
+                     "from repro.fxg.a import leaf\n"
+                     "def mid():\n    return leaf()\n"),
+        })
+        project, _ = build_project([tmp_path])
+        imports = import_edges(project.modules)
+        assert imports["repro.fxg.b"] == ("repro.fxg.a",)
+        assert imports["repro.fxg.a"] == ()
+        calls = call_edges(project.modules)
+        assert calls["repro.fxg.b.mid"] == ("repro.fxg.a.leaf",)
+
+    def test_class_facts_capture_slots_and_methods(self, tmp_path):
+        write_package(tmp_path, {
+            "mod.py": ("# repro-lint-module: repro.fxc.mod\n"
+                       "class Thing:\n"
+                       "    __slots__ = ('a',)\n"
+                       "    def touch(self, t):\n"
+                       "        t._hidden = 1\n"),
+        })
+        project, _ = build_project([tmp_path])
+        facts = project.modules["repro.fxc.mod"].classes["Thing"]
+        assert facts.has_slots
+        assert facts.methods["touch"].positional == 2
+        assert [w.attr for w in facts.private_writes] == ["_hidden"]
+
+    def test_syntax_error_yields_rpr900_and_no_facts(self, tmp_path):
+        write_package(tmp_path, {"broken.py": "def oops(:\n"})
+        project, per_file = build_project([tmp_path])
+        assert codes(per_file) == ["RPR900"]
+        assert project.modules == {}
+
+    def test_facts_round_trip_through_dict(self, tmp_path):
+        write_package(tmp_path, {
+            "mod.py": ("# repro-lint-module: repro.fxs.mod\n"
+                       "import time\n"
+                       "def stamp():\n    return time.perf_counter()\n"
+                       "class C:\n"
+                       "    __slots__ = ()\n"
+                       "    def m(self, t):\n        return t\n"),
+        })
+        project, _ = build_project([tmp_path])
+        original = project.modules["repro.fxs.mod"]
+        restored = ModuleFacts.from_dict(
+            json.loads(json.dumps(original.to_dict())))
+        assert restored == original
+
+
+# ----------------------------------------------------------------------
+# Fixture packages: each rule has a positive and a negative package
+# ----------------------------------------------------------------------
+class TestFixturePackages:
+    @pytest.mark.parametrize("package,expected", [
+        ("rpr009_bad", ["RPR009", "RPR009"]),
+        ("rpr009_good", []),
+        ("rpr010_bad", ["RPR010", "RPR010"]),
+        ("rpr010_good", []),
+        ("rpr011_bad", ["RPR011", "RPR011", "RPR011", "RPR011"]),
+        ("rpr011_good", []),
+    ])
+    def test_package(self, package, expected):
+        violations = lint_project([PROJECT_FIXTURES / package])
+        assert codes(violations) == expected
+
+    def test_rpr009_message_carries_full_path(self):
+        violations = lint_project([PROJECT_FIXTURES / "rpr009_bad"])
+        chained = [v for v in violations if "via" in v.message]
+        assert chained, "expected at least one multi-hop witness"
+        assert any("repro.fx9bad.timing.stamp" in v.message
+                   for v in violations)
+
+    def test_rpr010_names_the_defining_module(self):
+        violations = lint_project([PROJECT_FIXTURES / "rpr010_bad"])
+        assert any("repro.fx10bad.extractors" in v.message
+                   for v in violations)
+
+    def test_rpr011_reports_at_definition_site(self):
+        violations = lint_project([PROJECT_FIXTURES / "rpr011_bad"])
+        assert all(v.path.endswith("strategies.py") for v in violations)
+        assert any("__slots__" in v.message for v in violations)
+        assert any("positional parameter" in v.message for v in violations)
+        assert any("private state" in v.message for v in violations)
+        assert any("neither inherits" in v.message for v in violations)
+
+
+# ----------------------------------------------------------------------
+# Interprocedural behaviors beyond the shipped fixtures
+# ----------------------------------------------------------------------
+class TestTaintPropagation:
+    def test_taint_through_module_global(self, tmp_path):
+        write_package(tmp_path, {
+            "cfg.py": ("# repro-lint-module: repro.fxt.cfg\n"
+                       "import time\n"
+                       "START = time.perf_counter()\n"),
+            "use.py": ("# repro-lint-module: repro.fxt.use\n"
+                       "from repro.fxt.cfg import START\n"
+                       "def arm(sim):\n"
+                       "    sim.schedule_at(START + 1.0, 'tick')\n"),
+        })
+        violations = lint_project([tmp_path])
+        assert codes(violations) == ["RPR009"]
+        assert "repro.fxt.cfg.START" in violations[0].message
+
+    def test_noqa_suppresses_project_rule(self, tmp_path):
+        write_package(tmp_path, {
+            "cfg.py": ("# repro-lint-module: repro.fxn.cfg\n"
+                       "import time\n"
+                       "def stamp():\n    return time.perf_counter()\n"),
+            "use.py": ("# repro-lint-module: repro.fxn.use\n"
+                       "from repro.fxn.cfg import stamp\n"
+                       "def arm(sim):\n"
+                       "    sim.schedule_at(stamp(), 'x')  "
+                       "# repro: noqa[RPR009] -- exercising the suppressor\n"),
+        })
+        assert lint_project([tmp_path]) == []
+
+    def test_sink_in_cache_key_position(self, tmp_path):
+        # Module name outside repro.* so per-file RPR001 (which also
+        # dislikes uuid4 in simulation code) stays out of the picture.
+        write_package(tmp_path, {
+            "keys.py": ("# repro-lint-module: fxk.keys\n"
+                        "import uuid\n"
+                        "def key_for(cache, config):\n"
+                        "    return cache.cache_key(str(uuid.uuid4()))\n"),
+        })
+        violations = lint_project([tmp_path])
+        assert codes(violations) == ["RPR009"]
+        assert "result-cache key" in violations[0].message
+
+    def test_clean_constant_flow_stays_clean(self, tmp_path):
+        write_package(tmp_path, {
+            "ok.py": ("# repro-lint-module: repro.fxo.ok\n"
+                      "SPACING = 0.125\n"
+                      "def arm(sim, index):\n"
+                      "    sim.schedule(SPACING * index, 'tick')\n"),
+        })
+        assert lint_project([tmp_path]) == []
+
+
+class TestContracts:
+    def test_function_factory_is_skipped(self, tmp_path):
+        write_package(tmp_path, {
+            "reg.py": ("# repro-lint-module: repro.fxf.reg\n"
+                       "def make():\n    return object()\n"
+                       "def install(register_algorithm):\n"
+                       "    register_algorithm('fn', make)\n"),
+        })
+        assert lint_project([tmp_path]) == []
+
+    def test_missing_slots_found_through_base_chain(self, tmp_path):
+        write_package(tmp_path, {
+            "base.py": ("# repro-lint-module: repro.tcp.congestion.base\n"
+                        "class CongestionControl:\n"
+                        "    __slots__ = ()\n"),
+            "mid.py": ("# repro-lint-module: repro.fxh.mid\n"
+                       "from repro.tcp.congestion.base import "
+                       "CongestionControl\n"
+                       "class MidControl(CongestionControl):\n"
+                       "    def attach(self, t):\n        pass\n"),
+            "leaf.py": ("# repro-lint-module: repro.fxh.leaf\n"
+                        "from repro.fxh.mid import MidControl\n"
+                        "class LeafControl(MidControl):\n"
+                        "    __slots__ = ()\n"
+                        "def install(register_algorithm):\n"
+                        "    register_algorithm('leaf', LeafControl)\n"),
+        })
+        violations = lint_project([tmp_path])
+        assert codes(violations) == ["RPR011"]
+        assert violations[0].path.endswith("mid.py")
+        assert "MidControl" in violations[0].message
+
+
+# ----------------------------------------------------------------------
+# Incremental cache
+# ----------------------------------------------------------------------
+class TestIncrementalCache:
+    def test_warm_run_is_identical_and_faster(self, tmp_path):
+        cache = tmp_path / "cache.json"
+        targets = [REPO_SRC]
+        t0 = time.perf_counter()
+        cold = lint_project(targets, cache_path=cache)
+        t1 = time.perf_counter()
+        warm = lint_project(targets, cache_path=cache)
+        t2 = time.perf_counter()
+        assert [v.format() for v in warm] == [v.format() for v in cold]
+        cold_s, warm_s = t1 - t0, t2 - t1
+        # Acceptance criterion: warm >= 5x faster than cold.  Real runs
+        # land near 15-20x; 5x keeps slow CI machines green.
+        assert warm_s * 5 <= cold_s, (
+            f"warm {warm_s:.3f}s not 5x faster than cold {cold_s:.3f}s")
+
+    def test_edited_file_is_reanalyzed(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        source = ("# repro-lint-module: repro.fxe.mod\n"
+                  "def arm(sim, when):\n"
+                  "    sim.schedule(when, 'tick')\n")
+        write_package(pkg, {"mod.py": source})
+        cache = tmp_path / "cache.json"
+        assert lint_project([pkg], cache_path=cache) == []
+        (pkg / "mod.py").write_text(
+            source + "import time\n"
+            "def bad(sim):\n"
+            "    sim.schedule(time.perf_counter(), 'x')\n")
+        violations = lint_project([pkg], cache_path=cache)
+        assert codes(violations) == ["RPR009"]
+
+    def test_stale_ruleset_cache_is_discarded(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        write_package(pkg, {"ok.py": "x = 1\n"})
+        cache = tmp_path / "cache.json"
+        lint_project([pkg], cache_path=cache)
+        document = json.loads(cache.read_text())
+        document["ruleset"] = -1
+        cache.write_text(json.dumps(document))
+        assert lint_project([pkg], cache_path=cache) == []
+        assert json.loads(cache.read_text())["ruleset"] != -1
+
+    def test_damaged_cache_is_ignored(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        write_package(pkg, {"ok.py": "x = 1\n"})
+        cache = tmp_path / "cache.json"
+        cache.write_text("{not json")
+        assert lint_project([pkg], cache_path=cache) == []
+
+
+# ----------------------------------------------------------------------
+# Baselines
+# ----------------------------------------------------------------------
+class TestBaseline:
+    def test_suffix_and_code_matching(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(
+            [{"path": "rpr010_bad/sweeping.py", "code": "RPR010"}]))
+        violations = lint_project([PROJECT_FIXTURES / "rpr010_bad"])
+        assert codes(violations) == ["RPR010", "RPR010"]
+        filtered = apply_baseline(violations, load_baseline(baseline))
+        assert filtered == []
+
+    def test_baseline_does_not_hide_other_codes(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(
+            [{"path": "rpr011_bad/strategies.py", "code": "RPR009"}]))
+        violations = lint_project([PROJECT_FIXTURES / "rpr011_bad"])
+        assert apply_baseline(violations, load_baseline(baseline)) == violations
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"path": "x"}))
+        with pytest.raises(LintError):
+            load_baseline(baseline)
+
+    def test_shipped_ci_baseline_loads(self):
+        shipped = FIXTURES.parent / "ci-baseline.json"
+        entries = load_baseline(shipped)
+        assert entries, "the CI baseline must cover the rule fixtures"
+        assert all(code.startswith("RPR") for _path, code in entries)
+
+
+# ----------------------------------------------------------------------
+# Whole-tree invariant
+# ----------------------------------------------------------------------
+def test_shipped_tree_is_clean():
+    """`repro lint --project src` finds nothing — clean by construction."""
+    assert lint_project([REPO_SRC]) == []

@@ -32,14 +32,23 @@ class TestSyntaxErrors:
         assert [v.code for v in violations] == ["RPR900"]
         assert "syntax error" in violations[0].message
 
+    def test_non_utf8_file_is_rpr900_not_a_crash(self, tmp_path):
+        target = tmp_path / "latin1.py"
+        target.write_bytes(b"# caf\xe9\nx = 1\n")
+        violations = lint_paths([tmp_path])
+        assert [v.code for v in violations] == ["RPR900"]
+        assert "not valid UTF-8" in violations[0].message
+        assert violations[0].path == str(target)
+
 
 class TestFileWalking:
     def test_directories_expand_sorted_and_skip_caches(self, tmp_path):
         (tmp_path / "b.py").write_text("x = 1\n")
         (tmp_path / "a.py").write_text("x = 1\n")
-        pycache = tmp_path / "__pycache__"
-        pycache.mkdir()
-        (pycache / "a.cpython-311.py").write_text("x = 1\n")
+        for skipped in ("__pycache__", ".ruff_cache", "build", "dist"):
+            subdir = tmp_path / skipped
+            subdir.mkdir()
+            (subdir / "ignored.py").write_text("x = 1\n")
         names = [p.name for p in iter_python_files([tmp_path])]
         assert names == ["a.py", "b.py"]
 
@@ -59,7 +68,8 @@ class TestRegistry:
         codes = [rule.code for rule in iter_rules()]
         assert codes == ["RPR000", "RPR001", "RPR002", "RPR003",
                          "RPR004", "RPR005", "RPR006", "RPR007",
-                         "RPR008", "RPR900"]
+                         "RPR008", "RPR009", "RPR010", "RPR011",
+                         "RPR900"]
 
     def test_explain_mentions_suppression_syntax(self):
         text = get_rule("RPR002").explain()
