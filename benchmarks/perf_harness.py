@@ -29,6 +29,12 @@ the perf trajectory stays visible PR over PR:
 - ``resilience_disabled_overhead_pct`` — cost of routing a sweep
   through ``ParallelSweepRunner`` with resilience left off, guarded by
   ``--max-resilience-overhead``.
+- ``metrics_disabled_overhead_pct`` / ``metrics_enabled_overhead_pct``
+  — cost of the :mod:`repro.obs.metrics` layer.  The disabled number
+  prices ``run(config)`` (whose metrics branches must collapse to
+  ``is None`` checks) against a bare build-and-drain loop, guarded by
+  ``--max-metrics-overhead``; the enabled number prices actually
+  metering a run (live probes + finalize harvest).
 
 All paired estimates use :func:`paired_overhead_pct`: alternating-order
 back-to-back pairs, the first pairs discarded as warmup, median of the
@@ -252,6 +258,40 @@ def bench_resilience_overhead(points: int = 4) -> float:
                                reps=10, warmup=2)
 
 
+def bench_metrics_overhead() -> tuple[float, float]:
+    """(disabled_pct, enabled_pct) cost of the metrics layer.
+
+    Disabled: ``run(config)`` — which must resolve its ``metrics=None``
+    branches to single ``is None`` checks — against building and
+    draining the same scenario directly.  Enabled: a metered
+    ``run(config, metrics=True)`` against the bare ``run(config)``,
+    pricing probe binding, the live RTT/departure probes and the
+    finalize harvest.  Short-duration scenarios keep the per-run
+    bookkeeping visible against simulation time.
+    """
+    from repro.scenarios.builder import build
+    from repro.scenarios.runner import run as run_scenario
+
+    config = families.conjecture_config(families.CONJECTURE_CASES[0],
+                                        duration=10.0, warmup=2.0)
+
+    def bare_rate() -> float:
+        def body():
+            built = build(config)
+            built.sim.run(until=config.duration)
+        return 1.0 / _gc_paused(body)
+
+    def run_rate() -> float:
+        return 1.0 / _gc_paused(lambda: run_scenario(config))
+
+    def metered_rate() -> float:
+        return 1.0 / _gc_paused(lambda: run_scenario(config, metrics=True))
+
+    disabled = paired_overhead_pct(bare_rate, run_rate, reps=10, warmup=2)
+    enabled = paired_overhead_pct(run_rate, metered_rate, reps=10, warmup=2)
+    return disabled, enabled
+
+
 def bench_sweep_cache() -> tuple[float, float]:
     """(cold_seconds, warm_seconds) for a four-point fixed-window sweep."""
     cases = families.CONJECTURE_CASES[:4]
@@ -273,6 +313,7 @@ def collect() -> dict:
 
     cold, warm = bench_sweep_cache()
     event_regression, cancel_regression = bench_baseline_regression()
+    metrics_disabled, metrics_enabled = bench_metrics_overhead()
     return {
         "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "python": platform.python_version(),
@@ -301,6 +342,8 @@ def collect() -> dict:
         "tracing_disabled_overhead_pct": round(event_regression, 2),
         "tracing_enabled_overhead_pct": round(bench_tracing_enabled_overhead(), 2),
         "resilience_disabled_overhead_pct": round(bench_resilience_overhead(), 2),
+        "metrics_disabled_overhead_pct": round(metrics_disabled, 2),
+        "metrics_enabled_overhead_pct": round(metrics_enabled, 2),
     }
 
 
@@ -323,6 +366,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="fail (exit 1) when the resilience-disabled "
                              "sweep path costs more than PCT%% vs a bare "
                              "run-and-extract loop")
+    parser.add_argument("--max-metrics-overhead", type=float, default=None,
+                        metavar="PCT",
+                        help="fail (exit 1) when the metrics-disabled run "
+                             "path costs more than PCT%% vs a bare "
+                             "build-and-drain loop")
     args = parser.parse_args(argv)
 
     record = collect()
@@ -374,6 +422,16 @@ def main(argv: list[str] | None = None) -> int:
         else:
             print(f"resilience-overhead guard OK: {overhead:.2f}% <= "
                   f"{args.max_resilience_overhead:.2f}%")
+
+    if args.max_metrics_overhead is not None:
+        overhead = record["metrics_disabled_overhead_pct"]
+        if overhead > args.max_metrics_overhead:
+            print(f"FAIL: metrics-disabled overhead {overhead:.2f}% "
+                  f"exceeds the {args.max_metrics_overhead:.2f}% budget")
+            failed = True
+        else:
+            print(f"metrics-overhead guard OK: {overhead:.2f}% <= "
+                  f"{args.max_metrics_overhead:.2f}%")
     return 1 if failed else 0
 
 

@@ -42,7 +42,10 @@ __all__ = [
 #:     taint reaching determinism sinks, RPR010 cross-module unpicklable
 #:     sweep callables, RPR011 registry contract violations; RPR900 now
 #:     also covers undecodable (non-UTF-8) files.
-LINT_RULESET_VERSION = 5
+#: v6: RPR008 extended to metrics probes: `_meter`/`_metrics` attributes
+#:     and `_fan`/`_probe` suffixes probed inside engine/net/tcp hot
+#:     loops are now flagged alongside tracer/sanitizer/observer reads.
+LINT_RULESET_VERSION = 6
 
 CheckFunction = Callable[["LintContext"], Iterator["Violation"]]
 

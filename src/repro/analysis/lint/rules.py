@@ -544,29 +544,36 @@ def check_swallowed_exceptions(ctx: LintContext) -> Iterator[Violation]:
 # RPR008 — constant-hook probes inside dispatch loops
 # ----------------------------------------------------------------------
 _HOT_PATH_MODULE_PREFIXES = ("repro.engine", "repro.net", "repro.tcp")
-_CONSTANT_HOOK_ATTRS = {"_tracer", "_strict", "strict"}
+_CONSTANT_HOOK_ATTRS = {"_tracer", "_strict", "strict", "_meter", "_metrics"}
+#: Attribute-name suffixes that mark per-run-constant hook state: bound
+#: observer fan-outs and metrics probes.  Reading them per iteration
+#: inside a hot loop defeats the bind-once contract they exist for.
+_CONSTANT_HOOK_SUFFIXES = ("_observers", "_fan", "_probe")
 
 
 @rule(
     "RPR008",
     "hook-probe-in-dispatch-loop",
-    "No per-iteration `self._tracer`/`self._strict`/observer-list lookups "
-    "inside engine/net/tcp loop bodies; bind them before the loop.",
+    "No per-iteration `self._tracer`/`self._strict`/observer-list/metrics-"
+    "probe lookups inside engine/net/tcp loop bodies; bind them before "
+    "the loop.",
     """\
 The engine's fast-path contract is *bind once, branch never* (see
 docs/performance.md): hooks that are constant for the duration of a
-dispatch loop — the tracer, the sanitizer flag, observer lists (all
-fixed outside the loop; registration happens at build time and the
-tracer is sampled per run()) — are resolved to locals or bound fan-outs
-BEFORE the loop, so the per-event cost of a disabled hook is zero.  An
-`if self._strict:` or `for observer in self._x_observers:` inside a
-loop body re-probes per iteration, and those attribute loads are
-exactly the death-by-a-thousand-cuts tax that once cost this engine 3x
+dispatch loop — the tracer, the sanitizer flag, observer lists, bound
+fan-outs and metrics probes (all fixed outside the loop; registration
+happens at build/attach time and the tracer is sampled per run()) — are
+resolved to locals or bound fan-outs BEFORE the loop, so the per-event
+cost of a disabled hook is zero.  An `if self._strict:`, a
+`for observer in self._x_observers:`, or a `self._rtt_fan(...)` /
+`self._meter`-style metrics-probe read inside a loop body re-probes per
+iteration, and those attribute loads are exactly the
+death-by-a-thousand-cuts tax that once cost this engine 3x
 (BENCH_engine.json, entries 1-2).  Hoist the read (`strict =
-self._strict` before the loop) or call the bound `_x_fan` target
-instead of iterating the registration list.  Scoped to the hot packages
-(repro.engine, repro.net, repro.tcp); static analysis cannot prove a
-given loop is hot, so cold-loop false positives are suppressed with
+self._strict` / `fan = self._x_fan` before the loop) or call the bound
+local instead.  Scoped to the hot packages (repro.engine, repro.net,
+repro.tcp); static analysis cannot prove a given loop is hot, so
+cold-loop false positives are suppressed with
 `# repro: noqa[RPR008] -- why`.""",
 )
 def check_hook_probe_in_dispatch_loop(ctx: LintContext) -> Iterator[Violation]:
@@ -590,7 +597,7 @@ def check_hook_probe_in_dispatch_loop(ctx: LintContext) -> Iterator[Violation]:
                         and node.value.id == "self"):
                     continue
                 if not (node.attr in _CONSTANT_HOOK_ATTRS
-                        or node.attr.endswith("_observers")):
+                        or node.attr.endswith(_CONSTANT_HOOK_SUFFIXES)):
                     continue
                 key = (node.lineno, node.col_offset)
                 if key in seen:  # nested loops walk the same statements

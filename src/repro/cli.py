@@ -14,7 +14,9 @@
     repro sweep buffer --progress   # per-point start/finish telemetry
     repro sweep conjecture --jobs 4 --timeout 120 --retries 3 \
           --resume sweep.journal    # supervised: contain crashes, resume
+    repro sweep buffer --live       # live terminal dashboard + telemetry
     repro trace fig4 --out t.json   # Perfetto-loadable execution trace
+    repro metrics fig4 --prom m.prom  # metered run, Prometheus exposition
     repro profile fig4              # per-category wall-time attribution
     repro parity --check            # figure set vs golden output hashes
     repro lint src/                 # determinism static analysis
@@ -199,6 +201,17 @@ def build_parser() -> argparse.ArgumentParser:
     swp_p.add_argument("--export", default=None, metavar="FILE",
                        help="write the sweep's values and measurements as "
                             "JSON (stable field order, for diffing runs)")
+    swp_p.add_argument("--live", action="store_true",
+                       help="live terminal dashboard: points done/failed/"
+                            "retried, ETA, per-worker state, cache hit "
+                            "ratio, aggregate packet throughput (implies "
+                            "metered points)")
+    swp_p.add_argument("--telemetry", default=None, metavar="FILE",
+                       dest="telemetry_out",
+                       help="run every point metered and write the "
+                            "aggregated SweepTelemetry document as JSON "
+                            "(also written to --manifest-dir as "
+                            "sweep.telemetry.json when that is set)")
     _add_algorithm_flags(swp_p)
 
     trc_p = sub.add_parser(
@@ -219,6 +232,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also record per-event dispatch spans")
     trc_p.add_argument("--jsonl", default=None, metavar="FILE",
                        help="additionally export a structured JSONL log")
+    trc_p.add_argument("--manifest-dir", default=None, metavar="DIR",
+                       help="write a run manifest here, recording the "
+                            "exported files relative to it")
+
+    met_p = sub.add_parser(
+        "metrics",
+        help="run a scenario metered and export the metric snapshot "
+             "(Prometheus text exposition and/or JSONL)")
+    met_p.add_argument("scenario", choices=_PLOT_SCENARIOS)
+    met_p.add_argument("--prom", default=None, metavar="FILE",
+                       help="write the Prometheus text exposition here "
+                            "(printed to stdout when neither --prom nor "
+                            "--jsonl is given)")
+    met_p.add_argument("--jsonl", default=None, metavar="FILE",
+                       help="write the snapshot as JSONL (one metric row "
+                            "per line)")
+    met_p.add_argument("--manifest-dir", default=None, metavar="DIR",
+                       help="write a run manifest here, recording the "
+                            "exported files relative to it")
 
     prf_p = sub.add_parser(
         "profile",
@@ -241,6 +273,10 @@ def build_parser() -> argparse.ArgumentParser:
     par_p.add_argument("--diff-out", default=None, metavar="FILE",
                        help="write the per-figure drift report as JSON "
                             "(written on --check even when clean)")
+    par_p.add_argument("--metered", action="store_true",
+                       help="run the cases with the metrics registry "
+                            "attached: fingerprints must still match, "
+                            "proving metering is observation-only")
 
     lint_p = sub.add_parser(
         "lint",
@@ -334,8 +370,9 @@ def _cmd_plot(scenario: str, window: tuple[float, float] | None) -> int:
 
 
 def _cmd_trace(scenario: str, out: str, window: tuple[float, float] | None,
-               full: bool, spans: bool, jsonl: str | None) -> int:
-    from repro.obs import Tracer, export_chrome_trace, export_jsonl
+               full: bool, spans: bool, jsonl: str | None,
+               manifest_dir: str | None) -> int:
+    from repro.obs import Tracer, export_chrome_trace, export_jsonl, write_manifest
     from repro.scenarios import run
 
     config = _scenario_factories()[scenario]()
@@ -358,8 +395,51 @@ def _cmd_trace(scenario: str, out: str, window: tuple[float, float] | None,
                                manifest=result.manifest)
     print(f"trace -> {path} (load in https://ui.perfetto.dev "
           "or chrome://tracing)")
+    artifacts = {"chrome_trace": path}
     if jsonl:
-        print(f"jsonl -> {export_jsonl(tracer, jsonl, manifest=result.manifest)}")
+        jsonl_path = export_jsonl(tracer, jsonl, manifest=result.manifest)
+        print(f"jsonl -> {jsonl_path}")
+        artifacts["trace_jsonl"] = jsonl_path
+    if manifest_dir:
+        written = write_manifest(result.manifest, manifest_dir,
+                                 artifacts=artifacts)
+        print(f"manifest -> {written}")
+    return 0
+
+
+def _cmd_metrics(scenario: str, prom: str | None, jsonl: str | None,
+                 manifest_dir: str | None) -> int:
+    from repro.obs import write_manifest
+    from repro.obs.metrics import (
+        export_metrics_jsonl,
+        export_prometheus,
+        prometheus_text,
+    )
+    from repro.scenarios import run
+
+    result = run(_scenario_factories()[scenario](), metrics=True,
+                 manifest=bool(manifest_dir))
+    registry = result.metrics
+    assert registry is not None
+    snapshot = registry.snapshot()
+    print(f"{scenario}: {result.events_processed} events in "
+          f"{result.wall_seconds:.2f}s, "
+          f"{len(snapshot['metrics'])} metric rows")
+    artifacts: dict[str, str] = {}
+    if prom:
+        prom_path = export_prometheus(snapshot, prom)
+        print(f"prometheus -> {prom_path}")
+        artifacts["prometheus"] = str(prom_path)
+    if jsonl:
+        jsonl_path = export_metrics_jsonl(snapshot, jsonl)
+        print(f"jsonl -> {jsonl_path}")
+        artifacts["metrics_jsonl"] = str(jsonl_path)
+    if not prom and not jsonl:
+        print(prometheus_text(snapshot), end="")
+    if manifest_dir:
+        written = write_manifest(result.manifest, manifest_dir,
+                                 artifacts=artifacts)
+        print(f"manifest -> {written}")
     return 0
 
 
@@ -417,9 +497,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                             for key, value in sorted(point.measurements.items()))
         print(f"[{done[0]}/{len(values)}] {point.value}: {numbers}")
 
-    on_progress = None
+    telemetry = None
+    dashboard = None
+    if args.live or args.telemetry_out:
+        from repro.obs.metrics import LiveDashboard, SweepTelemetry
+
+        telemetry = SweepTelemetry()
+        if args.live:
+            dashboard = LiveDashboard(telemetry, total=len(values))
+
+    on_progress = dashboard
     if args.progress:
         def on_progress(event) -> None:
+            if dashboard is not None:
+                dashboard(event)
             value = values[event.index]
             tag = f"  point {event.index} ({value})"
             if event.phase == "start":
@@ -439,14 +530,32 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                       f"{event.wall_seconds:.2f}s "
                       f"{event.events_processed} events [cache miss]")
 
+    if dashboard is not None:
+        # The dashboard redraws over the per-point lines; keep stdout
+        # for the final table only.
+        on_point = None
+
     runner = ParallelSweepRunner(jobs=args.jobs, cache=cache,
                                  resilience=policy)
     started = time.perf_counter()
-    points = runner.run(make_config, values, families.utilization_extract,
-                        on_point=on_point, on_progress=on_progress,
-                        manifest_dir=args.manifest_dir)
+    try:
+        points = runner.run(make_config, values, families.utilization_extract,
+                            on_point=on_point, on_progress=on_progress,
+                            manifest_dir=args.manifest_dir,
+                            telemetry=telemetry)
+    finally:
+        if dashboard is not None:
+            dashboard.close()
     elapsed = time.perf_counter() - started
     report = runner.last_report
+
+    if telemetry is not None:
+        from repro.obs.metrics import write_telemetry
+
+        if args.telemetry_out:
+            print(f"telemetry -> {write_telemetry(telemetry, args.telemetry_out)}")
+        if args.manifest_dir:
+            print(f"telemetry -> {write_telemetry(telemetry, args.manifest_dir)}")
 
     if args.export:
         document = [{"value": str(point.value),
@@ -503,7 +612,8 @@ def _cmd_parity(args: argparse.Namespace) -> int:
         def on_captured(name: str, digest: str) -> None:
             print(f"  {name}: {digest[:12]}")
 
-        document = parity.capture(cases, on_case=on_captured)
+        document = parity.capture(cases, on_case=on_captured,
+                                  metered=args.metered)
         print(f"golden -> {parity.save_golden(document, golden_path)}")
         return EXIT_OK
 
@@ -512,7 +622,8 @@ def _cmd_parity(args: argparse.Namespace) -> int:
     def on_checked(name: str, ok: bool) -> None:
         print(f"  {name}: {'ok' if ok else 'DRIFT'}")
 
-    diffs = parity.check(golden, cases, on_case=on_checked)
+    diffs = parity.check(golden, cases, on_case=on_checked,
+                         metered=args.metered)
     if args.diff_out:
         report = [{"name": diff.name, "expected": diff.expected,
                    "actual": diff.actual, "sections": diff.sections}
@@ -602,7 +713,10 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "trace":
             window = tuple(args.window) if args.window else None
             return _cmd_trace(args.scenario, args.out, window, args.full,
-                              args.spans, args.jsonl)
+                              args.spans, args.jsonl, args.manifest_dir)
+        if args.command == "metrics":
+            return _cmd_metrics(args.scenario, args.prom, args.jsonl,
+                                args.manifest_dir)
         if args.command == "profile":
             return _cmd_profile(args.scenario)
         if args.command == "parity":

@@ -114,6 +114,8 @@ class Simulator:
         self._events_processed = 0
         self._stop_requested = False
         self._cancelled_pending = 0
+        self._cancelled_total = 0
+        self._compactions = 0
         self._strict = sanitize_enabled() if strict is None else bool(strict)
         self._tracer: DispatchTracer | None = None
         # Bind-once: resolve the event factory and the optional C drain
@@ -186,6 +188,16 @@ class Simulator:
     def calendar_size(self) -> int:
         """Raw calendar length, cancelled entries included."""
         return len(self._heap)
+
+    @property
+    def cancelled_total(self) -> int:
+        """Total events ever cancelled on this calendar (compacted or not)."""
+        return self._cancelled_total
+
+    @property
+    def compactions(self) -> int:
+        """Number of calendar compaction passes performed so far."""
+        return self._compactions
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -516,11 +528,13 @@ class Simulator:
         heap[:] = [entry for entry in heap if not entry[3].cancelled]
         heapq.heapify(heap)
         self._cancelled_pending = 0
+        self._compactions += 1
         return before - len(heap)
 
     def _event_cancelled(self) -> None:
         """Called by :meth:`Event.cancel` for events owned by this calendar."""
         self._cancelled_pending += 1
+        self._cancelled_total += 1
         heap_len = len(self._heap)
         if (heap_len >= self.COMPACT_MIN_EVENTS
                 and self._cancelled_pending > heap_len * self.COMPACT_CANCELLED_FRACTION):

@@ -249,11 +249,18 @@ def fingerprint_hash(result: ScenarioResult) -> str:
 # ----------------------------------------------------------------------
 
 def capture(cases: list[ParityCase] | None = None,
-            on_case: Callable[[str, str], None] | None = None) -> dict:
-    """Run every case and return a golden document."""
+            on_case: Callable[[str, str], None] | None = None,
+            metered: bool = False) -> dict:
+    """Run every case and return a golden document.
+
+    ``metered=True`` attaches the metrics registry to every run.  The
+    fingerprints must be byte-identical either way — that is the
+    observation-only contract metering promises, and the CI parity job
+    checks one metered case against the bare-run golden hashes.
+    """
     scenarios: dict[str, dict] = {}
     for case in cases or parity_cases():
-        result = run(case.build())
+        result = run(case.build(), metrics=metered)
         sections = section_hashes(result)
         overall = _digest(dict(sorted(sections.items())))
         scenarios[case.name] = {"hash": overall, "sections": sections}
@@ -263,8 +270,14 @@ def capture(cases: list[ParityCase] | None = None,
 
 
 def check(golden: dict, cases: list[ParityCase] | None = None,
-          on_case: Callable[[str, bool], None] | None = None) -> list[ParityDiff]:
-    """Run every case against ``golden``; return the drifted ones."""
+          on_case: Callable[[str, bool], None] | None = None,
+          metered: bool = False) -> list[ParityDiff]:
+    """Run every case against ``golden``; return the drifted ones.
+
+    ``metered=True`` runs each case with the metrics registry attached
+    while still comparing against the bare-run golden hashes — any
+    metering side effect on the dynamics shows up as drift.
+    """
     if golden.get("schema") != PARITY_GOLDEN_SCHEMA:
         raise AnalysisError(
             f"unsupported parity golden schema {golden.get('schema')!r}; "
@@ -272,7 +285,7 @@ def check(golden: dict, cases: list[ParityCase] | None = None,
     recorded = golden.get("scenarios", {})
     diffs: list[ParityDiff] = []
     for case in cases or parity_cases():
-        result = run(case.build())
+        result = run(case.build(), metrics=metered)
         sections = section_hashes(result)
         actual = _digest(dict(sorted(sections.items())))
         entry = recorded.get(case.name)

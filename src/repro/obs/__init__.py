@@ -25,14 +25,35 @@ from repro.obs.manifest import (
     OBS_SCHEMA_VERSION,
     RunManifest,
     build_manifest,
+    relativize_artifacts,
     run_id_for,
     write_manifest,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LiveDashboard,
+    MetricsRegistry,
+    Rate,
+    ScenarioMeter,
+    SweepTelemetry,
+    resolve_meter,
 )
 from repro.obs.model import HOP_KINDS, CategoryStats, DispatchSpan, PacketHop
 from repro.obs.profile import format_profile, profile_rows
 from repro.obs.tracer import Tracer, resolve_tracer
 
 __all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Rate",
+    "MetricsRegistry",
+    "ScenarioMeter",
+    "SweepTelemetry",
+    "LiveDashboard",
+    "resolve_meter",
     "OBS_SCHEMA_VERSION",
     "HOP_KINDS",
     "Tracer",
@@ -41,6 +62,7 @@ __all__ = [
     "CategoryStats",
     "RunManifest",
     "build_manifest",
+    "relativize_artifacts",
     "run_id_for",
     "write_manifest",
     "chrome_trace_events",

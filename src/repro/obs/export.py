@@ -177,23 +177,29 @@ def export_jsonl(
     """
     target = Path(path)
     identity = run_id or (manifest.run_id if manifest is not None else "unidentified")
+    header: dict = {"type": "run", "run_id": identity,
+                    "events_observed": tracer.events_observed,
+                    "spans": len(tracer.spans), "hops": len(tracer.hops)}
+    if manifest is not None:
+        header["manifest"] = manifest.to_dict()
+    # Serialize the whole document up front and write it with a single
+    # call: a traced run holds millions of records, and per-record
+    # ``handle.write`` round trips dominate export time.
+    dumps = json.dumps
+    lines = [dumps(header, sort_keys=True)]
+    lines.extend(
+        dumps({"type": "span", "run_id": identity, "t": span.sim_time,
+               "wall_ns": span.wall_ns, "category": span.category,
+               "label": span.label, "calendar": span.calendar_size,
+               "seq": span.sequence})
+        for span in tracer.spans)
+    lines.extend(
+        dumps({"type": "hop", "run_id": identity, "t": hop.sim_time,
+               "hop": hop.hop, "site": hop.site, "uid": hop.uid,
+               "conn": hop.conn_id, "kind": hop.kind, "seq": hop.seq,
+               "qlen": hop.queue_len, "dur": hop.duration})
+        for hop in tracer.hops)
     with target.open("w") as handle:
-        header: dict = {"type": "run", "run_id": identity,
-                        "events_observed": tracer.events_observed,
-                        "spans": len(tracer.spans), "hops": len(tracer.hops)}
-        if manifest is not None:
-            header["manifest"] = manifest.to_dict()
-        handle.write(json.dumps(header, sort_keys=True) + "\n")
-        for span in tracer.spans:
-            handle.write(json.dumps(
-                {"type": "span", "run_id": identity, "t": span.sim_time,
-                 "wall_ns": span.wall_ns, "category": span.category,
-                 "label": span.label, "calendar": span.calendar_size,
-                 "seq": span.sequence}) + "\n")
-        for hop in tracer.hops:
-            handle.write(json.dumps(
-                {"type": "hop", "run_id": identity, "t": hop.sim_time,
-                 "hop": hop.hop, "site": hop.site, "uid": hop.uid,
-                 "conn": hop.conn_id, "kind": hop.kind, "seq": hop.seq,
-                 "qlen": hop.queue_len, "dur": hop.duration}) + "\n")
+        handle.write("\n".join(lines))
+        handle.write("\n")
     return target

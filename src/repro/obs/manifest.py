@@ -19,9 +19,10 @@ the same scenario *is* the same run, and its telemetry should say so.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass
+import os
+from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.analysis.lint.model import LINT_RULESET_VERSION
 from repro.parallel.cache import CACHE_SCHEMA_VERSION, cache_key, config_hash
@@ -32,7 +33,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.resilience.report import PointFailure
 
 __all__ = ["MANIFEST_SOURCES", "OBS_SCHEMA_VERSION", "RunManifest",
-           "build_manifest", "run_id_for", "write_manifest"]
+           "build_manifest", "relativize_artifacts", "run_id_for",
+           "write_manifest"]
 
 #: Bump when the manifest or trace-record layout changes.
 #: v2: ``attempts`` / ``failure`` fields and the ``journal`` / ``failed``
@@ -41,7 +43,11 @@ __all__ = ["MANIFEST_SOURCES", "OBS_SCHEMA_VERSION", "RunManifest",
 #: registry name, added with the pluggable-algorithm architecture (the
 #: config hash changed canonical form at the same time; see
 #: ``CACHE_SCHEMA_VERSION`` v2).
-OBS_SCHEMA_VERSION = 3
+#: v4: the ``artifacts`` field — exported trace/metrics file paths are
+#: recorded *relative to the manifest's own directory* so a results
+#: directory can be moved, archived or mounted elsewhere without the
+#: manifest's pointers going stale.
+OBS_SCHEMA_VERSION = 4
 
 #: Where a point's measurements came from.  ``live`` simulated now,
 #: ``cache`` replayed from the result cache, ``journal`` restored from a
@@ -84,6 +90,12 @@ class RunManifest:
     failure: dict[str, object] | None = None
     """The serialized :class:`~repro.resilience.report.PointFailure` for
     ``source == "failed"`` points; ``None`` everywhere else."""
+    artifacts: dict[str, str] = field(default_factory=dict)
+    """Companion files this run exported (chrome trace, trace JSONL,
+    Prometheus snapshot, metrics JSONL, ...), keyed by kind.  Written
+    manifests record these *relative to the manifest's directory* — see
+    :func:`write_manifest` — so the whole results directory stays
+    self-contained when moved."""
     obs_schema: int = OBS_SCHEMA_VERSION
     cache_schema: int = CACHE_SCHEMA_VERSION
     lint_ruleset: int = LINT_RULESET_VERSION
@@ -141,16 +153,55 @@ def build_manifest(
     )
 
 
-def write_manifest(manifest: RunManifest, path: str | Path) -> Path:
+def relativize_artifacts(
+    artifacts: Mapping[str, str | Path],
+    manifest_dir: str | Path,
+) -> dict[str, str]:
+    """Re-express artifact paths relative to ``manifest_dir``.
+
+    Paths are stored POSIX-style (forward slashes) so a manifest written
+    on one platform reads identically on another; paths on a different
+    drive or otherwise unrelatable stay absolute rather than erroring.
+    """
+    base = Path(manifest_dir).resolve()
+    relative: dict[str, str] = {}
+    for kind in sorted(artifacts):
+        resolved = Path(artifacts[kind]).resolve()
+        try:
+            rel = os.path.relpath(resolved, base)
+        except ValueError:  # different drive on Windows
+            rel = str(resolved)
+        relative[kind] = Path(rel).as_posix()
+    return relative
+
+
+def write_manifest(
+    manifest: RunManifest,
+    path: str | Path,
+    *,
+    artifacts: Mapping[str, str | Path] | None = None,
+) -> Path:
     """Write ``manifest`` as JSON.
 
     A directory path gets one ``<run_id>.manifest.json`` file per run
     inside it (created if needed); any other path is written directly.
+
+    ``artifacts`` (and any paths already on ``manifest.artifacts``) are
+    recorded relative to the written file's directory via
+    :func:`relativize_artifacts`, so moving the results directory keeps
+    the manifest's pointers valid.
     """
     target = Path(path)
     if target.is_dir() or not target.suffix:
         target.mkdir(parents=True, exist_ok=True)
         target = target / f"{manifest.run_id}.manifest.json"
+    combined: dict[str, str | Path] = dict(manifest.artifacts)
+    if artifacts:
+        combined.update(artifacts)
+    if combined:
+        manifest = replace(
+            manifest,
+            artifacts=relativize_artifacts(combined, target.parent))
     with target.open("w") as handle:
         json.dump(manifest.to_dict(), handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -1,0 +1,65 @@
+"""Structured metrics: instruments, per-run registry, sweep telemetry.
+
+The aggregate counterpart of :mod:`repro.obs`' per-event traces:
+counters, gauges, histograms with fixed deterministic bucket layouts,
+and sim-time windowed rates, collected per run by a
+:class:`ScenarioMeter` (``metrics=`` on :func:`repro.scenarios.run`)
+and per sweep by a :class:`SweepTelemetry` (``telemetry=`` on
+:func:`repro.scenarios.sweep`).  Exporters render any registry or
+snapshot as Prometheus text exposition or JSONL; the
+:class:`LiveDashboard` drives ``repro sweep --live``.
+
+Metric names are a stable API — the catalog lives in
+docs/observability.md.
+"""
+
+from repro.obs.metrics.core import (
+    CWND_BUCKETS,
+    DEFAULT_BUCKETS,
+    OCCUPANCY_BUCKETS,
+    RTT_BUCKETS,
+    WALL_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Rate,
+    observe_step_series,
+)
+from repro.obs.metrics.dashboard import LiveDashboard
+from repro.obs.metrics.export import (
+    export_metrics_jsonl,
+    export_prometheus,
+    metrics_jsonl,
+    prometheus_text,
+)
+from repro.obs.metrics.scenario import ScenarioMeter, resolve_meter
+from repro.obs.metrics.telemetry import (
+    TELEMETRY_SCHEMA,
+    SweepTelemetry,
+    write_telemetry,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Rate",
+    "MetricsRegistry",
+    "ScenarioMeter",
+    "SweepTelemetry",
+    "LiveDashboard",
+    "resolve_meter",
+    "observe_step_series",
+    "prometheus_text",
+    "export_prometheus",
+    "metrics_jsonl",
+    "export_metrics_jsonl",
+    "write_telemetry",
+    "TELEMETRY_SCHEMA",
+    "DEFAULT_BUCKETS",
+    "OCCUPANCY_BUCKETS",
+    "CWND_BUCKETS",
+    "RTT_BUCKETS",
+    "WALL_SECONDS_BUCKETS",
+]

@@ -1,0 +1,192 @@
+"""A live terminal dashboard for sweep executions.
+
+``repro sweep --live`` attaches a :class:`LiveDashboard` to the
+runner's existing ``on_progress`` hook (no new instrumentation in the
+execution paths) next to a :class:`~repro.obs.metrics.telemetry.SweepTelemetry`
+that the runner is already feeding.  The dashboard reads every number
+it displays from the telemetry accumulator — points done/failed/
+retried, cache hit ratio, aggregate events and packets per second —
+and adds only the per-worker activity map it reconstructs from
+``start``/``finish``/``retry`` events.
+
+On a TTY it redraws an ANSI block in place; on anything else (CI logs,
+pipes) it degrades to one summary line every
+:attr:`LiveDashboard.FALLBACK_EVERY` finished points, so ``--live`` is
+safe to leave on in automation.
+
+Wall-clock reads (`time.monotonic`) are reporting-only and never enter
+simulation state — the same rule the sweep runner itself follows.
+"""
+
+from __future__ import annotations
+
+import sys
+from time import monotonic
+from typing import IO, TYPE_CHECKING, Callable
+
+from repro.obs.metrics.telemetry import SweepTelemetry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.parallel.runner import PointProgress
+
+__all__ = ["LiveDashboard"]
+
+
+def _fmt_eta(seconds: float) -> str:
+    if seconds < 0 or seconds != seconds:  # repro: noqa[RPR002] -- NaN self-compare, not a timestamp
+        return "--:--"
+    seconds = int(seconds)
+    if seconds >= 3600:
+        return f"{seconds // 3600}:{seconds % 3600 // 60:02d}:{seconds % 60:02d}"
+    return f"{seconds // 60:02d}:{seconds % 60:02d}"
+
+
+class LiveDashboard:
+    """Renders sweep progress from telemetry + progress events.
+
+    Parameters
+    ----------
+    telemetry:
+        The accumulator the runner is feeding; the dashboard only reads
+        from it.
+    total:
+        Number of points in the sweep.
+    stream:
+        Output stream (default ``sys.stderr``, keeping stdout clean for
+        ``--export`` pipelines).
+    live:
+        Force in-place ANSI redraw on/off; ``None`` auto-detects
+        ``stream.isatty()``.
+    clock:
+        Monotonic clock used for the ETA (injectable for tests;
+        reporting only, never enters simulation state).
+    """
+
+    #: Minimum seconds between in-place redraws.
+    REDRAW_INTERVAL = 0.1
+    #: Non-TTY fallback prints a summary every this many finishes.
+    FALLBACK_EVERY = 10
+
+    def __init__(
+        self,
+        telemetry: SweepTelemetry,
+        total: int,
+        stream: IO[str] | None = None,
+        live: bool | None = None,
+        clock: Callable[[], float] = monotonic,
+    ) -> None:
+        self.telemetry = telemetry
+        self.total = total
+        self.stream = stream if stream is not None else sys.stderr
+        if live is None:
+            isatty = getattr(self.stream, "isatty", None)
+            live = bool(isatty()) if callable(isatty) else False
+        self.live = live
+        self._clock = clock
+        self._started = clock()
+        self._last_draw = float("-inf")
+        self._drawn_lines = 0
+        self._summary_at = -1
+        self._worker_state: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Progress hook
+    # ------------------------------------------------------------------
+    def __call__(self, progress: "PointProgress") -> None:
+        """The ``on_progress`` callback: update worker map, maybe redraw."""
+        phase = progress.phase
+        worker = progress.worker
+        if phase == "start":
+            attempt = f" (attempt {progress.attempt})" if progress.attempt > 1 else ""
+            self._worker_state[worker] = f"point {progress.index}{attempt}"
+        elif phase == "finish":
+            if worker in self._worker_state:
+                self._worker_state[worker] = "idle"
+        elif phase == "retry":
+            self._worker_state.pop(worker, None)
+        elif phase == "fail":
+            if worker in self._worker_state:
+                self._worker_state[worker] = "idle"
+        if self.live:
+            now = self._clock()
+            if (phase == "finish" and self.telemetry.done >= self.total) \
+                    or now - self._last_draw >= self.REDRAW_INTERVAL:
+                self._last_draw = now
+                self._redraw()
+        elif phase == "finish" and (
+                self.telemetry.done % self.FALLBACK_EVERY == 0
+                or self.telemetry.done >= self.total):
+            self._summary_at = self.telemetry.done
+            self.stream.write(self.summary_line() + "\n")
+            self.stream.flush()
+        elif phase == "fail":
+            self.stream.write(
+                f"point {progress.index} FAILED after "
+                f"{progress.attempt} attempts\n")
+            self.stream.flush()
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def eta_seconds(self) -> float:
+        """Estimated seconds to completion from overall progress."""
+        tele = self.telemetry
+        settled = tele.done + tele.failed
+        if settled == 0 or settled >= self.total:
+            return 0.0 if settled >= self.total else float("nan")
+        elapsed = self._clock() - self._started
+        return elapsed / settled * (self.total - settled)
+
+    def summary_line(self) -> str:
+        """One-line digest (the non-TTY fallback format)."""
+        tele = self.telemetry
+        return (f"sweep {tele.done}/{self.total} done"
+                f" | {tele.failed} failed | {tele.retried_attempts} retried"
+                f" | cache {tele.cache_hit_ratio * 100:.0f}%"
+                f" | {tele.events_per_second / 1e3:.0f}k ev/s"
+                f" | eta {_fmt_eta(self.eta_seconds())}")
+
+    def render(self) -> str:
+        """The full multi-line dashboard as a string."""
+        tele = self.telemetry
+        width = 30
+        settled = tele.done + tele.failed
+        filled = int(width * settled / self.total) if self.total else width
+        bar = "#" * filled + "-" * (width - filled)
+        pkts = tele.aggregate_total("repro_tcp_packets_sent_total")
+        pkts_rate = (pkts / tele.total_point_wall
+                     if tele.total_point_wall > 0 else 0.0)
+        lines = [
+            f"[{bar}] {settled}/{self.total}  eta {_fmt_eta(self.eta_seconds())}",
+            (f"  done {tele.done}  failed {tele.failed}"
+             f"  retried {tele.retried_attempts}"
+             f"  cached {tele.cached_points}  live {tele.live_points}"),
+            (f"  cache hit ratio {tele.cache_hit_ratio * 100:5.1f}%"
+             f"  ({tele.cache_hits} hits / {tele.cache_misses} misses"
+             f" / {tele.cache_quarantined} quarantined)"),
+            (f"  throughput {tele.events_per_second / 1e3:8.1f}k events/s"
+             f"  {pkts_rate / 1e3:8.1f}k pkts/s"),
+        ]
+        for worker in sorted(self._worker_state):
+            lines.append(f"  {worker}: {self._worker_state[worker]}")
+        return "\n".join(lines)
+
+    def _redraw(self) -> None:
+        text = self.render()
+        lines = text.count("\n") + 1
+        out = self.stream
+        if self._drawn_lines:
+            # Cursor up over the previous block, clearing each line.
+            out.write(f"\x1b[{self._drawn_lines}F")
+        out.write("\n".join(f"\x1b[K{line}" for line in text.split("\n")))
+        out.write("\n")
+        out.flush()
+        self._drawn_lines = lines
+
+    def close(self) -> None:
+        """Final draw (TTY) or final summary line (fallback)."""
+        if self.live:
+            self._redraw()
+        elif self.telemetry.done != self._summary_at:
+            self.stream.write(self.summary_line() + "\n")
+            self.stream.flush()

@@ -1,0 +1,160 @@
+"""Metric snapshot exporters: Prometheus text exposition and JSONL.
+
+Both exporters consume the plain-dict snapshot of a
+:class:`~repro.obs.metrics.core.MetricsRegistry` (or the registry
+itself), so they work identically on a live registry, a snapshot that
+crossed a worker process boundary, and a snapshot reloaded from disk.
+
+The Prometheus output follows the text exposition format version
+0.0.4: ``# HELP`` / ``# TYPE`` headers, one sample per line, histogram
+``_bucket{le=...}`` series with cumulative counts and a ``+Inf``
+terminal bucket, plus ``_sum``/``_count``.  A windowed
+:class:`~repro.obs.metrics.core.Rate` flattens into a ``_total``
+counter and ``_peak_per_second``/``_last_per_second`` gauges.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping
+
+from repro.obs.metrics.core import MetricsRegistry
+
+__all__ = [
+    "prometheus_text",
+    "export_prometheus",
+    "metrics_jsonl",
+    "export_metrics_jsonl",
+]
+
+
+def _snapshot_of(source: "MetricsRegistry | Mapping[str, object]") -> Mapping[str, object]:
+    if isinstance(source, MetricsRegistry):
+        return source.snapshot()
+    return source
+
+
+def _escape(value: str) -> str:
+    return (value.replace("\\", "\\\\")
+                 .replace("\"", "\\\"")
+                 .replace("\n", "\\n"))
+
+
+def _labels_text(labels: Mapping[str, str],
+                 extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [(k, labels[k]) for k in sorted(labels)] + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    # Integral floats print as integers: Prometheus accepts either, and
+    # `repro_queue_drops_total 41` reads better than `41.0`.
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(source: "MetricsRegistry | Mapping[str, object]") -> str:
+    """Render a registry or snapshot in Prometheus text exposition format.
+
+    Samples are grouped under one ``# TYPE`` header per metric family
+    (the format requires it): label variants of the same metric — and
+    the counter/gauge series a :class:`~repro.obs.metrics.core.Rate`
+    flattens into — emit together regardless of snapshot row order.
+    """
+    snapshot = _snapshot_of(source)
+    #: family name -> (kind, help, [sample lines]) in first-seen order.
+    groups: dict[str, tuple[str, str, list[str]]] = {}
+
+    def sample(family: str, kind: str, help_text: str, line: str) -> None:
+        group = groups.get(family)
+        if group is None:
+            group = (kind, help_text, [])
+            groups[family] = group
+        group[2].append(line)
+
+    for row in snapshot["metrics"]:  # type: ignore[index]
+        assert isinstance(row, Mapping)
+        name = str(row["name"])
+        kind = str(row["type"])
+        labels = row.get("labels", {})
+        assert isinstance(labels, Mapping)
+        help_text = str(row.get("help", ""))
+        if kind in ("counter", "gauge"):
+            sample(name, kind, help_text,
+                   f"{name}{_labels_text(labels)} "
+                   f"{_format_value(float(row['value']))}")  # type: ignore[arg-type]
+        elif kind == "histogram":
+            buckets = list(row["buckets"])  # type: ignore[arg-type]
+            counts = list(row["counts"])  # type: ignore[arg-type]
+            running = 0.0
+            for upper, count in zip(buckets + [float("inf")], counts):
+                running += float(count)
+                le = _labels_text(labels, (("le", _format_value(float(upper))),))
+                sample(name, "histogram", help_text,
+                       f"{name}_bucket{le} {_format_value(running)}")
+            sample(name, "histogram", help_text,
+                   f"{name}_sum{_labels_text(labels)} "
+                   f"{_format_value(float(row['sum']))}")  # type: ignore[arg-type]
+            sample(name, "histogram", help_text,
+                   f"{name}_count{_labels_text(labels)} "
+                   f"{_format_value(float(row['count']))}")  # type: ignore[arg-type]
+        elif kind == "rate":
+            sample(f"{name}_total", "counter",
+                   help_text and f"{help_text} (lifetime total)",
+                   f"{name}_total{_labels_text(labels)} "
+                   f"{_format_value(float(row['total']))}")  # type: ignore[arg-type]
+            sample(f"{name}_peak_per_second", "gauge",
+                   help_text and f"{help_text} (peak windowed rate)",
+                   f"{name}_peak_per_second{_labels_text(labels)} "
+                   f"{_format_value(float(row['peak_per_second']))}")  # type: ignore[arg-type]
+            sample(f"{name}_last_per_second", "gauge",
+                   help_text and f"{help_text} (final windowed rate)",
+                   f"{name}_last_per_second{_labels_text(labels)} "
+                   f"{_format_value(float(row['last_per_second']))}")  # type: ignore[arg-type]
+
+    lines: list[str] = []
+    for family, (kind, help_text, samples) in groups.items():
+        if help_text:
+            lines.append(f"# HELP {family} {_escape(help_text)}")
+        lines.append(f"# TYPE {family} {kind}")
+        lines.extend(samples)
+    return "\n".join(lines) + "\n"
+
+
+def export_prometheus(source: "MetricsRegistry | Mapping[str, object]",
+                      path: str | Path) -> Path:
+    """Write the Prometheus text exposition to ``path``."""
+    target = Path(path)
+    target.write_text(prometheus_text(source), encoding="utf-8")
+    return target
+
+
+def metrics_jsonl(source: "MetricsRegistry | Mapping[str, object]") -> str:
+    """One JSON object per metric row, one row per line.
+
+    The whole document is serialized in one pass and written with a
+    single call — serialization stays out of any per-record loop the
+    caller might be timing.
+    """
+    snapshot = _snapshot_of(source)
+    rows = snapshot["metrics"]
+    assert isinstance(rows, list)
+    out = [json.dumps(row, sort_keys=True) for row in rows]
+    return "\n".join(out) + ("\n" if out else "")
+
+
+def export_metrics_jsonl(source: "MetricsRegistry | Mapping[str, object]",
+                         path: str | Path) -> Path:
+    """Write the JSONL snapshot to ``path``."""
+    target = Path(path)
+    target.write_text(metrics_jsonl(source), encoding="utf-8")
+    return target

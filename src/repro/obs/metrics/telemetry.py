@@ -1,0 +1,273 @@
+"""Sweep-level telemetry: aggregate per-point registries into one document.
+
+A :class:`SweepTelemetry` rides along a
+:class:`~repro.parallel.runner.ParallelSweepRunner` execution
+(``telemetry=`` on :func:`repro.scenarios.sweep` /
+``repro sweep --telemetry``) and accumulates three streams:
+
+- **progress events** — every :class:`~repro.parallel.runner.PointProgress`
+  the runner emits (points done/failed/retried, per-worker throughput,
+  per-point wall-time histogram);
+- **per-point metric snapshots** — each live point runs metered
+  (``run(config, metrics=True)`` in the worker) and ships its registry
+  snapshot back with the measurements; counters and histograms merge
+  across points bucket-by-bucket, which the fixed deterministic bucket
+  layouts make exact.  Cache and journal hits replay stored
+  measurements without simulating, so they contribute to the hit-ratio
+  accounting but not to the per-flow aggregates;
+- **infrastructure counters** — cache hits/misses/quarantines, journal
+  restorations/appends, and the supervised runner's retry/timeout/crash
+  totals.
+
+:meth:`document` renders everything as a JSON-able
+``repro-sweep-telemetry/1`` document, persisted next to the sweep's
+per-point manifests (``sweep.telemetry.json``) so the provenance chain
+for a sweep includes its operational story.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping
+
+from repro.obs.metrics.core import (
+    WALL_SECONDS_BUCKETS,
+    MetricsRegistry,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.parallel.runner import PointProgress
+    from repro.resilience.report import ResilienceReport
+
+__all__ = ["SweepTelemetry", "TELEMETRY_SCHEMA", "write_telemetry"]
+
+#: Schema tag of the exported document.
+TELEMETRY_SCHEMA = "repro-sweep-telemetry/1"
+
+#: Metric types that merge by summation across points.
+_SUMMED_FIELDS = {
+    "counter": ("value",),
+    "rate": ("total",),
+}
+
+
+class SweepTelemetry:
+    """Accumulates one sweep execution's operational metrics."""
+
+    def __init__(self, points: int = 0) -> None:
+        self.points = points
+        self.registry = MetricsRegistry()
+        self.done = 0
+        self.failed = 0
+        self.retried_attempts = 0
+        self.cached_points = 0
+        self.live_points = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_quarantined = 0
+        self.journal_restored = 0
+        self.journal_appends = 0
+        self.timeouts = 0
+        self.crashes = 0
+        self.errors = 0
+        self.total_events = 0
+        self.total_point_wall = 0.0
+        self.workers: dict[str, dict[str, float]] = {}
+        self._aggregate: dict[tuple[str, tuple[tuple[str, str], ...]],
+                              dict[str, object]] = {}
+        self._wall_hist = self.registry.histogram(
+            "repro_sweep_point_wall_seconds",
+            help="wall time of each simulated point",
+            buckets=WALL_SECONDS_BUCKETS,
+        )
+
+    # ------------------------------------------------------------------
+    # Input streams
+    # ------------------------------------------------------------------
+    def on_progress(self, progress: "PointProgress") -> None:
+        """Consume one runner progress notification."""
+        phase = progress.phase
+        if phase == "finish":
+            self.done += 1
+            if progress.cached:
+                self.cached_points += 1
+                if progress.worker == "journal":
+                    self.journal_restored += 1
+                return
+            self.live_points += 1
+            self.total_events += progress.events_processed
+            self.total_point_wall += progress.wall_seconds
+            self._wall_hist.observe(progress.wall_seconds)
+            stats = self.workers.setdefault(
+                progress.worker, {"points": 0.0, "busy_seconds": 0.0,
+                                  "events": 0.0})
+            stats["points"] += 1
+            stats["busy_seconds"] += progress.wall_seconds
+            stats["events"] += progress.events_processed
+        elif phase == "retry":
+            self.retried_attempts += 1
+        elif phase == "fail":
+            self.failed += 1
+
+    def fold_point(self, index: int,
+                   snapshot: Mapping[str, object] | None) -> None:
+        """Merge one live point's registry snapshot into the aggregate.
+
+        Counters and rates sum; histograms merge bucket-by-bucket (the
+        layouts are fixed, so the merge is exact); gauges keep min, max
+        and the mean across points.  The aggregate is keyed by
+        ``(name, labels)``, so per-flow series (``conn="1"``) stay
+        per-flow across the whole sweep.
+        """
+        if snapshot is None:
+            return
+        rows = snapshot.get("metrics")
+        if not isinstance(rows, list):
+            return
+        for row in rows:
+            name = str(row["name"])
+            kind = str(row["type"])
+            labels = row.get("labels", {})
+            key = (name, tuple(sorted(labels.items())))
+            acc = self._aggregate.get(key)
+            if acc is None:
+                acc = {"name": name, "type": kind,
+                       "labels": dict(labels), "points": 0}
+                if "help" in row:
+                    acc["help"] = row["help"]
+                if kind == "histogram":
+                    acc["buckets"] = list(row["buckets"])
+                    acc["counts"] = [0.0] * len(row["counts"])
+                    acc["sum"] = 0.0
+                    acc["count"] = 0.0
+                elif kind == "gauge":
+                    acc["min"] = float("inf")
+                    acc["max"] = float("-inf")
+                    acc["total"] = 0.0
+                elif kind in _SUMMED_FIELDS:
+                    for field in _SUMMED_FIELDS[kind]:
+                        acc[field] = 0.0
+                    if kind == "rate":
+                        acc["peak_per_second"] = 0.0
+                self._aggregate[key] = acc
+            acc["points"] = int(acc["points"]) + 1
+            if kind == "histogram":
+                if list(row["buckets"]) != acc["buckets"]:
+                    continue  # layout drift: never merge mismatched buckets
+                acc["counts"] = [a + float(b) for a, b
+                                 in zip(acc["counts"], row["counts"])]
+                acc["sum"] = float(acc["sum"]) + float(row["sum"])
+                acc["count"] = float(acc["count"]) + float(row["count"])
+            elif kind == "gauge":
+                value = float(row["value"])
+                acc["min"] = min(float(acc["min"]), value)
+                acc["max"] = max(float(acc["max"]), value)
+                acc["total"] = float(acc["total"]) + value
+            elif kind in _SUMMED_FIELDS:
+                for field in _SUMMED_FIELDS[kind]:
+                    acc[field] = float(acc[field]) + float(row[field])
+                if kind == "rate":
+                    acc["peak_per_second"] = max(
+                        float(acc["peak_per_second"]),
+                        float(row["peak_per_second"]))
+
+    def record_cache(self, hits: int, misses: int, quarantined: int) -> None:
+        """Record the result cache's counter deltas for this execution."""
+        self.cache_hits += hits
+        self.cache_misses += misses
+        self.cache_quarantined += quarantined
+
+    def record_journal_append(self, n: int = 1) -> None:
+        """Count checkpoint entries appended to the resume journal."""
+        self.journal_appends += n
+
+    def record_report(self, report: "ResilienceReport | None") -> None:
+        """Pull attempt-outcome totals from a supervised run's report."""
+        if report is None:
+            return
+        self.timeouts += report.timeouts
+        self.crashes += report.crashes
+        self.errors += report.errors
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Cache hits over cache lookups (0.0 when the cache was cold
+        or disabled)."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def events_per_second(self) -> float:
+        """Aggregate simulated events per wall second across workers."""
+        if self.total_point_wall <= 0:
+            return 0.0
+        return self.total_events / self.total_point_wall
+
+    def aggregate_total(self, name: str) -> float:
+        """Sum of a counter metric across every label set and point."""
+        total = 0.0
+        for (metric_name, _), acc in self._aggregate.items():
+            if metric_name == name and "value" in acc:
+                total += float(acc["value"])  # type: ignore[arg-type]
+        return total
+
+    # ------------------------------------------------------------------
+    # Document
+    # ------------------------------------------------------------------
+    def document(self) -> dict[str, object]:
+        """The JSON-able ``repro-sweep-telemetry/1`` document."""
+        workers = {
+            name: {"points": int(stats["points"]),
+                   "busy_seconds": stats["busy_seconds"],
+                   "events": int(stats["events"])}
+            for name, stats in sorted(self.workers.items())
+        }
+        aggregate = [self._aggregate[key] for key in sorted(self._aggregate)]
+        own_rows = self.registry.snapshot()["metrics"]
+        return {
+            "schema": TELEMETRY_SCHEMA,
+            "points": self.points,
+            "done": self.done,
+            "failed": self.failed,
+            "live_points": self.live_points,
+            "cached_points": self.cached_points,
+            "retried_attempts": self.retried_attempts,
+            "timeouts": self.timeouts,
+            "crashes": self.crashes,
+            "errors": self.errors,
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "quarantined": self.cache_quarantined,
+                "hit_ratio": self.cache_hit_ratio,
+            },
+            "journal": {
+                "restored": self.journal_restored,
+                "appends": self.journal_appends,
+            },
+            "execution": {
+                "total_events": self.total_events,
+                "total_point_wall_seconds": self.total_point_wall,
+                "events_per_second": self.events_per_second,
+            },
+            "workers": workers,
+            "sweep_metrics": own_rows,
+            "point_aggregate": aggregate,
+        }
+
+
+def write_telemetry(telemetry: SweepTelemetry, path: str | Path) -> Path:
+    """Write the telemetry document to ``path`` (or into a directory as
+    ``sweep.telemetry.json``)."""
+    target = Path(path)
+    if target.is_dir():
+        target = target / "sweep.telemetry.json"
+    target.write_text(
+        json.dumps(telemetry.document(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return target

@@ -82,6 +82,13 @@ class Tracer:
         traces loadable.
     """
 
+    __slots__ = (
+        "record_spans", "record_hops", "window", "hops",
+        "peak_calendar", "dispatch",
+        "_categories", "_stats_by_label", "_stats_get", "_span_rows",
+        "_span_cache", "_instrumented",
+    )
+
     def __init__(
         self,
         *,
@@ -95,34 +102,98 @@ class Tracer:
         self.record_spans = record_spans
         self.record_hops = record_hops
         self.window = window
-        self.spans: list[DispatchSpan] = []
         self.hops: list[PacketHop] = []
-        self.events_observed = 0
         self.peak_calendar = 0
-        self.wall_ns_total = 0
         self._categories: dict[str, CategoryStats] = {}
+        #: Raw label -> the shared CategoryStats of its category.  Event
+        #: labels repeat endlessly (one per timer/port/flow site), so
+        #: after the first occurrence a dispatch never re-derives the
+        #: category string.
+        self._stats_by_label: dict[str, CategoryStats] = {}
+        self._stats_get = self._stats_by_label.get
+        #: Span storage is columnar: plain tuples appended in dispatch,
+        #: materialized into :class:`DispatchSpan` records only when
+        #: :attr:`spans` is read (exports, tests) — a tuple append costs
+        #: a fraction of a dataclass construction.
+        self._span_rows: list[tuple[float, int, str, str, int, int]] = []
+        self._span_cache: list[DispatchSpan] | None = None
         self._instrumented = False
+        # Bind-once dispatch: the variant is chosen here, not re-checked
+        # per event, so the aggregates-only configuration (profiling,
+        # `repro profile`) never pays the span-recording branch.
+        self.dispatch = (self._dispatch_spans if record_spans
+                         else self._dispatch_aggregates)
 
     # ------------------------------------------------------------------
     # Engine hook
     # ------------------------------------------------------------------
-    def dispatch(self, sim_time: float, wall_ns: int, label: str,
-                 calendar_size: int, sequence: int) -> None:
-        """Record one executed engine event (called by the simulator)."""
-        self.events_observed += 1
-        self.wall_ns_total += wall_ns
+    def _dispatch_aggregates(self, sim_time: float, wall_ns: int, label: str,
+                             calendar_size: int, sequence: int) -> None:
+        """Record one executed engine event (aggregates only)."""
         if calendar_size > self.peak_calendar:
             self.peak_calendar = calendar_size
+        stats = self._stats_get(label)
+        if stats is None:
+            stats = self._label_stats(label)
+        stats.events += 1
+        stats.wall_ns += wall_ns
+        if wall_ns > stats.max_wall_ns:
+            stats.max_wall_ns = wall_ns
+
+    def _dispatch_spans(self, sim_time: float, wall_ns: int, label: str,
+                        calendar_size: int, sequence: int) -> None:
+        """Record one executed engine event, storing its span row."""
+        if calendar_size > self.peak_calendar:
+            self.peak_calendar = calendar_size
+        stats = self._stats_get(label)
+        if stats is None:
+            stats = self._label_stats(label)
+        stats.events += 1
+        stats.wall_ns += wall_ns
+        if wall_ns > stats.max_wall_ns:
+            stats.max_wall_ns = wall_ns
+        window = self.window
+        if window is None or window[0] <= sim_time < window[1]:
+            self._span_rows.append((sim_time, wall_ns, stats.category,
+                                    label, calendar_size, sequence))
+
+    def _label_stats(self, label: str) -> CategoryStats:
+        """Slow path of the label cache: first sighting of ``label``."""
         category = span_category(label)
         stats = self._categories.get(category)
         if stats is None:
             stats = self._categories[category] = CategoryStats(category)
-        stats.add(wall_ns)
-        if self.record_spans and self._in_window(sim_time):
-            self.spans.append(DispatchSpan(
-                sim_time=sim_time, wall_ns=wall_ns, category=category,
-                label=label, calendar_size=calendar_size, sequence=sequence,
-            ))
+        self._stats_by_label[label] = stats
+        return stats
+
+    @property
+    def spans(self) -> list[DispatchSpan]:
+        """The stored dispatch spans (when ``record_spans`` was on).
+
+        Materialized lazily from the columnar row buffer and cached; the
+        cache refreshes automatically when more rows have arrived since
+        the last read.
+        """
+        cache = self._span_cache
+        rows = self._span_rows
+        if cache is None or len(cache) != len(rows):
+            cache = self._span_cache = [DispatchSpan(*row) for row in rows]
+        return cache
+
+    @property
+    def events_observed(self) -> int:
+        """Events dispatched past this tracer.
+
+        Derived from the per-category aggregates: the totals the old
+        hot path maintained per event are now a fold over at most a
+        handful of categories, so dispatch pays nothing for them.
+        """
+        return sum(stats.events for stats in self._categories.values())
+
+    @property
+    def wall_ns_total(self) -> int:
+        """Total wall nanoseconds sampled around dispatched callbacks."""
+        return sum(stats.wall_ns for stats in self._categories.values())
 
     # ------------------------------------------------------------------
     # Packet-path hook

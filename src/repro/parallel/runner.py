@@ -132,20 +132,24 @@ def _check_spawnable_main() -> None:
         )
 
 
-def _execute_point(task: tuple) -> tuple[int, dict, str, float, int]:
+def _execute_point(task: tuple) -> tuple[int, dict, str, float, int, dict | None]:
     """Worker body for the plain pool path: run one config, extract.
 
     Module-level so it pickles by reference under the spawn start method.
     Alongside the measurements it reports the worker's process name, the
-    wall time spent simulating, and the engine's event count, so the
-    parent can emit progress lines and write live-point manifests.
+    wall time spent simulating, the engine's event count, and — when the
+    sweep collects telemetry — the point's metrics snapshot (a plain
+    dict, so only JSON-able data travels back), so the parent can emit
+    progress lines, write live-point manifests and fold the snapshot
+    into the :class:`~repro.obs.metrics.SweepTelemetry` aggregate.
     """
-    index, config, extract = task
+    index, config, extract, metered = task
     begin = perf_counter()
-    result = run_scenario(config)
+    result = run_scenario(config, metrics=metered)
     wall_seconds = perf_counter() - begin
+    snapshot = result.metrics.snapshot() if result.metrics is not None else None
     return (index, extract(result), multiprocessing.current_process().name,
-            wall_seconds, result.events_processed)
+            wall_seconds, result.events_processed, snapshot)
 
 
 def _send_quietly(conn, payload) -> bool:
@@ -163,23 +167,25 @@ def _send_quietly(conn, payload) -> bool:
 
 
 def _supervised_point(conn, index: int, attempt: int, config: ScenarioConfig,
-                      extract, faults) -> None:
+                      extract, faults, metered: bool = False) -> None:
     """Worker body for the supervised path: one process per attempt.
 
     Applies any scheduled injected faults first (so a ``kill`` dies
     before simulating, like a real early OOM), then runs and extracts.
     The outcome travels back as a tagged tuple — ``("ok", measurements,
-    wall_seconds, events)`` or ``("error", detail)`` — and a process
-    that dies without sending anything is diagnosed as a crash by the
-    parent when the pipe EOFs.
+    wall_seconds, events, metrics_snapshot)`` or ``("error", detail)``
+    — and a process that dies without sending anything is diagnosed as
+    a crash by the parent when the pipe EOFs.
     """
     try:
         apply_worker_faults(faults, index, attempt)
         begin = perf_counter()
-        result = run_scenario(config)
+        result = run_scenario(config, metrics=metered)
         wall_seconds = perf_counter() - begin
+        snapshot = (result.metrics.snapshot()
+                    if result.metrics is not None else None)
         payload = ("ok", extract(result), wall_seconds,
-                   result.events_processed)
+                   result.events_processed, snapshot)
     except Exception as exc:
         payload = ("error", f"{type(exc).__name__}: {exc}")
     _send_quietly(conn, payload)
@@ -228,13 +234,14 @@ class _Supervisor:
     def __init__(self, *, context, jobs: int, policy: ResilienceConfig,
                  fault_plan: FaultPlan, configs: Sequence[ScenarioConfig],
                  extract, pending: Sequence[int], complete, attempt_failed,
-                 emit) -> None:
+                 emit, metered: bool = False) -> None:
         self._context = context
         self._jobs = jobs
         self._policy = policy
         self._fault_plan = fault_plan
         self._configs = configs
         self._extract = extract
+        self._metered = metered
         #: (index, attempt, not_before) — runnable once monotonic() passes.
         self._queue: list[tuple[int, int, float]] = [
             (index, 1, 0.0) for index in pending]
@@ -273,7 +280,7 @@ class _Supervisor:
         process = self._context.Process(
             target=_supervised_point,
             args=(send_end, index, attempt, self._configs[index],
-                  self._extract, faults),
+                  self._extract, faults, self._metered),
             name=f"repro-point{index}-a{attempt}",
             daemon=True,
         )
@@ -309,15 +316,18 @@ class _Supervisor:
         try:
             apply_worker_faults(self._fault_plan.worker_faults(index, attempt),
                                 index, attempt)
-            result = run_scenario(self._configs[index])
+            result = run_scenario(self._configs[index], metrics=self._metered)
             measurements = self._extract(result)
         except Exception as exc:
             self._attempt_over(index, attempt, OUTCOME_ERROR,
                                perf_counter() - begin,
                                f"{type(exc).__name__}: {exc}", worker)
             return
+        snapshot = (result.metrics.snapshot()
+                    if result.metrics is not None else None)
         self._complete(index, measurements, worker, perf_counter() - begin,
-                       result.events_processed, attempts=attempt)
+                       result.events_processed, attempts=attempt,
+                       snapshot=snapshot)
 
     # ------------------------------------------------------------------
     # Collection
@@ -359,9 +369,10 @@ class _Supervisor:
         conn.close()
         entry.process.join()
         if payload is not None and payload[0] == "ok":
-            _, measurements, worker_wall, events = payload
+            _, measurements, worker_wall, events, snapshot = payload
             self._complete(entry.index, measurements, entry.process.name,
-                           worker_wall, events, attempts=entry.attempt)
+                           worker_wall, events, attempts=entry.attempt,
+                           snapshot=snapshot)
             return
         if payload is None:
             outcome = OUTCOME_CRASH
@@ -466,6 +477,7 @@ class ParallelSweepRunner:
         on_point: Callable[[int, dict], None] | None = None,
         on_progress: Callable[[PointProgress], None] | None = None,
         manifest_dir: str | Path | None = None,
+        telemetry=None,
     ) -> list[dict]:
         """Measurements for each config, in input order.
 
@@ -475,6 +487,16 @@ class ParallelSweepRunner:
         progress.  ``on_progress`` additionally receives
         :class:`PointProgress` notifications carrying worker identity,
         timing and attempt counts.
+
+        ``telemetry`` (a :class:`~repro.obs.metrics.SweepTelemetry`)
+        turns the sweep metered: every live point runs with
+        ``metrics=True`` and ships its registry snapshot back for
+        aggregation, progress events and cache/journal/report counters
+        feed the accumulator, and the caller persists the resulting
+        document (``repro sweep --telemetry`` / ``--live``).  Cache and
+        journal hits replay stored measurements without simulating, so
+        they count toward the hit ratio but not the per-flow
+        aggregates.
 
         ``manifest_dir`` writes one ``<run_id>.manifest.json`` per point
         into that directory; all sources carry identical identity fields
@@ -497,6 +519,11 @@ class ParallelSweepRunner:
         results: list[dict | None] = [None] * len(configs)
         cache = self.cache
         policy = self.resilience
+        metered = telemetry is not None
+        if metered:
+            telemetry.points = len(configs)
+            cache_base = ((cache.hits, cache.misses, cache.quarantined)
+                          if cache is not None else (0, 0, 0))
         fault_plan = active_plan().resolve(len(configs))
         report = ResilienceReport(points=len(configs)) if policy else None
         self.last_report = report
@@ -522,6 +549,8 @@ class ParallelSweepRunner:
                 journal_entries = journal.load()
 
         def emit(progress: PointProgress) -> None:
+            if telemetry is not None:
+                telemetry.on_progress(progress)
             if on_progress is not None:
                 on_progress(progress)
 
@@ -546,8 +575,10 @@ class ParallelSweepRunner:
 
         def complete(index: int, measurements: dict, worker: str,
                      wall_seconds: float, events: int,
-                     attempts: int = 1) -> None:
+                     attempts: int = 1, snapshot: dict | None = None) -> None:
             results[index] = measurements
+            if telemetry is not None:
+                telemetry.fold_point(index, snapshot)
             if cache is not None:
                 entry_path = cache.put(keys[index], measurements,
                                        config=configs[index])
@@ -558,6 +589,8 @@ class ParallelSweepRunner:
                     key=keys[index], config_hash=hashes[index],
                     run_id=run_ids[index], index=index, attempts=attempts,
                     source="live", measurements=measurements))
+                if telemetry is not None:
+                    telemetry.record_journal_append()
             if report is not None:
                 report.live += 1
                 if attempts > 1:
@@ -605,6 +638,8 @@ class ParallelSweepRunner:
                         key=keys[index], config_hash=hashes[index],
                         run_id=run_ids[index], index=index, attempts=1,
                         source="cache", measurements=hit))
+                    if telemetry is not None:
+                        telemetry.record_journal_append()
                 if on_point is not None:
                     on_point(index, hit)
                 write_point_manifest(index, source="cache")
@@ -615,15 +650,23 @@ class ParallelSweepRunner:
         jobs = min(self.jobs, len(pending))
         try:
             if policy is None:
-                self._run_plain(pending, configs, extract, jobs, complete, emit)
+                self._run_plain(pending, configs, extract, jobs, complete,
+                                emit, metered)
             else:
                 self._run_supervised(pending, configs, extract, jobs, keys,
                                      run_ids, hashes, policy, fault_plan,
                                      report, complete, write_point_manifest,
-                                     emit)
+                                     emit, metered)
         finally:
             if journal is not None and owns_journal:
                 journal.close()
+            if telemetry is not None:
+                if cache is not None:
+                    telemetry.record_cache(
+                        cache.hits - cache_base[0],
+                        cache.misses - cache_base[1],
+                        cache.quarantined - cache_base[2])
+                telemetry.record_report(report)
 
         if report is not None and report.failures and not policy.allow_partial:
             raise SweepFailureError(report.failures, results)
@@ -633,16 +676,18 @@ class ParallelSweepRunner:
     # Plain (unsupervised) execution — the original hot paths
     # ------------------------------------------------------------------
     def _run_plain(self, pending, configs, extract, jobs, complete,
-                   emit) -> None:
+                   emit, metered=False) -> None:
         if jobs <= 1:
             worker = multiprocessing.current_process().name
             for index in pending:
                 emit(PointProgress(index=index, phase="start", worker=worker))
                 begin = perf_counter()
-                result = run_scenario(configs[index])
+                result = run_scenario(configs[index], metrics=metered)
                 wall_seconds = perf_counter() - begin
+                snapshot = (result.metrics.snapshot()
+                            if result.metrics is not None else None)
                 complete(index, extract(result), worker, wall_seconds,
-                         result.events_processed)
+                         result.events_processed, snapshot=snapshot)
             return
         _check_spawnable_main()
         try:
@@ -652,15 +697,17 @@ class ParallelSweepRunner:
                 "extract must be a module-level (picklable) callable "
                 f"when jobs > 1: {exc}"
             ) from exc
-        tasks = [(index, configs[index], extract) for index in pending]
+        tasks = [(index, configs[index], extract, metered)
+                 for index in pending]
         chunksize = self.chunksize or max(1, len(tasks) // (jobs * 4))
         context = multiprocessing.get_context(self.start_method)
         pool = context.Pool(processes=jobs)
         try:
-            for index, measurements, worker, wall_seconds, events in (
+            for index, measurements, worker, wall_seconds, events, snapshot in (
                     pool.imap_unordered(_execute_point, tasks,
                                         chunksize=chunksize)):
-                complete(index, measurements, worker, wall_seconds, events)
+                complete(index, measurements, worker, wall_seconds, events,
+                         snapshot=snapshot)
         except BaseException:
             # KeyboardInterrupt (and anything else) mid-iteration: kill
             # the workers *now* and reap them before propagating, instead
@@ -677,7 +724,7 @@ class ParallelSweepRunner:
     # ------------------------------------------------------------------
     def _run_supervised(self, pending, configs, extract, jobs, keys, run_ids,
                         hashes, policy, fault_plan, report, complete,
-                        write_point_manifest, emit) -> None:
+                        write_point_manifest, emit, metered=False) -> None:
         histories: dict[int, list[AttemptRecord]] = {}
 
         def attempt_failed(index: int, attempt: int, outcome: str,
@@ -714,7 +761,7 @@ class ParallelSweepRunner:
         if jobs <= 1:
             self._run_supervised_serial(pending, configs, extract, policy,
                                         fault_plan, complete, attempt_failed,
-                                        emit)
+                                        emit, metered)
             return
         _check_spawnable_main()
         try:
@@ -728,12 +775,12 @@ class ParallelSweepRunner:
             context=multiprocessing.get_context(self.start_method),
             jobs=jobs, policy=policy, fault_plan=fault_plan, configs=configs,
             extract=extract, pending=pending, complete=complete,
-            attempt_failed=attempt_failed, emit=emit)
+            attempt_failed=attempt_failed, emit=emit, metered=metered)
         supervisor.run()
 
     def _run_supervised_serial(self, pending, configs, extract, policy,
                                fault_plan, complete, attempt_failed,
-                               emit) -> None:
+                               emit, metered=False) -> None:
         """Supervised ``jobs=1``: in-process attempts with retry/backoff.
 
         Exceptions (injected or real) are contained per point, but
@@ -752,7 +799,7 @@ class ParallelSweepRunner:
                     apply_worker_faults(
                         fault_plan.worker_faults(index, attempt),
                         index, attempt)
-                    result = run_scenario(configs[index])
+                    result = run_scenario(configs[index], metrics=metered)
                     measurements = extract(result)
                 except Exception as exc:
                     delay = attempt_failed(
@@ -763,8 +810,11 @@ class ParallelSweepRunner:
                     sleep(delay)
                     attempt += 1
                     continue
+                snapshot = (result.metrics.snapshot()
+                            if result.metrics is not None else None)
                 complete(index, measurements, worker, perf_counter() - begin,
-                         result.events_processed, attempts=attempt)
+                         result.events_processed, attempts=attempt,
+                         snapshot=snapshot)
                 break
 
     # ------------------------------------------------------------------
@@ -778,6 +828,7 @@ class ParallelSweepRunner:
         on_point: Callable | None = None,
         on_progress: Callable[[PointProgress], None] | None = None,
         manifest_dir: str | Path | None = None,
+        telemetry=None,
     ) -> list:
         """Run ``make_config(v)`` for each value; the parallel ``sweep()``.
 
@@ -801,6 +852,7 @@ class ParallelSweepRunner:
 
         measurements = self.run_configs(configs, extract, on_point=wrapped,
                                         on_progress=on_progress,
-                                        manifest_dir=manifest_dir)
+                                        manifest_dir=manifest_dir,
+                                        telemetry=telemetry)
         return [SweepPoint(value=value, measurements=m)
                 for value, m in zip(values, measurements)]

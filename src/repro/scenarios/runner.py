@@ -31,6 +31,8 @@ from repro.tcp.connection import Connection
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.manifest import RunManifest
+    from repro.obs.metrics.core import MetricsRegistry
+    from repro.obs.metrics.scenario import ScenarioMeter
     from repro.obs.tracer import Tracer
 
 __all__ = ["ScenarioResult", "algorithm_override", "run"]
@@ -80,6 +82,9 @@ class ScenarioResult:
     traced (``trace=`` on :func:`run`)."""
     manifest: "RunManifest | None" = field(default=None, compare=False)
     """Provenance document, populated when ``manifest=`` was requested."""
+    metrics: "MetricsRegistry | None" = field(default=None, compare=False)
+    """The run's :class:`~repro.obs.metrics.MetricsRegistry` when the
+    run was metered (``metrics=`` on :func:`run`)."""
     wall_seconds: float = field(default=0.0, compare=False)
     """Wall-clock seconds :func:`run` spent inside ``sim.run`` (reporting
     only; never enters simulation state)."""
@@ -217,6 +222,7 @@ def run(
     *,
     trace: "Tracer | bool | None" = None,
     manifest: bool = False,
+    metrics: "ScenarioMeter | bool | None" = None,
 ) -> ScenarioResult:
     """Build and execute a scenario to completion.
 
@@ -232,6 +238,14 @@ def run(
         Build a :class:`~repro.obs.RunManifest` for the run (config
         hash, seed, event count, wall time, plus tracer aggregates when
         traced) and attach it to the result.
+    metrics:
+        Anything :func:`repro.obs.metrics.resolve_meter` accepts —
+        ``True`` for a default
+        :class:`~repro.obs.metrics.ScenarioMeter`, or a configured
+        instance.  Live probes bind into the existing observer fan-outs
+        before the first event fires; everything else is harvested
+        after the run.  Metering is observation-only: a metered run is
+        bit-identical to a bare run.
 
     The :mod:`repro.obs` imports are deliberately lazy: obs sits above
     scenarios in the layer diagram (its manifest module reaches into
@@ -247,9 +261,19 @@ def run(
         tracer = resolve_tracer(trace)
         if tracer is not None:
             tracer.instrument(built)
+    meter = None
+    if metrics is not None and metrics is not False:
+        from repro.obs.metrics.scenario import resolve_meter
+
+        meter = resolve_meter(metrics)
+        if meter is not None:
+            meter.instrument(built)
     begin = perf_counter()
     built.sim.run(until=config.duration)
     wall_seconds = perf_counter() - begin
+    registry = None
+    if meter is not None:
+        registry = meter.finalize(built, wall_seconds=wall_seconds)
     run_manifest = None
     if manifest:
         from repro.obs.manifest import build_manifest
@@ -270,5 +294,6 @@ def run(
         events_processed=built.sim.events_processed,
         tracer=tracer,
         manifest=run_manifest,
+        metrics=registry,
         wall_seconds=wall_seconds,
     )

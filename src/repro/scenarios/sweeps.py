@@ -27,6 +27,7 @@ from repro.scenarios.families import utilization_extract
 from repro.scenarios.runner import ScenarioResult
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.metrics import SweepTelemetry
     from repro.parallel.runner import PointProgress
     from repro.resilience.policy import ResilienceConfig
 
@@ -52,6 +53,7 @@ def sweep(
     on_progress: "Callable[[PointProgress], None] | None" = None,
     manifest: str | Path | None = None,
     resilience: "ResilienceConfig | bool | None" = None,
+    telemetry: "SweepTelemetry | None" = None,
 ) -> list[SweepPoint]:
     """Run ``make_config(v)`` for each value and extract measurements.
 
@@ -94,6 +96,13 @@ def sweep(
         :class:`~repro.resilience.journal.SweepJournal`.  The default
         ``None`` keeps the unsupervised hot path, where any point
         failure fails the whole sweep.
+    telemetry:
+        A :class:`~repro.obs.metrics.SweepTelemetry` accumulator makes
+        the sweep metered: every live point runs with ``metrics=True``
+        and folds its registry snapshot into the accumulator alongside
+        progress, cache and resilience counters.  Persist the document
+        with :func:`~repro.obs.metrics.write_telemetry` — what
+        ``repro sweep --telemetry`` / ``--live`` do.
     """
     from repro.parallel.runner import ParallelSweepRunner
 
@@ -102,7 +111,8 @@ def sweep(
         raise ConfigurationError("sweep needs at least one value")
     runner = ParallelSweepRunner(jobs=jobs, cache=cache, resilience=resilience)
     return runner.run(make_config, values, extract, on_point=on_point,
-                      on_progress=on_progress, manifest_dir=manifest)
+                      on_progress=on_progress, manifest_dir=manifest,
+                      telemetry=telemetry)
 
 
 def utilization_sweep(
@@ -115,9 +125,10 @@ def utilization_sweep(
     on_progress: "Callable[[PointProgress], None] | None" = None,
     manifest: str | Path | None = None,
     resilience: "ResilienceConfig | bool | None" = None,
+    telemetry: "SweepTelemetry | None" = None,
 ) -> list[SweepPoint]:
     """A sweep whose measurements are the per-direction utilizations."""
     return sweep(make_config, values, utilization_extract,
                  jobs=jobs, cache=cache, on_point=on_point,
                  on_progress=on_progress, manifest=manifest,
-                 resilience=resilience)
+                 resilience=resilience, telemetry=telemetry)

@@ -13,7 +13,8 @@ from typing import Callable
 
 from repro.net.packet import Packet
 
-__all__ = ["CwndObserver", "LossObserver", "SendObserver", "AckObserver"]
+__all__ = ["CwndObserver", "LossObserver", "SendObserver", "AckObserver",
+           "RttSampleObserver"]
 
 #: ``observer(time, cwnd, ssthresh)`` — fires on every congestion-window
 #: adjustment of an adaptive sender.
@@ -28,3 +29,7 @@ SendObserver = Callable[[float, Packet], None]
 
 #: ``observer(time, packet)`` — fires per ACK arriving at the sender.
 AckObserver = Callable[[float, Packet], None]
+
+#: ``observer(time, rtt_seconds)`` — fires per accepted round-trip-time
+#: measurement (Karn-filtered: retransmitted segments never produce one).
+RttSampleObserver = Callable[[float, float], None]

@@ -37,6 +37,7 @@ from repro.tcp.observers import (
     AckObserver,
     CwndObserver,
     LossObserver,
+    RttSampleObserver,
     SendObserver,
 )
 from repro.tcp.options import TcpOptions
@@ -106,10 +107,12 @@ class Sender:
         self._loss_observers: list[LossObserver] = []
         self._send_observers: list[SendObserver] = []
         self._ack_observers: list[AckObserver] = []
+        self._rtt_observers: list[RttSampleObserver] = []
         self._cwnd_fan: CwndObserver | None = None
         self._loss_fan: LossObserver | None = None
         self._send_fan: SendObserver | None = None
         self._ack_fan: AckObserver | None = None
+        self._rtt_fan: RttSampleObserver | None = None
 
         self.control.attach(self)
         # Bind-once strategy dispatch: `control` is fixed for the life of
@@ -174,6 +177,18 @@ class Sender:
         """
         self._ack_observers.append(observer)
         self._ack_fan = bind_fanout(self._ack_observers)
+
+    def on_rtt_sample(self, observer: RttSampleObserver) -> None:
+        """Register ``observer(time, rtt_seconds)`` per accepted RTT
+        measurement.
+
+        Fires only for samples the estimator itself accepts — Karn's
+        rule (no timing across retransmissions) applies before the
+        observers see anything, so the fan-out observes exactly the
+        distribution the RTO computation consumed.
+        """
+        self._rtt_observers.append(observer)
+        self._rtt_fan = bind_fanout(self._rtt_observers)
 
     # ------------------------------------------------------------------
     # Strategy toolkit — the sanctioned calls a CongestionControl makes
@@ -272,8 +287,12 @@ class Sender:
             self.dupacks = 0
             # RTT sample (Karn: the timed sequence is cleared on any loss).
             if self._timed_seq is not None and ack > self._timed_seq:
-                self.rtt.sample(self._sim.now - self._timed_at)
+                now = self._sim.now
+                self.rtt.sample(now - self._timed_at)
                 self._timed_seq = None
+                fan = self._rtt_fan
+                if fan is not None:
+                    fan(now, now - self._timed_at)
             self._cc_grow(self)
             if self.packets_out == 0:
                 self._rexmt.cancel()

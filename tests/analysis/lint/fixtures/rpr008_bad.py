@@ -16,3 +16,10 @@ class Kernel:
         for packet in packets:
             for observer in self._send_observers:
                 observer(now, packet)
+
+    def drain(self, packets, now):
+        for packet in packets:
+            if self._rtt_fan is not None:
+                self._rtt_fan(now, packet)
+            if self._meter is not None:
+                self._meter.observe(packet)

@@ -24,7 +24,7 @@ CASES = [
     ("RPR005", "rpr005_bad.py", 4, "rpr005_good.py"),
     ("RPR006", "rpr006_bad.py", 2, "rpr006_good.py"),
     ("RPR007", "rpr007_bad.py", 2, "rpr007_good.py"),
-    ("RPR008", "rpr008_bad.py", 3, "rpr008_good.py"),
+    ("RPR008", "rpr008_bad.py", 7, "rpr008_good.py"),
 ]
 
 

@@ -1,0 +1,165 @@
+"""SweepTelemetry folding and the telemetry document."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import TELEMETRY_SCHEMA, SweepTelemetry, write_telemetry
+from repro.parallel.runner import PointProgress
+
+
+def finish(index, worker="w0", wall=0.5, events=1000, cached=False):
+    return PointProgress(index=index, phase="finish", cached=cached,
+                         worker=worker, wall_seconds=wall,
+                         events_processed=events)
+
+
+def point_snapshot(drops=5.0, util=0.5, rtt_weight=2.0, rate_total=10.0,
+                   peak=4.0):
+    return {
+        "metrics": [
+            {"name": "repro_queue_drops_total", "type": "counter",
+             "labels": {"port": "a->b"}, "value": drops},
+            {"name": "repro_link_utilization_ratio", "type": "gauge",
+             "labels": {"port": "a->b"}, "value": util},
+            {"name": "repro_tcp_rtt_seconds", "type": "histogram",
+             "labels": {"conn": "1"}, "buckets": [0.1, 1.0],
+             "counts": [rtt_weight, 1.0, 0.0], "sum": 0.3, "count": rtt_weight + 1.0},
+            {"name": "repro_link_departures", "type": "rate",
+             "labels": {"port": "a->b"}, "window": 1.0,
+             "total": rate_total, "peak_per_second": peak,
+             "last_per_second": 1.0},
+        ]
+    }
+
+
+class TestProgressStream:
+    def test_live_and_cached_points_counted(self):
+        tele = SweepTelemetry(points=4)
+        tele.on_progress(finish(0, wall=0.2, events=100))
+        tele.on_progress(finish(1, worker="w1", wall=0.3, events=200))
+        tele.on_progress(finish(2, cached=True))
+        tele.on_progress(finish(3, cached=True, worker="journal"))
+        assert tele.done == 4
+        assert tele.live_points == 2
+        assert tele.cached_points == 2
+        assert tele.journal_restored == 1
+        assert tele.total_events == 300
+        assert tele.total_point_wall == pytest.approx(0.5)
+        assert tele.workers["w0"]["points"] == 1
+        assert tele.workers["w1"]["events"] == 200
+        assert tele.events_per_second == pytest.approx(600.0)
+
+    def test_retry_and_fail_phases(self):
+        tele = SweepTelemetry(points=2)
+        tele.on_progress(PointProgress(index=0, phase="retry"))
+        tele.on_progress(PointProgress(index=0, phase="fail"))
+        assert tele.retried_attempts == 1
+        assert tele.failed == 1
+        assert tele.done == 0
+
+    def test_wall_histogram_fed_by_live_points_only(self):
+        tele = SweepTelemetry(points=2)
+        tele.on_progress(finish(0, wall=0.3))
+        tele.on_progress(finish(1, cached=True))
+        hist = tele.registry.get("repro_sweep_point_wall_seconds")
+        assert hist.count == 1.0
+
+
+class TestFoldPoint:
+    def test_counters_and_rates_sum_gauges_min_max(self):
+        tele = SweepTelemetry(points=2)
+        tele.fold_point(0, point_snapshot(drops=5.0, util=0.25, rate_total=10.0,
+                                          peak=4.0))
+        tele.fold_point(1, point_snapshot(drops=2.0, util=0.75, rate_total=3.0,
+                                          peak=9.0))
+        doc = tele.document()
+        rows = {(r["name"], tuple(sorted(r["labels"].items())))
+                : r for r in doc["point_aggregate"]}
+        drops = rows[("repro_queue_drops_total", (("port", "a->b"),))]
+        assert drops["value"] == 7.0
+        assert drops["points"] == 2
+        util = rows[("repro_link_utilization_ratio", (("port", "a->b"),))]
+        assert util["min"] == 0.25 and util["max"] == 0.75
+        assert util["total"] == pytest.approx(1.0)
+        rate = rows[("repro_link_departures", (("port", "a->b"),))]
+        assert rate["total"] == 13.0
+        assert rate["peak_per_second"] == 9.0
+
+    def test_histograms_merge_bucket_by_bucket(self):
+        tele = SweepTelemetry(points=2)
+        tele.fold_point(0, point_snapshot(rtt_weight=2.0))
+        tele.fold_point(1, point_snapshot(rtt_weight=4.0))
+        doc = tele.document()
+        rtt = next(r for r in doc["point_aggregate"]
+                   if r["name"] == "repro_tcp_rtt_seconds")
+        assert rtt["counts"] == [6.0, 2.0, 0.0]
+        assert rtt["count"] == 8.0
+
+    def test_mismatched_bucket_layouts_never_merge(self):
+        tele = SweepTelemetry(points=2)
+        tele.fold_point(0, point_snapshot())
+        drifted = point_snapshot()
+        drifted["metrics"][2]["buckets"] = [0.5, 2.0]
+        tele.fold_point(1, drifted)
+        rtt = next(r for r in tele.document()["point_aggregate"]
+                   if r["name"] == "repro_tcp_rtt_seconds")
+        assert rtt["counts"] == [2.0, 1.0, 0.0]  # second point skipped
+
+    def test_none_and_malformed_snapshots_ignored(self):
+        tele = SweepTelemetry(points=1)
+        tele.fold_point(0, None)
+        tele.fold_point(0, {"metrics": "nope"})
+        assert tele.document()["point_aggregate"] == []
+
+    def test_aggregate_total_sums_counters_across_labels(self):
+        tele = SweepTelemetry(points=2)
+        snap = point_snapshot(drops=5.0)
+        other = point_snapshot(drops=7.0)
+        other["metrics"][0]["labels"] = {"port": "b->a"}
+        tele.fold_point(0, snap)
+        tele.fold_point(1, other)
+        assert tele.aggregate_total("repro_queue_drops_total") == 12.0
+        assert tele.aggregate_total("repro_link_utilization_ratio") == 0.0
+
+
+class TestInfrastructureCounters:
+    def test_cache_and_journal_accounting(self):
+        tele = SweepTelemetry()
+        tele.record_cache(hits=3, misses=1, quarantined=1)
+        tele.record_journal_append()
+        tele.record_journal_append(2)
+        assert tele.cache_hit_ratio == pytest.approx(0.75)
+        assert tele.journal_appends == 3
+        assert SweepTelemetry().cache_hit_ratio == 0.0
+
+    def test_record_report(self):
+        class Report:
+            timeouts = 2
+            crashes = 1
+            errors = 3
+
+        tele = SweepTelemetry()
+        tele.record_report(Report())
+        tele.record_report(None)
+        assert (tele.timeouts, tele.crashes, tele.errors) == (2, 1, 3)
+
+
+class TestDocument:
+    def test_schema_and_core_fields(self):
+        tele = SweepTelemetry(points=3)
+        tele.on_progress(finish(0))
+        doc = tele.document()
+        assert doc["schema"] == TELEMETRY_SCHEMA
+        assert doc["points"] == 3
+        assert doc["done"] == 1
+        assert doc["cache"]["hit_ratio"] == 0.0
+        assert doc["execution"]["total_events"] == 1000
+        json.dumps(doc)  # JSON-able throughout
+
+    def test_write_telemetry_directory_and_file(self, tmp_path):
+        tele = SweepTelemetry(points=1)
+        into_dir = write_telemetry(tele, tmp_path)
+        assert into_dir.name == "sweep.telemetry.json"
+        explicit = write_telemetry(tele, tmp_path / "t.json")
+        assert json.loads(explicit.read_text())["schema"] == TELEMETRY_SCHEMA

@@ -1,10 +1,18 @@
 """Unit tests for repro.obs.manifest: run identity and provenance."""
 
 import json
+import shutil
 
 import pytest
 
-from repro.obs import OBS_SCHEMA_VERSION, Tracer, build_manifest, run_id_for, write_manifest
+from repro.obs import (
+    OBS_SCHEMA_VERSION,
+    Tracer,
+    build_manifest,
+    relativize_artifacts,
+    run_id_for,
+    write_manifest,
+)
 from repro.parallel import CACHE_SCHEMA_VERSION, ResultCache, cache_key, config_hash
 from repro.scenarios import FlowSpec, ScenarioConfig, run
 from repro.scenarios.families import utilization_extract
@@ -136,3 +144,69 @@ class TestWriteManifest:
         first = write_manifest(manifest, tmp_path / "a.json").read_text()
         second = write_manifest(manifest, tmp_path / "b.json").read_text()
         assert first == second
+
+
+class TestArtifacts:
+    def test_default_is_empty(self, tmp_path):
+        manifest = build_manifest(small_config())
+        assert manifest.artifacts == {}
+        data = json.loads(write_manifest(manifest, tmp_path).read_text())
+        assert data["artifacts"] == {}
+
+    def test_paths_recorded_relative_to_manifest_dir(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        trace = results / "trace.json"
+        trace.write_text("{}")
+        sibling = tmp_path / "metrics.prom"
+        sibling.write_text("")
+        manifest = build_manifest(small_config())
+        path = write_manifest(manifest, results,
+                              artifacts={"chrome_trace": trace,
+                                         "prometheus": sibling})
+        data = json.loads(path.read_text())
+        assert data["artifacts"] == {"chrome_trace": "trace.json",
+                                     "prometheus": "../metrics.prom"}
+        # The in-memory manifest is untouched (frozen; written copy only).
+        assert manifest.artifacts == {}
+
+    def test_relative_inputs_resolved_against_cwd(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "out").mkdir()
+        (tmp_path / "out" / "m.prom").write_text("")
+        manifest = build_manifest(small_config())
+        path = write_manifest(manifest, tmp_path / "out",
+                              artifacts={"prometheus": "out/m.prom"})
+        assert json.loads(path.read_text())["artifacts"] == {
+            "prometheus": "m.prom"}
+
+    def test_manifest_survives_directory_move(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        trace = results / "trace.json"
+        trace.write_text("{}")
+        manifest = build_manifest(small_config())
+        path = write_manifest(manifest, results,
+                              artifacts={"chrome_trace": trace})
+        moved = tmp_path / "archived"
+        shutil.move(results, moved)
+        data = json.loads((moved / path.name).read_text())
+        resolved = moved / data["artifacts"]["chrome_trace"]
+        assert resolved.exists()
+
+    def test_preexisting_artifacts_relativized_and_merged(self, tmp_path):
+        from dataclasses import replace
+
+        manifest = replace(build_manifest(small_config()),
+                           artifacts={"journal": str(tmp_path / "j.jsonl")})
+        path = write_manifest(manifest, tmp_path / "sub",
+                              artifacts={"prometheus": tmp_path / "m.prom"})
+        assert json.loads(path.read_text())["artifacts"] == {
+            "journal": "../j.jsonl", "prometheus": "../m.prom"}
+
+    def test_relativize_artifacts_sorted_posix(self, tmp_path):
+        rel = relativize_artifacts(
+            {"b": tmp_path / "deep" / "b.json", "a": tmp_path / "a.json"},
+            tmp_path)
+        assert list(rel) == ["a", "b"]
+        assert rel == {"a": "a.json", "b": "deep/b.json"}
