@@ -45,7 +45,11 @@ __all__ = [
 #: v6: RPR008 extended to metrics probes: `_meter`/`_metrics` attributes
 #:     and `_fan`/`_probe` suffixes probed inside engine/net/tcp hot
 #:     loops are now flagged alongside tracer/sanitizer/observer reads.
-LINT_RULESET_VERSION = 6
+#: v7: RPR005/RPR010 extended to the worker-agent protocol boundary:
+#:     callables handed to `extract_reference` ship as module+qualname
+#:     references and re-import on remote agents, so lambdas, nested
+#:     definitions and closure-factory results are flagged there too.
+LINT_RULESET_VERSION = 7
 
 CheckFunction = Callable[["LintContext"], Iterator["Violation"]]
 

@@ -339,13 +339,20 @@ def check_unordered_iteration(ctx: LintContext) -> Iterator[Violation]:
 # RPR005 — sweep callables must be module-level (picklable)
 # ----------------------------------------------------------------------
 _SWEEP_ENTRYPOINTS = {"sweep", "utilization_sweep", "run_configs"}
-# Argument slots that cross process boundaries under jobs > 1.
+# Argument slots that cross process boundaries under jobs > 1 (or cross
+# the worker-agent wire protocol, which re-imports by reference).
 _PICKLED_POSITIONS = {
     "sweep": (0, 2),            # make_config, extract
     "utilization_sweep": (0,),  # make_config
     "run_configs": (1,),        # extract (configs are data, not callables)
+    "extract_reference": (0,),  # extract, shipped by module+qualname
 }
 _PICKLED_KEYWORDS = {"make_config", "extract"}
+# Callables shipped over the worker-agent protocol travel as a
+# module+qualname reference and are re-imported on the agent, so the
+# module-level discipline is the same as pickling — but the failure is
+# remote (the agent's import error comes back as a lease error).
+_PROTOCOL_ENTRYPOINTS = {"extract_reference"}
 # Algorithm factories resolve by *name* in re-importing worker processes,
 # so they need the same module-level discipline as pickled callables.
 _REGISTRY_ENTRYPOINTS = {"register_algorithm"}
@@ -395,7 +402,15 @@ modules to rebuild the registry.  A lambda, nested function, or class
 defined inside a function registered as a factory exists only in the
 parent process — every worker resolving the name would fail (or
 silently diverge).  Register strategy classes defined at module
-scope.""",
+scope.
+
+The distributed worker-agent protocol is stricter still: an extractor
+handed to `extract_reference()` (what the `worker` backend ships with
+every lease) crosses the wire as a bare module+qualname reference and
+is re-imported on the agent — possibly on another host.  A lambda or
+closure has no importable identity at all there, and the failure
+surfaces remotely, as a lease error from the agent, instead of a local
+PicklingError.""",
 )
 def check_sweep_callables(ctx: LintContext) -> Iterator[Violation]:
     nested = _nested_definition_names(ctx.tree)
@@ -407,6 +422,11 @@ def check_sweep_callables(ctx: LintContext) -> Iterator[Violation]:
             positions = _PICKLED_POSITIONS[name]
             keywords = _PICKLED_KEYWORDS
             what = "spawn workers cannot import it"
+        elif name in _PROTOCOL_ENTRYPOINTS:
+            positions = _PICKLED_POSITIONS[name]
+            keywords = _PICKLED_KEYWORDS
+            what = ("worker agents re-importing it over the wire protocol "
+                    "cannot resolve it")
         elif name in _REGISTRY_ENTRYPOINTS:
             positions = _REGISTRY_POSITIONS[name]
             keywords = _REGISTRY_KEYWORDS

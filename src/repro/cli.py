@@ -171,10 +171,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="which sweep family to run")
     swp_p.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="worker processes (default: 1, serial)")
+    swp_p.add_argument("--backend", default="local", metavar="NAME",
+                       help="execution backend: 'local' (this host's "
+                            "processes, default) or 'worker' (a fleet of "
+                            "long-lived `repro worker serve` agents with "
+                            "lease-based work claiming)")
+    swp_p.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="worker-backend fleet size (default: --jobs)")
+    swp_p.add_argument("--worker-connect", action="append", default=None,
+                       metavar="HOST:PORT",
+                       help="connect to an already-running "
+                            "`repro worker serve --listen` agent instead of "
+                            "spawning one (repeatable, worker backend only)")
+    swp_p.add_argument("--lease-ttl", type=float, default=15.0,
+                       metavar="SECONDS",
+                       help="seconds a distributed lease survives without a "
+                            "heartbeat before the point is reclaimed and "
+                            "re-leased (default: 15)")
     swp_p.add_argument("--no-cache", action="store_true",
                        help="always simulate; skip the on-disk result cache")
     swp_p.add_argument("--cache-dir", default=None, metavar="DIR",
-                       help="cache directory (default: ~/.cache/repro)")
+                       help="cache directory (default: ~/.cache/repro), or "
+                            "tcp://HOST:PORT of a shared `repro cache serve` "
+                            "store")
     swp_p.add_argument("--fast", action="store_true",
                        help="shorter simulations (smoke mode)")
     swp_p.add_argument("--progress", action="store_true",
@@ -305,6 +324,49 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: .repro-lint-cache.json)")
     lint_p.add_argument("--no-cache", action="store_true",
                         help="disable the --project incremental cache")
+
+    wrk_p = sub.add_parser(
+        "worker",
+        help="distributed sweep worker agents (see `repro sweep --backend "
+             "worker`)")
+    wrk_sub = wrk_p.add_subparsers(dest="worker_command", required=True)
+    srv_p = wrk_sub.add_parser(
+        "serve",
+        help="serve sweep leases to one coordinator over stdio (default) "
+             "or TCP; stdout is reserved for the wire protocol")
+    srv_p.add_argument("--listen", default=None, metavar="HOST:PORT",
+                       help="listen on TCP instead of stdio (port 0 picks "
+                            "a free port, printed to stderr)")
+    srv_p.add_argument("--forever", action="store_true",
+                       help="with --listen: serve coordinator conversations "
+                            "serially forever instead of exiting after one")
+
+    cache_p = sub.add_parser(
+        "cache",
+        help="result-cache maintenance and the shared cache store")
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+    cserve_p = cache_sub.add_parser(
+        "serve",
+        help="serve a result cache to sweep hosts over TCP "
+             "(`--cache-dir` elsewhere, `cache=tcp://HOST:PORT` here)")
+    cserve_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                          help="cache directory (default: ~/.cache/repro)")
+    cserve_p.add_argument("--host", default="127.0.0.1",
+                          help="bind address (default: 127.0.0.1)")
+    cserve_p.add_argument("--port", type=int, default=0,
+                          help="bind port (default: 0 = pick a free port, "
+                               "printed on startup)")
+
+    jrn_p = sub.add_parser(
+        "journal",
+        help="sweep resume-journal maintenance")
+    jrn_sub = jrn_p.add_subparsers(dest="journal_command", required=True)
+    cmp_p = jrn_sub.add_parser(
+        "compact",
+        help="rewrite a JSONL journal keeping only the last entry per "
+             "cache key (atomic; torn tail lines are dropped)")
+    cmp_p.add_argument("journal", help="path to the journal file")
+
     return parser
 
 
@@ -489,6 +551,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     # code itself from the failure count.
     policy = ResilienceConfig(timeout=args.timeout, retries=args.retries,
                               journal=args.resume, allow_partial=True)
+    backend: object = args.backend
+    if args.backend == "worker":
+        from repro.parallel.backends import WorkerBackend
+
+        backend = WorkerBackend(workers=args.workers,
+                                connect=tuple(args.worker_connect or ()),
+                                lease_ttl=args.lease_ttl)
+    elif args.workers is not None or args.worker_connect:
+        print("error: --workers/--worker-connect need --backend worker",
+              file=sys.stderr)
+        return EXIT_CONFIG_ERROR
     done = [0]
 
     def on_point(point) -> None:
@@ -536,7 +609,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         on_point = None
 
     runner = ParallelSweepRunner(jobs=args.jobs, cache=cache,
-                                 resilience=policy)
+                                 resilience=policy, backend=backend)
     started = time.perf_counter()
     try:
         points = runner.run(make_config, values, families.utilization_extract,
@@ -594,6 +667,47 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
           "completed measurements were "
           + ("journaled" if args.resume else "returned"), file=sys.stderr)
     return EXIT_OK if args.allow_partial else EXIT_SWEEP_PARTIAL
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.parallel.worker_agent import serve_stdio, serve_tcp
+
+    if args.listen is None:
+        return serve_stdio()
+    host, _, port_text = args.listen.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        print(f"error: --listen wants HOST:PORT, got {args.listen!r}",
+              file=sys.stderr)
+        return EXIT_CONFIG_ERROR
+    return serve_tcp(host or "127.0.0.1", port, once=not args.forever)
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.parallel.cachestore import SharedCacheServer
+
+    server = SharedCacheServer(args.cache_dir, host=args.host, port=args.port)
+    print(f"repro cache store serving {server.cache.root} on "
+          f"tcp://{server.host}:{server.port}", file=sys.stderr, flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.stop()
+    return EXIT_OK
+
+
+def _cmd_journal(args: argparse.Namespace) -> int:
+    from repro.resilience import SweepJournal
+
+    journal = SweepJournal(args.journal)
+    kept, dropped = journal.compact()
+    if kept == 0 and dropped == 0 and not journal.path.exists():
+        print(f"error: no journal at {args.journal}", file=sys.stderr)
+        return EXIT_CONFIG_ERROR
+    print(f"{args.journal}: kept {kept} entr{'y' if kept == 1 else 'ies'}, "
+          f"dropped {dropped} superseded/damaged line(s)")
+    return EXIT_OK
 
 
 def _cmd_parity(args: argparse.Namespace) -> int:
@@ -719,6 +833,12 @@ def main(argv: list[str] | None = None) -> int:
                                 args.manifest_dir)
         if args.command == "profile":
             return _cmd_profile(args.scenario)
+        if args.command == "worker":
+            return _cmd_worker(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
+        if args.command == "journal":
+            return _cmd_journal(args)
         if args.command == "parity":
             return _cmd_parity(args)
         if args.command == "lint":

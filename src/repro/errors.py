@@ -22,6 +22,8 @@ __all__ = [
     "LintError",
     "FaultInjectionError",
     "SweepFailureError",
+    "WireError",
+    "BackendUnavailable",
 ]
 
 
@@ -52,6 +54,28 @@ class ProtocolError(ReproError):
 
 class AnalysisError(ReproError):
     """An analysis routine received data it cannot interpret."""
+
+
+class WireError(ReproError):
+    """A malformed or out-of-order distributed-sweep protocol message.
+
+    Raised by the worker-agent and shared-cache wire codecs
+    (:mod:`repro.parallel.protocol`) when a peer sends bytes that do not
+    decode to a schema-valid message.  The coordinator treats a peer
+    that speaks garbage like a dead peer: its leases are reclaimed and
+    the work is re-leased elsewhere.
+    """
+
+
+class BackendUnavailable(ReproError):
+    """A distributed sweep backend cannot make (further) progress.
+
+    Raised by a backend when its fleet is gone — workers could not be
+    spawned, every agent died and respawns are exhausted, or a remote
+    endpoint refused the connection.  The sweep runner catches it and
+    degrades gracefully: the points that have not completed are re-run
+    on the ``local`` backend instead of being lost.
+    """
 
 
 class LintError(ReproError):

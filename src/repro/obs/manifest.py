@@ -47,7 +47,13 @@ __all__ = ["MANIFEST_SOURCES", "OBS_SCHEMA_VERSION", "RunManifest",
 #: recorded *relative to the manifest's own directory* so a results
 #: directory can be moved, archived or mounted elsewhere without the
 #: manifest's pointers going stale.
-OBS_SCHEMA_VERSION = 4
+#: v5: the ``backend`` / ``worker`` provenance fields — which execution
+#: backend ran the sweep and which worker (``agent0@host:pid`` for the
+#: distributed backend, a process name locally) computed this point,
+#: added with the pluggable-backend architecture.  Determinism makes
+#: these debugging breadcrumbs, not identity: the same config computes
+#: the same measurements on every host.
+OBS_SCHEMA_VERSION = 5
 
 #: Where a point's measurements came from.  ``live`` simulated now,
 #: ``cache`` replayed from the result cache, ``journal`` restored from a
@@ -90,6 +96,13 @@ class RunManifest:
     failure: dict[str, object] | None = None
     """The serialized :class:`~repro.resilience.report.PointFailure` for
     ``source == "failed"`` points; ``None`` everywhere else."""
+    backend: str = "local"
+    """The execution backend that ran the producing sweep (registry
+    name: ``local``, ``worker``, ...)."""
+    worker: str = ""
+    """Which worker computed this point — ``agentN@host:pid`` on the
+    distributed backend, a process name locally, empty for cache and
+    journal replays."""
     artifacts: dict[str, str] = field(default_factory=dict)
     """Companion files this run exported (chrome trace, trace JSONL,
     Prometheus snapshot, metrics JSONL, ...), keyed by kind.  Written
@@ -115,6 +128,8 @@ def build_manifest(
     extract: Callable | None = None,
     attempts: int = 1,
     failure: "PointFailure | None" = None,
+    backend: str = "local",
+    worker: str = "",
 ) -> RunManifest:
     """Assemble the manifest of one run of ``config``.
 
@@ -150,6 +165,8 @@ def build_manifest(
         attempts=attempts,
         algorithms=config.algorithms,
         failure=failure.to_dict() if failure is not None else None,
+        backend=backend,
+        worker=worker,
     )
 
 

@@ -8,11 +8,27 @@ Public surface:
   keyed by the SHA-256 of the canonical config JSON.
 - :func:`~repro.parallel.cache.cache_key` / helpers for addressing.
 
-The convenient entry points are the ``jobs=`` / ``cache=`` keywords on
-:func:`repro.scenarios.sweeps.sweep` and the ``repro sweep`` CLI command;
-this package is the machinery underneath.
+- :mod:`~repro.parallel.backends` — the pluggable execution-backend
+  registry (``local`` processes, the distributed ``worker`` fleet).
+- :class:`~repro.parallel.cachestore.SharedCacheClient` /
+  :class:`~repro.parallel.cachestore.SharedCacheServer` — one result
+  cache shared by many sweep hosts over TCP.
+
+The convenient entry points are the ``jobs=`` / ``cache=`` /
+``backend=`` keywords on :func:`repro.scenarios.sweeps.sweep` and the
+``repro sweep`` CLI command; this package is the machinery underneath.
 """
 
+from repro.parallel.backends import (
+    BackendRequest,
+    LocalBackend,
+    SweepBackend,
+    WorkerBackend,
+    backend_names,
+    create_backend,
+    register_backend,
+    resolve_backend,
+)
 from repro.parallel.cache import (
     CACHE_SCHEMA_VERSION,
     ResultCache,
@@ -21,16 +37,28 @@ from repro.parallel.cache import (
     config_hash,
     default_cache_dir,
 )
-from repro.parallel.runner import ParallelSweepRunner, PointProgress, resolve_cache
+from repro.parallel.cachestore import SharedCacheClient, SharedCacheServer
+from repro.parallel.progress import PointProgress
+from repro.parallel.runner import ParallelSweepRunner, resolve_cache
 
 __all__ = [
+    "BackendRequest",
     "CACHE_SCHEMA_VERSION",
-    "ResultCache",
+    "LocalBackend",
     "ParallelSweepRunner",
     "PointProgress",
+    "ResultCache",
+    "SharedCacheClient",
+    "SharedCacheServer",
+    "SweepBackend",
+    "WorkerBackend",
+    "backend_names",
     "cache_key",
     "canonical_config_json",
     "config_hash",
+    "create_backend",
     "default_cache_dir",
+    "register_backend",
+    "resolve_backend",
     "resolve_cache",
 ]

@@ -222,14 +222,34 @@ class ResultCache:
         )
 
     def put(self, key: str, measurements: dict,
-            config: ScenarioConfig | None = None) -> Path:
+            config: ScenarioConfig | None = None) -> Path | None:
         """Store ``measurements`` under ``key`` (atomic write).
 
         The originating config document is stored alongside for
         debuggability (``repro``'s cache files are self-describing).
+
+        Writes are **content-checked against the existing entry**, which
+        is what makes at-least-once distributed execution safe:
+
+        * No entry (or a damaged one) — write atomically, return the path.
+        * An equal entry — dedupe: nothing is rewritten, the existing
+          path is returned.  Two racing writers of the same payload both
+          land here or both rename identical bytes; either way exactly
+          one valid entry remains.
+        * A **different** valid entry — conflict: simulations are pure
+          functions of their config, so two payloads for one key mean
+          nondeterminism or corruption.  *Both* payloads are quarantined
+          (:meth:`quarantine_conflict`), no cache entry survives, and
+          ``None`` is returned.
         """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        existing = self._peek(path)
+        if existing is not None:
+            if existing == measurements:
+                return path
+            self.quarantine_conflict(key, existing, measurements)
+            return None
         document = {
             "schema": CACHE_SCHEMA_VERSION,
             "key": key,
@@ -243,6 +263,53 @@ class ResultCache:
         tmp.replace(path)
         return path
 
+    def _peek(self, path: Path) -> dict | None:
+        """The measurements stored at ``path``, without counters or
+        quarantine side effects; ``None`` for absent or damaged entries
+        (damage is :meth:`get`'s business — an overwrite fixes it)."""
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if self._entry_damage(document) is not None:
+            return None
+        assert isinstance(document, dict)
+        measurements = document["measurements"]
+        assert isinstance(measurements, dict)
+        return measurements
+
+    def quarantine_conflict(self, key: str, accepted: dict,
+                            duplicate: dict) -> None:
+        """Quarantine *both* payloads of a conflicting double completion.
+
+        The entry file (if any) moves to :attr:`quarantine_dir`; the
+        conflicting payload is preserved beside it as
+        ``<key>.conflict.json`` with a reason note.  Neither copy stays
+        in the cache — a conflict means at least one of them is wrong,
+        and there is no way to know which.
+        """
+        path = self._path(key)
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            if path.exists():
+                path.replace(self.quarantine_dir / path.name)
+            conflict_file = self.quarantine_dir / f"{key}.conflict.json"
+            with conflict_file.open("w") as handle:
+                json.dump({"key": key, "accepted": accepted,
+                           "duplicate": duplicate}, handle, indent=2)
+            (self.quarantine_dir / f"{key}.reason.txt").write_text(
+                "conflicting duplicate completion: two different payloads "
+                "for one content-addressed key\n")
+        except OSError:
+            path.unlink(missing_ok=True)
+        self.quarantined += 1
+        warnings.warn(
+            f"quarantined conflicting cache payloads for {key[:12]}… "
+            "(duplicate completion disagreed with the stored entry)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
     # ------------------------------------------------------------------
     # Config-level interface
     # ------------------------------------------------------------------
@@ -252,7 +319,7 @@ class ResultCache:
         return self.get(cache_key(config, extract))
 
     def put_config(self, config: ScenarioConfig, measurements: dict,
-                   extract: Callable | None = None) -> Path:
+                   extract: Callable | None = None) -> Path | None:
         """Store measurements for a (config, extractor) pair."""
         return self.put(cache_key(config, extract), measurements, config=config)
 

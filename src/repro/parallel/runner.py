@@ -1,15 +1,25 @@
-"""Fan sweep points out over a multiprocessing worker pool.
+"""Fan sweep points out over a pluggable execution backend.
 
 Every scenario here is deterministic and independent, which makes sweep
-families embarrassingly parallel: the runner pickles each
-:class:`ScenarioConfig` to a worker (spawn-safe — configs are plain
-frozen dataclasses), runs it there, applies the caller's extractor in
-the worker so only small measurement dicts travel back, and reassembles
-results in deterministic input order regardless of completion order.
+families embarrassingly parallel: the runner hands each
+:class:`ScenarioConfig` to an execution backend (this host's processes
+by default, a fleet of worker agents with ``backend="worker"``), runs
+the caller's extractor next to the simulation so only small measurement
+dicts travel back, and reassembles results in deterministic input order
+regardless of completion order — or of which host computed what.
 
 Combined with the content-addressed :class:`~repro.parallel.cache.ResultCache`
 the runner skips simulation entirely for points it has seen before, so a
 warm re-run of a benchmark sweep costs milliseconds.
+
+The runner owns everything a sweep shares across backends — journal and
+cache prefilters, retry accounting, manifests, telemetry, the
+resilience report — and packs it into a
+:class:`~repro.parallel.backends.base.BackendRequest`; backends own only
+execution.  When a distributed backend raises
+:class:`~repro.errors.BackendUnavailable` mid-sweep, the remaining
+points degrade to the local backend, so a dead fleet costs locality,
+never results.
 
 Two execution regimes share this front end:
 
@@ -18,83 +28,56 @@ Two execution regimes share this front end:
   with no supervision overhead.  A worker crash or unhandled
   exception fails the whole sweep.
 * The **supervised** paths (``resilience=`` a
-  :class:`~repro.resilience.policy.ResilienceConfig`) run each point in
-  its own short-lived process multiplexed over a bounded worker budget,
-  enforce per-point wall-clock timeouts, contain worker crashes, retry
-  failed points with deterministic backoff, checkpoint completed points
-  to a :class:`~repro.resilience.journal.SweepJournal`, and report
-  failures as structured :class:`~repro.resilience.report.PointFailure`
-  records instead of dying.
+  :class:`~repro.resilience.policy.ResilienceConfig`, or any non-local
+  backend) contain crashes, enforce per-point wall-clock timeouts,
+  retry failed points with deterministic backoff, checkpoint completed
+  points to a :class:`~repro.resilience.journal.SweepJournal`, and
+  report failures as structured
+  :class:`~repro.resilience.report.PointFailure` records instead of
+  dying.
 """
 
 from __future__ import annotations
 
-import math
-import multiprocessing
-import os
-import pickle
-import sys
 import warnings
-from dataclasses import dataclass
-from multiprocessing import connection
+from dataclasses import replace
 from pathlib import Path
-from time import monotonic, perf_counter, sleep
 from typing import Callable, Iterable, Sequence
 
 from repro.engine.sanitize import SANITIZE_ENV, sanitize_enabled
-from repro.errors import ConfigurationError, SweepFailureError
-from repro.parallel.cache import ResultCache, cache_key, config_hash
-from repro.resilience.faults import (
-    FaultPlan,
-    active_plan,
-    apply_worker_faults,
-    corrupt_entry_file,
+from repro.errors import BackendUnavailable, ConfigurationError, SweepFailureError
+from repro.parallel.backends import LocalBackend, resolve_backend
+from repro.parallel.backends.base import BackendRequest
+from repro.parallel.backends.local import (  # noqa: F401 - re-exported for compat
+    _check_spawnable_main,
+    _execute_point,
+    _send_quietly,
+    _stop_process,
+    _supervised_point,
 )
+from repro.parallel.cache import ResultCache, cache_key, config_hash
+from repro.parallel.progress import PointProgress
+from repro.resilience.faults import active_plan, corrupt_entry_file
 from repro.resilience.journal import JournalEntry, SweepJournal
 from repro.resilience.policy import ResilienceConfig, resolve_resilience
 from repro.resilience.report import (
-    OUTCOME_CRASH,
-    OUTCOME_ERROR,
-    OUTCOME_TIMEOUT,
     AttemptRecord,
     PointFailure,
     ResilienceReport,
 )
 from repro.scenarios.config import ScenarioConfig
 from repro.scenarios.runner import ScenarioResult
-from repro.scenarios.runner import run as run_scenario
 
 __all__ = ["ParallelSweepRunner", "PointProgress", "resolve_cache"]
-
-
-@dataclass(frozen=True)
-class PointProgress:
-    """One progress notification from a sweep execution.
-
-    ``phase`` is ``"start"`` when a point begins simulating (emitted by
-    the serial and supervised paths — a plain spawn pool cannot report
-    start times to the parent), ``"finish"`` when its measurements are
-    available, and — on supervised runs — ``"retry"`` when a failed
-    attempt is re-queued and ``"fail"`` when a point exhausts its retry
-    budget.  Cache and journal hits finish immediately with
-    ``cached=True`` and no execution statistics.
-    """
-
-    index: int
-    phase: str
-    cached: bool = False
-    worker: str = ""
-    wall_seconds: float = 0.0
-    events_processed: int = 0
-    attempt: int = 1
 
 
 def resolve_cache(cache) -> ResultCache | None:
     """Normalize the user-facing ``cache=`` argument.
 
     ``None``/``False`` disable caching, ``True`` uses the default cache
-    directory, a path opens a cache there, and a :class:`ResultCache` is
-    used as-is.
+    directory, a path opens a cache there, a ``tcp://host:port`` URL
+    connects to a shared ``repro cache serve`` store, and a
+    :class:`ResultCache` (or compatible client) is used as-is.
     """
     if cache is None or cache is False:
         return None
@@ -102,314 +85,14 @@ def resolve_cache(cache) -> ResultCache | None:
         return ResultCache()
     if isinstance(cache, ResultCache):
         return cache
+    if isinstance(cache, str) and cache.startswith("tcp://"):
+        from repro.parallel.cachestore import SharedCacheClient
+
+        return SharedCacheClient.from_url(cache)
+    if hasattr(cache, "get") and hasattr(cache, "put") and not isinstance(
+            cache, (str, Path)):
+        return cache
     return ResultCache(cache)
-
-
-def _check_spawnable_main() -> None:
-    """Refuse pool creation when spawn cannot re-import ``__main__``.
-
-    A ``__main__`` fed from stdin (``python - <<EOF``) reports a
-    ``__file__`` of ``<stdin>`` that spawn children try — and fail — to
-    re-run, and the pool replaces the crashing workers forever.  Raising
-    here turns an infinite hang into an actionable error.
-    """
-    process = multiprocessing.current_process()
-    if process.daemon or process.name != "MainProcess":
-        raise ConfigurationError(
-            "parallel sweeps cannot be started from a worker process; "
-            "guard the sweep call with `if __name__ == \"__main__\":` so "
-            "spawn children do not re-run it on import, or use jobs=1."
-        )
-    main = sys.modules.get("__main__")
-    if main is None or getattr(main, "__spec__", None) is not None:
-        return
-    main_file = getattr(main, "__file__", None)
-    if main_file is not None and not os.path.exists(main_file):
-        raise ConfigurationError(
-            "jobs > 1 needs a __main__ module that worker processes can "
-            f"re-import, but it came from {main_file!r} (a piped script or "
-            "REPL). Run from a real file or use jobs=1."
-        )
-
-
-def _execute_point(task: tuple) -> tuple[int, dict, str, float, int, dict | None]:
-    """Worker body for the plain pool path: run one config, extract.
-
-    Module-level so it pickles by reference under the spawn start method.
-    Alongside the measurements it reports the worker's process name, the
-    wall time spent simulating, the engine's event count, and — when the
-    sweep collects telemetry — the point's metrics snapshot (a plain
-    dict, so only JSON-able data travels back), so the parent can emit
-    progress lines, write live-point manifests and fold the snapshot
-    into the :class:`~repro.obs.metrics.SweepTelemetry` aggregate.
-    """
-    index, config, extract, metered = task
-    begin = perf_counter()
-    result = run_scenario(config, metrics=metered)
-    wall_seconds = perf_counter() - begin
-    snapshot = result.metrics.snapshot() if result.metrics is not None else None
-    return (index, extract(result), multiprocessing.current_process().name,
-            wall_seconds, result.events_processed, snapshot)
-
-
-def _send_quietly(conn, payload) -> bool:
-    """Send on a pipe that the supervisor may have already abandoned.
-
-    A worker whose parent timed it out (or died) has nobody listening;
-    its result is discarded either way, so a broken pipe here is not an
-    error worth a traceback in the child.
-    """
-    try:
-        conn.send(payload)
-        return True
-    except (OSError, ValueError):
-        return False
-
-
-def _supervised_point(conn, index: int, attempt: int, config: ScenarioConfig,
-                      extract, faults, metered: bool = False) -> None:
-    """Worker body for the supervised path: one process per attempt.
-
-    Applies any scheduled injected faults first (so a ``kill`` dies
-    before simulating, like a real early OOM), then runs and extracts.
-    The outcome travels back as a tagged tuple — ``("ok", measurements,
-    wall_seconds, events, metrics_snapshot)`` or ``("error", detail)``
-    — and a process that dies without sending anything is diagnosed as
-    a crash by the parent when the pipe EOFs.
-    """
-    try:
-        apply_worker_faults(faults, index, attempt)
-        begin = perf_counter()
-        result = run_scenario(config, metrics=metered)
-        wall_seconds = perf_counter() - begin
-        snapshot = (result.metrics.snapshot()
-                    if result.metrics is not None else None)
-        payload = ("ok", extract(result), wall_seconds,
-                   result.events_processed, snapshot)
-    except Exception as exc:
-        payload = ("error", f"{type(exc).__name__}: {exc}")
-    _send_quietly(conn, payload)
-    conn.close()
-
-
-def _stop_process(process) -> None:
-    """Terminate a worker, escalating to SIGKILL if it will not die."""
-    process.terminate()
-    process.join(5.0)
-    if process.is_alive():  # pragma: no cover - needs a SIGTERM-immune child
-        process.kill()
-        process.join()
-
-
-@dataclass
-class _Attempt:
-    """Bookkeeping for one in-flight supervised worker."""
-
-    index: int
-    attempt: int
-    process: multiprocessing.process.BaseProcess
-    deadline: float
-    """Monotonic instant the attempt times out (``math.inf`` = never)."""
-    begin: float
-
-
-class _Supervisor:
-    """Process-per-point executor with timeouts, crash containment and
-    retry scheduling (the supervised ``jobs > 1`` path).
-
-    Unlike ``Pool.imap_unordered`` — which loses the task and blocks
-    forever when a worker is SIGKILLed mid-point — every attempt here
-    owns a dedicated process and pipe, multiplexed through
-    :func:`multiprocessing.connection.wait`.  A dead worker surfaces as
-    pipe EOF, a hung worker as a missed monotonic deadline; both fail
-    only their own attempt.  Failed attempts re-enter the queue with a
-    ``not_before`` timestamp from the policy's deterministic backoff.
-
-    If the host cannot spawn processes at all (fd/PID exhaustion —
-    ``Process.start()`` raising ``OSError``), the attempt degrades to
-    in-process execution with a ``RuntimeWarning`` instead of killing
-    the sweep.
-    """
-
-    def __init__(self, *, context, jobs: int, policy: ResilienceConfig,
-                 fault_plan: FaultPlan, configs: Sequence[ScenarioConfig],
-                 extract, pending: Sequence[int], complete, attempt_failed,
-                 emit, metered: bool = False) -> None:
-        self._context = context
-        self._jobs = jobs
-        self._policy = policy
-        self._fault_plan = fault_plan
-        self._configs = configs
-        self._extract = extract
-        self._metered = metered
-        #: (index, attempt, not_before) — runnable once monotonic() passes.
-        self._queue: list[tuple[int, int, float]] = [
-            (index, 1, 0.0) for index in pending]
-        self._active: dict = {}
-        self._complete = complete
-        self._attempt_failed = attempt_failed
-        self._emit = emit
-
-    def run(self) -> None:
-        """Drive every queued point to completion or terminal failure."""
-        try:
-            while self._queue or self._active:
-                self._launch_ready()
-                self._wait_and_collect()
-        finally:
-            # Normal exit leaves nothing active; any exception —
-            # KeyboardInterrupt included — must not orphan workers.
-            self._shutdown()
-
-    # ------------------------------------------------------------------
-    # Dispatch
-    # ------------------------------------------------------------------
-    def _launch_ready(self) -> None:
-        now = monotonic()
-        for task in [t for t in self._queue if t[2] <= now]:
-            if len(self._active) >= self._jobs:
-                return
-            self._queue.remove(task)
-            index, attempt, _ = task
-            if not self._spawn(index, attempt):
-                self._inline_attempt(index, attempt)
-
-    def _spawn(self, index: int, attempt: int) -> bool:
-        recv_end, send_end = self._context.Pipe(duplex=False)
-        faults = self._fault_plan.worker_faults(index, attempt)
-        process = self._context.Process(
-            target=_supervised_point,
-            args=(send_end, index, attempt, self._configs[index],
-                  self._extract, faults, self._metered),
-            name=f"repro-point{index}-a{attempt}",
-            daemon=True,
-        )
-        try:
-            process.start()
-        except OSError as exc:
-            recv_end.close()
-            send_end.close()
-            warnings.warn(
-                f"could not spawn a sweep worker ({exc}); running this "
-                "attempt in-process instead (no timeout enforcement)",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            return False
-        send_end.close()
-        if self._policy.timeout is not None:
-            deadline = monotonic() + self._policy.timeout
-        else:
-            deadline = math.inf
-        self._active[recv_end] = _Attempt(
-            index=index, attempt=attempt, process=process,
-            deadline=deadline, begin=perf_counter())
-        self._emit(PointProgress(index=index, phase="start", attempt=attempt,
-                                 worker=process.name))
-        return True
-
-    def _inline_attempt(self, index: int, attempt: int) -> None:
-        worker = multiprocessing.current_process().name
-        self._emit(PointProgress(index=index, phase="start", attempt=attempt,
-                                 worker=worker))
-        begin = perf_counter()
-        try:
-            apply_worker_faults(self._fault_plan.worker_faults(index, attempt),
-                                index, attempt)
-            result = run_scenario(self._configs[index], metrics=self._metered)
-            measurements = self._extract(result)
-        except Exception as exc:
-            self._attempt_over(index, attempt, OUTCOME_ERROR,
-                               perf_counter() - begin,
-                               f"{type(exc).__name__}: {exc}", worker)
-            return
-        snapshot = (result.metrics.snapshot()
-                    if result.metrics is not None else None)
-        self._complete(index, measurements, worker, perf_counter() - begin,
-                       result.events_processed, attempts=attempt,
-                       snapshot=snapshot)
-
-    # ------------------------------------------------------------------
-    # Collection
-    # ------------------------------------------------------------------
-    def _wait_and_collect(self) -> None:
-        if not self._active:
-            # Everything runnable is backing off: sleep to the first retry.
-            if self._queue:
-                pause = min(task[2] for task in self._queue) - monotonic()
-                if pause > 0:
-                    sleep(pause)
-            return
-        ready = connection.wait(list(self._active), timeout=self._wait_budget())
-        for conn in ready:
-            self._collect(conn)
-        self._expire_deadlines()
-
-    def _wait_budget(self) -> float | None:
-        """Seconds to block in ``connection.wait`` before bookkeeping.
-
-        Bounded by the nearest attempt deadline and — when a worker slot
-        is free — the nearest backoff expiry, so timeouts fire promptly
-        and retries are not starved behind long-running points.
-        """
-        horizon = min(entry.deadline for entry in self._active.values())
-        if self._queue and len(self._active) < self._jobs:
-            horizon = min(horizon, min(task[2] for task in self._queue))
-        if math.isinf(horizon):
-            return None
-        return max(0.0, horizon - monotonic())
-
-    def _collect(self, conn) -> None:
-        entry = self._active.pop(conn)
-        wall_seconds = perf_counter() - entry.begin
-        try:
-            payload = conn.recv()
-        except (EOFError, OSError):
-            payload = None
-        conn.close()
-        entry.process.join()
-        if payload is not None and payload[0] == "ok":
-            _, measurements, worker_wall, events, snapshot = payload
-            self._complete(entry.index, measurements, entry.process.name,
-                           worker_wall, events, attempts=entry.attempt,
-                           snapshot=snapshot)
-            return
-        if payload is None:
-            outcome = OUTCOME_CRASH
-            detail = (f"worker died with exit code {entry.process.exitcode} "
-                      "before reporting a result")
-        else:
-            outcome = OUTCOME_ERROR
-            detail = str(payload[1])
-        self._attempt_over(entry.index, entry.attempt, outcome, wall_seconds,
-                           detail, entry.process.name)
-
-    def _expire_deadlines(self) -> None:
-        now = monotonic()
-        expired = [conn for conn, entry in self._active.items()
-                   if entry.deadline <= now]
-        for conn in expired:
-            entry = self._active.pop(conn)
-            _stop_process(entry.process)
-            conn.close()
-            self._attempt_over(
-                entry.index, entry.attempt, OUTCOME_TIMEOUT,
-                perf_counter() - entry.begin,
-                f"exceeded the per-point timeout of {self._policy.timeout}s",
-                entry.process.name)
-
-    def _attempt_over(self, index: int, attempt: int, outcome: str,
-                      wall_seconds: float, detail: str, worker: str) -> None:
-        delay = self._attempt_failed(index, attempt, outcome, wall_seconds,
-                                     detail, worker)
-        if delay is not None:
-            self._queue.append((index, attempt + 1, monotonic() + delay))
-
-    def _shutdown(self) -> None:
-        for conn, entry in list(self._active.items()):
-            _stop_process(entry.process)
-            conn.close()
-        self._active.clear()
 
 
 class ParallelSweepRunner:
@@ -439,6 +122,15 @@ class ParallelSweepRunner:
         retry, journal and partial-result behaviour.  After a supervised
         run, :attr:`last_report` holds the sweep's
         :class:`~repro.resilience.report.ResilienceReport`.
+    backend:
+        Anything :func:`~repro.parallel.backends.resolve_backend`
+        accepts: ``None`` (default) runs on this host, a registered name
+        (``"local"``, ``"worker"``) resolves through the backend
+        registry, and a :class:`~repro.parallel.backends.base.
+        SweepBackend` instance is used as-is.  Non-local backends always
+        run supervised — a default policy is adopted when none is set —
+        and degrade to the local backend if they become unavailable
+        mid-sweep.
     """
 
     def __init__(
@@ -448,6 +140,7 @@ class ParallelSweepRunner:
         chunksize: int | None = None,
         start_method: str = "spawn",
         resilience: ResilienceConfig | bool | None = None,
+        backend=None,
     ) -> None:
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
@@ -456,6 +149,7 @@ class ParallelSweepRunner:
         self.chunksize = chunksize
         self.start_method = start_method
         self.resilience = resolve_resilience(resilience)
+        self.backend = backend
         self.last_report: ResilienceReport | None = None
         if self.cache is not None and sanitize_enabled():
             warnings.warn(
@@ -516,16 +210,22 @@ class ParallelSweepRunner:
             if not isinstance(config, ScenarioConfig):
                 raise ConfigurationError("make_config must return a ScenarioConfig")
 
+        backend = resolve_backend(self.backend)
         results: list[dict | None] = [None] * len(configs)
         cache = self.cache
         policy = self.resilience
+        if backend.name != "local" and policy is None:
+            # Distributed execution is pointless without supervision:
+            # leases, retries and the report all hang off the policy.
+            policy = ResilienceConfig()
         metered = telemetry is not None
         if metered:
             telemetry.points = len(configs)
             cache_base = ((cache.hits, cache.misses, cache.quarantined)
                           if cache is not None else (0, 0, 0))
         fault_plan = active_plan().resolve(len(configs))
-        report = ResilienceReport(points=len(configs)) if policy else None
+        report = ResilienceReport(points=len(configs),
+                                  backend=backend.name) if policy else None
         self.last_report = report
 
         journal: SweepJournal | None = None
@@ -548,6 +248,24 @@ class ParallelSweepRunner:
                     owns_journal = True
                 journal_entries = journal.load()
 
+        unreachable = {"warned": False}
+
+        def cache_for(index: int) -> ResultCache | None:
+            """The cache to use for one point — ``None`` under an
+            injected ``cache-unreachable`` partition."""
+            if cache is None:
+                return None
+            if fault_plan and fault_plan.cache_unreachable(index):
+                if not unreachable["warned"]:
+                    warnings.warn(
+                        "injected cache-unreachable fault: skipping cache "
+                        "reads and writes for the faulted point(s); the "
+                        "journal remains the source of truth",
+                        RuntimeWarning, stacklevel=3)
+                    unreachable["warned"] = True
+                return None
+            return cache
+
         def emit(progress: PointProgress) -> None:
             if telemetry is not None:
                 telemetry.on_progress(progress)
@@ -558,6 +276,7 @@ class ParallelSweepRunner:
                                  events: int | None = None,
                                  wall: float | None = None,
                                  attempts: int = 1,
+                                 worker: str = "",
                                  failure: PointFailure | None = None) -> None:
             if manifest_dir is None:
                 return
@@ -569,7 +288,8 @@ class ParallelSweepRunner:
                 build_manifest(configs[index], source=source,
                                events_processed=events, wall_seconds=wall,
                                extract=extract, attempts=attempts,
-                               failure=failure),
+                               failure=failure, backend=backend.name,
+                               worker=worker),
                 manifest_dir,
             )
 
@@ -579,10 +299,12 @@ class ParallelSweepRunner:
             results[index] = measurements
             if telemetry is not None:
                 telemetry.fold_point(index, snapshot)
-            if cache is not None:
-                entry_path = cache.put(keys[index], measurements,
-                                       config=configs[index])
-                if fault_plan and fault_plan.corrupts(index):
+            point_cache = cache_for(index)
+            if point_cache is not None:
+                entry_path = point_cache.put(keys[index], measurements,
+                                             config=configs[index])
+                if (entry_path is not None and fault_plan
+                        and fault_plan.corrupts(index)):
                     corrupt_entry_file(entry_path)
             if journal is not None:
                 journal.record(JournalEntry(
@@ -598,133 +320,30 @@ class ParallelSweepRunner:
             if on_point is not None:
                 on_point(index, measurements)
             write_point_manifest(index, source="live", events=events,
-                                 wall=wall_seconds, attempts=attempts)
+                                 wall=wall_seconds, attempts=attempts,
+                                 worker=worker)
             emit(PointProgress(index=index, phase="finish", cached=False,
                                worker=worker, wall_seconds=wall_seconds,
                                events_processed=events, attempt=attempts))
 
-        pending = list(range(len(configs)))
+        def conflict(index: int, accepted: dict, duplicate: dict) -> None:
+            """An at-least-once duplicate disagreed with the accepted
+            payload: quarantine both cache copies and report loudly —
+            scenarios are pure functions of their config, so a conflict
+            means nondeterminism or corruption, and neither copy can be
+            trusted by future runs."""
+            if report is not None:
+                report.conflicts += 1
+            point_cache = cache_for(index)
+            if point_cache is not None and keys:
+                point_cache.quarantine_conflict(keys[index], accepted,
+                                                duplicate)
+            warnings.warn(
+                f"sweep point {index}: duplicate completion disagreed with "
+                "the accepted measurements; both payloads quarantined "
+                f"(key {keys[index][:12] if keys else '?'}…)",
+                RuntimeWarning, stacklevel=3)
 
-        if journal_entries:
-            remaining = []
-            for index in pending:
-                entry = journal_entries.get(keys[index])
-                if entry is None:
-                    remaining.append(index)
-                    continue
-                results[index] = entry.measurements
-                if report is not None:
-                    report.journal_skips += 1
-                if on_point is not None:
-                    on_point(index, entry.measurements)
-                write_point_manifest(index, source="journal",
-                                     attempts=entry.attempts)
-                emit(PointProgress(index=index, phase="finish", cached=True,
-                                   worker="journal"))
-            pending = remaining
-
-        if cache is not None:
-            remaining = []
-            for index in pending:
-                hit = cache.get(keys[index])
-                if hit is None:
-                    remaining.append(index)
-                    continue
-                results[index] = hit
-                if report is not None:
-                    report.cache_hits += 1
-                if journal is not None:
-                    journal.record(JournalEntry(
-                        key=keys[index], config_hash=hashes[index],
-                        run_id=run_ids[index], index=index, attempts=1,
-                        source="cache", measurements=hit))
-                    if telemetry is not None:
-                        telemetry.record_journal_append()
-                if on_point is not None:
-                    on_point(index, hit)
-                write_point_manifest(index, source="cache")
-                emit(PointProgress(index=index, phase="finish",
-                                   cached=True, worker="cache"))
-            pending = remaining
-
-        jobs = min(self.jobs, len(pending))
-        try:
-            if policy is None:
-                self._run_plain(pending, configs, extract, jobs, complete,
-                                emit, metered)
-            else:
-                self._run_supervised(pending, configs, extract, jobs, keys,
-                                     run_ids, hashes, policy, fault_plan,
-                                     report, complete, write_point_manifest,
-                                     emit, metered)
-        finally:
-            if journal is not None and owns_journal:
-                journal.close()
-            if telemetry is not None:
-                if cache is not None:
-                    telemetry.record_cache(
-                        cache.hits - cache_base[0],
-                        cache.misses - cache_base[1],
-                        cache.quarantined - cache_base[2])
-                telemetry.record_report(report)
-
-        if report is not None and report.failures and not policy.allow_partial:
-            raise SweepFailureError(report.failures, results)
-        return results  # type: ignore[return-value]
-
-    # ------------------------------------------------------------------
-    # Plain (unsupervised) execution — the original hot paths
-    # ------------------------------------------------------------------
-    def _run_plain(self, pending, configs, extract, jobs, complete,
-                   emit, metered=False) -> None:
-        if jobs <= 1:
-            worker = multiprocessing.current_process().name
-            for index in pending:
-                emit(PointProgress(index=index, phase="start", worker=worker))
-                begin = perf_counter()
-                result = run_scenario(configs[index], metrics=metered)
-                wall_seconds = perf_counter() - begin
-                snapshot = (result.metrics.snapshot()
-                            if result.metrics is not None else None)
-                complete(index, extract(result), worker, wall_seconds,
-                         result.events_processed, snapshot=snapshot)
-            return
-        _check_spawnable_main()
-        try:
-            pickle.dumps(extract)
-        except Exception as exc:
-            raise ConfigurationError(
-                "extract must be a module-level (picklable) callable "
-                f"when jobs > 1: {exc}"
-            ) from exc
-        tasks = [(index, configs[index], extract, metered)
-                 for index in pending]
-        chunksize = self.chunksize or max(1, len(tasks) // (jobs * 4))
-        context = multiprocessing.get_context(self.start_method)
-        pool = context.Pool(processes=jobs)
-        try:
-            for index, measurements, worker, wall_seconds, events, snapshot in (
-                    pool.imap_unordered(_execute_point, tasks,
-                                        chunksize=chunksize)):
-                complete(index, measurements, worker, wall_seconds, events,
-                         snapshot=snapshot)
-        except BaseException:
-            # KeyboardInterrupt (and anything else) mid-iteration: kill
-            # the workers *now* and reap them before propagating, instead
-            # of leaking a pool that blocks interpreter exit.
-            pool.terminate()
-            pool.join()
-            raise
-        else:
-            pool.close()
-            pool.join()
-
-    # ------------------------------------------------------------------
-    # Supervised execution
-    # ------------------------------------------------------------------
-    def _run_supervised(self, pending, configs, extract, jobs, keys, run_ids,
-                        hashes, policy, fault_plan, report, complete,
-                        write_point_manifest, emit, metered=False) -> None:
         histories: dict[int, list[AttemptRecord]] = {}
 
         def attempt_failed(index: int, attempt: int, outcome: str,
@@ -753,69 +372,112 @@ class ParallelSweepRunner:
             report.failures.append(failure)
             report.attempts_by_index[index] = attempt
             write_point_manifest(index, source="failed", attempts=attempt,
-                                 failure=failure)
+                                 worker=worker, failure=failure)
             emit(PointProgress(index=index, phase="fail", attempt=attempt,
                                worker=worker, wall_seconds=wall_seconds))
             return None
 
-        if jobs <= 1:
-            self._run_supervised_serial(pending, configs, extract, policy,
-                                        fault_plan, complete, attempt_failed,
-                                        emit, metered)
-            return
-        _check_spawnable_main()
-        try:
-            pickle.dumps(extract)
-        except Exception as exc:
-            raise ConfigurationError(
-                "extract must be a module-level (picklable) callable "
-                f"when jobs > 1: {exc}"
-            ) from exc
-        supervisor = _Supervisor(
-            context=multiprocessing.get_context(self.start_method),
-            jobs=jobs, policy=policy, fault_plan=fault_plan, configs=configs,
-            extract=extract, pending=pending, complete=complete,
-            attempt_failed=attempt_failed, emit=emit, metered=metered)
-        supervisor.run()
+        pending = list(range(len(configs)))
 
-    def _run_supervised_serial(self, pending, configs, extract, policy,
-                               fault_plan, complete, attempt_failed,
-                               emit, metered=False) -> None:
-        """Supervised ``jobs=1``: in-process attempts with retry/backoff.
-
-        Exceptions (injected or real) are contained per point, but
-        there is no process boundary, so wall-clock timeouts cannot be
-        enforced and a ``kill``/``hang`` fault is faithfully fatal —
-        use ``jobs >= 2`` for full containment.
-        """
-        worker = multiprocessing.current_process().name
-        for index in pending:
-            attempt = 1
-            while True:
-                emit(PointProgress(index=index, phase="start",
-                                   attempt=attempt, worker=worker))
-                begin = perf_counter()
-                try:
-                    apply_worker_faults(
-                        fault_plan.worker_faults(index, attempt),
-                        index, attempt)
-                    result = run_scenario(configs[index], metrics=metered)
-                    measurements = extract(result)
-                except Exception as exc:
-                    delay = attempt_failed(
-                        index, attempt, OUTCOME_ERROR, perf_counter() - begin,
-                        f"{type(exc).__name__}: {exc}", worker)
-                    if delay is None:
-                        break
-                    sleep(delay)
-                    attempt += 1
+        if journal_entries:
+            remaining = []
+            for index in pending:
+                entry = journal_entries.get(keys[index])
+                if entry is None:
+                    remaining.append(index)
                     continue
-                snapshot = (result.metrics.snapshot()
-                            if result.metrics is not None else None)
-                complete(index, measurements, worker, perf_counter() - begin,
-                         result.events_processed, attempts=attempt,
-                         snapshot=snapshot)
-                break
+                results[index] = entry.measurements
+                if report is not None:
+                    report.journal_skips += 1
+                if on_point is not None:
+                    on_point(index, entry.measurements)
+                write_point_manifest(index, source="journal",
+                                     attempts=entry.attempts)
+                emit(PointProgress(index=index, phase="finish", cached=True,
+                                   worker="journal"))
+            pending = remaining
+
+        if cache is not None:
+            remaining = []
+            for index in pending:
+                point_cache = cache_for(index)
+                hit = (point_cache.get(keys[index])
+                       if point_cache is not None else None)
+                if hit is None:
+                    remaining.append(index)
+                    continue
+                results[index] = hit
+                if report is not None:
+                    report.cache_hits += 1
+                if journal is not None:
+                    journal.record(JournalEntry(
+                        key=keys[index], config_hash=hashes[index],
+                        run_id=run_ids[index], index=index, attempts=1,
+                        source="cache", measurements=hit))
+                    if telemetry is not None:
+                        telemetry.record_journal_append()
+                if on_point is not None:
+                    on_point(index, hit)
+                write_point_manifest(index, source="cache")
+                emit(PointProgress(index=index, phase="finish",
+                                   cached=True, worker="cache"))
+            pending = remaining
+
+        request = BackendRequest(
+            pending=pending,
+            configs=configs,
+            extract=extract,
+            jobs=min(self.jobs, len(pending)) if pending else 0,
+            complete=complete,
+            emit=emit,
+            policy=policy,
+            attempt_failed=attempt_failed if policy is not None else None,
+            fault_plan=fault_plan,
+            metered=metered,
+            keys=keys,
+            report=report,
+            conflict=conflict,
+            start_method=self.start_method,
+            chunksize=self.chunksize,
+        )
+        try:
+            if pending:
+                try:
+                    backend.execute(request)
+                except BackendUnavailable as exc:
+                    if isinstance(backend, LocalBackend):
+                        raise
+                    failed_indices = ({failure.index for failure
+                                       in report.failures}
+                                      if report is not None else set())
+                    remaining = [index for index in pending
+                                 if results[index] is None
+                                 and index not in failed_indices]
+                    warnings.warn(
+                        f"sweep backend {backend.name!r} became unavailable "
+                        f"({exc}); degrading {len(remaining)} remaining "
+                        "point(s) to local execution",
+                        RuntimeWarning, stacklevel=2)
+                    if report is not None:
+                        report.degraded_points += len(remaining)
+                    if remaining:
+                        LocalBackend().execute(replace(
+                            request, pending=remaining,
+                            jobs=min(self.jobs, len(remaining))))
+        finally:
+            if journal is not None and owns_journal:
+                journal.close()
+            if telemetry is not None:
+                if cache is not None:
+                    telemetry.record_cache(
+                        cache.hits - cache_base[0],
+                        cache.misses - cache_base[1],
+                        cache.quarantined - cache_base[2])
+                telemetry.record_report(report)
+
+        if report is not None and report.failures and not policy.allow_partial:
+            raise SweepFailureError(report.failures, results)
+        return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     # Sweep-shaped front end

@@ -12,6 +12,7 @@ Grammar (clauses separated by ``;``)::
 
     clause := KIND '@' POINT [':' VALUE] ['*' COUNT]  |  'seed=' INT
     KIND   := kill | hang | slow | raise | corrupt
+            | worker-kill | lease-expire | cache-unreachable
     POINT  := sweep point index  |  '?'  (seeded deterministic choice)
     VALUE  := seconds (hang: default 3600, slow: default 1.0)
     COUNT  := how many attempts the fault fires on (default 1)
@@ -30,6 +31,26 @@ Worker faults are applied by the *supervised* execution path (the plain
 fast path has no containment and would genuinely die); ``corrupt`` is
 applied in the parent wherever cache writes happen, so it works on
 every path.
+
+Three **remote** kinds exercise the distributed backend
+(:mod:`repro.parallel.backends.worker`):
+
+* ``worker-kill@n`` — the long-lived worker *agent* that receives the
+  lease for point ``n`` dies with ``os._exit(137)``, taking its whole
+  fleet slot with it (a crashed host, not a crashed attempt).
+* ``lease-expire@n`` — the coordinator force-expires the lease on
+  point ``n`` even though the worker is healthy and heartbeating (a
+  simulated network partition); the point is re-leased and the
+  partitioned worker's eventual duplicate result must dedupe.
+* ``cache-unreachable@n`` — every cache read/write for point ``n``
+  behaves as if the shared store were down: reads miss, writes are
+  skipped with a warning, and the sweep must still complete with
+  bit-identical measurements (the journal stays the source of truth).
+
+Shipping in-worker clauses to a remote agent uses
+:meth:`FaultClause.to_dict` / :meth:`FaultClause.from_dict` — the plan
+itself never crosses the wire, only the clauses already matched to one
+(point, attempt) lease.
 """
 
 from __future__ import annotations
@@ -46,7 +67,9 @@ from repro.resilience.policy import deterministic_fraction
 
 __all__ = [
     "FAULTS_ENV",
+    "AGENT_KINDS",
     "KINDS",
+    "REMOTE_KINDS",
     "WORKER_KINDS",
     "FaultClause",
     "FaultPlan",
@@ -60,13 +83,20 @@ FAULTS_ENV = "REPRO_FAULTS"
 
 #: Fault kinds executed inside a worker attempt, in application order.
 WORKER_KINDS = ("kill", "hang", "slow", "raise")
+#: Fault kinds that target the distributed backend: the agent process,
+#: the lease lifecycle, and the shared cache transport.
+REMOTE_KINDS = ("worker-kill", "lease-expire", "cache-unreachable")
+#: In-worker kinds shipped to a remote agent alongside a lease
+#: (``worker-kill`` executes in the agent; ``kill`` does too — for a
+#: long-lived agent the two are the same ``os._exit``).
+AGENT_KINDS = WORKER_KINDS + ("worker-kill",)
 #: All fault kinds; ``corrupt`` is applied in the parent after a cache put.
-KINDS = WORKER_KINDS + ("corrupt",)
+KINDS = WORKER_KINDS + ("corrupt",) + REMOTE_KINDS
 
 _DEFAULT_VALUES = {"hang": 3600.0, "slow": 1.0}
 
 _CLAUSE_RE = re.compile(
-    r"^(?P<kind>[a-z]+)@(?P<point>\d+|\?)"
+    r"^(?P<kind>[a-z][a-z-]*)@(?P<point>\d+|\?)"
     r"(?::(?P<value>\d+(?:\.\d+)?))?"
     r"(?:\*(?P<count>\d+))?$"
 )
@@ -88,6 +118,28 @@ class FaultClause:
     def matches(self, index: int, attempt: int) -> bool:
         """True when this clause fires for ``(index, attempt)``."""
         return self.point == index and 1 <= attempt <= self.count
+
+    def to_dict(self) -> dict[str, object]:
+        """A JSON-compatible form for shipping clauses to worker agents."""
+        return {"kind": self.kind, "point": self.point,
+                "value": self.value, "count": self.count}
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, object]) -> "FaultClause":
+        """Rebuild a shipped clause; raises ``ValueError`` on damage."""
+        kind = raw.get("kind")
+        if not isinstance(kind, str) or kind not in KINDS:
+            raise ValueError(f"bad fault clause kind: {kind!r}")
+        point = raw.get("point")
+        if point is not None and not isinstance(point, int):
+            raise ValueError(f"bad fault clause point: {point!r}")
+        value = raw.get("value", 0.0)
+        count = raw.get("count", 1)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(f"bad fault clause value: {value!r}")
+        if isinstance(count, bool) or not isinstance(count, int) or count < 1:
+            raise ValueError(f"bad fault clause count: {count!r}")
+        return cls(kind=kind, point=point, value=float(value), count=count)
 
 
 @dataclass(frozen=True)
@@ -128,6 +180,34 @@ class FaultPlan:
     def corrupts(self, index: int) -> bool:
         """True when the cache entry written for ``index`` is torn."""
         return any(clause.kind == "corrupt" and clause.matches(index, 1)
+                   for clause in self.clauses)
+
+    def agent_faults(self, index: int, attempt: int) -> tuple[FaultClause, ...]:
+        """The clauses shipped to a remote agent with this lease.
+
+        ``worker-kill`` rides along with the plain in-worker kinds — on
+        a long-lived agent both mean the agent process dies.
+        """
+        return tuple(clause for clause in self.clauses
+                     if clause.kind in AGENT_KINDS
+                     and clause.matches(index, attempt))
+
+    def lease_expires(self, index: int, occurrence: int) -> bool:
+        """True when occurrence ``occurrence`` (1-based) of a forced
+        lease expiry should fire on ``index``.
+
+        The coordinator counts how many times it has already expired the
+        point's lease on purpose, so a re-leased point does not loop
+        forever on the same clause.
+        """
+        return any(clause.kind == "lease-expire"
+                   and clause.matches(index, occurrence)
+                   for clause in self.clauses)
+
+    def cache_unreachable(self, index: int) -> bool:
+        """True when cache traffic for ``index`` must act partitioned."""
+        return any(clause.kind == "cache-unreachable"
+                   and clause.matches(index, 1)
                    for clause in self.clauses)
 
 
@@ -188,7 +268,7 @@ def apply_worker_faults(faults: Iterable[FaultClause], index: int,
     serial path — where ``kill`` and ``hang`` are faithfully fatal).
     """
     for clause in faults:
-        if clause.kind == "kill":
+        if clause.kind in ("kill", "worker-kill"):
             os._exit(137)
         elif clause.kind in ("hang", "slow"):
             time.sleep(clause.value)

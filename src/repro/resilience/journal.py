@@ -152,6 +152,41 @@ class SweepJournal:
             os.fsync(self._handle.fileno())
         self.recorded += 1
 
+    def compact(self) -> tuple[int, int]:
+        """Rewrite the journal keeping only the last entry per key.
+
+        Long-lived journals accumulate superseded lines — cache replays
+        of already-journaled points, re-runs after partial failures, the
+        at-least-once aftermath of distributed sweeps.  Compaction
+        rewrites the file with one line per cache key (the latest entry,
+        matching :meth:`load` semantics), preserving first-appearance
+        order.  Damaged lines — including a torn tail — are dropped, as
+        on load.
+
+        The rewrite is **atomic** (temp file + rename in the same
+        directory), so a crash mid-compaction leaves the original intact.
+        Returns ``(kept, dropped)`` line counts; a missing journal is
+        ``(0, 0)``.
+        """
+        if self._handle is not None:
+            self.close()
+        entries = self.load()
+        try:
+            total_lines = sum(1 for line in self.path.read_text().splitlines()
+                              if line.strip())
+        except FileNotFoundError:
+            return (0, 0)
+        tmp = self.path.with_suffix(self.path.suffix + f".compact.{os.getpid()}")
+        with tmp.open("w") as handle:
+            for entry in entries.values():
+                handle.write(json.dumps(entry.to_dict(), sort_keys=True,
+                                        separators=(",", ":")) + "\n")
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        tmp.replace(self.path)
+        return (len(entries), total_lines - len(entries))
+
     def close(self) -> None:
         """Close the append handle (load/record reopen as needed)."""
         if self._handle is not None:

@@ -71,6 +71,20 @@ class ResilienceReport:
     failures: list[PointFailure] = field(default_factory=list)
     attempts_by_index: dict[int, int] = field(default_factory=dict)
     """Attempts used per point index, for every point that needed > 1."""
+    backend: str = "local"
+    """Which execution backend ran the sweep's live points."""
+    lease_reclaims: int = 0
+    """Leases taken back from unresponsive (or fault-partitioned)
+    workers and re-leased — distributed backends only."""
+    duplicate_results: int = 0
+    """At-least-once completions whose payload matched the accepted one
+    and was deduplicated by content address."""
+    conflicts: int = 0
+    """Duplicate completions whose payload *differed* — both copies
+    quarantined; a conflict means nondeterminism or corruption."""
+    degraded_points: int = 0
+    """Points completed by the local fallback after the configured
+    backend became unavailable mid-sweep."""
 
     @property
     def ok(self) -> bool:
@@ -97,6 +111,11 @@ class ResilienceReport:
             "timeouts": self.timeouts,
             "crashes": self.crashes,
             "errors": self.errors,
+            "backend": self.backend,
+            "lease_reclaims": self.lease_reclaims,
+            "duplicate_results": self.duplicate_results,
+            "conflicts": self.conflicts,
+            "degraded_points": self.degraded_points,
             "failed_points": len(self.failures),
             "attempts_by_index": {str(index): attempts for index, attempts
                                   in sorted(self.attempts_by_index.items())},

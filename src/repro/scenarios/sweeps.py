@@ -54,6 +54,7 @@ def sweep(
     manifest: str | Path | None = None,
     resilience: "ResilienceConfig | bool | None" = None,
     telemetry: "SweepTelemetry | None" = None,
+    backend: object = None,
 ) -> list[SweepPoint]:
     """Run ``make_config(v)`` for each value and extract measurements.
 
@@ -103,13 +104,21 @@ def sweep(
         progress, cache and resilience counters.  Persist the document
         with :func:`~repro.obs.metrics.write_telemetry` — what
         ``repro sweep --telemetry`` / ``--live`` do.
+    backend:
+        Which execution backend runs the live points: ``None`` (default)
+        or ``"local"`` for this host's process pool, ``"worker"`` (or a
+        configured :class:`~repro.parallel.backends.worker.WorkerBackend`)
+        for the distributed worker fleet, or any name registered with
+        :func:`~repro.parallel.backends.register_backend`.  Non-local
+        backends always run supervised (``resilience`` defaults on).
     """
     from repro.parallel.runner import ParallelSweepRunner
 
     values = list(values)
     if not values:
         raise ConfigurationError("sweep needs at least one value")
-    runner = ParallelSweepRunner(jobs=jobs, cache=cache, resilience=resilience)
+    runner = ParallelSweepRunner(jobs=jobs, cache=cache, resilience=resilience,
+                                 backend=backend)
     return runner.run(make_config, values, extract, on_point=on_point,
                       on_progress=on_progress, manifest_dir=manifest,
                       telemetry=telemetry)
@@ -126,9 +135,11 @@ def utilization_sweep(
     manifest: str | Path | None = None,
     resilience: "ResilienceConfig | bool | None" = None,
     telemetry: "SweepTelemetry | None" = None,
+    backend: object = None,
 ) -> list[SweepPoint]:
     """A sweep whose measurements are the per-direction utilizations."""
     return sweep(make_config, values, utilization_extract,
                  jobs=jobs, cache=cache, on_point=on_point,
                  on_progress=on_progress, manifest=manifest,
-                 resilience=resilience, telemetry=telemetry)
+                 resilience=resilience, telemetry=telemetry,
+                 backend=backend)

@@ -1,0 +1,18 @@
+# repro-lint-module: repro.fx10pbad.extractors
+"""Positive RPR010 protocol fixture, definition side.
+
+Both shapes look importable from the shipping module: the lambda hides
+behind a module-level *assignment* and the closure behind a factory.
+A worker agent re-importing either reference gets ``<lambda>`` or a
+``<locals>`` qualname — nothing it can resolve.
+"""
+
+
+goodput = lambda result: result.throughput  # noqa: E731
+
+
+def make_probe():
+    def probe(result):
+        return {"delay": result.rtt}
+
+    return probe

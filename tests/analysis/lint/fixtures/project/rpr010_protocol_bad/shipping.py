@@ -1,0 +1,15 @@
+# repro-lint-module: repro.fx10pbad.shipping
+"""Positive RPR010 protocol fixture, call side.
+
+``extract_reference`` is the worker-agent protocol boundary: it ships a
+module+qualname reference, re-imported on a (possibly remote) agent.
+Seeing through `goodput` and `make_probe()` requires the project's
+import graph — exactly what `repro lint --project` adds over RPR005.
+"""
+
+from repro.fx10pbad.extractors import goodput, make_probe
+
+
+def ship(extract_reference):
+    extract_reference(goodput)  # RPR010: imported module-level lambda
+    return extract_reference(make_probe())  # RPR010: closure factory

@@ -1,0 +1,10 @@
+# repro-lint-module: repro.fx10pgood.extractors
+"""Negative RPR010 protocol fixture, definition side: importable extractors."""
+
+
+def goodput(result):
+    return result.throughput
+
+
+def delay_probe(result):
+    return {"delay": result.rtt}

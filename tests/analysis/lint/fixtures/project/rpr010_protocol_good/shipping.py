@@ -1,0 +1,13 @@
+# repro-lint-module: repro.fx10pgood.shipping
+"""Negative RPR010 protocol fixture, call side: references that re-import.
+
+Module-level ``def``s are the only callables the worker-agent protocol
+accepts — they re-import by module+qualname on any agent.
+"""
+
+from repro.fx10pgood.extractors import delay_probe, goodput
+
+
+def ship(extract_reference):
+    extract_reference(goodput)
+    return extract_reference(delay_probe)

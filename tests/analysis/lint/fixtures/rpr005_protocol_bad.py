@@ -1,0 +1,16 @@
+# repro-lint-module: repro.scenarios.demo
+"""Positive fixture: closures shipped over the worker-agent protocol (RPR005).
+
+``extract_reference`` is the protocol boundary the ``worker`` backend
+ships every lease across: the callable travels as a module+qualname
+reference and is re-imported on the agent, so a lambda or nested
+definition fails remotely — as a lease error — instead of locally.
+"""
+
+
+def ship(extract_reference, scale):
+    def local_extract(result):
+        return {"u": result.utilization * scale}
+
+    extract_reference(lambda result: {"u": result.utilization})
+    return extract_reference(local_extract)

@@ -1,0 +1,11 @@
+# repro-lint-module: repro.scenarios.demo
+"""Negative fixture: module-level extractors cross the worker protocol."""
+
+
+def utilization_extract(result):
+    return {"u": result.utilization}
+
+
+def ship(extract_reference):
+    # A module-level function has an importable identity on any agent.
+    return extract_reference(utilization_extract)

@@ -131,6 +131,8 @@ class TestFixturePackages:
         ("rpr009_good", []),
         ("rpr010_bad", ["RPR010", "RPR010"]),
         ("rpr010_good", []),
+        ("rpr010_protocol_bad", ["RPR010", "RPR010"]),
+        ("rpr010_protocol_good", []),
         ("rpr011_bad", ["RPR011", "RPR011", "RPR011", "RPR011"]),
         ("rpr011_good", []),
     ])

@@ -1,0 +1,63 @@
+"""The execution-backend registry and the runner's backend resolution."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel.backends import (
+    LocalBackend,
+    SweepBackend,
+    WorkerBackend,
+    backend_names,
+    create_backend,
+    register_backend,
+    resolve_backend,
+)
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert backend_names() == ["local", "worker"]
+
+    def test_create_backend_by_name(self):
+        assert isinstance(create_backend("local"), LocalBackend)
+        assert isinstance(create_backend("worker"), WorkerBackend)
+
+    def test_create_unknown_name_lists_known(self):
+        with pytest.raises(ConfigurationError, match="local, worker"):
+            create_backend("cloud")
+
+    def test_reregistering_same_class_is_idempotent(self):
+        register_backend("local", LocalBackend)  # no error
+
+    def test_name_collision_refused(self):
+        class Impostor(SweepBackend):
+            name = "local"
+
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_backend("local", Impostor)
+
+    def test_bad_name_refused(self):
+        with pytest.raises(ConfigurationError):
+            register_backend("", LocalBackend)
+
+
+class TestResolve:
+    def test_none_is_local(self):
+        assert isinstance(resolve_backend(None), LocalBackend)
+
+    def test_string_resolves_through_registry(self):
+        assert isinstance(resolve_backend("worker"), WorkerBackend)
+
+    def test_instance_passes_through(self):
+        backend = WorkerBackend(workers=1)
+        assert resolve_backend(backend) is backend
+
+    def test_garbage_refused(self):
+        with pytest.raises(ConfigurationError, match="backend must be"):
+            resolve_backend(3.14)
+
+
+class TestAbstractBase:
+    def test_execute_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            SweepBackend().execute(None)

@@ -82,6 +82,46 @@ class TestScheduling:
         assert parse_faults("kill@1")
 
 
+class TestRemoteKinds:
+    def test_hyphenated_kinds_parse(self):
+        plan = parse_faults("worker-kill@2;lease-expire@5*2;cache-unreachable@1")
+        kinds = [clause.kind for clause in plan.clauses]
+        assert kinds == ["worker-kill", "lease-expire", "cache-unreachable"]
+
+    def test_agent_faults_ship_worker_kill_with_in_worker_kinds(self):
+        plan = parse_faults("kill@1;worker-kill@1;lease-expire@1;corrupt@1")
+        kinds = [clause.kind for clause in plan.agent_faults(1, 1)]
+        # lease-expire runs at the coordinator and corrupt in the parent;
+        # neither crosses the wire.
+        assert kinds == ["kill", "worker-kill"]
+
+    def test_lease_expires_is_occurrence_counted(self):
+        plan = parse_faults("lease-expire@3*2")
+        assert plan.lease_expires(3, 1)
+        assert plan.lease_expires(3, 2)
+        assert not plan.lease_expires(3, 3)   # budget spent: no infinite loop
+        assert not plan.lease_expires(4, 1)
+
+    def test_cache_unreachable_targets_one_point(self):
+        plan = parse_faults("cache-unreachable@2")
+        assert plan.cache_unreachable(2)
+        assert not plan.cache_unreachable(0)
+
+    def test_clause_dict_round_trip(self):
+        clause = parse_faults("worker-kill@7*3").clauses[0]
+        assert FaultClause.from_dict(clause.to_dict()) == clause
+
+    @pytest.mark.parametrize("raw", [
+        {"kind": "explode", "point": 1},
+        {"kind": "kill", "point": "one"},
+        {"kind": "kill", "point": 1, "count": 0},
+        {"kind": "kill", "point": 1, "value": "fast"},
+    ])
+    def test_damaged_shipped_clause_rejected(self, raw):
+        with pytest.raises(ValueError):
+            FaultClause.from_dict(raw)
+
+
 class TestActivePlan:
     def test_unset_env_is_empty_plan(self, monkeypatch):
         monkeypatch.delenv(FAULTS_ENV, raising=False)

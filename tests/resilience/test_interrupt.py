@@ -1,0 +1,108 @@
+"""Ctrl-C on a supervised sweep must terminate and reap every attempt.
+
+The regression this guards: a KeyboardInterrupt arriving while the
+supervised executor has attempt processes in flight must not leave
+orphans behind — the supervisor's cleanup runs on *any* exit from its
+loop, interrupt included.  The drill runs a real sweep in a fresh
+session (so its attempt processes are identifiable by session id),
+hangs every point, interrupts the coordinator only, and asserts the
+whole session empties out.
+"""
+
+import os
+import queue
+import signal
+import subprocess
+import sys
+import textwrap
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+
+SCRIPT = textwrap.dedent("""\
+    from repro.parallel import ParallelSweepRunner
+    from repro.resilience import ResilienceConfig
+    from repro.scenarios import families
+
+
+    def report(progress):
+        if progress.phase == "start":
+            print("START", flush=True)
+
+
+    if __name__ == "__main__":
+        configs = [families.conjecture_config(case, duration=5.0, warmup=2.0)
+                   for case in families.CONJECTURE_CASES[:3]]
+        runner = ParallelSweepRunner(jobs=2,
+                                     resilience=ResilienceConfig(retries=0))
+        runner.run_configs(configs, families.utilization_extract,
+                           on_progress=report)
+        print("DONE", flush=True)
+""")
+
+
+def _session_members(sid: int) -> list[int]:
+    """Live PIDs whose session id is ``sid`` (orphans keep it)."""
+    members = []
+    for entry in Path("/proc").iterdir():
+        if not entry.name.isdigit():
+            continue
+        try:
+            stat = (entry / "stat").read_text()
+        except OSError:
+            continue  # raced with exit
+        fields = stat.rsplit(")", 1)[1].split()
+        if int(fields[3]) == sid:
+            members.append(int(entry.name))
+    return members
+
+
+@pytest.mark.skipif(sys.platform == "win32", reason="POSIX signals")
+def test_keyboard_interrupt_reaps_all_attempt_processes(tmp_path):
+    script = tmp_path / "hung_sweep.py"
+    script.write_text(SCRIPT)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(repro.__file__).resolve().parents[1])
+    # Every attempt of every point hangs far past the test's patience.
+    env["REPRO_FAULTS"] = "hang@0:600*9;hang@1:600*9;hang@2:600*9"
+
+    child = subprocess.Popen(
+        [sys.executable, str(script)], stdout=subprocess.PIPE, text=True,
+        env=env, start_new_session=True)
+    lines: queue.Queue = queue.Queue()
+    threading.Thread(target=lambda: [lines.put(line) for line in child.stdout],
+                     daemon=True).start()
+    try:
+        # Wait until both workers hold an in-flight attempt.
+        started = 0
+        deadline = time.monotonic() + 60.0
+        while started < 2 and time.monotonic() < deadline:
+            try:
+                if lines.get(timeout=1.0).strip() == "START":
+                    started += 1
+            except queue.Empty:
+                continue
+        assert started >= 2, "sweep never launched its attempt processes"
+
+        # Interrupt the coordinator only — the attempts must be cleaned
+        # up by the supervisor, not by the signal reaching them.
+        os.kill(child.pid, signal.SIGINT)
+        assert child.wait(timeout=30.0) != 0
+
+        # The coordinator is gone; nothing from its session may survive.
+        deadline = time.monotonic() + 10.0
+        while _session_members(child.pid) and time.monotonic() < deadline:
+            time.sleep(0.2)
+        leftovers = _session_members(child.pid)
+        assert leftovers == [], f"orphaned attempt processes: {leftovers}"
+    finally:
+        try:
+            os.killpg(child.pid, signal.SIGKILL)
+        except (OSError, ProcessLookupError):
+            pass
+        child.stdout.close()
+        child.wait()
