@@ -15,7 +15,7 @@ parallel under ``REPRO_JOBS=2`` and warm re-runs hit the result cache.
 """
 
 from repro.scenarios import families, paper, sweep
-from repro.scenarios.config import FlowSpec, ScenarioConfig
+from repro.scenarios.config import FlowSpec, QueueSpec, ScenarioConfig
 from repro.tcp import TcpOptions
 
 from benchmarks.conftest import SWEEP_CACHE, SWEEP_JOBS, run_once
@@ -110,7 +110,7 @@ def test_ablation_random_drop_gateway(benchmark, record):
         benchmark,
         paper.figure4(duration=DURATION, warmup=WARMUP),
         paper.figure4(duration=DURATION, warmup=WARMUP)
-            .with_updates(random_drop=True),
+            .with_updates(queue=QueueSpec("randomdrop")),
         families.epoch_pattern_extract)
     record(droptail_single_loser_fraction=round(
                drop_tail["single_loser_fraction"], 2),

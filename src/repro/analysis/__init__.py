@@ -52,6 +52,13 @@ from repro.analysis.oscillation import (
     rapid_fluctuation_amplitude,
 )
 from repro.analysis.stats import BatchStats, batch_means, utilization_batches
+from repro.analysis.sync import (
+    EnsembleMode,
+    EnsembleVerdict,
+    classify_ensemble,
+    drop_coincidence,
+    mean_pairwise_correlation,
+)
 from repro.analysis.synchronization import (
     SyncMode,
     SyncVerdict,
@@ -72,6 +79,11 @@ __all__ = [
     "phase_correlation",
     "loss_synchronization",
     "alternation_fraction",
+    "EnsembleMode",
+    "EnsembleVerdict",
+    "classify_ensemble",
+    "drop_coincidence",
+    "mean_pairwise_correlation",
     "ClusterRun",
     "ClusteringStats",
     "cluster_runs",

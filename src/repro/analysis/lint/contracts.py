@@ -30,8 +30,10 @@ register_descriptive(
     "RPR011",
     "registry-contract-violation",
     "Every `register_algorithm` factory class must satisfy the "
-    "CongestionControl protocol: required methods with compatible arity, "
-    "`__slots__` declared, no writes to the transport's private state.",
+    "CongestionControl protocol (required methods with compatible arity, "
+    "`__slots__` declared, no writes to the transport's private state), "
+    "and every `register_discipline` queue class the DropTailQueue "
+    "interface (`offer`/`take` arity, `__slots__` on the subclass chain).",
     """\
 The algorithm registry is an open extension point: `register_algorithm`
 takes any zero-argument-compatible factory, and nothing checks the
@@ -52,7 +54,18 @@ engine's perf invariant — instances are created per flow per sweep
 point); (d) assignments to underscore-prefixed attributes of the
 transport parameter.  Factories that are functions or that resolve
 outside the project are skipped — the registry's runtime validation
-remains the backstop for those.""",
+remains the backstop for those.
+
+`register_discipline(name, queue_class)` sites get the queue-side
+variant of the same checks: the class must reach `DropTailQueue` on its
+base chain (the registry's subclass requirement, verified statically),
+its `offer`/`take` overrides must accept the engine's call shape
+(`offer(self, now, packet)` / `take(self, now)`), and every class on
+the chain must declare `__slots__` — the base queue does, so one
+`__slots__`-less subclass re-grows a per-instance `__dict__` on the
+simulator's hottest object.  The private-writes check is skipped for
+disciplines: `offer`'s parameters are the clock and the packet being
+queued, not a transport whose bookkeeping could be corrupted.""",
 )
 
 #: The protocol's call shapes: method name -> positional arity including
@@ -66,7 +79,15 @@ _PROTOCOL_ARITY = {
     "on_loss": 3,
 }
 
+#: The queue-discipline call shapes: ``offer(self, now, packet)`` and
+#: ``take(self, now)`` (mirrors repro.net.queues.DropTailQueue).
+_DISCIPLINE_ARITY = {
+    "offer": 3,
+    "take": 2,
+}
+
 _BASE_PROTOCOL = "repro.tcp.congestion.base.CongestionControl"
+_BASE_DISCIPLINE = "repro.net.queues.DropTailQueue"
 _MAX_CHAIN = 20
 
 
@@ -86,9 +107,18 @@ def _resolve_class(
 
 
 def _class_chain(
-    project: "ProjectModel", start: tuple["ModuleFacts", "ClassFacts"]
+    project: "ProjectModel",
+    start: tuple["ModuleFacts", "ClassFacts"],
+    anchor: str = _BASE_PROTOCOL,
+    protocol_suffix: bool = True,
 ) -> tuple[list[tuple["ModuleFacts", "ClassFacts"]], bool]:
-    """BFS over base classes: (project-resolvable ancestors, reached protocol)."""
+    """BFS over base classes: (project-resolvable ancestors, reached anchor).
+
+    ``anchor`` is the fully-qualified base that terminates the walk;
+    ``protocol_suffix`` additionally accepts any base named ``*Protocol``
+    (structural typing on the algorithm side — disciplines require the
+    concrete queue base).
+    """
     chain: list[tuple["ModuleFacts", "ClassFacts"]] = []
     reached = False
     seen: set[str] = set()
@@ -99,13 +129,14 @@ def _class_chain(
         if key in seen:
             continue
         seen.add(key)
-        if project.canonical(key) == _BASE_PROTOCOL or key == _BASE_PROTOCOL:
+        if project.canonical(key) == anchor or key == anchor:
             reached = True
             continue
         chain.append((owner, facts))
         for base in facts.bases:
             canonical = project.canonical(base) or base
-            if canonical == _BASE_PROTOCOL or canonical.endswith("Protocol"):
+            if canonical == anchor or (protocol_suffix
+                                       and canonical.endswith("Protocol")):
                 reached = True
                 continue
             resolved = _resolve_class(project, base)
@@ -147,6 +178,9 @@ def _check_site(
     site: "RegisterSite",
     emit: "_Emit",
 ) -> None:
+    if site.entry == "register_discipline":
+        _check_discipline_site(project, module, site, emit)
+        return
     start = _resolve_class(project, site.factory_target)
     if start is None:
         return  # function factory or external class: runtime backstop
@@ -195,3 +229,48 @@ def _check_site(
                  f"`{write.attr}`; strategies must keep their own state in "
                  "`__slots__` and drive the transport through its public "
                  "surface only")
+
+
+def _check_discipline_site(
+    project: "ProjectModel",
+    module: "ModuleFacts",
+    site: "RegisterSite",
+    emit: "_Emit",
+) -> None:
+    """The queue-discipline variant of RPR011 (see the rule rationale)."""
+    start = _resolve_class(project, site.factory_target)
+    if start is None:
+        return  # external class: the registry's runtime check is the backstop
+    chain, reached = _class_chain(project, start, anchor=_BASE_DISCIPLINE,
+                                  protocol_suffix=False)
+    if not chain:
+        return  # registering the base queue itself
+    registered = f"'{site.algorithm}'" if site.algorithm else "a discipline"
+    where = f"{module.path}:{site.line}"
+    leaf_owner, leaf = chain[0]
+
+    if not reached:
+        emit(leaf_owner.path, leaf.line, leaf.col,
+             f"`{leaf.name}` is registered as {registered} ({where}) but "
+             f"does not inherit from DropTailQueue; register_discipline "
+             f"rejects it at import time — every queue discipline must "
+             f"extend the base queue's conservation accounting")
+
+    for owner, facts in chain:
+        if not facts.has_slots:
+            emit(owner.path, facts.line, facts.col,
+                 f"queue class `{facts.name}` (registered as {registered} at "
+                 f"{where}) does not declare `__slots__`; every class on a "
+                 "registered discipline's chain must, or bottleneck queue "
+                 "instances grow a __dict__ on the simulator's hottest path")
+        for name, expected in _DISCIPLINE_ARITY.items():
+            sig = facts.methods.get(name)
+            if sig is None or sig.is_static or sig.is_classmethod:
+                continue
+            if not _arity_compatible(sig.positional, sig.defaults,
+                                     sig.has_vararg, expected):
+                emit(owner.path, sig.line, 0,
+                     f"`{facts.name}.{name}` (registered as {registered} at "
+                     f"{where}) takes {sig.positional} positional "
+                     f"parameter(s) but the OutputPort calls it with "
+                     f"{expected}")

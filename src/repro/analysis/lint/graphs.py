@@ -53,7 +53,9 @@ __all__ = [
 
 #: Bump when the fact layout changes; cache entries from another
 #: generation are discarded (they could not be deserialized anyway).
-FACTS_SCHEMA_VERSION = 1
+#: v2: RegisterSite gained `entry` (register_algorithm vs
+#: register_discipline).
+FACTS_SCHEMA_VERSION = 2
 
 _DISPLAY_LIMIT = 48
 
@@ -318,24 +320,29 @@ class SweepSite:
 
 @dataclass(frozen=True)
 class RegisterSite:
-    """One ``register_algorithm(name, factory)`` call (RPR011)."""
+    """One ``register_algorithm(name, factory)`` or
+    ``register_discipline(name, queue_class)`` call (RPR011)."""
 
     algorithm: str
-    """The literal algorithm name when given as a string constant."""
+    """The literal registered name when given as a string constant."""
     factory_target: str
     line: int
     col: int
+    entry: str = "register_algorithm"
+    """Which registry entrypoint the call went through."""
 
     def to_dict(self) -> dict[str, object]:
         return {"algorithm": self.algorithm,
                 "factory_target": self.factory_target,
-                "line": self.line, "col": self.col}
+                "line": self.line, "col": self.col,
+                "entry": self.entry}
 
     @classmethod
     def from_dict(cls, raw: dict[str, object]) -> "RegisterSite":
         return cls(algorithm=str(raw["algorithm"]),
                    factory_target=str(raw["factory_target"]),
-                   line=int(str(raw["line"])), col=int(str(raw["col"])))
+                   line=int(str(raw["line"])), col=int(str(raw["col"])),
+                   entry=str(raw.get("entry", "register_algorithm")))
 
 
 @dataclass
@@ -736,7 +743,7 @@ class _CallableAnalyzer:
             site = self._sweep_site(name, slot, arg)
             if site is not None:
                 self.sweep_sites.append(site)
-        if name == "register_algorithm":
+        if name in ("register_algorithm", "register_discipline"):
             algorithm = ""
             if node.args and isinstance(node.args[0], ast.Constant) \
                     and isinstance(node.args[0].value, str):
@@ -745,14 +752,15 @@ class _CallableAnalyzer:
             if len(node.args) > 1:
                 factory = node.args[1]
             for keyword in node.keywords:
-                if keyword.arg == "factory":
+                if keyword.arg in ("factory", "queue_class"):
                     factory = keyword.value
             if factory is not None:
                 target = self._entry_target(factory)
                 if target is not None and target[0] == "name":
                     self.register_sites.append(RegisterSite(
                         algorithm=algorithm, factory_target=target[1],
-                        line=node.lineno, col=node.col_offset))
+                        line=node.lineno, col=node.col_offset,
+                        entry=name))
 
     def _entry_target(self, arg: ast.expr) -> tuple[str, str] | None:
         """Classify an entry-point argument as ``(kind, dotted target)``."""

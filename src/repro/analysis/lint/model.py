@@ -49,7 +49,12 @@ __all__ = [
 #:     callables handed to `extract_reference` ship as module+qualname
 #:     references and re-import on remote agents, so lambdas, nested
 #:     definitions and closure-factory results are flagged there too.
-LINT_RULESET_VERSION = 7
+#: v8: RPR005 and RPR011 extended to the queue-discipline registry:
+#:     `register_discipline(name, queue_class)` arguments get the same
+#:     module-level requirement, and registered queue classes are checked
+#:     against the DropTailQueue interface (base chain, `offer`/`take`
+#:     arity, `__slots__` on every chain class).
+LINT_RULESET_VERSION = 8
 
 CheckFunction = Callable[["LintContext"], Iterator["Violation"]]
 

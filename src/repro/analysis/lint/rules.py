@@ -353,11 +353,13 @@ _PICKLED_KEYWORDS = {"make_config", "extract"}
 # module-level discipline is the same as pickling — but the failure is
 # remote (the agent's import error comes back as a lease error).
 _PROTOCOL_ENTRYPOINTS = {"extract_reference"}
-# Algorithm factories resolve by *name* in re-importing worker processes,
-# so they need the same module-level discipline as pickled callables.
-_REGISTRY_ENTRYPOINTS = {"register_algorithm"}
-_REGISTRY_POSITIONS = {"register_algorithm": (1,)}  # factory
-_REGISTRY_KEYWORDS = {"factory"}
+# Algorithm factories and queue-discipline classes resolve by *name* in
+# re-importing worker processes, so they need the same module-level
+# discipline as pickled callables.
+_REGISTRY_ENTRYPOINTS = {"register_algorithm", "register_discipline"}
+_REGISTRY_POSITIONS = {"register_algorithm": (1,),  # factory
+                       "register_discipline": (1,)}  # queue_class
+_REGISTRY_KEYWORDS = {"factory", "queue_class"}
 
 
 def _nested_definition_names(tree: ast.Module) -> set[str]:
@@ -396,13 +398,14 @@ module-level functions (see `repro.scenarios.families`); the progress
 callback `on_point` runs in the parent and is exempt.  `functools.partial`
 over a module-level function is fine and is not flagged.
 
-The same discipline applies to `register_algorithm(name, factory)`:
-only the *name* crosses the process boundary, and workers re-import
-modules to rebuild the registry.  A lambda, nested function, or class
-defined inside a function registered as a factory exists only in the
+The same discipline applies to `register_algorithm(name, factory)` and
+`register_discipline(name, queue_class)`: only the *name* crosses the
+process boundary, and workers re-import modules to rebuild both
+registries.  A lambda, nested function, or class defined inside a
+function registered as a factory or discipline exists only in the
 parent process — every worker resolving the name would fail (or
-silently diverge).  Register strategy classes defined at module
-scope.
+silently diverge).  Register strategy and queue classes defined at
+module scope.
 
 The distributed worker-agent protocol is stricter still: an extractor
 handed to `extract_reference()` (what the `worker` backend ships with

@@ -1,0 +1,184 @@
+"""Ensemble synchronization classification for N-flow populations.
+
+:mod:`repro.analysis.synchronization` classifies the relative phase of
+*two* signals — the paper's two-way-traffic question.  This module
+scales the question to populations: given the cwnd traces of N
+connections sharing a bottleneck, are they
+
+- **drop-synchronized** — losses are global events hitting (almost)
+  every connection in the same congestion epoch, the drop-tail
+  limit-cycle pathology studied by Malangadan/Raina/Ghosh (large
+  drop-tail buffers drive the whole ensemble into synchronized
+  oscillations);
+- **in-phase** — windows rise and fall together (positive mean pairwise
+  correlation) without every epoch being a global loss;
+- **out-of-phase** — connections take turns (negative mean pairwise
+  correlation; for N signals the mean pairwise correlation is bounded
+  below by ``-1/(N-1)``, so the threshold scales accordingly);
+- **desynchronized** — no coherent phase relationship (what RED aims
+  for: losses spread thinly and independently across the population).
+
+The two supporting statistics — the drop-coincidence fraction over
+congestion epochs and the mean pairwise Pearson correlation of the
+resampled cwnd traces — are exposed separately so sweeps can record the
+raw numbers next to the categorical verdict.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.analysis.epochs import CongestionEpoch
+from repro.analysis.synchronization import phase_correlation
+from repro.errors import AnalysisError
+from repro.metrics.timeseries import StepSeries
+
+__all__ = [
+    "EnsembleMode",
+    "EnsembleVerdict",
+    "classify_ensemble",
+    "drop_coincidence",
+    "mean_pairwise_correlation",
+]
+
+
+class EnsembleMode(enum.Enum):
+    """The collective phase behavior of an N-connection ensemble."""
+
+    DROP_SYNCHRONIZED = "drop-synchronized"
+    IN_PHASE = "in-phase"
+    OUT_OF_PHASE = "out-of-phase"
+    DESYNCHRONIZED = "desynchronized"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def code(self) -> int:
+        """A stable numeric code for sweep measurements (phase diagrams
+        store floats): 3 drop-synchronized, 2 in-phase, 1 out-of-phase,
+        0 desynchronized."""
+        return _MODE_CODES[self]
+
+
+_MODE_CODES = {
+    EnsembleMode.DROP_SYNCHRONIZED: 3,
+    EnsembleMode.IN_PHASE: 2,
+    EnsembleMode.OUT_OF_PHASE: 1,
+    EnsembleMode.DESYNCHRONIZED: 0,
+}
+
+
+@dataclass(frozen=True)
+class EnsembleVerdict:
+    """Classification result with its supporting statistics."""
+
+    mode: EnsembleMode
+    coincidence: float
+    """Fraction of congestion epochs in which a loss quorum of the
+    population lost packets (1.0 = every epoch is a global loss)."""
+    correlation: float
+    """Mean pairwise Pearson correlation of the cwnd traces."""
+    n_connections: int
+    n_epochs: int
+
+
+def drop_coincidence(
+    epochs: Iterable[CongestionEpoch],
+    n_connections: int,
+    *,
+    quorum: float = 0.5,
+) -> float:
+    """Fraction of epochs in which ``>= quorum * n_connections``
+    connections lost at least one packet.
+
+    ``quorum=1.0`` reproduces the strict two-connection
+    :func:`~repro.analysis.synchronization.loss_synchronization`
+    statistic; the default half-quorum is the usual "global
+    synchronization" criterion for larger populations (a few laggards
+    do not hide an ensemble-wide loss event).
+    """
+    if n_connections < 1:
+        raise AnalysisError(f"need >= 1 connection, got {n_connections}")
+    if not 0.0 < quorum <= 1.0:
+        raise AnalysisError(f"quorum must be in (0, 1], got {quorum}")
+    epochs = list(epochs)
+    if not epochs:
+        return 0.0
+    needed = quorum * n_connections
+    hits = sum(1 for epoch in epochs if len(epoch.connections) >= needed)
+    return hits / len(epochs)
+
+
+def mean_pairwise_correlation(
+    series: Sequence[StepSeries],
+    start: float,
+    end: float,
+    dt: float = 0.25,
+) -> float:
+    """Mean Pearson correlation over all pairs of cwnd traces.
+
+    Bounded below by ``-1/(N-1)`` for N series (perfectly staggered
+    signals), above by 1.0 (lock-step).  A single series has no pairs
+    and returns 0.0.
+    """
+    if not series:
+        raise AnalysisError("need at least one cwnd series")
+    if len(series) == 1:
+        return 0.0
+    pairs = list(itertools.combinations(range(len(series)), 2))
+    total = 0.0
+    for i, j in pairs:
+        total += phase_correlation(series[i], series[j], start, end, dt)
+    return total / len(pairs)
+
+
+def classify_ensemble(
+    series: Sequence[StepSeries],
+    epochs: Iterable[CongestionEpoch],
+    n_connections: int,
+    start: float,
+    end: float,
+    *,
+    dt: float = 0.25,
+    corr_threshold: float = 0.2,
+    coincidence_threshold: float = 0.6,
+    quorum: float = 0.5,
+    min_epochs: int = 3,
+) -> EnsembleVerdict:
+    """Classify an N-connection ensemble's collective phase behavior.
+
+    Drop-coincidence dominates: when most congestion epochs are global
+    loss events the ensemble is drop-synchronized whatever the window
+    correlations say (lock-step windows are a *consequence*).  Otherwise
+    the mean pairwise cwnd correlation decides between in-phase,
+    out-of-phase (threshold scaled by the ``-1/(N-1)`` attainable floor)
+    and desynchronized.
+
+    The coincidence fraction only gets a vote with at least
+    ``min_epochs`` congestion epochs: in continuous-loss regimes the
+    epoch clustering merges the whole window into one or two epochs and
+    a coincidence over them carries no evidence of *repeated* global
+    loss events.
+    """
+    epochs = list(epochs)
+    coincidence = drop_coincidence(epochs, n_connections, quorum=quorum)
+    correlation = mean_pairwise_correlation(series, start, end, dt)
+    if len(epochs) >= min_epochs and coincidence >= coincidence_threshold:
+        mode = EnsembleMode.DROP_SYNCHRONIZED
+    elif correlation >= corr_threshold:
+        mode = EnsembleMode.IN_PHASE
+    elif correlation <= -corr_threshold / max(1, n_connections - 1):
+        mode = EnsembleMode.OUT_OF_PHASE
+    else:
+        mode = EnsembleMode.DESYNCHRONIZED
+    return EnsembleVerdict(
+        mode=mode,
+        coincidence=coincidence,
+        correlation=correlation,
+        n_connections=n_connections,
+        n_epochs=len(epochs),
+    )

@@ -4,8 +4,11 @@
 
     repro list                      # registered experiments
     repro algorithms                # registered congestion-control algorithms
+    repro disciplines               # registered queue disciplines
     repro run fig4_5 [--fast]       # one experiment, print the report
     repro run conjecture --algorithm aimd --param a=1 --param b=0.5
+    repro run fig3 --queue red --queue-param max_p=0.05
+    repro sweep phase --jobs 4      # (N, buffer, RTT-spread) phase diagram
     repro report [--fast] [-o F]    # all experiments -> Markdown
     repro plot fig4 [--window A B]  # ASCII queue plots for a scenario
     repro figures [-o DIR]          # render every paper figure as text
@@ -92,19 +95,31 @@ def _add_algorithm_flags(parser: argparse.ArgumentParser) -> None:
                              "e.g. --param a=1 --param b=0.5")
 
 
+def _add_queue_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--queue", default=None, metavar="NAME",
+                        help="substitute this queue discipline onto the "
+                             "bottleneck (see `repro disciplines`)")
+    parser.add_argument("--queue-param", action="append", default=None,
+                        metavar="KEY=VALUE", dest="queue_params",
+                        help="queue-discipline parameter (repeatable), "
+                             "e.g. --queue-param max_p=0.05")
+
+
 def _parse_params(pairs: list[str] | None,
-                  algorithm: str | None) -> dict[str, object]:
-    """``--param`` KEY=VALUE strings as a factory keyword dict."""
+                  algorithm: str | None,
+                  flag: str = "--param",
+                  owner: str = "--algorithm") -> dict[str, object]:
+    """``KEY=VALUE`` flag strings as a factory keyword dict."""
     from repro.errors import ConfigurationError
 
     if pairs and algorithm is None:
-        raise ConfigurationError("--param requires --algorithm")
+        raise ConfigurationError(f"{flag} requires {owner}")
     params: dict[str, object] = {}
     for pair in pairs or ():
         key, sep, raw = pair.partition("=")
         if not sep or not key:
             raise ConfigurationError(
-                f"--param wants KEY=VALUE, got {pair!r}")
+                f"{flag} wants KEY=VALUE, got {pair!r}")
         value: object
         try:
             value = int(raw)
@@ -133,11 +148,15 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("algorithms",
                    help="list registered congestion-control algorithms")
 
+    sub.add_parser("disciplines",
+                   help="list registered queue disciplines")
+
     run_p = sub.add_parser("run", help="run one experiment")
     run_p.add_argument("experiment", help="experiment id (see `repro list`)")
     run_p.add_argument("--fast", action="store_true",
                        help="shorter simulations (smoke mode)")
     _add_algorithm_flags(run_p)
+    _add_queue_flags(run_p)
 
     rep_p = sub.add_parser("report", help="run all experiments, emit Markdown")
     rep_p.add_argument("--fast", action="store_true")
@@ -160,6 +179,7 @@ def build_parser() -> argparse.ArgumentParser:
     cfg_p.add_argument("--save-traces", default=None, metavar="FILE",
                        help="also persist the run's traces as JSON")
     _add_algorithm_flags(cfg_p)
+    _add_queue_flags(cfg_p)
 
     swp_p = sub.add_parser(
         "sweep",
@@ -167,8 +187,9 @@ def build_parser() -> argparse.ArgumentParser:
              "caching and fault-tolerant supervision",
         epilog=_SWEEP_EPILOG,
         formatter_class=argparse.RawDescriptionHelpFormatter)
-    swp_p.add_argument("family", choices=("buffer", "conjecture"),
+    swp_p.add_argument("family", choices=("buffer", "conjecture", "phase"),
                        help="which sweep family to run")
+    _add_queue_flags(swp_p)
     swp_p.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="worker processes (default: 1, serial)")
     swp_p.add_argument("--backend", default="local", metavar="NAME",
@@ -391,12 +412,30 @@ def _cmd_algorithms() -> int:
     return 0
 
 
+def _cmd_disciplines() -> int:
+    from repro.net.disciplines import create_queue, discipline_names
+
+    for name in discipline_names():
+        kind = type(create_queue(name, "probe", 16)).__name__
+        print(f"{name:12}  {kind}")
+    return 0
+
+
 def _cmd_run(exp_id: str, fast: bool, algorithm: str | None,
-             params: dict[str, object]) -> int:
+             params: dict[str, object], queue: str | None,
+             queue_params: dict[str, object]) -> int:
+    import contextlib
+
     from repro.experiments.registry import run_experiment
 
-    report = run_experiment(exp_id, fast=fast, algorithm=algorithm,
-                            params=params or None)
+    stack = contextlib.ExitStack()
+    if queue is not None:
+        from repro.scenarios.runner import queue_override
+
+        stack.enter_context(queue_override(queue, queue_params or None))
+    with stack:
+        report = run_experiment(exp_id, fast=fast, algorithm=algorithm,
+                                params=params or None)
     print(report.format())
     return 0 if report.passed else 1
 
@@ -531,19 +570,34 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             functools.partial(families.conjecture_config,
                               duration=60.0, warmup=40.0)
             if args.fast else families.conjecture_config)
+        extract = families.utilization_extract
+    elif args.family == "phase":
+        values = list(families.PHASE_CASES)
+        make_config = (
+            functools.partial(families.manyflow_config,
+                              duration=150.0, warmup=60.0)
+            if args.fast else families.manyflow_config)
+        extract = families.sync_extract
     else:
         values = list(families.BUFFER_SIZES)
         make_config = (
             functools.partial(families.buffer_config,
                               base_duration=80.0, base_warmup=30.0)
             if args.fast else families.buffer_config)
+        extract = families.utilization_extract
     params = _parse_params(args.params, args.algorithm)
+    queue_params = _parse_params(args.queue_params, args.queue,
+                                 flag="--queue-param", owner="--queue")
     if args.algorithm:
         # Still a module-level function under partial application, so
         # spawn workers can re-import it and the cache can fingerprint it.
         make_config = functools.partial(
             families.substituted_config, make_config=make_config,
             algorithm=args.algorithm, params=tuple(sorted(params.items())))
+    if args.queue:
+        make_config = functools.partial(
+            families.queued_config, make_config=make_config,
+            queue=args.queue, params=tuple(sorted(queue_params.items())))
 
     cache = None if args.no_cache else resolve_cache(args.cache_dir or True)
     # Always allow_partial at the library level: the CLI wants the
@@ -612,7 +666,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                                  resilience=policy, backend=backend)
     started = time.perf_counter()
     try:
-        points = runner.run(make_config, values, families.utilization_extract,
+        points = runner.run(make_config, values, extract,
                             on_point=on_point, on_progress=on_progress,
                             manifest_dir=args.manifest_dir,
                             telemetry=telemetry)
@@ -808,9 +862,15 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_list()
         if args.command == "algorithms":
             return _cmd_algorithms()
+        if args.command == "disciplines":
+            return _cmd_disciplines()
         if args.command == "run":
             return _cmd_run(args.experiment, args.fast, args.algorithm,
-                            _parse_params(args.params, args.algorithm))
+                            _parse_params(args.params, args.algorithm),
+                            args.queue,
+                            _parse_params(args.queue_params, args.queue,
+                                          flag="--queue-param",
+                                          owner="--queue"))
         if args.command == "report":
             return _cmd_report(args.fast, args.output)
         if args.command == "plot":
@@ -851,6 +911,13 @@ def main(argv: list[str] | None = None) -> int:
                 config = substitute_algorithm(
                     config, args.algorithm,
                     _parse_params(args.params, args.algorithm))
+            if args.queue:
+                from repro.scenarios import substitute_queue
+
+                config = substitute_queue(
+                    config, args.queue,
+                    _parse_params(args.queue_params, args.queue,
+                                  flag="--queue-param", owner="--queue"))
             result = run(config)
             print(result.summary())
             if args.save_traces:

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Callable, Mapping
 
 from repro.errors import ConfigurationError
-from repro.experiments import extensions, fixed_window, one_way, two_way
+from repro.experiments import extensions, fixed_window, one_way, population, two_way
 from repro.experiments.report import ExperimentReport
 
 __all__ = ["Experiment", "REGISTRY", "experiment_ids", "run_experiment", "run_all"]
@@ -134,6 +134,19 @@ def _experiments() -> list[Experiment]:
             "capacity", "Capacity formula C = B + 2P (Section 3.1)",
             full=lambda: one_way.capacity_check(),
             fast=lambda: one_way.capacity_check(duration=250.0, warmup=100.0),
+        ),
+        Experiment(
+            "droptail_sync",
+            "Drop-tail synchronization vs buffer size (N flows)",
+            full=lambda: population.droptail_sync(),
+            fast=lambda: population.droptail_sync(duration=150.0, warmup=60.0),
+        ),
+        Experiment(
+            "red_meanfield",
+            "RED ensemble mean vs mean-field prediction",
+            full=lambda: population.red_meanfield(),
+            fast=lambda: population.red_meanfield(duration=150.0, warmup=60.0,
+                                                  ns=(2, 4, 8)),
         ),
     ]
 

@@ -16,6 +16,7 @@ from collections import deque
 from typing import Callable
 
 from repro.engine.fanout import bind_fanout
+from repro.engine.rng import SimRandom
 from repro.engine.sanitize import SanitizerError, sanitize_enabled
 from repro.net.packet import Packet
 
@@ -37,6 +38,13 @@ class DropTailQueue:
     capacity:
         Maximum packets held (the packet in transmission is NOT counted —
         it has left the buffer).  ``None`` means unbounded.
+    rng:
+        Seeded random stream for disciplines whose overflow/marking rule
+        is randomized (Random Drop, RED).  Accepted — and ignored — by
+        pure drop-tail so every discipline registered with
+        :func:`~repro.net.disciplines.register_discipline` shares one
+        constructor shape ``cls(name, capacity, rng=..., strict=...,
+        **params)``.
     strict:
         Enable runtime sanitizer checks (packet conservation, strict
         FIFO service — see :mod:`repro.engine.sanitize`).  ``None``
@@ -45,12 +53,23 @@ class DropTailQueue:
         setting instead.
     """
 
-    def __init__(self, name: str, capacity: int | None, *,
+    __slots__ = (
+        "name", "capacity", "strict", "_rng", "_packets",
+        "_drops", "_enqueues", "_dequeues", "_evictions",
+        "_length_observers", "_drop_observers",
+        "_enqueue_observers", "_dequeue_observers",
+        "_length_fan", "_drop_fan", "_enqueue_fan", "_dequeue_fan",
+        "_arrival_counter", "_stamps",
+    )
+
+    def __init__(self, name: str, capacity: int | None,
+                 rng: SimRandom | None = None, *,
                  strict: bool | None = None) -> None:
         if capacity is not None and capacity < 1:
             raise ValueError(f"queue capacity must be >= 1 or None, got {capacity}")
         self.name = name
         self.capacity = capacity
+        self._rng = rng if rng is not None else SimRandom(0)
         self.strict = sanitize_enabled() if strict is None else bool(strict)
         self._packets: deque[Packet] = deque()
         self._drops = 0

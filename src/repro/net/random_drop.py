@@ -26,11 +26,12 @@ __all__ = ["RandomDropQueue"]
 class RandomDropQueue(DropTailQueue):
     """FIFO service with random-drop overflow."""
 
+    __slots__ = ()
+
     def __init__(self, name: str, capacity: int | None,
                  rng: SimRandom | None = None, *,
                  strict: bool | None = None) -> None:
-        super().__init__(name, capacity, strict=strict)
-        self._rng = rng or SimRandom(0)
+        super().__init__(name, capacity, rng, strict=strict)
 
     def offer(self, now: float, packet: Packet) -> bool:
         """Admit ``packet``; on overflow evict a random queued packet.

@@ -13,7 +13,7 @@ paper's configurations:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Mapping
 
 from repro.engine.simulator import Simulator
 from repro.errors import ConfigurationError
@@ -162,27 +162,54 @@ def build_dumbbell(
     host_processing_delay: float = HOST_PROCESSING_DELAY,
     access_buffer_packets: int | None = None,
     bottleneck_queue_factory: QueueFactory | None = None,
+    n_left: int = 1,
+    n_right: int = 1,
+    access_propagation_overrides: Mapping[str, float] | None = None,
 ) -> Network:
-    """The paper's Figure 1 topology.
+    """The paper's Figure 1 topology, generalized to N hosts per side.
 
-    ``host1 — sw1 ==bottleneck== sw2 — host2``.  The bottleneck buffers
-    (both directions) hold ``buffer_packets``; access-link buffers are
-    infinite by default (they never congest at 10 Mbps).
+    ``host1..host{n_left} — sw1 ==bottleneck== sw2 —
+    host{n_left+1}..host{n_left+n_right}``.  The defaults
+    (``n_left=n_right=1``) reproduce Figure 1 exactly: node registration
+    and link-creation order — which fixes the BFS routing tie-breaks —
+    are unchanged from the two-host builder.
+
+    The bottleneck buffers (both directions) hold ``buffer_packets``;
+    access-link buffers are infinite by default (they never congest at
+    10 Mbps).  ``access_propagation_overrides`` maps host names to
+    per-host access propagation delays, giving flows heterogeneous RTTs;
+    hosts not named keep ``access_propagation``.
     ``bottleneck_queue_factory`` optionally installs a non-drop-tail
     discipline on the two bottleneck queues.
     """
+    if n_left < 1 or n_right < 1:
+        raise ConfigurationError(
+            f"dumbbell needs >= 1 host per side, got n_left={n_left}, "
+            f"n_right={n_right}")
+    overrides = dict(access_propagation_overrides or {})
     net = Network(sim)
-    host1 = net.add_host("host1", processing_delay=host_processing_delay)
-    host2 = net.add_host("host2", processing_delay=host_processing_delay)
+    left = [net.add_host(f"host{i + 1}", processing_delay=host_processing_delay)
+            for i in range(n_left)]
+    right = [net.add_host(f"host{n_left + i + 1}",
+                          processing_delay=host_processing_delay)
+             for i in range(n_right)]
+    unknown = sorted(set(overrides) - {h.name for h in left + right})
+    if unknown:
+        raise ConfigurationError(
+            f"access_propagation_overrides name unknown hosts: {unknown}")
     sw1 = net.add_switch("sw1")
     sw2 = net.add_switch("sw2")
-    net.connect(host1, sw1, access_bandwidth, access_propagation,
-                access_buffer_packets, access_buffer_packets)
+    for host in left:
+        net.connect(host, sw1, access_bandwidth,
+                    overrides.get(host.name, access_propagation),
+                    access_buffer_packets, access_buffer_packets)
     net.connect(sw1, sw2, bottleneck_bandwidth, bottleneck_propagation,
                 buffer_packets, buffer_packets,
                 queue_factory=bottleneck_queue_factory)
-    net.connect(sw2, host2, access_bandwidth, access_propagation,
-                access_buffer_packets, access_buffer_packets)
+    for host in right:
+        net.connect(sw2, host, access_bandwidth,
+                    overrides.get(host.name, access_propagation),
+                    access_buffer_packets, access_buffer_packets)
     net.compute_routes()
     return net
 
@@ -196,24 +223,37 @@ def build_chain(
     access_bandwidth: float = ACCESS_BANDWIDTH,
     access_propagation: float = ACCESS_PROPAGATION,
     host_processing_delay: float = HOST_PROCESSING_DELAY,
+    access_buffer_packets: int | None = None,
     bottleneck_queue_factory: QueueFactory | None = None,
+    hosts_per_switch: int = 1,
 ) -> Network:
-    """A chain of ``n_switches`` switches, one host per switch.
+    """A chain of ``n_switches`` switches with hosts attached to each.
 
-    Nodes are named ``sw1..swN`` and ``host1..hostN``; all inter-switch
-    links share the bottleneck parameters, so multi-hop connections cross
-    several congestible queues — the Section 5 topology from [19].
+    Nodes are named ``sw1..swN`` and ``host1..host{N*hosts_per_switch}``
+    (switch ``i`` carries hosts ``host{(i-1)*m+1}..host{i*m}`` for
+    ``m = hosts_per_switch``); all inter-switch links share the
+    bottleneck parameters, so multi-hop connections cross several
+    congestible queues — the Section 5 topology from [19].
+
+    Access links buffer ``access_buffer_packets`` per direction
+    (``None`` — the default, and the historical hard-coded behavior —
+    means infinite).
     """
     if n_switches < 2:
         raise ConfigurationError(f"chain needs >= 2 switches, got {n_switches}")
+    if hosts_per_switch < 1:
+        raise ConfigurationError(
+            f"chain needs >= 1 host per switch, got {hosts_per_switch}")
     net = Network(sim)
     switches = [net.add_switch(f"sw{i + 1}") for i in range(n_switches)]
     hosts = [
         net.add_host(f"host{i + 1}", processing_delay=host_processing_delay)
-        for i in range(n_switches)
+        for i in range(n_switches * hosts_per_switch)
     ]
-    for switch, host in zip(switches, hosts):
-        net.connect(host, switch, access_bandwidth, access_propagation, None, None)
+    for index, host in enumerate(hosts):
+        switch = switches[index // hosts_per_switch]
+        net.connect(host, switch, access_bandwidth, access_propagation,
+                    access_buffer_packets, access_buffer_packets)
     for left, right in zip(switches, switches[1:]):
         net.connect(left, right, bottleneck_bandwidth, bottleneck_propagation,
                     buffer_packets, buffer_packets,

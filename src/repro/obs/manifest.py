@@ -53,7 +53,11 @@ __all__ = ["MANIFEST_SOURCES", "OBS_SCHEMA_VERSION", "RunManifest",
 #: added with the pluggable-backend architecture.  Determinism makes
 #: these debugging breadcrumbs, not identity: the same config computes
 #: the same measurements on every host.
-OBS_SCHEMA_VERSION = 5
+#: v6: the ``queue`` field recording the bottleneck discipline's registry
+#: name, added with the queue-discipline registry (the config hash
+#: changed canonical form at the same time; see ``CACHE_SCHEMA_VERSION``
+#: v3).
+OBS_SCHEMA_VERSION = 6
 
 #: Where a point's measurements came from.  ``live`` simulated now,
 #: ``cache`` replayed from the result cache, ``journal`` restored from a
@@ -93,6 +97,9 @@ class RunManifest:
     algorithms: tuple[str, ...] = ()
     """The distinct congestion-control registry names the scenario's
     flows use, sorted (``("fixed",)``, ``("reno", "tahoe")``, ...)."""
+    queue: str = "droptail"
+    """The bottleneck queue discipline's registry name (``droptail``,
+    ``randomdrop``, ``red``, ...)."""
     failure: dict[str, object] | None = None
     """The serialized :class:`~repro.resilience.report.PointFailure` for
     ``source == "failed"`` points; ``None`` everywhere else."""
@@ -164,6 +171,7 @@ def build_manifest(
         event_categories=categories,
         attempts=attempts,
         algorithms=config.algorithms,
+        queue=config.queue.name,
         failure=failure.to_dict() if failure is not None else None,
         backend=backend,
         worker=worker,

@@ -55,7 +55,13 @@ __all__ = [
 #: v2: flows serialize an open ``algorithm`` name + ``params`` object
 #: (pluggable congestion control) instead of the closed ``kind`` enum,
 #: changing the canonical JSON every key is derived from.
-CACHE_SCHEMA_VERSION = 2
+#: v3: the bottleneck discipline serializes as an open ``queue`` object
+#: (name + params against the queue-discipline registry) instead of the
+#: ``random_drop`` boolean, and configs gain the generalized-dumbbell
+#: fields (``n_left``/``n_right``, ``access_buffer_packets``, per-flow
+#: ``access_propagation``) — the discipline identity is now part of
+#: every key.
+CACHE_SCHEMA_VERSION = 3
 
 
 def default_cache_dir() -> Path:

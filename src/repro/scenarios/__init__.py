@@ -4,11 +4,18 @@ from repro.scenarios import families, paper
 from repro.scenarios.builder import BuiltScenario, build
 from repro.scenarios.config import (
     FlowSpec,
+    QueueSpec,
     ScenarioConfig,
     TopologyKind,
     substitute_algorithm,
+    substitute_queue,
 )
-from repro.scenarios.runner import ScenarioResult, algorithm_override, run
+from repro.scenarios.runner import (
+    ScenarioResult,
+    algorithm_override,
+    queue_override,
+    run,
+)
 from repro.scenarios.serialize import (
     config_from_dict,
     config_to_dict,
@@ -20,12 +27,15 @@ from repro.scenarios.sweeps import SweepPoint, sweep, utilization_sweep
 __all__ = [
     "ScenarioConfig",
     "FlowSpec",
+    "QueueSpec",
     "TopologyKind",
     "substitute_algorithm",
+    "substitute_queue",
     "BuiltScenario",
     "build",
     "run",
     "algorithm_override",
+    "queue_override",
     "ScenarioResult",
     "paper",
     "families",

@@ -35,16 +35,39 @@ class BuiltScenario:
 
 
 def _queue_factory(config: ScenarioConfig, sim: Simulator):
-    if not config.random_drop:
+    if config.queue.name == "droptail" and not config.queue.params:
+        # Plain drop-tail keeps queue_factory=None so OutputPort builds
+        # its own internal queue — the historical (and parity-pinned)
+        # fast path, byte-for-byte.
         return None
-    from repro.net.random_drop import RandomDropQueue
+    from repro.net.disciplines import create_queue
 
+    # One seeded stream shared by both bottleneck directions, forked off
+    # the scenario seed — the same derivation the legacy random_drop
+    # flag used, so those runs stay bit-identical.
     rng = SimRandom(config.seed).fork(0xD0D0)
+    spec = config.queue
 
-    def factory(name: str, capacity: int | None) -> RandomDropQueue:
-        return RandomDropQueue(name, capacity, rng=rng, strict=sim.strict)
+    def factory(name: str, capacity: int | None):
+        return create_queue(spec.name, name, capacity, spec.params,
+                            rng=rng, strict=sim.strict)
 
     return factory
+
+
+def _access_overrides(config: ScenarioConfig) -> dict[str, float]:
+    """Per-host access propagation from the flows' RTT overrides."""
+    overrides: dict[str, float] = {}
+    for flow in config.flows:
+        if flow.access_propagation is None:
+            continue
+        existing = overrides.get(flow.src)
+        if existing is not None and existing != flow.access_propagation:
+            raise ConfigurationError(
+                f"flows from {flow.src!r} disagree on access_propagation: "
+                f"{existing} vs {flow.access_propagation}")
+        overrides[flow.src] = flow.access_propagation
+    return overrides
 
 
 def _build_network(config: ScenarioConfig, sim: Simulator) -> tuple[Network, list[str]]:
@@ -57,10 +80,18 @@ def _build_network(config: ScenarioConfig, sim: Simulator) -> tuple[Network, lis
             access_bandwidth=config.access_bandwidth,
             access_propagation=config.access_propagation,
             host_processing_delay=config.host_processing_delay,
+            access_buffer_packets=config.access_buffer_packets,
             bottleneck_queue_factory=_queue_factory(config, sim),
+            n_left=config.n_left,
+            n_right=config.n_right,
+            access_propagation_overrides=_access_overrides(config),
         )
         return net, ["sw1->sw2", "sw2->sw1"]
     if config.topology is TopologyKind.CHAIN:
+        if _access_overrides(config):
+            raise ConfigurationError(
+                "per-flow access_propagation overrides are only supported "
+                "on dumbbell topologies")
         net = build_chain(
             sim,
             n_switches=config.n_switches,
@@ -70,6 +101,7 @@ def _build_network(config: ScenarioConfig, sim: Simulator) -> tuple[Network, lis
             access_bandwidth=config.access_bandwidth,
             access_propagation=config.access_propagation,
             host_processing_delay=config.host_processing_delay,
+            access_buffer_packets=config.access_buffer_packets,
             bottleneck_queue_factory=_queue_factory(config, sim),
         )
         ports = []

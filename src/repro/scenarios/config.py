@@ -21,6 +21,7 @@ from collections.abc import Mapping
 from dataclasses import dataclass, field, replace
 
 from repro.errors import ConfigurationError
+from repro.net.disciplines import validate_params as validate_queue_params
 from repro.tcp.congestion.registry import create_control
 from repro.tcp.options import TcpOptions
 from repro.units import (
@@ -31,7 +32,8 @@ from repro.units import (
     pipe_size,
 )
 
-__all__ = ["FlowSpec", "TopologyKind", "ScenarioConfig", "substitute_algorithm"]
+__all__ = ["FlowSpec", "QueueSpec", "TopologyKind", "ScenarioConfig",
+           "substitute_algorithm", "substitute_queue"]
 
 #: Algorithm parameters as passed by callers: a mapping, or the
 #: normalized sorted tuple-of-pairs form the frozen dataclass stores.
@@ -43,6 +45,29 @@ class TopologyKind(enum.Enum):
 
     DUMBBELL = "dumbbell"
     CHAIN = "chain"
+
+
+@dataclass(frozen=True)
+class QueueSpec:
+    """The bottleneck queue discipline, by registry name plus parameters.
+
+    ``name`` is a queue-discipline registry string (see
+    :func:`repro.net.register_discipline`); ``params`` are keyword
+    arguments for the queue class, normalized to a sorted tuple of
+    pairs exactly like :class:`FlowSpec` algorithm params.  Validation
+    is eager — an unknown discipline or out-of-range parameter fails at
+    config construction, not mid-sweep in a worker process.
+    """
+
+    name: str = "droptail"
+    params: FlowParams = ()
+
+    def __post_init__(self) -> None:
+        normalized = FlowSpec._normalize_params(self.params)
+        object.__setattr__(self, "params", normalized)
+        # Eagerly build (and discard) a probe queue so a bad discipline
+        # name or parameter set fails at config time, not mid-build.
+        validate_queue_params(self.name, normalized)
 
 
 @dataclass(frozen=True)
@@ -65,12 +90,20 @@ class FlowSpec:
     params: FlowParams = ()
     window: int | None = None  # required for window-keyed algorithms ("fixed")
     start_time: float | None = 0.0
+    access_propagation: float | None = None
+    """Override the source host's access-link propagation delay for a
+    longer/shorter RTT than the scenario default (heterogeneous-RTT
+    populations).  Flows sharing a source host must agree on the value."""
 
     def __post_init__(self) -> None:
         if self.src == self.dst:
             raise ConfigurationError("flow endpoints must differ")
         if self.start_time is not None and self.start_time < 0:
             raise ConfigurationError("start time cannot be negative")
+        if self.access_propagation is not None and self.access_propagation <= 0:
+            raise ConfigurationError(
+                f"access propagation override must be positive, "
+                f"got {self.access_propagation}")
         normalized = self._normalize_params(self.params)
         object.__setattr__(self, "params", normalized)
         if self.window is not None and "window" in dict(normalized):
@@ -113,9 +146,12 @@ class ScenarioConfig:
     description: str = ""
     topology: TopologyKind = TopologyKind.DUMBBELL
     n_switches: int = 2  # chain topologies only
+    n_left: int = 1  # dumbbell topologies only: hosts left of the bottleneck
+    n_right: int = 1  # dumbbell topologies only: hosts right of the bottleneck
     bottleneck_bandwidth: float = BOTTLENECK_BANDWIDTH
     bottleneck_propagation: float = 0.01
     buffer_packets: int | None = 20  # None = infinite
+    access_buffer_packets: int | None = None  # None = infinite
     access_bandwidth: float = ACCESS_BANDWIDTH
     access_propagation: float = ACCESS_PROPAGATION
     host_processing_delay: float = HOST_PROCESSING_DELAY
@@ -124,9 +160,11 @@ class ScenarioConfig:
     warmup: float = 200.0
     seed: int = 1
     start_jitter: float = 1.0
-    random_drop: bool = False
-    """Use Random Drop instead of drop-tail on the bottleneck queues
-    (the alternative gateway discipline of references [4,5,10,18])."""
+    queue: QueueSpec = field(default_factory=QueueSpec)
+    """The bottleneck queue discipline: ``droptail`` (the paper's
+    gateways), ``randomdrop`` (the alternative of references
+    [4,5,10,18]), ``red``, or any registered discipline — with its
+    parameters."""
 
     def __post_init__(self) -> None:
         if not self.flows:
@@ -137,8 +175,13 @@ class ScenarioConfig:
             raise ConfigurationError("need 0 <= warmup < duration")
         if self.topology is TopologyKind.CHAIN and self.n_switches < 2:
             raise ConfigurationError("chain topology needs >= 2 switches")
+        if self.n_left < 1 or self.n_right < 1:
+            raise ConfigurationError("dumbbell needs >= 1 host per side")
         if self.start_jitter < 0:
             raise ConfigurationError("start jitter cannot be negative")
+        if not isinstance(self.queue, QueueSpec):
+            raise ConfigurationError(
+                f"queue must be a QueueSpec, got {self.queue!r}")
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -217,3 +260,20 @@ def substitute_algorithm(
         for flow in config.flows
     )
     return replace(config, flows=flows, name=name or f"{config.name}+{algorithm}")
+
+
+def substitute_queue(
+    config: ScenarioConfig,
+    queue: str,
+    params: FlowParams | None = None,
+    name: str | None = None,
+) -> ScenarioConfig:
+    """``config`` with the bottleneck discipline switched to ``queue``.
+
+    The queue-side twin of :func:`substitute_algorithm`: a pure
+    transform for counterfactual runs ("the same scenario through RED").
+    The scenario is renamed (``<name>+<queue>`` by default) so caches
+    and manifests cannot confuse the substituted run with the original.
+    """
+    spec = QueueSpec(name=queue, params=() if params is None else params)
+    return replace(config, queue=spec, name=name or f"{config.name}+{queue}")

@@ -11,20 +11,28 @@ picklable too and is the supported way to fix durations or seeds.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Iterable, Sequence
 
+from repro.analysis.sync import classify_ensemble
 from repro.scenarios import paper
 from repro.scenarios.config import (
     FlowParams,
+    FlowSpec,
     ScenarioConfig,
     substitute_algorithm,
+    substitute_queue,
 )
 from repro.scenarios.runner import ScenarioResult
-from repro.units import LARGE_PIPE_PROPAGATION, SMALL_PIPE_PROPAGATION
+from repro.units import (
+    ACCESS_PROPAGATION,
+    LARGE_PIPE_PROPAGATION,
+    SMALL_PIPE_PROPAGATION,
+)
 
 __all__ = [
     "CONJECTURE_CASES",
     "BUFFER_SIZES",
+    "PHASE_CASES",
     "aimd_conjecture_config",
     "buffer_config",
     "buffer_duration",
@@ -32,12 +40,17 @@ __all__ = [
     "fixed_window_config",
     "one_way_buffer_config",
     "identity_config",
+    "manyflow_config",
+    "onoff_manyflow_config",
+    "phase_grid",
+    "queued_config",
     "substituted_config",
     "utilization_extract",
     "timeouts_extract",
     "lockstep_extract",
     "compression_extract",
     "epoch_pattern_extract",
+    "sync_extract",
 ]
 
 #: The Section 4.3.3 zero-ACK conjecture grid: (W1, W2, tau) with W1 >= W2.
@@ -66,6 +79,20 @@ CONJECTURE_CASES: tuple[tuple[int, int, float], ...] = (
 
 #: The Section 4.3.1 buffer grid showing flat two-way utilization.
 BUFFER_SIZES: tuple[int, ...] = (20, 60, 120)
+
+
+def phase_grid(
+    ns: Iterable[int] = (2, 4, 8, 16, 32),
+    buffers: Iterable[int] = (10, 40),
+    spreads: Iterable[float] = (0.0, 1.0),
+) -> tuple[tuple[int, int, float], ...]:
+    """The ``(N, buffer, rtt_spread)`` phase-diagram grid, row-major."""
+    return tuple((n, b, s) for n in ns for b in buffers for s in spreads)
+
+
+#: The default population phase-diagram grid: N from 2 to 32 crossed
+#: with small/large bottleneck buffers and homogeneous/spread RTTs.
+PHASE_CASES: tuple[tuple[int, int, float], ...] = phase_grid()
 
 
 # ----------------------------------------------------------------------
@@ -125,6 +152,92 @@ def identity_config(config: ScenarioConfig) -> ScenarioConfig:
     return config
 
 
+def _manyflow_flows(
+    n: int,
+    rtt_spread: float,
+    stagger: float,
+    start_times: Sequence[float] | None = None,
+) -> tuple[FlowSpec, ...]:
+    """N left-to-right flows with staggered starts and an RTT spread.
+
+    Flow ``i`` (1-based) runs ``host{i} -> host{n+i}`` on an ``n × n``
+    dumbbell.  ``rtt_spread`` stretches the source access propagation
+    linearly across the population — flow ``n`` sees
+    ``(1 + rtt_spread)×`` the base access delay — so ``0.0`` keeps the
+    homogeneous-RTT ensemble and ``1.0`` doubles the slowest flow's
+    access leg.
+    """
+    flows = []
+    for i in range(n):
+        if rtt_spread > 0.0 and n > 1:
+            factor = 1.0 + rtt_spread * i / (n - 1)
+            access = ACCESS_PROPAGATION * factor
+        else:
+            access = None
+        start = start_times[i] if start_times is not None else i * stagger
+        flows.append(FlowSpec(
+            src=f"host{i + 1}",
+            dst=f"host{n + i + 1}",
+            start_time=start,
+            access_propagation=access,
+        ))
+    return tuple(flows)
+
+
+def manyflow_config(case: tuple[int, int, float],
+                    duration: float = 300.0,
+                    warmup: float = 120.0,
+                    stagger: float = 0.5) -> ScenarioConfig:
+    """An N-flow dumbbell population for one ``(n, buffer, rtt_spread)``
+    case — the phase-diagram family.
+
+    N Tahoe flows cross the same bottleneck left-to-right, starts
+    staggered ``stagger`` seconds apart (deterministic, not jittered —
+    sweep points must be pure functions of the case tuple), with the
+    RTT spread stretched across the population via per-flow access
+    propagation overrides.
+    """
+    n, buffers, rtt_spread = case
+    return ScenarioConfig(
+        name=f"manyflow-N{n}-B{buffers}-S{rtt_spread:g}",
+        description=f"{n}-flow dumbbell population, buffer {buffers}, "
+                    f"RTT spread {rtt_spread:g}",
+        flows=_manyflow_flows(n, rtt_spread, stagger),
+        n_left=n,
+        n_right=n,
+        buffer_packets=buffers,
+        duration=duration,
+        warmup=warmup,
+    )
+
+
+def onoff_manyflow_config(case: tuple[int, int, float],
+                          duration: float = 300.0,
+                          warmup: float = 120.0,
+                          waves: int = 3,
+                          wave_interval: float = 30.0) -> ScenarioConfig:
+    """The phase-diagram family with on-off-style arrival waves.
+
+    Sources here are infinite (they never fall silent once started), so
+    on-off restart dynamics are approximated by *join waves*: the
+    population starts in ``waves`` cohorts ``wave_interval`` seconds
+    apart, each late cohort hitting a bottleneck already owned by the
+    established flows — the "on" transition, which is where the
+    synchronization-relevant transient lives.  All waves are on well
+    before the warmup ends, so measurements still cover the full
+    population.
+    """
+    n, buffers, rtt_spread = case
+    starts = [(i % waves) * wave_interval + (i // waves) * 0.5
+              for i in range(n)]
+    config = manyflow_config(case, duration=duration, warmup=warmup)
+    return config.with_updates(
+        name=f"manyflow-onoff-N{n}-B{buffers}-S{rtt_spread:g}",
+        description=config.description + f", {waves} join waves",
+        flows=_manyflow_flows(n, rtt_spread, 0.0, start_times=starts),
+    )
+
+
 def substituted_config(
     value: object,
     make_config: Callable[..., ScenarioConfig],
@@ -139,6 +252,22 @@ def substituted_config(
     tuple-of-pairs form so equal parameter sets fingerprint equally.
     """
     return substitute_algorithm(make_config(value), algorithm, dict(params))
+
+
+def queued_config(
+    value: object,
+    make_config: Callable[..., ScenarioConfig],
+    queue: str,
+    params: FlowParams = (),
+) -> ScenarioConfig:
+    """Any family's config with the bottleneck switched to ``queue``.
+
+    The discipline-side twin of :func:`substituted_config`, behind
+    ``repro sweep --queue``: module-level and so picklable for parallel
+    workers; the renamed scenario partitions the result cache away from
+    the original discipline's entries.
+    """
+    return substitute_queue(make_config(value), queue, dict(params))
 
 
 def aimd_conjecture_config(case: tuple[int, int, float],
@@ -185,6 +314,27 @@ def compression_extract(result: ScenarioResult) -> dict[str, float]:
     """ACK-compression factor observed by connection 1."""
     return {"compression_factor":
             float(result.ack_compression(1).compression_factor)}
+
+
+def sync_extract(result: ScenarioResult) -> dict[str, float]:
+    """Ensemble synchronization verdict plus its supporting statistics.
+
+    The phase-diagram measurement: the categorical mode ships as its
+    stable numeric code (see
+    :attr:`repro.analysis.sync.EnsembleMode.code`) next to the raw
+    drop-coincidence and mean-pairwise-correlation numbers.
+    """
+    start, end = result.window
+    series = [result.traces.cwnd(c.conn_id).cwnd for c in result.connections]
+    verdict = classify_ensemble(series, result.epochs(),
+                                len(result.connections), start, end)
+    return {
+        "mode_code": float(verdict.mode.code),
+        "drop_coincidence": verdict.coincidence,
+        "mean_correlation": verdict.correlation,
+        "epochs": float(verdict.n_epochs),
+        "utilization": result.utilization(),
+    }
 
 
 def epoch_pattern_extract(result: ScenarioResult) -> dict[str, float]:

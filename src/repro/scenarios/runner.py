@@ -26,6 +26,7 @@ from repro.scenarios.config import (
     FlowParams,
     ScenarioConfig,
     substitute_algorithm,
+    substitute_queue,
 )
 from repro.tcp.connection import Connection
 
@@ -35,11 +36,15 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.metrics.scenario import ScenarioMeter
     from repro.obs.tracer import Tracer
 
-__all__ = ["ScenarioResult", "algorithm_override", "run"]
+__all__ = ["ScenarioResult", "algorithm_override", "queue_override", "run"]
 
 #: Process-local stack of (algorithm, params) forced onto every
 #: :func:`run` — see :func:`algorithm_override`.
 _OVERRIDES: list[tuple[str, FlowParams | None]] = []
+
+#: Process-local stack of (discipline, params) forced onto every
+#: :func:`run` — see :func:`queue_override`.
+_QUEUE_OVERRIDES: list[tuple[str, FlowParams | None]] = []
 
 
 @contextmanager
@@ -60,11 +65,32 @@ def algorithm_override(algorithm: str,
         _OVERRIDES.pop()
 
 
+@contextmanager
+def queue_override(queue: str,
+                   params: FlowParams | None = None) -> Iterator[None]:
+    """Force every :func:`run` in this ``with`` block onto ``queue``.
+
+    The discipline-side twin of :func:`algorithm_override`, behind
+    ``repro run EXP --queue``: each config is passed through
+    :func:`substitute_queue` at run time.  Process-local, so parallel
+    sweep workers are not affected — sweeps substitute their config
+    factories instead (:func:`repro.scenarios.families.queued_config`).
+    """
+    _QUEUE_OVERRIDES.append((queue, params))
+    try:
+        yield
+    finally:
+        _QUEUE_OVERRIDES.pop()
+
+
 def _apply_override(config: ScenarioConfig) -> ScenarioConfig:
-    if not _OVERRIDES:
-        return config
-    algorithm, params = _OVERRIDES[-1]
-    return substitute_algorithm(config, algorithm, params)
+    if _OVERRIDES:
+        algorithm, params = _OVERRIDES[-1]
+        config = substitute_algorithm(config, algorithm, params)
+    if _QUEUE_OVERRIDES:
+        queue, params = _QUEUE_OVERRIDES[-1]
+        config = substitute_queue(config, queue, params)
+    return config
 
 
 @dataclass

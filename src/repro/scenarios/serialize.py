@@ -13,6 +13,12 @@ name) plus a ``params`` object.  Documents written before the pluggable
 architecture used a closed ``kind`` enum with the same three values
 ("tahoe"/"reno"/"fixed"); ``kind`` is still accepted as an alias of
 ``algorithm`` so old files keep loading.
+
+The bottleneck discipline is likewise an open ``queue`` object
+(``{"name": ..., "params": {...}}`` against the queue-discipline
+registry).  Documents written before the registry used a boolean
+``random_drop`` flag; it is still accepted and maps to the
+``randomdrop``/``droptail`` registry entries.
 """
 
 from __future__ import annotations
@@ -22,7 +28,7 @@ from dataclasses import fields
 from pathlib import Path
 
 from repro.errors import ConfigurationError
-from repro.scenarios.config import FlowSpec, ScenarioConfig, TopologyKind
+from repro.scenarios.config import FlowSpec, QueueSpec, ScenarioConfig, TopologyKind
 from repro.tcp.options import TcpOptions
 
 __all__ = ["config_to_dict", "config_from_dict", "save_config", "load_config"]
@@ -35,9 +41,12 @@ def config_to_dict(config: ScenarioConfig) -> dict:
         "description": config.description,
         "topology": config.topology.value,
         "n_switches": config.n_switches,
+        "n_left": config.n_left,
+        "n_right": config.n_right,
         "bottleneck_bandwidth": config.bottleneck_bandwidth,
         "bottleneck_propagation": config.bottleneck_propagation,
         "buffer_packets": config.buffer_packets,
+        "access_buffer_packets": config.access_buffer_packets,
         "access_bandwidth": config.access_bandwidth,
         "access_propagation": config.access_propagation,
         "host_processing_delay": config.host_processing_delay,
@@ -45,7 +54,10 @@ def config_to_dict(config: ScenarioConfig) -> dict:
         "warmup": config.warmup,
         "seed": config.seed,
         "start_jitter": config.start_jitter,
-        "random_drop": config.random_drop,
+        "queue": {
+            "name": config.queue.name,
+            "params": dict(config.queue.params),
+        },
         "tcp": {
             field.name: getattr(config.tcp, field.name)
             for field in fields(TcpOptions)
@@ -58,6 +70,7 @@ def config_to_dict(config: ScenarioConfig) -> dict:
                 "params": dict(flow.params),
                 "window": flow.window,
                 "start_time": flow.start_time,
+                "access_propagation": flow.access_propagation,
             }
             for flow in config.flows
         ],
@@ -74,6 +87,36 @@ def _flow_algorithm(raw: dict) -> str:
             f"kind={kind!r}; use algorithm alone")
     resolved = algorithm if algorithm is not None else kind
     return "tahoe" if resolved is None else str(resolved)
+
+
+def _queue_spec(data: dict) -> QueueSpec | None:
+    """The document's queue discipline, honouring legacy ``random_drop``.
+
+    Pops both spellings from ``data``; returns ``None`` when neither is
+    present (the dataclass default applies).
+    """
+    queue_data = data.pop("queue", None)
+    legacy = data.pop("random_drop", None)
+    if queue_data is not None and legacy is not None:
+        raise ConfigurationError(
+            "scenario names both 'queue' and legacy 'random_drop'; "
+            "use queue alone")
+    if queue_data is not None:
+        if not isinstance(queue_data, dict):
+            raise ConfigurationError(
+                f"queue must be an object, got {type(queue_data).__name__}")
+        raw = dict(queue_data)
+        name = raw.pop("name", "droptail")
+        params = raw.pop("params", {})
+        if raw:
+            raise ConfigurationError(f"unknown queue fields: {sorted(raw)}")
+        if not isinstance(params, dict):
+            raise ConfigurationError(
+                f"queue params must be an object, got {type(params).__name__}")
+        return QueueSpec(name=str(name), params=params)
+    if legacy is not None:
+        return QueueSpec(name="randomdrop" if legacy else "droptail")
+    return None
 
 
 def config_from_dict(document: dict) -> ScenarioConfig:
@@ -101,9 +144,14 @@ def config_from_dict(document: dict) -> ScenarioConfig:
             params=params,
             window=raw.pop("window", None),
             start_time=raw.pop("start_time", 0.0),
+            access_propagation=raw.pop("access_propagation", None),
         ))
         if raw:
             raise ConfigurationError(f"unknown flow fields: {sorted(raw)}")
+
+    queue = _queue_spec(data)
+    if queue is not None:
+        data["queue"] = queue
 
     tcp_data = data.pop("tcp", {})
     known_tcp = {field.name for field in fields(TcpOptions)}

@@ -1,0 +1,12 @@
+# repro-lint-module: repro.net.queues
+"""Stand-in DropTailQueue so the discipline fixtures resolve standalone.
+
+The contract checker anchors on the canonical qualname
+`repro.net.queues.DropTailQueue`; this file claims that module identity
+with a directive so the fixture package can be linted without the real
+tree on the path.
+"""
+
+
+class DropTailQueue:
+    __slots__ = ()

@@ -1,0 +1,27 @@
+# repro-lint-module: repro.fxdbad.queues
+"""Positive discipline-side RPR011 fixture: queue classes that break
+the registry contract.
+
+`LeakyQueue` forgets `__slots__` and declares `offer` with the wrong
+arity; `RogueQueue` does not inherit from DropTailQueue at all.
+"""
+
+from repro.net.queues import DropTailQueue
+
+
+class LeakyQueue(DropTailQueue):
+    def offer(self, now):  # RPR011: the OutputPort calls offer(self, now, p)
+        return True
+
+    def take(self, now):
+        return None
+
+
+class RogueQueue:
+    __slots__ = ("_packets",)
+
+    def offer(self, now, packet):
+        return True
+
+    def take(self, now):
+        return None

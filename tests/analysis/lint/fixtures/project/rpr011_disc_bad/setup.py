@@ -1,0 +1,14 @@
+# repro-lint-module: repro.fxdbad.setup
+"""Positive discipline-side RPR011 fixture, registration side.
+
+The violations are reported at the class/method definition sites in
+`queues.py`, naming this file's registration as the reason the
+contract applies.
+"""
+
+from repro.fxdbad.queues import LeakyQueue, RogueQueue
+
+
+def install(register_discipline):
+    register_discipline("leaky", LeakyQueue)
+    register_discipline("rogue", queue_class=RogueQueue)

@@ -1,0 +1,6 @@
+# repro-lint-module: repro.net.queues
+"""Stand-in DropTailQueue for the negative discipline fixture package."""
+
+
+class DropTailQueue:
+    __slots__ = ()

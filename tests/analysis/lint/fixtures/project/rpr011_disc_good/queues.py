@@ -1,0 +1,26 @@
+# repro-lint-module: repro.fxdgood.queues
+"""Negative discipline-side RPR011 fixture: a conforming queue chain.
+
+`PacedQueue` keeps `__slots__`, extends `offer`/`take` arity only with
+defaulted parameters, and reaches DropTailQueue through a module-local
+intermediate base.
+"""
+
+from repro.net.queues import DropTailQueue
+
+
+class MeteredQueue(DropTailQueue):
+    __slots__ = ("_meter",)
+
+    def offer(self, now, packet):
+        return True
+
+
+class PacedQueue(MeteredQueue):
+    __slots__ = ("_credit",)
+
+    def offer(self, now, packet, priority=0):
+        return True
+
+    def take(self, now):
+        return None

@@ -1,0 +1,12 @@
+# repro-lint-module: repro.fxdgood.setup
+"""Negative discipline-side RPR011 fixture, registration side: both the
+leaf and its intermediate base pass every check, and registering the
+base queue itself is always fine."""
+
+from repro.fxdgood.queues import PacedQueue
+from repro.net.queues import DropTailQueue
+
+
+def install(register_discipline):
+    register_discipline("paced", PacedQueue)
+    register_discipline("droptail", queue_class=DropTailQueue)

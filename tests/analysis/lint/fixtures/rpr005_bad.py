@@ -15,3 +15,11 @@ def install(register_algorithm, base):
 
     register_algorithm("local", LocalControl)
     register_algorithm("inline", factory=lambda: base())
+
+
+def install_queues(register_discipline, base_queue):
+    class LocalQueue(base_queue):
+        pass
+
+    register_discipline("local", LocalQueue)
+    register_discipline("inline", queue_class=lambda name, cap: base_queue(name, cap))

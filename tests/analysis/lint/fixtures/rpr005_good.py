@@ -25,3 +25,12 @@ def run_family(sweep, values):
 def install(register_algorithm):
     # A module-level class resolves by name in any re-importing worker.
     register_algorithm("module", ModuleControl)
+
+
+class ModuleQueue:
+    pass
+
+
+def install_queues(register_discipline):
+    # Queue disciplines resolve by name the same way algorithms do.
+    register_discipline("module", ModuleQueue)

@@ -135,6 +135,8 @@ class TestFixturePackages:
         ("rpr010_protocol_good", []),
         ("rpr011_bad", ["RPR011", "RPR011", "RPR011", "RPR011"]),
         ("rpr011_good", []),
+        ("rpr011_disc_bad", ["RPR011", "RPR011", "RPR011"]),
+        ("rpr011_disc_good", []),
     ])
     def test_package(self, package, expected):
         violations = lint_project([PROJECT_FIXTURES / package])
@@ -159,6 +161,14 @@ class TestFixturePackages:
         assert any("positional parameter" in v.message for v in violations)
         assert any("private state" in v.message for v in violations)
         assert any("neither inherits" in v.message for v in violations)
+
+    def test_rpr011_discipline_reports_at_definition_site(self):
+        violations = lint_project([PROJECT_FIXTURES / "rpr011_disc_bad"])
+        assert all(v.path.endswith("queues.py") for v in violations)
+        assert any("__slots__" in v.message for v in violations)
+        assert any("OutputPort calls it" in v.message for v in violations)
+        assert any("does not inherit from DropTailQueue" in v.message
+                   for v in violations)
 
 
 # ----------------------------------------------------------------------

@@ -11,7 +11,7 @@ EXPECTED_IDS = [
     "fig8", "fig9", "ack_compression", "conjecture", "buffer_sweep",
     "delayed_ack", "four_switch", "clustering", "effective_pipe", "pacing",
     "unequal_rtt", "four_switch_fifty", "aimd_conjecture", "idle_scaling",
-    "capacity",
+    "capacity", "droptail_sync", "red_meanfield",
 ]
 
 

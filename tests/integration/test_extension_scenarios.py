@@ -7,7 +7,7 @@ configurations, checking their distinguishing behaviors end to end.
 import pytest
 
 from repro.analysis import cluster_runs, clustering_stats
-from repro.scenarios import paper, run
+from repro.scenarios import QueueSpec, paper, run
 
 
 class TestDelayedAckScenario:
@@ -74,7 +74,7 @@ class TestRandomDropScenario:
     def test_drop_tail_vs_random_drop_loss_location(self):
         drop_tail = run(paper.figure4(duration=150.0, warmup=60.0))
         random_drop = run(paper.figure4(duration=150.0, warmup=60.0)
-                          .with_updates(random_drop=True))
+                          .with_updates(queue=QueueSpec("randomdrop")))
         # Both congest; random drop must actually be in effect (it admits
         # arrivals, so the dropped seq is never the arriving packet's at
         # the moment the buffer is full — statistically visible as
@@ -84,7 +84,7 @@ class TestRandomDropScenario:
 
     def test_random_drop_deterministic_per_seed(self):
         config = paper.figure4(duration=100.0, warmup=40.0).with_updates(
-            random_drop=True)
+            queue=QueueSpec("randomdrop"))
         a = run(config)
         b = run(config)
         assert a.traces.drops.times() == b.traces.drops.times()

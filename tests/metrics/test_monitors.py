@@ -209,8 +209,10 @@ class TestByteLengths:
     def test_bytes_never_negative_with_random_drop(self):
         from repro.scenarios import paper, run
 
+        from repro.scenarios.config import QueueSpec
+
         result = run(paper.figure4(duration=80.0, warmup=20.0)
-                     .with_updates(random_drop=True))
+                     .with_updates(queue=QueueSpec("randomdrop")))
         for monitor in result.traces.queues.values():
             assert monitor.byte_lengths.values.min() >= 0.0
             assert monitor.byte_lengths.last_value >= 0.0

@@ -4,6 +4,7 @@ import pytest
 
 from repro.engine import SimRandom
 from repro.net import Packet, PacketKind, RandomDropQueue
+from repro.scenarios.config import QueueSpec
 
 
 def _packet(seq, conn=1):
@@ -88,7 +89,7 @@ class TestScenarioIntegration:
 
         drop_tail = run(paper.figure4(duration=200.0, warmup=80.0))
         random_drop = run(paper.figure4(duration=200.0, warmup=80.0)
-                          .with_updates(random_drop=True))
+                          .with_updates(queue=QueueSpec("randomdrop")))
         # Drop-tail (out-of-phase): most epochs have a single loser.
         dt_single = sum(1 for e in drop_tail.epochs() if len(e.connections) == 1)
         rd_shared = sum(1 for e in random_drop.epochs() if len(e.connections) == 2)

@@ -97,3 +97,103 @@ class TestNetworkConstruction:
         duplex = net.connect(a, b, 1e6, 0.01, 3, None)
         assert duplex.forward.queue.capacity == 3
         assert duplex.reverse.queue.capacity is None
+
+    def test_same_direction_duplicate_link_rejected(self):
+        net = Network(Simulator())
+        a = net.add_switch("a")
+        b = net.add_switch("b")
+        net.connect(a, b, 1e6, 0.01, 5, 5)
+        with pytest.raises(ConfigurationError, match="already connected"):
+            net.connect(a, b, 1e6, 0.01, 5, 5)
+
+
+class TestGeneralizedDumbbell:
+    def test_node_inventory_four_by_four(self):
+        net = build_dumbbell(Simulator(), n_left=4, n_right=4)
+        hosts = sorted(n for n in net.nodes if n.startswith("host"))
+        assert hosts == [f"host{i}" for i in range(1, 9)]
+        assert sorted(n for n in net.nodes if n.startswith("sw")) == [
+            "sw1", "sw2"]
+
+    def test_every_cross_pair_routes_through_the_bottleneck(self):
+        n = 4
+        net = build_dumbbell(Simulator(), n_left=n, n_right=n)
+        for i in range(1, n + 1):
+            for j in range(n + 1, 2 * n + 1):
+                assert net.nodes[f"host{i}"].routes[f"host{j}"] == "sw1"
+                assert net.nodes["sw1"].routes[f"host{j}"] == "sw2"
+                assert net.nodes[f"host{j}"].routes[f"host{i}"] == "sw2"
+                assert net.nodes["sw2"].routes[f"host{i}"] == "sw1"
+
+    def test_same_side_pairs_turn_around_at_their_switch(self):
+        net = build_dumbbell(Simulator(), n_left=4, n_right=4)
+        assert net.nodes["host1"].routes["host3"] == "sw1"
+        assert net.nodes["sw1"].routes["host3"] == "host3"
+        assert net.nodes["host6"].routes["host8"] == "sw2"
+        assert net.nodes["sw2"].routes["host8"] == "host8"
+
+    def test_asymmetric_sides(self):
+        net = build_dumbbell(Simulator(), n_left=1, n_right=5)
+        assert net.nodes["sw2"].routes["host6"] == "host6"
+        assert net.nodes["host6"].routes["host1"] == "sw2"
+
+    def test_two_host_default_unchanged(self):
+        # The generalized builder with defaults is exactly Figure 1.
+        net = build_dumbbell(Simulator())
+        assert sorted(net.nodes) == ["host1", "host2", "sw1", "sw2"]
+        assert net.nodes["host1"].routes["host2"] == "sw1"
+
+    def test_access_propagation_overrides(self):
+        net = build_dumbbell(
+            Simulator(), n_left=2, n_right=2,
+            access_propagation=0.001,
+            access_propagation_overrides={"host2": 0.009},
+        )
+        assert net.port("host2", "sw1").link.propagation == 0.009
+        assert net.port("host1", "sw1").link.propagation == 0.001
+
+    def test_override_for_unknown_host_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown hosts"):
+            build_dumbbell(Simulator(), n_left=2, n_right=2,
+                           access_propagation_overrides={"host9": 0.01})
+
+    def test_degenerate_sides_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_dumbbell(Simulator(), n_left=0)
+        with pytest.raises(ConfigurationError):
+            build_dumbbell(Simulator(), n_right=0)
+
+
+class TestMultiHostChain:
+    def test_hosts_per_switch_inventory(self):
+        net = build_chain(Simulator(), n_switches=3, hosts_per_switch=2)
+        hosts = sorted(n for n in net.nodes if n.startswith("host"))
+        assert hosts == [f"host{i}" for i in range(1, 7)]
+        # Switch i carries hosts host{2i-1}, host{2i}.
+        assert "host3" in net.nodes["sw2"].ports
+        assert "host4" in net.nodes["sw2"].ports
+        assert "host3" not in net.nodes["sw1"].ports
+
+    def test_multi_hop_routes_with_shared_switches(self):
+        net = build_chain(Simulator(), n_switches=3, hosts_per_switch=2)
+        # host1 (sw1) -> host6 (sw3) crosses both inter-switch links.
+        assert net.nodes["host1"].routes["host6"] == "sw1"
+        assert net.nodes["sw1"].routes["host6"] == "sw2"
+        assert net.nodes["sw2"].routes["host6"] == "sw3"
+        assert net.nodes["sw3"].routes["host6"] == "host6"
+        # Siblings on one switch reach each other without a switch hop.
+        assert net.nodes["host3"].routes["host4"] == "sw2"
+        assert net.nodes["sw2"].routes["host4"] == "host4"
+
+    def test_access_buffers_configurable(self):
+        net = build_chain(Simulator(), n_switches=2, hosts_per_switch=2,
+                          access_buffer_packets=6)
+        assert net.port("host1", "sw1").queue.capacity == 6
+        assert net.port("sw1", "host2").queue.capacity == 6
+        # Historical default stays infinite.
+        default = build_chain(Simulator(), n_switches=2)
+        assert default.port("host1", "sw1").queue.capacity is None
+
+    def test_hosts_per_switch_validated(self):
+        with pytest.raises(ConfigurationError):
+            build_chain(Simulator(), n_switches=2, hosts_per_switch=0)

@@ -7,6 +7,7 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.scenarios import (
     FlowSpec,
+    QueueSpec,
     ScenarioConfig,
     config_from_dict,
     config_to_dict,
@@ -33,10 +34,25 @@ class TestRoundTrip:
         assert restored.tcp.delayed_ack is True
         assert restored.tcp.maxwnd == 8
 
-    def test_random_drop_flag_preserved(self):
-        config = paper.figure4().with_updates(random_drop=True)
+    def test_queue_spec_preserved(self):
+        config = paper.figure4().with_updates(
+            queue=QueueSpec("red", {"min_th": 4, "max_th": 12}))
         restored = config_from_dict(config_to_dict(config))
-        assert restored.random_drop is True
+        assert restored.queue == config.queue
+
+    def test_legacy_random_drop_flag_maps_to_registry(self):
+        document = config_to_dict(paper.figure4())
+        document.pop("queue")
+        document["random_drop"] = True
+        assert config_from_dict(document).queue == QueueSpec("randomdrop")
+        document["random_drop"] = False
+        assert config_from_dict(document).queue == QueueSpec("droptail")
+
+    def test_queue_and_legacy_flag_together_rejected(self):
+        document = config_to_dict(paper.figure4())
+        document["random_drop"] = True
+        with pytest.raises(ConfigurationError, match="random_drop"):
+            config_from_dict(document)
 
     def test_file_round_trip(self, tmp_path):
         config = paper.figure8()
